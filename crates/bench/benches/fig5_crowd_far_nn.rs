@@ -1,0 +1,93 @@
+//! Figure 5 — farthest and nearest neighbour quality under the crowd
+//! oracle, across the four user-study datasets.
+//!
+//! Paper result (values normalised per dataset): `Far`/`NN` track `TDist`
+//! everywhere; `Tour2` beats `Samp` on `cities` (skewed distances, unique
+//! optimum) but not on `caltech`/`monuments`/`amazon` (many near-optimal
+//! records); `Samp` is poor for NN on every dataset.
+//!
+//! Per §6.3 we run the adversarial algorithm on cities/caltech/monuments
+//! and the probabilistic one on amazon.
+
+use nco_bench::{
+    bench_amazon, bench_caltech, bench_cities, bench_monuments, crowd_oracle, reps, scaled,
+};
+use nco_core::maxfind::AdvParams;
+use nco_core::neighbor::baselines::{farthest_samp, farthest_tour2, nearest_samp, nearest_tour2};
+use nco_core::neighbor::{farthest_adv, farthest_prob, nearest_adv, nearest_prob};
+use nco_data::Dataset;
+use nco_eval::experiment::{run_reps, RepOutcome};
+use nco_eval::Table;
+use nco_metric::stats::{exact_farthest, exact_nearest};
+use nco_metric::Metric;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let datasets: Vec<(Dataset, bool)> = vec![
+        (bench_cities(scaled(800)), false),
+        (bench_caltech(scaled(600)), false),
+        (bench_monuments(100), false),
+        (bench_amazon(scaled(500)), true), // probabilistic per Fig. 4b
+    ];
+    let r = reps(8);
+    let q = 0usize;
+
+    let mut far_table = Table::new(
+        "Figure 5(a) — farthest distance, normalised to TDist = 1.000 (higher is better)",
+        &["dataset", "Far (ours)", "Tour2", "Samp"],
+    );
+    let mut nn_table = Table::new
+        ("Figure 5(b) — NN distance, normalised to TDist = 1.000 (lower is better)",
+        &["dataset", "NN (ours)", "Tour2", "Samp"],
+    );
+
+    for (d, probabilistic) in &datasets {
+        let metric = &d.metric;
+        let (_, d_far) = exact_farthest(metric, q, 0..d.n()).unwrap();
+        let (_, d_near) = exact_nearest(metric, q, 0..d.n()).unwrap();
+
+        let run = |which: &str, seed0: u64| {
+            let probabilistic = *probabilistic;
+            run_reps(r, seed0, |seed| {
+                let mut oracle = crowd_oracle(d, seed);
+                let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed);
+                let params = AdvParams::experimental();
+                let got = match which {
+                    "far" if probabilistic => {
+                        farthest_prob(&mut oracle, q, 0.1, &params, &mut rng).unwrap()
+                    }
+                    "far" => farthest_adv(&mut oracle, q, &params, &mut rng).unwrap(),
+                    "far2" => farthest_tour2(&mut oracle, q, &mut rng).unwrap(),
+                    "farS" => farthest_samp(&mut oracle, q, &mut rng).unwrap(),
+                    "nn" if probabilistic => {
+                        nearest_prob(&mut oracle, q, 0.1, &params, &mut rng).unwrap()
+                    }
+                    "nn" => nearest_adv(&mut oracle, q, &params, &mut rng).unwrap(),
+                    "nn2" => nearest_tour2(&mut oracle, q, &mut rng).unwrap(),
+                    "nnS" => nearest_samp(&mut oracle, q, &mut rng).unwrap(),
+                    other => unreachable!("{other}"),
+                };
+                RepOutcome { value: metric.dist(q, got), queries: 0 }
+            })
+            .value
+            .mean
+        };
+
+        far_table.row(&[
+            d.name.into(),
+            format!("{:.3}", run("far", 10) / d_far),
+            format!("{:.3}", run("far2", 20) / d_far),
+            format!("{:.3}", run("farS", 30) / d_far),
+        ]);
+        nn_table.row(&[
+            d.name.into(),
+            format!("{:.3}", run("nn", 40) / d_near),
+            format!("{:.3}", run("nn2", 50) / d_near),
+            format!("{:.3}", run("nnS", 60) / d_near),
+        ]);
+    }
+    println!("{far_table}");
+    println!("{nn_table}");
+    println!("paper shape: ours ~1.0 everywhere; Tour2 > Samp on cities only; Samp worst for NN.");
+}

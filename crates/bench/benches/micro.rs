@@ -1,0 +1,127 @@
+//! Criterion micro-benchmarks: wall-clock cost of each primitive at fixed
+//! sizes (complements the query-count columns of the table/figure benches
+//! with time-per-call measurements).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use nco_bench::bench_dblp;
+use nco_core::comparator::ValueCmp;
+use nco_core::hier::{hier_oracle, HierParams, Linkage};
+use nco_core::kcenter::{kcenter_adv, KCenterAdvParams};
+use nco_core::maxfind::{count_max, max_adv, max_prob, tournament, AdvParams, ProbParams};
+use nco_core::neighbor::farthest_adv;
+use nco_oracle::adversarial::{AdversarialQuadOracle, AdversarialValueOracle, InvertAdversary};
+use nco_oracle::probabilistic::ProbValueOracle;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Duration;
+
+fn values(n: usize) -> Vec<f64> {
+    (0..n).map(|i| ((i * 131) % 7919) as f64 + 1.0).collect()
+}
+
+fn bench_maxfind(c: &mut Criterion) {
+    let n = 1024usize;
+    let items: Vec<usize> = (0..n).collect();
+    let mut group = c.benchmark_group("maxfind_n1024");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+
+    group.bench_function("count_max", |b| {
+        b.iter_batched(
+            || AdversarialValueOracle::new(values(n), 0.5, InvertAdversary),
+            |mut o| count_max(&items, &mut ValueCmp::new(&mut o)),
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("tournament_l2", |b| {
+        b.iter_batched(
+            || {
+                (
+                    AdversarialValueOracle::new(values(n), 0.5, InvertAdversary),
+                    StdRng::seed_from_u64(1),
+                )
+            },
+            |(mut o, mut rng)| tournament(&items, 2, &mut ValueCmp::new(&mut o), &mut rng),
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("max_adv_t1", |b| {
+        b.iter_batched(
+            || {
+                (
+                    AdversarialValueOracle::new(values(n), 0.5, InvertAdversary),
+                    StdRng::seed_from_u64(2),
+                )
+            },
+            |(mut o, mut rng)| {
+                max_adv(&items, &AdvParams::experimental(), &mut ValueCmp::new(&mut o), &mut rng)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("max_prob", |b| {
+        b.iter_batched(
+            || (ProbValueOracle::new(values(n), 0.2, 3), StdRng::seed_from_u64(3)),
+            |(mut o, mut rng)| {
+                max_prob(&items, &ProbParams::experimental(), &mut ValueCmp::new(&mut o), &mut rng)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_pipelines(c: &mut Criterion) {
+    let d = bench_dblp(400);
+    let mut group = c.benchmark_group("pipelines_dblp400");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+
+    group.bench_function("farthest_adv", |b| {
+        b.iter_batched(
+            || {
+                (
+                    AdversarialQuadOracle::new(&d.metric, 1.0, InvertAdversary),
+                    StdRng::seed_from_u64(4),
+                )
+            },
+            |(mut o, mut rng)| farthest_adv(&mut o, 0, &AdvParams::experimental(), &mut rng),
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("kcenter_adv_k10", |b| {
+        b.iter_batched(
+            || {
+                (
+                    AdversarialQuadOracle::new(&d.metric, 1.0, InvertAdversary),
+                    StdRng::seed_from_u64(5),
+                )
+            },
+            |(mut o, mut rng)| {
+                kcenter_adv(&KCenterAdvParams::experimental(10), &mut o, &mut rng)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+
+    let small = bench_dblp(160);
+    let mut group = c.benchmark_group("hier_dblp160");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group.bench_function("hier_oracle_single", |b| {
+        b.iter_batched(
+            || {
+                (
+                    AdversarialQuadOracle::new(&small.metric, 1.0, InvertAdversary),
+                    StdRng::seed_from_u64(6),
+                )
+            },
+            |(mut o, mut rng)| {
+                hier_oracle(&HierParams::experimental(Linkage::Single), &mut o, &mut rng)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_maxfind, bench_pipelines);
+criterion_main!(benches);

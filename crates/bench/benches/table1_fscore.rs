@@ -1,0 +1,128 @@
+//! Table 1 — F-score of k-center clusterings under the crowd oracle:
+//! `kC` vs `Tour2` vs `Samp` vs `Oq` on caltech (k = 10/15/20),
+//! monuments and amazon (k = 7/14).
+//!
+//! Paper numbers: kC >= 0.92 everywhere (1.0 on caltech k=10/15,
+//! monuments); Tour2 0.66–0.95; Samp 0.54–0.97; Oq 0.45–0.77 (computed on
+//! a 150-pair sample, as here). Per §6.3, caltech/monuments run the
+//! adversarial algorithm, amazon the probabilistic one.
+//!
+//! Deviations at our scale (see EXPERIMENTS.md): the monuments analogue
+//! has 10 ground-truth sites, so its row uses k = 10 (the paper's k = 5
+//! implies a 5-cluster ground truth we don't reproduce); caltech k = 15
+//! sits between the 10/20 label granularities, capping its best
+//! achievable score below 1 by construction.
+
+use nco_bench::{bench_amazon, bench_caltech, bench_monuments, crowd_oracle, reps, scaled};
+use nco_core::kcenter::baselines::{kcenter_samp, kcenter_tour2, sample_pairs};
+use nco_core::kcenter::{kcenter_adv, kcenter_prob, KCenterAdvParams, KCenterProbParams};
+use nco_data::Dataset;
+use nco_eval::experiment::{run_reps, RepOutcome};
+use nco_eval::{pair_f_score, Table};
+use nco_oracle::cluster_query::ClusterQueryOracle;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+struct Config {
+    dataset: Dataset,
+    k: usize,
+    probabilistic: bool,
+    coarse: bool, // score against the coarse label granularity
+}
+
+fn main() {
+    let r = reps(5);
+    let caltech = bench_caltech(scaled(400));
+    let monuments = bench_monuments(100);
+    let amazon = bench_amazon(scaled(350));
+
+    // Each row scores against the ground-truth granularity matching its k
+    // (coarse = 10 caltech groups / 7 amazon departments; fine = 20 / 14
+    // leaf categories). caltech k=15 sits between granularities, so its
+    // best achievable F-score is < 1 by construction — reported as-is.
+    let configs = vec![
+        Config { dataset: caltech.clone(), k: 10, probabilistic: false, coarse: true },
+        Config { dataset: caltech.clone(), k: 15, probabilistic: false, coarse: false },
+        Config { dataset: caltech.clone(), k: 20, probabilistic: false, coarse: false },
+        Config { dataset: monuments.clone(), k: 10, probabilistic: false, coarse: false },
+        Config { dataset: amazon.clone(), k: 7, probabilistic: true, coarse: true },
+        Config { dataset: amazon.clone(), k: 14, probabilistic: true, coarse: false },
+    ];
+
+    let mut table = Table::new(
+        "Table 1 — k-center pair F-score under the crowd oracle",
+        &["dataset (k)", "kC", "Tour2", "Samp", "Oq*"],
+    );
+
+    for cfg in &configs {
+        let d = &cfg.dataset;
+        let truth: &[usize] = if cfg.coarse {
+            cfg.dataset.coarse_labels.as_ref().unwrap()
+        } else {
+            cfg.dataset.labels.as_ref().unwrap()
+        };
+        let k = cfg.k;
+
+        let fscore = |method: &str, seed0: u64| -> f64 {
+            run_reps(r, seed0, |seed| {
+                let mut oracle = crowd_oracle(d, seed);
+                let mut rng = StdRng::seed_from_u64(seed ^ 0xab1e);
+                let labels: Vec<usize> = match method {
+                    "kc" if cfg.probabilistic => kcenter_prob(
+                        &KCenterProbParams {
+                            gamma: 4.0,
+                            ..KCenterProbParams::experimental(k, d.min_cluster_size)
+                        },
+                        &mut oracle,
+                        &mut rng,
+                    )
+                    .labels()
+                    .to_vec(),
+                    "kc" => kcenter_adv(&KCenterAdvParams::experimental(k), &mut oracle, &mut rng)
+                        .labels()
+                        .to_vec(),
+                    "t2" => kcenter_tour2(k, None, &mut oracle, &mut rng).labels().to_vec(),
+                    "sp" => kcenter_samp(k, None, &mut oracle, &mut rng).labels().to_vec(),
+                    "oq" => {
+                        // The paper's Oq row is "computed on a sample of 150
+                        // pairwise queries to the crowd": F-score of the
+                        // yes/no answers over the queried pairs themselves.
+                        let mut oq = ClusterQueryOracle::crowd_like(truth.to_vec(), seed);
+                        let pairs = sample_pairs(d.n(), 150, &mut rng);
+                        let (mut tp, mut fp, mut fne) = (0usize, 0usize, 0usize);
+                        for &(i, j) in &pairs {
+                            let ans = oq.same_cluster(i, j);
+                            let t = truth[i] == truth[j];
+                            match (ans, t) {
+                                (true, true) => tp += 1,
+                                (true, false) => fp += 1,
+                                (false, true) => fne += 1,
+                                _ => {}
+                            }
+                        }
+                        let prec = if tp + fp == 0 { 1.0 } else { tp as f64 / (tp + fp) as f64 };
+                        let rec = if tp + fne == 0 { 1.0 } else { tp as f64 / (tp + fne) as f64 };
+                        let f1 =
+                            if prec + rec == 0.0 { 0.0 } else { 2.0 * prec * rec / (prec + rec) };
+                        return RepOutcome { value: f1, queries: 0 };
+                    }
+                    other => unreachable!("{other}"),
+                };
+                RepOutcome { value: pair_f_score(&labels, truth).f1, queries: 0 }
+            })
+            .value
+            .mean
+        };
+
+        table.row(&[
+            format!("{} (k={})", d.name, k),
+            format!("{:.2}", fscore("kc", 1)),
+            format!("{:.2}", fscore("t2", 2)),
+            format!("{:.2}", fscore("sp", 3)),
+            format!("{:.2}", fscore("oq", 4)),
+        ]);
+    }
+    println!("{table}");
+    println!("* Oq computed on a 150-pair crowd sample, as in the paper.");
+    println!("paper shape: kC >= 0.92 everywhere and best in every row; Oq worst (low recall).");
+}

@@ -1,0 +1,171 @@
+//! The noisy comparison abstraction every engine in this crate runs on.
+//!
+//! The paper's Section 3 machinery (Count-Max, tournaments, Max-Adv,
+//! Count-Max-Prob) is written for "a set of values with a comparison
+//! oracle", then reused verbatim for farthest/nearest neighbour (values =
+//! distances from a query, Section 3.3), k-center's Approx-Farthest (values
+//! = point-to-assigned-center distances, Section 4) and hierarchical
+//! clustering's closest-pair search (values = inter-cluster rep-pair
+//! distances, Section 5). [`Comparator`] captures that reuse: a noisy
+//! `le(a, b)` over opaque items, with adapters mapping each concrete setting
+//! onto an oracle.
+
+use nco_oracle::{ComparisonOracle, QuadrupletOracle};
+
+/// A noisy "is `key(a) <= key(b)`?" predicate over items of type `I`.
+///
+/// `true` encodes the paper's `Yes`. Implementations may be arbitrarily
+/// noisy; the algorithms consuming this trait are the ones responsible for
+/// robustness.
+pub trait Comparator<I: Copy> {
+    /// Noisily decides whether item `a`'s hidden key is `<=` item `b`'s.
+    fn le(&mut self, a: I, b: I) -> bool;
+}
+
+impl<I: Copy, C: Comparator<I> + ?Sized> Comparator<I> for &mut C {
+    fn le(&mut self, a: I, b: I) -> bool {
+        (**self).le(a, b)
+    }
+}
+
+/// Items are record indices, keys are their hidden values.
+#[derive(Debug)]
+pub struct ValueCmp<'a, O> {
+    oracle: &'a mut O,
+}
+
+impl<'a, O: ComparisonOracle> ValueCmp<'a, O> {
+    /// Wraps a comparison oracle.
+    pub fn new(oracle: &'a mut O) -> Self {
+        Self { oracle }
+    }
+}
+
+impl<O: ComparisonOracle> Comparator<usize> for ValueCmp<'_, O> {
+    fn le(&mut self, a: usize, b: usize) -> bool {
+        self.oracle.le(a, b)
+    }
+}
+
+/// Items are record indices, keys are their distances from a fixed query
+/// point `q` — the reduction of Section 3.3 (farthest/nearest neighbour).
+#[derive(Debug)]
+pub struct DistToQueryCmp<'a, O> {
+    oracle: &'a mut O,
+    q: usize,
+}
+
+impl<'a, O: QuadrupletOracle> DistToQueryCmp<'a, O> {
+    /// Wraps a quadruplet oracle with the query record `q`.
+    pub fn new(oracle: &'a mut O, q: usize) -> Self {
+        Self { oracle, q }
+    }
+}
+
+impl<O: QuadrupletOracle> Comparator<usize> for DistToQueryCmp<'_, O> {
+    fn le(&mut self, a: usize, b: usize) -> bool {
+        self.oracle.le(self.q, a, self.q, b)
+    }
+}
+
+/// Items are unordered record pairs, keys are their pairwise distances —
+/// used by hierarchical clustering's closest-pair searches (Section 5).
+#[derive(Debug)]
+pub struct PairDistCmp<'a, O> {
+    oracle: &'a mut O,
+}
+
+impl<'a, O: QuadrupletOracle> PairDistCmp<'a, O> {
+    /// Wraps a quadruplet oracle.
+    pub fn new(oracle: &'a mut O) -> Self {
+        Self { oracle }
+    }
+}
+
+impl<O: QuadrupletOracle> Comparator<(usize, usize)> for PairDistCmp<'_, O> {
+    fn le(&mut self, a: (usize, usize), b: (usize, usize)) -> bool {
+        self.oracle.le(a.0, a.1, b.0, b.1)
+    }
+}
+
+/// Order-reversing adapter: turns any max-finding engine into a min-finding
+/// one (the paper's "minimum is maximum with Yes-counts" remark, §3.2).
+#[derive(Debug)]
+pub struct Rev<C>(pub C);
+
+impl<I: Copy, C: Comparator<I>> Comparator<I> for Rev<C> {
+    fn le(&mut self, a: I, b: I) -> bool {
+        self.0.le(b, a)
+    }
+}
+
+/// A comparator over true `f64` keys — exact, oracle-free. Used by tests
+/// and by `TDist` baselines that have ground-truth access.
+#[derive(Debug)]
+pub struct ExactKeyCmp<'a> {
+    keys: &'a [f64],
+}
+
+impl<'a> ExactKeyCmp<'a> {
+    /// Compares items by the given true keys.
+    pub fn new(keys: &'a [f64]) -> Self {
+        Self { keys }
+    }
+}
+
+impl Comparator<usize> for ExactKeyCmp<'_> {
+    fn le(&mut self, a: usize, b: usize) -> bool {
+        self.keys[a] <= self.keys[b]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nco_metric::EuclideanMetric;
+    use nco_oracle::{TrueQuadOracle, TrueValueOracle};
+
+    #[test]
+    fn value_cmp_forwards_to_oracle() {
+        let mut o = TrueValueOracle::new(vec![5.0, 2.0]);
+        let mut c = ValueCmp::new(&mut o);
+        assert!(!c.le(0, 1));
+        assert!(c.le(1, 0));
+    }
+
+    #[test]
+    fn dist_to_query_cmp_compares_distances_from_q() {
+        let m = EuclideanMetric::from_points(&[vec![0.0], vec![1.0], vec![5.0]]);
+        let mut o = TrueQuadOracle::new(m);
+        let mut c = DistToQueryCmp::new(&mut o, 0);
+        assert!(c.le(1, 2)); // d(0,1)=1 <= d(0,2)=5
+        assert!(!c.le(2, 1));
+    }
+
+    #[test]
+    fn pair_dist_cmp_compares_pairs() {
+        let m = EuclideanMetric::from_points(&[vec![0.0], vec![1.0], vec![5.0]]);
+        let mut o = TrueQuadOracle::new(m);
+        let mut c = PairDistCmp::new(&mut o);
+        assert!(c.le((0, 1), (1, 2)));
+        assert!(!c.le((0, 2), (0, 1)));
+    }
+
+    #[test]
+    fn rev_flips_the_order() {
+        let keys = [1.0, 2.0];
+        let mut c = Rev(ExactKeyCmp::new(&keys));
+        assert!(!c.le(0, 1)); // reversed: asks le(1, 0) = 2 <= 1 = false
+        assert!(c.le(1, 0));
+    }
+
+    #[test]
+    fn mutable_reference_blanket_impl() {
+        let keys = [1.0, 2.0];
+        let mut c = ExactKeyCmp::new(&keys);
+        fn generic<C: Comparator<usize>>(c: &mut C) -> bool {
+            c.le(0, 1)
+        }
+        assert!(generic(&mut &mut c));
+    }
+}

@@ -1,0 +1,183 @@
+//! Exact agglomerative clustering on true distances — the `TDist`
+//! reference of Figure 7, via Lance–Williams updates with
+//! nearest-neighbour pointers (O(n^2) for single linkage).
+
+use super::{Dendrogram, Linkage, Merge};
+use nco_metric::Metric;
+use std::collections::HashMap;
+
+#[inline]
+fn key(a: usize, b: usize) -> u64 {
+    let (x, y) = if a < b { (a, b) } else { (b, a) };
+    ((x as u64) << 32) | y as u64
+}
+
+/// Exact single/complete-linkage agglomeration.
+///
+/// # Panics
+/// Panics if `metric.len() < 2`.
+pub fn hier_exact<M: Metric>(metric: &M, linkage: Linkage) -> Dendrogram {
+    let n = metric.len();
+    assert!(n >= 2, "agglomeration needs at least two records");
+
+    // dist[(a,b)] = current linkage distance; rep[(a,b)] = realising pair.
+    let mut dist: HashMap<u64, f64> = HashMap::with_capacity(n * (n - 1) / 2);
+    let mut rep: HashMap<u64, (u32, u32)> = HashMap::with_capacity(n * (n - 1) / 2);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            dist.insert(key(i, j), metric.dist(i, j));
+            rep.insert(key(i, j), (i as u32, j as u32));
+        }
+    }
+    let mut active: Vec<usize> = (0..n).collect();
+    let mut nn: HashMap<usize, usize> = HashMap::with_capacity(2 * n);
+    let scan_nn = |c: usize, active: &[usize], dist: &HashMap<u64, f64>| -> usize {
+        active
+            .iter()
+            .copied()
+            .filter(|&x| x != c)
+            .min_by(|&a, &b| dist[&key(c, a)].total_cmp(&dist[&key(c, b)]))
+            .expect("at least one neighbour")
+    };
+    for c in 0..n {
+        nn.insert(c, scan_nn(c, &active, &dist));
+    }
+
+    let mut next_id = n;
+    let mut merges = Vec::with_capacity(n - 1);
+    while active.len() > 1 {
+        // Globally closest (c, nn(c)).
+        let a = active
+            .iter()
+            .copied()
+            .min_by(|&x, &y| dist[&key(x, nn[&x])].total_cmp(&dist[&key(y, nn[&y])]))
+            .expect("non-empty");
+        let b = nn[&a];
+        let rep_ab = rep[&key(a, b)];
+        let new = next_id;
+        next_id += 1;
+        merges.push(Merge { a, b, merged: new, rep: (rep_ab.0 as usize, rep_ab.1 as usize) });
+
+        // Lance–Williams update: min (single) or max (complete).
+        let others: Vec<usize> = active.iter().copied().filter(|&c| c != a && c != b).collect();
+        for &c in &others {
+            let (d1, r1) = (dist[&key(a, c)], rep[&key(a, c)]);
+            let (d2, r2) = (dist[&key(b, c)], rep[&key(b, c)]);
+            let take_first = match linkage {
+                Linkage::Single => d1 <= d2,
+                Linkage::Complete => d1 >= d2,
+            };
+            let (d, r) = if take_first { (d1, r1) } else { (d2, r2) };
+            dist.remove(&key(a, c));
+            dist.remove(&key(b, c));
+            rep.remove(&key(a, c));
+            rep.remove(&key(b, c));
+            dist.insert(key(new, c), d);
+            rep.insert(key(new, c), r);
+        }
+        dist.remove(&key(a, b));
+        rep.remove(&key(a, b));
+        active.retain(|&c| c != a && c != b);
+        active.push(new);
+        nn.remove(&a);
+        nn.remove(&b);
+        if active.len() == 1 {
+            break;
+        }
+
+        // Pointer repair (same logic as the oracle variant, but exact).
+        let stale: Vec<usize> = active
+            .iter()
+            .copied()
+            .filter(|&c| c != new && matches!(nn.get(&c), Some(&t) if t == a || t == b))
+            .collect();
+        for c in stale {
+            match linkage {
+                Linkage::Single => {
+                    nn.insert(c, new);
+                }
+                Linkage::Complete => {
+                    let t = scan_nn(c, &active, &dist);
+                    nn.insert(c, t);
+                }
+            }
+        }
+        let t = scan_nn(new, &active, &dist);
+        nn.insert(new, t);
+    }
+
+    let d = Dendrogram { n, merges };
+    d.validate();
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nco_metric::{EuclideanMetric, MatrixMetric};
+
+    #[test]
+    fn single_linkage_chains_nearest_first() {
+        // 0 -1- 1 -2- 2 -4- 3 (gaps 1, 2, 4).
+        let m = EuclideanMetric::from_points(&[vec![0.0], vec![1.0], vec![3.0], vec![7.0]]);
+        let d = hier_exact(&m, Linkage::Single);
+        assert_eq!(d.merges[0].rep, (0, 1));
+        assert_eq!(d.merges[1].rep, (1, 2));
+        assert_eq!(d.merges[2].rep, (2, 3));
+    }
+
+    #[test]
+    fn complete_vs_single_differ_on_chains() {
+        // A chain 0-1-2-3-4 with unit gaps: single linkage merges left to
+        // right; complete linkage balances.
+        let m = EuclideanMetric::from_points(&[
+            vec![0.0],
+            vec![1.0],
+            vec![2.1],
+            vec![3.3],
+            vec![4.6],
+        ]);
+        let s = hier_exact(&m, Linkage::Single);
+        let c = hier_exact(&m, Linkage::Complete);
+        // Cut both at k = 2. Single linkage chains left to right and peels
+        // the widest gap ({0..3} vs {4}); complete linkage merges (0,1),
+        // (2,3), then 4 joins {2,3} (CL dist 2.5 < 3.3), giving {0,1} vs
+        // {2,3,4}.
+        let ls = s.cut(2);
+        let lc = c.cut(2);
+        assert_ne!(ls, lc);
+        assert_eq!(ls, vec![0, 0, 0, 0, 1]);
+        assert_eq!(lc[0], lc[1]);
+        assert_eq!(lc[2], lc[3]);
+        assert_eq!(lc[2], lc[4]);
+        assert_ne!(lc[0], lc[2]);
+    }
+
+    #[test]
+    fn recovers_planted_clusters_at_cut() {
+        let mut pts = Vec::new();
+        for c in 0..3 {
+            for p in 0..8 {
+                pts.push(vec![c as f64 * 100.0 + (p as f64) * 0.3]);
+            }
+        }
+        let m = EuclideanMetric::from_points(&pts);
+        for linkage in [Linkage::Single, Linkage::Complete] {
+            let d = hier_exact(&m, linkage);
+            let labels = d.cut(3);
+            for i in 0..24 {
+                for j in 0..24 {
+                    assert_eq!(labels[i] == labels[j], i / 8 == j / 8, "{linkage:?} ({i},{j})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ties_are_handled_deterministically() {
+        let m = MatrixMetric::from_fn(4, |_, _| 1.0); // all distances equal
+        let d = hier_exact(&m, Linkage::Single);
+        assert_eq!(d.merges.len(), 3);
+        d.validate();
+    }
+}

@@ -1,0 +1,171 @@
+//! The adjacency-list substrate shared by every oracle-driven
+//! agglomeration: for each unordered pair of live clusters, the
+//! representative record pair realising (approximately) their linkage
+//! distance.
+//!
+//! Merging clusters `a` and `b` into `new` updates each surviving cluster
+//! `c` with **one** quadruplet query comparing `rep(a, c)` against
+//! `rep(b, c)` — the single-linkage identity
+//! `d_SL(a ∪ b, c) = min(d_SL(a, c), d_SL(b, c))` (keep the closer rep) and
+//! its complete-linkage mirror (keep the farther rep). This is what caps
+//! Algorithm 11 at `O(n^2)` total adjacency work.
+
+use super::Linkage;
+use nco_oracle::QuadrupletOracle;
+use std::collections::HashMap;
+
+#[inline]
+fn key(a: usize, b: usize) -> u64 {
+    let (x, y) = if a < b { (a, b) } else { (b, a) };
+    ((x as u64) << 32) | y as u64
+}
+
+/// Live clusters plus per-pair representative record pairs.
+pub(crate) struct ClusterGraph {
+    next_id: usize,
+    active: Vec<usize>,
+    adj: HashMap<u64, (u32, u32)>,
+}
+
+impl ClusterGraph {
+    /// Singleton clusters `0..n`; the rep for `(i, j)` is the pair itself.
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 2, "need at least two records");
+        let mut adj = HashMap::with_capacity(n * (n - 1) / 2);
+        for i in 0..n {
+            for j in (i + 1)..n {
+                adj.insert(key(i, j), (i as u32, j as u32));
+            }
+        }
+        Self { next_id: n, active: (0..n).collect(), adj }
+    }
+
+    /// Currently live cluster ids.
+    pub fn active(&self) -> &[usize] {
+        &self.active
+    }
+
+    /// The representative record pair between live clusters `a` and `b`.
+    ///
+    /// # Panics
+    /// Panics if the pair is not live.
+    pub fn rep(&self, a: usize, b: usize) -> (usize, usize) {
+        let (u, v) = self.adj[&key(a, b)];
+        (u as usize, v as usize)
+    }
+
+    /// Merges live clusters `a` and `b`; returns the new cluster id.
+    ///
+    /// Issues one oracle query per surviving cluster to select the new
+    /// representative pairs (min for single linkage, max for complete).
+    pub fn merge<O: QuadrupletOracle>(
+        &mut self,
+        a: usize,
+        b: usize,
+        linkage: Linkage,
+        oracle: &mut O,
+    ) -> usize {
+        assert!(a != b, "cannot merge a cluster with itself");
+        let new = self.next_id;
+        self.next_id += 1;
+
+        let others: Vec<usize> =
+            self.active.iter().copied().filter(|&c| c != a && c != b).collect();
+        for &c in &others {
+            let r1 = self.rep(a, c);
+            let r2 = self.rep(b, c);
+            // O(r1, r2) == Yes  <=>  d(r1) <= d(r2).
+            let r1_closer = oracle.le(r1.0, r1.1, r2.0, r2.1);
+            let keep = match linkage {
+                Linkage::Single => {
+                    if r1_closer {
+                        r1
+                    } else {
+                        r2
+                    }
+                }
+                Linkage::Complete => {
+                    if r1_closer {
+                        r2
+                    } else {
+                        r1
+                    }
+                }
+            };
+            self.adj.remove(&key(a, c));
+            self.adj.remove(&key(b, c));
+            self.adj.insert(key(new, c), (keep.0 as u32, keep.1 as u32));
+        }
+        self.adj.remove(&key(a, b));
+        self.active.retain(|&c| c != a && c != b);
+        self.active.push(new);
+        new
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nco_metric::EuclideanMetric;
+    use nco_oracle::counting::Counting;
+    use nco_oracle::TrueQuadOracle;
+
+    fn line_oracle() -> TrueQuadOracle<EuclideanMetric> {
+        // Points at 0, 1, 5, 6.
+        TrueQuadOracle::new(EuclideanMetric::from_points(&[
+            vec![0.0],
+            vec![1.0],
+            vec![5.0],
+            vec![6.0],
+        ]))
+    }
+
+    #[test]
+    fn initial_reps_are_the_pairs_themselves() {
+        let g = ClusterGraph::new(4);
+        assert_eq!(g.rep(0, 3), (0, 3));
+        assert_eq!(g.rep(3, 0), (0, 3));
+        assert_eq!(g.active().len(), 4);
+    }
+
+    #[test]
+    fn single_linkage_merge_keeps_closer_rep() {
+        let mut o = line_oracle();
+        let mut g = ClusterGraph::new(4);
+        // Merge {0} and {1} -> 4. Against cluster 2: reps (0,2) d=5 vs
+        // (1,2) d=4 -> keep (1,2). Against 3: (1,3) d=5.
+        let new = g.merge(0, 1, Linkage::Single, &mut o);
+        assert_eq!(new, 4);
+        assert_eq!(g.rep(4, 2), (1, 2));
+        assert_eq!(g.rep(4, 3), (1, 3));
+        assert_eq!(g.active(), &[2, 3, 4]);
+    }
+
+    #[test]
+    fn complete_linkage_merge_keeps_farther_rep() {
+        let mut o = line_oracle();
+        let mut g = ClusterGraph::new(4);
+        let new = g.merge(0, 1, Linkage::Complete, &mut o);
+        assert_eq!(g.rep(new, 2), (0, 2)); // d=5 > d=4
+        assert_eq!(g.rep(new, 3), (0, 3));
+    }
+
+    #[test]
+    fn merge_costs_one_query_per_survivor() {
+        let mut o = Counting::new(line_oracle());
+        let mut g = ClusterGraph::new(4);
+        let _ = g.merge(2, 3, Linkage::Single, &mut o);
+        assert_eq!(o.queries(), 2); // survivors {0} and {1}
+    }
+
+    #[test]
+    fn sequential_merges_compose() {
+        let mut o = line_oracle();
+        let mut g = ClusterGraph::new(4);
+        let c01 = g.merge(0, 1, Linkage::Single, &mut o);
+        let c23 = g.merge(2, 3, Linkage::Single, &mut o);
+        assert_eq!(g.rep(c01, c23), (1, 2)); // closest cross pair d=4
+        let top = g.merge(c01, c23, Linkage::Single, &mut o);
+        assert_eq!(g.active(), &[top]);
+    }
+}

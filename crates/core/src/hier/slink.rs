@@ -1,0 +1,309 @@
+//! Algorithm 11 — oracle-driven agglomerative clustering with
+//! nearest-neighbour pointers (the SLINK-style `O(n^2)` scheme).
+//!
+//! Per iteration: every live cluster holds a pointer to its (approximate)
+//! nearest neighbour; the globally closest `(C, nn(C))` candidate is found
+//! with the Section 3 minimum engine over the candidates' representative
+//! pairs; the winning pair is merged; adjacency reps are refreshed at one
+//! query per survivor; and the affected pointers are repaired — for single
+//! linkage a stale pointer into the merged pair can simply be redirected
+//! to the union (its distance only shrank), while complete linkage
+//! recomputes those pointers (distances grew). Theorem 5.2: each merge is
+//! within `(1+mu)^3` of the best available merge w.h.p., and the whole
+//! hierarchy costs `O(n^2 log^2(n/delta))` queries.
+
+use super::graph::ClusterGraph;
+use super::{Dendrogram, Linkage, Merge};
+use crate::comparator::Comparator;
+use crate::maxfind::{min_adv, AdvParams};
+use nco_oracle::QuadrupletOracle;
+use rand::Rng;
+use std::collections::HashMap;
+
+/// Parameters of oracle-driven agglomeration (Algorithm 11).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HierParams {
+    /// Linkage objective.
+    pub linkage: Linkage,
+    /// Max-Adv configuration for nearest-neighbour / closest-pair searches
+    /// (the paper uses `t = 2 log(n/delta)` for Lemma 5.1, `t = 1` in
+    /// experiments).
+    pub search: AdvParams,
+}
+
+impl HierParams {
+    /// The paper's experimental setting (`t = 1`).
+    pub fn experimental(linkage: Linkage) -> Self {
+        Self { linkage, search: AdvParams::experimental() }
+    }
+
+    /// Lemma 5.1's setting: per-merge failure probability `delta / n`.
+    pub fn with_confidence(linkage: Linkage, n: usize, delta: f64) -> Self {
+        assert!(delta > 0.0 && delta < 1.0);
+        let t = ((2.0 * (n.max(2) as f64 / delta).log2()).ceil() as usize).max(1);
+        Self { linkage, search: AdvParams { rounds: t, partitions: None, sample_size: None } }
+    }
+}
+
+/// Compares neighbour clusters of a fixed cluster by their rep-pair
+/// distances.
+struct RepCmp<'a, O> {
+    oracle: &'a mut O,
+    graph: &'a ClusterGraph,
+    me: usize,
+}
+
+impl<O: QuadrupletOracle> Comparator<usize> for RepCmp<'_, O> {
+    fn le(&mut self, c1: usize, c2: usize) -> bool {
+        let r1 = self.graph.rep(self.me, c1);
+        let r2 = self.graph.rep(self.me, c2);
+        self.oracle.le(r1.0, r1.1, r2.0, r2.1)
+    }
+}
+
+/// Compares candidate clusters by the rep pair to their current nearest
+/// neighbour — the closest-pair search of Algorithm 11 line 7.
+struct CandidateCmp<'a, O> {
+    oracle: &'a mut O,
+    graph: &'a ClusterGraph,
+    nn: &'a HashMap<usize, usize>,
+}
+
+impl<O: QuadrupletOracle> Comparator<usize> for CandidateCmp<'_, O> {
+    fn le(&mut self, c1: usize, c2: usize) -> bool {
+        let r1 = self.graph.rep(c1, self.nn[&c1]);
+        let r2 = self.graph.rep(c2, self.nn[&c2]);
+        self.oracle.le(r1.0, r1.1, r2.0, r2.1)
+    }
+}
+
+fn nearest_of<O, R>(
+    graph: &ClusterGraph,
+    c: usize,
+    params: &AdvParams,
+    oracle: &mut O,
+    rng: &mut R,
+) -> usize
+where
+    O: QuadrupletOracle,
+    R: Rng + ?Sized,
+{
+    let neighbours: Vec<usize> =
+        graph.active().iter().copied().filter(|&x| x != c).collect();
+    debug_assert!(!neighbours.is_empty());
+    let mut cmp = RepCmp { oracle, graph, me: c };
+    min_adv(&neighbours, params, &mut cmp, rng).expect("at least one neighbour")
+}
+
+/// Algorithm 11: agglomerative clustering (single or complete linkage)
+/// under a noisy quadruplet oracle.
+///
+/// # Panics
+/// Panics if `oracle.n() < 2`.
+pub fn hier_oracle<O, R>(params: &HierParams, oracle: &mut O, rng: &mut R) -> Dendrogram
+where
+    O: QuadrupletOracle,
+    R: Rng + ?Sized,
+{
+    let n = oracle.n();
+    assert!(n >= 2, "agglomeration needs at least two records");
+    let mut graph = ClusterGraph::new(n);
+
+    // Initial nearest-neighbour pointers (n searches of O(n) queries).
+    let mut nn: HashMap<usize, usize> = HashMap::with_capacity(2 * n);
+    for c in 0..n {
+        nn.insert(c, nearest_of(&graph, c, &params.search, oracle, rng));
+    }
+
+    let mut merges = Vec::with_capacity(n - 1);
+    while graph.active().len() > 1 {
+        // Closest (C, nn(C)) candidate.
+        let actives: Vec<usize> = graph.active().to_vec();
+        let winner = {
+            let mut cmp = CandidateCmp { oracle, graph: &graph, nn: &nn };
+            min_adv(&actives, &params.search, &mut cmp, rng).expect("non-empty actives")
+        };
+        let partner = nn[&winner];
+        let rep = graph.rep(winner, partner);
+
+        let new = graph.merge(winner, partner, params.linkage, oracle);
+        merges.push(Merge { a: winner, b: partner, merged: new, rep });
+        nn.remove(&winner);
+        nn.remove(&partner);
+
+        if graph.active().len() == 1 {
+            break;
+        }
+
+        // Repair pointers into the merged pair.
+        let stale: Vec<usize> = graph
+            .active()
+            .iter()
+            .copied()
+            .filter(|&c| c != new && matches!(nn.get(&c), Some(&t) if t == winner || t == partner))
+            .collect();
+        for c in stale {
+            match params.linkage {
+                // Single linkage: d(c, new) = min of the two old distances,
+                // so the union is still c's nearest — redirect for free.
+                Linkage::Single => {
+                    nn.insert(c, new);
+                }
+                // Complete linkage: distances grew; recompute.
+                Linkage::Complete => {
+                    let t = nearest_of(&graph, c, &params.search, oracle, rng);
+                    nn.insert(c, t);
+                }
+            }
+        }
+        let t = nearest_of(&graph, new, &params.search, oracle, rng);
+        nn.insert(new, t);
+    }
+
+    let d = Dendrogram { n, merges };
+    d.validate();
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nco_metric::{EuclideanMetric, Metric};
+    use nco_oracle::adversarial::{AdversarialQuadOracle, InvertAdversary};
+    use nco_oracle::counting::Counting;
+    use nco_oracle::TrueQuadOracle;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    fn two_pairs() -> EuclideanMetric {
+        EuclideanMetric::from_points(&[vec![0.0], vec![1.0], vec![10.0], vec![11.5]])
+    }
+
+    #[test]
+    fn perfect_oracle_single_linkage_merges_in_distance_order() {
+        let mut o = TrueQuadOracle::new(two_pairs());
+        let d = hier_oracle(&HierParams::experimental(Linkage::Single), &mut o, &mut rng(1));
+        assert_eq!(d.merges.len(), 3);
+        // First merge must be (0,1) at distance 1.
+        assert_eq!((d.merges[0].a.min(d.merges[0].b), d.merges[0].a.max(d.merges[0].b)), (0, 1));
+        // Second merge must be (2,3) at distance 1.5.
+        assert_eq!((d.merges[1].a.min(d.merges[1].b), d.merges[1].a.max(d.merges[1].b)), (2, 3));
+        // Cut at 2 recovers the two pairs.
+        let labels = d.cut(2);
+        assert_eq!(labels[0], labels[1]);
+        assert_eq!(labels[2], labels[3]);
+        assert_ne!(labels[0], labels[2]);
+    }
+
+    #[test]
+    fn perfect_oracle_complete_linkage_also_recovers_pairs() {
+        let mut o = TrueQuadOracle::new(two_pairs());
+        let d =
+            hier_oracle(&HierParams::experimental(Linkage::Complete), &mut o, &mut rng(2));
+        let labels = d.cut(2);
+        assert_eq!(labels[0], labels[1]);
+        assert_eq!(labels[2], labels[3]);
+        assert_ne!(labels[0], labels[2]);
+    }
+
+    /// Theorem 5.2 sanity: merges under adversarial noise stay within
+    /// (1+mu)^3 of the best available merge (checked on true distances).
+    #[test]
+    fn merges_are_approximately_optimal_under_noise() {
+        // A line of 16 points with growing gaps.
+        let pts: Vec<Vec<f64>> =
+            (0..16).map(|i| vec![(i as f64) * (1.0 + 0.1 * i as f64)]).collect();
+        let m = EuclideanMetric::from_points(&pts);
+        let mu = 0.3;
+        let trials = 10;
+        let mut total = 0usize;
+        let mut within = 0usize;
+        for seed in 0..trials {
+            let mut o = AdversarialQuadOracle::new(m.clone(), mu, InvertAdversary);
+            let d = hier_oracle(
+                &HierParams::with_confidence(Linkage::Single, 16, 0.1),
+                &mut o,
+                &mut rng(50 + seed),
+            );
+            // Replay: at each step compare the merged linkage distance to
+            // the best possible merge at that step.
+            let mut members: Vec<Vec<usize>> = (0..16).map(|i| vec![i]).collect();
+            for mg in &d.merges {
+                let da = single_linkage_dist(&m, &members[mg.a], &members[mg.b]);
+                let best = best_merge(&m, &members, mg.merged);
+                total += 1;
+                if da <= best * (1.0 + mu).powi(3) + 1e-9 {
+                    within += 1;
+                }
+                let mut u = members[mg.a].clone();
+                u.extend_from_slice(&members[mg.b]);
+                members.push(u);
+            }
+        }
+        assert!(
+            within * 10 >= total * 8,
+            "only {within}/{total} merges within (1+mu)^3"
+        );
+    }
+
+    fn single_linkage_dist(m: &EuclideanMetric, a: &[usize], b: &[usize]) -> f64 {
+        let mut best = f64::INFINITY;
+        for &x in a {
+            for &y in b {
+                best = best.min(m.dist(x, y));
+            }
+        }
+        best
+    }
+
+    fn best_merge(m: &EuclideanMetric, members: &[Vec<usize>], next_id: usize) -> f64 {
+        // Live clusters at this step = maximal member sets among ids
+        // created so far (a cluster is absorbed once a strict superset
+        // exists).
+        let bound = members.len().min(next_id);
+        let mut live: Vec<usize> = Vec::new();
+        for a in 0..bound {
+            let covered = (0..bound).any(|b| {
+                b != a
+                    && members[b].len() > members[a].len()
+                    && members[a].iter().all(|x| members[b].contains(x))
+            });
+            if !covered {
+                live.push(a);
+            }
+        }
+        let mut best = f64::INFINITY;
+        for i in 0..live.len() {
+            for j in (i + 1)..live.len() {
+                best = best.min(single_linkage_dist(m, &members[live[i]], &members[live[j]]));
+            }
+        }
+        best
+    }
+
+    #[test]
+    fn query_complexity_is_subcubic() {
+        let n = 64;
+        let pts: Vec<Vec<f64>> =
+            (0..n).map(|i| vec![((i * 37) % 101) as f64, ((i * 61) % 97) as f64]).collect();
+        let m = EuclideanMetric::from_points(&pts);
+        let mut o = Counting::new(TrueQuadOracle::new(m));
+        let _ = hier_oracle(&HierParams::experimental(Linkage::Single), &mut o, &mut rng(7));
+        // O(n^2) with t = 1: generous constant 40 n^2; far below n^3 ≈ 262k.
+        let budget = (40 * n * n) as u64;
+        assert!(o.queries() <= budget, "{} queries > {budget}", o.queries());
+    }
+
+    #[test]
+    fn two_records() {
+        let m = EuclideanMetric::from_points(&[vec![0.0], vec![1.0]]);
+        let mut o = TrueQuadOracle::new(m);
+        let d = hier_oracle(&HierParams::experimental(Linkage::Single), &mut o, &mut rng(0));
+        assert_eq!(d.merges.len(), 1);
+        assert_eq!(d.cut(1), vec![0, 0]);
+    }
+}

@@ -1,0 +1,122 @@
+//! Gonzalez's greedy k-center on true distances — the paper's `TDist`
+//! reference (a 2-approximation of the NP-hard optimum, which is also the
+//! best polynomial-time factor unless P = NP).
+
+use super::Clustering;
+use nco_metric::Metric;
+
+/// Exact greedy k-center: repeatedly add the true farthest point as a new
+/// center, then assign every point to its true closest center.
+///
+/// # Panics
+/// Panics if `k == 0` or `k > metric.len()`.
+pub fn gonzalez<M: Metric>(metric: &M, k: usize, first_center: Option<usize>) -> Clustering {
+    let n = metric.len();
+    assert!(k >= 1 && k <= n, "need 1 <= k <= n (k = {k}, n = {n})");
+    let first = first_center.unwrap_or(0);
+    assert!(first < n, "first center out of range");
+
+    let mut centers = Vec::with_capacity(k);
+    centers.push(first);
+    // dist_to_center[v] = distance to the closest chosen center.
+    let mut nearest_dist: Vec<f64> = (0..n).map(|v| metric.dist(v, first)).collect();
+    let mut assignment: Vec<usize> = vec![0; n];
+
+    while centers.len() < k {
+        // True farthest point from the current centers.
+        let far = (0..n)
+            .max_by(|&a, &b| nearest_dist[a].total_cmp(&nearest_dist[b]))
+            .expect("non-empty point set");
+        let pos = centers.len();
+        centers.push(far);
+        for v in 0..n {
+            let d = metric.dist(v, far);
+            if d < nearest_dist[v] {
+                nearest_dist[v] = d;
+                assignment[v] = pos;
+            }
+        }
+    }
+    let c = Clustering { centers, assignment };
+    c.validate();
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nco_metric::stats::kcenter_objective;
+    use nco_metric::{EuclideanMetric, MatrixMetric};
+
+    #[test]
+    fn line_example_puts_centers_at_extremes() {
+        // Points 0, 1, 2, 10: with k = 2 starting at 0, the farthest is 10.
+        let m = EuclideanMetric::from_points(&[vec![0.0], vec![1.0], vec![2.0], vec![10.0]]);
+        let c = gonzalez(&m, 2, Some(0));
+        assert_eq!(c.centers, vec![0, 3]);
+        assert_eq!(c.assignment, vec![0, 0, 0, 1]);
+        assert_eq!(kcenter_objective(&m, &c.centers, &c.assignment), 2.0);
+    }
+
+    /// Example 4.1 of the paper (on the Figure 2 line): optimal centers are
+    /// u and t with radius 51; greedy from w picks t (true farthest), then
+    /// the radius is 51 <= 2 * OPT.
+    #[test]
+    fn paper_example_4_1_exact_greedy() {
+        // s=0, u=51, v=101, w=102, t=202 -> indices 0..5
+        let m = EuclideanMetric::from_points(&[
+            vec![0.0],
+            vec![51.0],
+            vec![101.0],
+            vec![102.0],
+            vec![202.0],
+        ]);
+        let c = gonzalez(&m, 2, Some(3)); // start at w
+        let obj = kcenter_objective(&m, &c.centers, &c.assignment);
+        assert!(obj <= 2.0 * 51.0, "objective {obj} within 2x OPT");
+    }
+
+    #[test]
+    fn k_equals_n_gives_zero_objective() {
+        let m = MatrixMetric::from_fn(5, |i, j| (i + j) as f64);
+        let c = gonzalez(&m, 5, None);
+        assert_eq!(kcenter_objective(&m, &c.centers, &c.assignment), 0.0);
+        let mut centers = c.centers.clone();
+        centers.sort_unstable();
+        assert_eq!(centers, vec![0, 1, 2, 3, 4]);
+    }
+
+    /// The classic 2-approximation guarantee, spot-checked against brute
+    /// force on small instances.
+    #[test]
+    fn two_approximation_against_brute_force() {
+        let m = EuclideanMetric::from_points(
+            &(0..10).map(|i| vec![((i * 7) % 10) as f64, ((i * 3) % 7) as f64]).collect::<Vec<_>>(),
+        );
+        let k = 3;
+        // Brute force optimum over all center triples.
+        let mut opt = f64::INFINITY;
+        for a in 0..10 {
+            for b in (a + 1)..10 {
+                for c in (b + 1)..10 {
+                    opt = opt.min(nco_metric::stats::kcenter_objective_best_assignment(
+                        &m,
+                        &[a, b, c],
+                    ));
+                }
+            }
+        }
+        for first in 0..10 {
+            let g = gonzalez(&m, k, Some(first));
+            let obj = kcenter_objective(&m, &g.centers, &g.assignment);
+            assert!(obj <= 2.0 * opt + 1e-9, "greedy {obj} vs opt {opt} (first {first})");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "1 <= k <= n")]
+    fn rejects_zero_k() {
+        let m = MatrixMetric::from_fn(3, |_, _| 1.0);
+        let _ = gonzalez(&m, 0, None);
+    }
+}

@@ -1,0 +1,460 @@
+//! Algorithm 7 — k-center under probabilistic persistent noise
+//! (Theorem 4.4), with its subroutines:
+//!
+//! * **sampling**: include each point w.p. `gamma * ln(n/delta) / m`, so
+//!   every optimal cluster lands `Theta(log(n/delta))` representatives in
+//!   the working set (Lemma 11.1);
+//! * **Identify-Core** (Algorithm 9): the cluster members closest to the
+//!   center by Count score — the per-cluster voting committee;
+//! * **ClusterComp** (Algorithm 10): robust comparison of two points'
+//!   distances *to their own centers* through the cores (same-cluster
+//!   comparisons vote over the full core; cross-cluster ones over
+//!   `sqrt(|R|) x sqrt(|R|)` core subsets to stay within
+//!   `Theta(log(n/delta))` queries);
+//! * **Assign** (Algorithm 8): a point moves to a freshly found center when
+//!   its ACount vote against the current cluster's core clears the `0.3`
+//!   threshold;
+//! * **Assign-Final**: the unsampled points stream through the center list
+//!   with the same ACount votes.
+//!
+//! With `p <= 0.4` and minimum optimal-cluster size
+//! `m = Omega(log^3(n/delta)/delta)`, the result is an O(1)-approximation
+//! w.p. `1 - O(delta)` using `O(nk log(n/delta) + (n/m)^2 k log^2(n/delta))`
+//! queries.
+
+use super::Clustering;
+use crate::comparator::Comparator;
+use crate::maxfind::{max_adv, AdvParams};
+use crate::neighbor::{MAJORITY_THRESHOLD, PAIRWISE_THRESHOLD};
+use nco_oracle::QuadrupletOracle;
+use rand::Rng;
+
+/// Parameters of the probabilistic k-center (Algorithm 7).
+#[derive(Debug, Clone, PartialEq)]
+pub struct KCenterProbParams {
+    /// Number of clusters.
+    pub k: usize,
+    /// Minimum optimal-cluster size `m` (a promise parameter of Thm 4.4).
+    pub m: usize,
+    /// Sampling multiplier `gamma`: the paper proves with `gamma = 450` and
+    /// experiments with `gamma = 2` (Section 6.1).
+    pub gamma: f64,
+    /// Failure probability `delta`.
+    pub delta: f64,
+    /// ACount / FCount acceptance threshold (`0.3` in the paper).
+    pub threshold: f64,
+    /// First center; `None` picks randomly among the sampled points.
+    pub first_center: Option<usize>,
+    /// Max-Adv configuration for Approx-Farthest (`t = log(n/delta)` in the
+    /// theorem, `t = 1` in experiments).
+    pub farthest: AdvParams,
+}
+
+impl KCenterProbParams {
+    /// The paper's experimental configuration: `gamma = 2`, `t = 1`. The
+    /// vote threshold defaults to the majority variant (see
+    /// `nco_core::neighbor::MAJORITY_THRESHOLD`); the ablation bench
+    /// contrasts it with the paper's literal 0.3.
+    pub fn experimental(k: usize, m: usize) -> Self {
+        Self {
+            k,
+            m,
+            gamma: 2.0,
+            delta: 0.1,
+            threshold: MAJORITY_THRESHOLD,
+            first_center: None,
+            farthest: AdvParams::experimental(),
+        }
+    }
+
+    /// Proof-grade configuration of Theorem 4.4 (`gamma = 450`,
+    /// `t = log2(n/delta)` rounds). Intended for analysis, not for runs at
+    /// realistic sizes — the constants are enormous by design.
+    pub fn theory(k: usize, m: usize, n: usize, delta: f64) -> Self {
+        assert!(delta > 0.0 && delta < 1.0);
+        let t = ((n as f64 / delta).log2().ceil() as usize).max(1);
+        Self {
+            k,
+            m,
+            gamma: 450.0,
+            delta,
+            threshold: PAIRWISE_THRESHOLD,
+            first_center: None,
+            farthest: AdvParams { rounds: t, partitions: None, sample_size: None },
+        }
+    }
+
+    fn ln_term(&self, n: usize) -> f64 {
+        (n as f64 / self.delta).max(2.0).ln()
+    }
+
+    /// Core size — `ceil(8 * gamma * log(n/delta) / 9)` (Algorithm 9),
+    /// additionally capped at `8m/9`: the paper's formula equals 8/9 of the
+    /// *expected minimum-cluster sample* `min(gamma * log(n/delta), m)`;
+    /// without the cap, a saturated sampling probability (`p_sample = 1`)
+    /// would request cores larger than the smallest optimal cluster and the
+    /// committees would bleed across cluster boundaries.
+    fn core_size(&self, n: usize) -> usize {
+        let expected_min_cluster_sample = (self.gamma * self.ln_term(n)).min(self.m as f64);
+        ((8.0 * expected_min_cluster_sample / 9.0).ceil() as usize).max(1)
+    }
+}
+
+/// Algorithm 9 — Identify-Core: the `size` cluster members with the highest
+/// "closer to the center than others" Count scores, best first.
+fn identify_core<O: QuadrupletOracle>(
+    oracle: &mut O,
+    cluster: &[usize],
+    center: usize,
+    size: usize,
+) -> Vec<usize> {
+    debug_assert!(cluster.contains(&center));
+    let mut scored: Vec<(usize, u32)> = cluster
+        .iter()
+        .map(|&u| {
+            // Count(u) = #{x in C : O(center, x, center, u) == No}
+            //          = #{x : the oracle deems x farther from the center}.
+            let c = cluster
+                .iter()
+                .filter(|&&x| x != u && !oracle.le(center, x, center, u))
+                .count() as u32;
+            (u, c)
+        })
+        .collect();
+    scored.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    scored.truncate(size.min(scored.len()).max(1));
+    scored.into_iter().map(|(u, _)| u).collect()
+}
+
+/// `sqrt(|R|)`-sized prefix used for cross-cluster ClusterComp votes.
+fn rtilde(core: &[usize]) -> Vec<usize> {
+    let s = (core.len() as f64).sqrt().ceil() as usize;
+    core[..s.clamp(1, core.len())].to_vec()
+}
+
+/// Algorithm 10 — ClusterComp as a [`Comparator`]: items are sampled
+/// points, keys are their (unknown) distances to their assigned centers.
+struct ClusterCmp<'a, O> {
+    oracle: &'a mut O,
+    cores: &'a [Vec<usize>],
+    rtildes: &'a [Vec<usize>],
+    membership: &'a [usize],
+    threshold: f64,
+}
+
+impl<O: QuadrupletOracle> Comparator<usize> for ClusterCmp<'_, O> {
+    fn le(&mut self, u: usize, v: usize) -> bool {
+        let (cu, cv) = (self.membership[u], self.membership[v]);
+        let (fcount, comparisons) = if cu == cv {
+            let core = &self.cores[cu];
+            let f = core.iter().filter(|&&x| self.oracle.le(u, x, v, x)).count();
+            (f, core.len())
+        } else {
+            let (ra, rb) = (&self.rtildes[cu], &self.rtildes[cv]);
+            let mut f = 0usize;
+            for &x in ra {
+                for &y in rb {
+                    if self.oracle.le(u, x, v, y) {
+                        f += 1;
+                    }
+                }
+            }
+            (f, ra.len() * rb.len())
+        };
+        fcount as f64 >= self.threshold * comparisons as f64
+    }
+}
+
+/// ACount vote (Algorithm 8 / Assign-Final): does `u` look closer to the
+/// prospective center `cand` than to the committee `core` of its current
+/// cluster?
+fn acount<O: QuadrupletOracle>(oracle: &mut O, u: usize, cand: usize, core: &[usize]) -> f64 {
+    let yes = core.iter().filter(|&&x| oracle.le(u, cand, u, x)).count();
+    yes as f64 / core.len() as f64
+}
+
+/// Algorithm 7: k-center under probabilistic persistent noise.
+///
+/// # Panics
+/// Panics if `k == 0`, `k > oracle.n()` or `m == 0`.
+pub fn kcenter_prob<O, R>(params: &KCenterProbParams, oracle: &mut O, rng: &mut R) -> Clustering
+where
+    O: QuadrupletOracle,
+    R: Rng + ?Sized,
+{
+    let n = oracle.n();
+    let k = params.k;
+    assert!(k >= 1 && k <= n, "need 1 <= k <= n (k = {k}, n = {n})");
+    assert!(params.m >= 1, "minimum cluster size m must be positive");
+
+    // Phase 1a: Bernoulli sample V~.
+    let p_sample = (params.gamma * params.ln_term(n) / params.m as f64).min(1.0);
+    let mut in_sample = vec![false; n];
+    let mut sampled: Vec<usize> = Vec::new();
+    for (v, flag) in in_sample.iter_mut().enumerate() {
+        if rng.random_bool(p_sample) {
+            *flag = true;
+            sampled.push(v);
+        }
+    }
+    if let Some(f) = params.first_center {
+        assert!(f < n, "first center out of range");
+        if !in_sample[f] {
+            in_sample[f] = true;
+            sampled.push(f);
+        }
+    }
+    // The theorem guarantees a large sample; at tiny n the Bernoulli draw
+    // can fall short of k usable points, so top up uniformly.
+    let need = (2 * k).max(8).min(n);
+    let mut v = 0usize;
+    while sampled.len() < need && v < n {
+        if !in_sample[v] {
+            in_sample[v] = true;
+            sampled.push(v);
+        }
+        v += 1;
+    }
+
+    // Phase 1b: greedy over the sample with cores.
+    let first = params
+        .first_center
+        .unwrap_or_else(|| sampled[rng.random_range(0..sampled.len())]);
+    let core_size = params.core_size(n);
+
+    let mut centers: Vec<usize> = vec![first];
+    let mut clusters: Vec<Vec<usize>> = vec![sampled.clone()];
+    let mut membership: Vec<usize> = vec![usize::MAX; n];
+    for &u in &sampled {
+        membership[u] = 0;
+    }
+    let mut cores: Vec<Vec<usize>> = vec![identify_core(oracle, &clusters[0], first, core_size)];
+    let mut rtildes: Vec<Vec<usize>> = vec![rtilde(&cores[0])];
+    let mut is_center = vec![false; n];
+    is_center[first] = true;
+
+    for _ in 1..k {
+        // Approx-Farthest via Max-Adv + ClusterComp.
+        let items: Vec<usize> = sampled.iter().copied().filter(|&u| !is_center[u]).collect();
+        let far = {
+            let mut cmp = ClusterCmp {
+                oracle,
+                cores: &cores,
+                rtildes: &rtildes,
+                membership: &membership,
+                threshold: params.threshold,
+            };
+            max_adv(&items, &params.farthest, &mut cmp, rng)
+                .expect("sample guaranteed to exceed k points")
+        };
+
+        // Open the new cluster.
+        let new_pos = centers.len();
+        let old = membership[far];
+        clusters[old].retain(|&u| u != far);
+        centers.push(far);
+        is_center[far] = true;
+        clusters.push(vec![far]);
+        membership[far] = new_pos;
+
+        // Assign (Algorithm 8): ACount vote of every non-core member.
+        let mut moves: Vec<usize> = Vec::new();
+        for j in 0..new_pos {
+            let core = &cores[j];
+            for &u in &clusters[j] {
+                if is_center[u] || core.contains(&u) {
+                    continue;
+                }
+                if acount(oracle, u, far, core) > params.threshold {
+                    moves.push(u);
+                }
+            }
+        }
+        for &u in &moves {
+            let from = membership[u];
+            clusters[from].retain(|&x| x != u);
+            clusters[new_pos].push(u);
+            membership[u] = new_pos;
+        }
+
+        cores.push(identify_core(oracle, &clusters[new_pos], far, core_size));
+        rtildes.push(rtilde(&cores[new_pos]));
+    }
+
+    // Phase 2: Assign-Final for the unsampled points.
+    let mut assignment: Vec<usize> = vec![usize::MAX; n];
+    for (j, cl) in clusters.iter().enumerate() {
+        for &u in cl {
+            assignment[u] = j;
+        }
+    }
+    for (j, &c) in centers.iter().enumerate() {
+        assignment[c] = j;
+    }
+    for (u, slot) in assignment.iter_mut().enumerate() {
+        if *slot != usize::MAX {
+            continue;
+        }
+        let mut cur = 0usize;
+        for (t, &cand) in centers.iter().enumerate().skip(1) {
+            if acount(oracle, u, cand, &cores[cur]) >= params.threshold {
+                cur = t;
+            }
+        }
+        *slot = cur;
+    }
+
+    let clustering = Clustering { centers, assignment };
+    clustering.validate();
+    clustering
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nco_metric::stats::kcenter_objective;
+    use nco_metric::EuclideanMetric;
+    use nco_oracle::probabilistic::ProbQuadOracle;
+    use nco_oracle::TrueQuadOracle;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    /// Four well-separated blobs of 40 points each.
+    fn blobs() -> (EuclideanMetric, Vec<usize>) {
+        let centers = [(0.0, 0.0), (100.0, 0.0), (0.0, 100.0), (100.0, 100.0)];
+        let mut pts = Vec::new();
+        let mut labels = Vec::new();
+        for (ci, &(cx, cy)) in centers.iter().enumerate() {
+            for p in 0..40 {
+                let a = p as f64;
+                pts.push(vec![cx + (a * 0.9).sin() * 2.0, cy + (a * 1.7).cos() * 2.0]);
+                labels.push(ci);
+            }
+        }
+        (EuclideanMetric::from_points(&pts), labels)
+    }
+
+    fn cluster_purity(assignment: &[usize], labels: &[usize], k: usize) -> f64 {
+        let mut correct = 0usize;
+        for c in 0..k {
+            let members: Vec<usize> =
+                (0..labels.len()).filter(|&v| assignment[v] == c).collect();
+            if members.is_empty() {
+                continue;
+            }
+            let mut counts = std::collections::HashMap::new();
+            for &v in &members {
+                *counts.entry(labels[v]).or_insert(0usize) += 1;
+            }
+            correct += counts.values().max().copied().unwrap_or(0);
+        }
+        correct as f64 / labels.len() as f64
+    }
+
+    #[test]
+    fn identify_core_ranks_by_closeness() {
+        let m = EuclideanMetric::from_points(
+            &(0..12).map(|i| vec![i as f64]).collect::<Vec<_>>(),
+        );
+        let mut o = TrueQuadOracle::new(m);
+        let cluster: Vec<usize> = (0..12).collect();
+        let core = identify_core(&mut o, &cluster, 0, 4);
+        assert_eq!(core, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn rtilde_is_a_sqrt_prefix() {
+        assert_eq!(rtilde(&[9, 8, 7, 6]), vec![9, 8]);
+        assert_eq!(rtilde(&[5]), vec![5]);
+        assert_eq!(rtilde(&(0..16).collect::<Vec<_>>()).len(), 4);
+    }
+
+    #[test]
+    fn perfect_oracle_recovers_separated_blobs() {
+        let (m, labels) = blobs();
+        let mut o = TrueQuadOracle::new(m.clone());
+        let params = KCenterProbParams {
+            first_center: Some(0),
+            ..KCenterProbParams::experimental(4, 40)
+        };
+        let c = kcenter_prob(&params, &mut o, &mut rng(5));
+        c.validate();
+        let purity = cluster_purity(&c.assignment, &labels, 4);
+        assert!(purity > 0.95, "purity {purity}");
+        let obj = kcenter_objective(&m, &c.centers, &c.assignment);
+        assert!(obj < 10.0, "objective {obj} must be intra-blob");
+    }
+
+    /// Committee sizes matter under persistent noise: a core of size `c`
+    /// leaks a home-cluster point with probability `P(Binom(c, p) > 0.3c)`
+    /// per iteration — the reason Theorem 4.4 proves with `gamma = 450`.
+    /// `gamma = 8` saturates the sampling here, giving the maximal
+    /// `8m/9`-member cores; the ablation bench sweeps this trade-off.
+    #[test]
+    fn noisy_oracle_still_recovers_blobs() {
+        let (m, labels) = blobs();
+        let trials = 10;
+        let mut good = 0;
+        for seed in 0..trials {
+            let mut o = ProbQuadOracle::new(m.clone(), 0.15, 60 + seed);
+            let params = KCenterProbParams {
+                gamma: 8.0,
+                ..KCenterProbParams::experimental(4, 40)
+            };
+            let c = kcenter_prob(&params, &mut o, &mut rng(90 + seed));
+            if cluster_purity(&c.assignment, &labels, 4) > 0.9 {
+                good += 1;
+            }
+        }
+        assert!(good >= trials * 7 / 10, "only {good}/{trials} pure clusterings");
+    }
+
+    #[test]
+    fn theorem_4_4_objective_constant_factor() {
+        let (m, _) = blobs();
+        // Exact greedy reference.
+        let g = super::super::gonzalez(&m, 4, Some(0));
+        let g_obj = kcenter_objective(&m, &g.centers, &g.assignment);
+        let trials = 8;
+        let mut ok = 0;
+        for seed in 0..trials {
+            let mut o = ProbQuadOracle::new(m.clone(), 0.1, 700 + seed);
+            let params = KCenterProbParams {
+                gamma: 8.0,
+                ..KCenterProbParams::experimental(4, 40)
+            };
+            let c = kcenter_prob(&params, &mut o, &mut rng(seed));
+            let obj = kcenter_objective(&m, &c.centers, &c.assignment);
+            if obj <= 8.0 * g_obj.max(1.0) {
+                ok += 1;
+            }
+        }
+        assert!(ok >= trials * 3 / 4, "{ok}/{trials} within constant factor");
+    }
+
+    #[test]
+    fn all_points_assigned_and_centers_distinct() {
+        let (m, _) = blobs();
+        let mut o = ProbQuadOracle::new(m, 0.1, 42);
+        let c = kcenter_prob(&KCenterProbParams::experimental(6, 40), &mut o, &mut rng(3));
+        c.validate();
+        assert_eq!(c.n(), 160);
+        let mut cs = c.centers.clone();
+        cs.sort_unstable();
+        cs.dedup();
+        assert_eq!(cs.len(), 6);
+    }
+
+    #[test]
+    fn k_equals_one() {
+        let (m, _) = blobs();
+        let mut o = TrueQuadOracle::new(m);
+        let c = kcenter_prob(&KCenterProbParams::experimental(1, 40), &mut o, &mut rng(1));
+        assert_eq!(c.k(), 1);
+        assert!(c.assignment.iter().all(|&a| a == 0));
+    }
+}

@@ -1,0 +1,250 @@
+//! Algorithm 4 — Max-Adv, the paper's headline adversarial-noise maximum.
+//!
+//! Two complementary defences against the confusion band
+//! `C = { u : v_max/(1+mu) <= u <= v_max }`:
+//!
+//! 1. **Dense band** (`|C| > sqrt(n)/2`): a uniform sample of `sqrt(n)*t`
+//!    items hits `C` w.h.p. (Lemma 8.5), and any member of `C` is a `(1+mu)`
+//!    approximation by definition.
+//! 2. **Sparse band**: partition into `l = sqrt(n)` random parts and take
+//!    each part's binary-tournament winner; the part containing `v_max`
+//!    avoids all of `C` with probability >= 1/2 per round (Markov,
+//!    Lemma 8.6), in which case the out-of-band answers promote `v_max`
+//!    unharmed. `t` rounds push the failure to `2^-t`.
+//!
+//! The sampled set and all partition winners then fight one final Count-Max
+//! (a `(1+mu)^2` loss, Lemma 3.1), giving the `(1+mu)^3` total of
+//! Theorem 3.6 with `O(n log^2(1/delta))` queries.
+
+use super::count_max::count_max;
+use super::dedup_keep_order;
+use super::tournament::tournament_partition;
+use crate::comparator::{Comparator, Rev};
+use rand::Rng;
+use std::hash::Hash;
+
+/// Parameters of Max-Adv (Algorithm 4).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AdvParams {
+    /// Number of Tournament-Partition rounds (`t`).
+    pub rounds: usize,
+    /// Number of partitions `l`; `None` = `sqrt(n)` (the paper's setting).
+    pub partitions: Option<usize>,
+    /// Uniform sample size; `None` = `sqrt(n) * t` (the paper's setting).
+    pub sample_size: Option<usize>,
+}
+
+impl AdvParams {
+    /// The paper's experimental configuration (Section 6.1): `t = 1`,
+    /// `l = sqrt(n)`, sample of `sqrt(n)`.
+    pub fn experimental() -> Self {
+        Self { rounds: 1, partitions: None, sample_size: None }
+    }
+
+    /// The proof-grade configuration of Theorem 3.6: `t = 2 log2(2/delta)`
+    /// rounds for failure probability `delta`.
+    ///
+    /// # Panics
+    /// Panics unless `0 < delta < 1`.
+    pub fn with_confidence(delta: f64) -> Self {
+        assert!(delta > 0.0 && delta < 1.0, "delta must be in (0,1)");
+        let t = (2.0 * (2.0 / delta).log2()).ceil() as usize;
+        Self { rounds: t.max(1), partitions: None, sample_size: None }
+    }
+
+    /// Resolves `(t, l, sample_size)` for an instance of `n` items.
+    pub fn resolve(&self, n: usize) -> (usize, usize, usize) {
+        let sqrt_n = (n as f64).sqrt().ceil() as usize;
+        let t = self.rounds.max(1);
+        let l = self.partitions.unwrap_or(sqrt_n).clamp(1, n.max(1));
+        let s = self.sample_size.unwrap_or(sqrt_n * t).min(4 * n.max(1));
+        (t, l, s)
+    }
+}
+
+impl Default for AdvParams {
+    fn default() -> Self {
+        Self::experimental()
+    }
+}
+
+/// Algorithm 4: robust maximum under adversarial noise (Theorem 3.6).
+///
+/// Returns `None` only for an empty `items` slice.
+pub fn max_adv<I, C, R>(items: &[I], params: &AdvParams, cmp: &mut C, rng: &mut R) -> Option<I>
+where
+    I: Copy + Eq + Hash,
+    C: Comparator<I>,
+    R: Rng + ?Sized,
+{
+    let n = items.len();
+    if n <= 2 {
+        return count_max(items, cmp);
+    }
+    let (t, l, s) = params.resolve(n);
+
+    // Step 1: uniform sample with replacement (the dense-band defence).
+    let mut pool: Vec<I> = (0..s).map(|_| items[rng.random_range(0..n)]).collect();
+
+    // Step 2: t rounds of Tournament-Partition (the sparse-band defence).
+    for _ in 0..t {
+        pool.extend(tournament_partition(items, l, cmp, rng));
+    }
+
+    // Step 3: final Count-Max over the deduplicated pool.
+    let pool = dedup_keep_order(&pool);
+    count_max(&pool, cmp)
+}
+
+/// Minimum-finding twin of [`max_adv`] (reversed comparator).
+pub fn min_adv<I, C, R>(items: &[I], params: &AdvParams, cmp: &mut C, rng: &mut R) -> Option<I>
+where
+    I: Copy + Eq + Hash,
+    C: Comparator<I>,
+    R: Rng + ?Sized,
+{
+    max_adv(items, params, &mut Rev(cmp), rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::comparator::{ExactKeyCmp, ValueCmp};
+    use nco_oracle::adversarial::{AdversarialValueOracle, InvertAdversary, PersistentRandomAdversary};
+    use nco_oracle::counting::Counting;
+    use nco_oracle::TrueValueOracle;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn params_resolution() {
+        let p = AdvParams::experimental();
+        let (t, l, s) = p.resolve(100);
+        assert_eq!((t, l, s), (1, 10, 10));
+        let p = AdvParams::with_confidence(0.1);
+        assert_eq!(p.rounds, 9); // ceil(2 * log2(20)) = ceil(8.64)
+        let p = AdvParams { rounds: 2, partitions: Some(5), sample_size: Some(7) };
+        assert_eq!(p.resolve(100), (2, 5, 7));
+    }
+
+    #[test]
+    fn exact_comparator_returns_true_max() {
+        let keys: Vec<f64> = (0..200).map(|i| ((i * 71) % 997) as f64).collect();
+        let items: Vec<usize> = (0..200).collect();
+        let best = max_adv(
+            &items,
+            &AdvParams::with_confidence(0.05),
+            &mut ExactKeyCmp::new(&keys),
+            &mut rng(11),
+        )
+        .unwrap();
+        let true_best = (0..200).max_by(|&a, &b| keys[a].total_cmp(&keys[b])).unwrap();
+        assert_eq!(best, true_best);
+        let worst = min_adv(
+            &items,
+            &AdvParams::with_confidence(0.05),
+            &mut ExactKeyCmp::new(&keys),
+            &mut rng(12),
+        )
+        .unwrap();
+        let true_worst = (0..200).min_by(|&a, &b| keys[a].total_cmp(&keys[b])).unwrap();
+        assert_eq!(worst, true_worst);
+    }
+
+    #[test]
+    fn tiny_inputs() {
+        let keys = [4.0, 9.0];
+        let p = AdvParams::experimental();
+        assert_eq!(
+            max_adv::<usize, _, _>(&[], &p, &mut ExactKeyCmp::new(&keys), &mut rng(0)),
+            None
+        );
+        assert_eq!(max_adv(&[0], &p, &mut ExactKeyCmp::new(&keys), &mut rng(0)), Some(0));
+        assert_eq!(max_adv(&[0, 1], &p, &mut ExactKeyCmp::new(&keys), &mut rng(0)), Some(1));
+    }
+
+    /// Theorem 3.6's bound against the worst-case adversary, checked over
+    /// many seeds: the returned value must be within (1+mu)^3 of the max in
+    /// at least a 1 - delta fraction of runs (with slack for the finite
+    /// trial count).
+    #[test]
+    fn theorem_3_6_bound_against_invert_adversary() {
+        let mu = 0.5f64;
+        let n = 256usize;
+        // Geometric-ish values: plenty of in-band confusion everywhere.
+        let values: Vec<f64> = (0..n).map(|i| 1.0 * (1.0 + mu * 0.35).powi(i as i32 % 40)).collect();
+        let vmax = values.iter().cloned().fold(0.0, f64::max);
+        let params = AdvParams::with_confidence(0.1);
+        let items: Vec<usize> = (0..n).collect();
+        let mut ok = 0;
+        let trials = 40;
+        for seed in 0..trials {
+            let mut oracle = AdversarialValueOracle::new(values.clone(), mu, InvertAdversary);
+            let got = max_adv(
+                &items,
+                &params,
+                &mut ValueCmp::new(&mut oracle),
+                &mut rng(1000 + seed),
+            )
+            .unwrap();
+            if values[got] * (1.0 + mu).powi(3) >= vmax - 1e-9 {
+                ok += 1;
+            }
+        }
+        assert!(ok >= trials * 8 / 10, "bound held in only {ok}/{trials} trials");
+    }
+
+    #[test]
+    fn query_complexity_is_near_linear() {
+        // O(n t + (sqrt(n) t + sqrt(n))^2) with t = O(log 1/delta):
+        // c * n * log2(1/delta)^2 queries is the theorem's budget.
+        for n in [256usize, 1024, 4096] {
+            let values: Vec<f64> = (0..n).map(|i| i as f64).collect();
+            let mut oracle = Counting::new(TrueValueOracle::new(values));
+            let items: Vec<usize> = (0..n).collect();
+            let delta = 0.1;
+            let params = AdvParams::with_confidence(delta);
+            let _ = max_adv(&items, &params, &mut ValueCmp::new(&mut oracle), &mut rng(5));
+            let log_term = (1.0 / delta).log2();
+            let budget = (16.0 * n as f64 * log_term * log_term) as u64;
+            assert!(
+                oracle.queries() <= budget,
+                "n = {n}: {} queries > budget {budget}",
+                oracle.queries()
+            );
+        }
+    }
+
+    #[test]
+    fn random_adversary_still_within_bound_most_runs() {
+        let mu = 1.0f64;
+        let n = 200usize;
+        let values: Vec<f64> = (0..n).map(|i| 1.0 + (i as f64) * 0.05).collect();
+        let vmax = values.iter().cloned().fold(0.0, f64::max);
+        let items: Vec<usize> = (0..n).collect();
+        let mut ok = 0;
+        let trials = 30;
+        for seed in 0..trials {
+            let mut oracle = AdversarialValueOracle::new(
+                values.clone(),
+                mu,
+                PersistentRandomAdversary::new(seed),
+            );
+            let got = max_adv(
+                &items,
+                &AdvParams::with_confidence(0.1),
+                &mut ValueCmp::new(&mut oracle),
+                &mut rng(300 + seed),
+            )
+            .unwrap();
+            if values[got] * (1.0 + mu).powi(3) >= vmax {
+                ok += 1;
+            }
+        }
+        assert!(ok >= trials * 8 / 10, "only {ok}/{trials} within bound");
+    }
+}

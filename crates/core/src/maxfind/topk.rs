@@ -1,0 +1,215 @@
+//! Top-k selection and full ranking under noisy comparisons — the
+//! extension problems of the paper's related-work discussion (§1.2:
+//! top-k elements, sorting under persistent errors).
+//!
+//! * [`top_k_adv`] — iterated Max-Adv extraction: k rounds of Theorem 3.6,
+//!   each `(1+mu)^3`-approximate with respect to the remaining items, at
+//!   `O(k n log^2(1/delta))` queries.
+//! * [`top_k_prob`] — the probabilistic twin via Count-Max-Prob.
+//! * [`rank_by_counts`] — a full ranking by Count scores. Under persistent
+//!   probabilistic noise, the Hoeffding argument of Lemma 8.9 bounds each
+//!   item's dislocation by `O(sqrt(n log(n/delta)))` w.h.p. — the same
+//!   guarantee regime as the dislocation-sorting literature the paper
+//!   cites (Geissmann et al.).
+
+use super::adversarial::{max_adv, AdvParams};
+use super::count_max::count_scores;
+use super::probabilistic::{max_prob, ProbParams};
+use crate::comparator::Comparator;
+use rand::Rng;
+use std::hash::Hash;
+
+/// Top-k by iterated Max-Adv extraction, best first.
+///
+/// Each round removes the winner and re-runs Algorithm 4 on the remainder,
+/// so round `i`'s winner is a `(1+mu)^3` approximation of the true `i`-th
+/// maximum of the *remaining* set w.p. `1 - delta` each.
+///
+/// # Panics
+/// Panics if `k > items.len()`.
+pub fn top_k_adv<I, C, R>(
+    items: &[I],
+    k: usize,
+    params: &AdvParams,
+    cmp: &mut C,
+    rng: &mut R,
+) -> Vec<I>
+where
+    I: Copy + Eq + Hash,
+    C: Comparator<I>,
+    R: Rng + ?Sized,
+{
+    assert!(k <= items.len(), "k = {k} exceeds {} items", items.len());
+    let mut remaining: Vec<I> = items.to_vec();
+    let mut out = Vec::with_capacity(k);
+    for _ in 0..k {
+        let best = max_adv(&remaining, params, cmp, rng).expect("remaining non-empty");
+        remaining.retain(|&x| x != best);
+        out.push(best);
+    }
+    out
+}
+
+/// Top-k under persistent probabilistic noise (iterated Count-Max-Prob).
+///
+/// # Panics
+/// Panics if `k > items.len()`.
+pub fn top_k_prob<I, C, R>(
+    items: &[I],
+    k: usize,
+    params: &ProbParams,
+    cmp: &mut C,
+    rng: &mut R,
+) -> Vec<I>
+where
+    I: Copy + Eq + Hash,
+    C: Comparator<I>,
+    R: Rng + ?Sized,
+{
+    assert!(k <= items.len(), "k = {k} exceeds {} items", items.len());
+    let mut remaining: Vec<I> = items.to_vec();
+    let mut out = Vec::with_capacity(k);
+    for _ in 0..k {
+        let best = max_prob(&remaining, params, cmp, rng).expect("remaining non-empty");
+        remaining.retain(|&x| x != best);
+        out.push(best);
+    }
+    out
+}
+
+/// Full ranking by Count scores, largest first (`O(n^2)` queries).
+///
+/// The returned order is the Count-score order: under persistent
+/// probabilistic noise every item lands within `O(sqrt(n log(n/delta)))`
+/// of its true position w.h.p. (the concentration argument of Lemma 8.9
+/// applied to every rank), and under adversarial noise two items can only
+/// be misordered if they are within `(1+mu)^2` of each other (the
+/// Lemma 3.1 argument).
+pub fn rank_by_counts<I, C>(items: &[I], cmp: &mut C) -> Vec<I>
+where
+    I: Copy,
+    C: Comparator<I>,
+{
+    let scores = count_scores(items, cmp);
+    let mut order: Vec<usize> = (0..items.len()).collect();
+    // Highest score first; index-stable on ties.
+    order.sort_by(|&a, &b| scores[b].cmp(&scores[a]).then(a.cmp(&b)));
+    order.into_iter().map(|i| items[i]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::comparator::{ExactKeyCmp, ValueCmp};
+    use nco_oracle::adversarial::{AdversarialValueOracle, InvertAdversary};
+    use nco_oracle::probabilistic::ProbValueOracle;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn exact_top_k_is_the_true_top_k_in_order() {
+        let keys: Vec<f64> = (0..100).map(|i| ((i * 37) % 100) as f64).collect();
+        let items: Vec<usize> = (0..100).collect();
+        let got = top_k_adv(&items, 5, &AdvParams::experimental(), &mut ExactKeyCmp::new(&keys), &mut rng(1));
+        let mut expected: Vec<usize> = (0..100).collect();
+        expected.sort_by(|&a, &b| keys[b].total_cmp(&keys[a]));
+        assert_eq!(got, expected[..5].to_vec());
+    }
+
+    #[test]
+    fn adversarial_top_k_respects_per_round_bound() {
+        let mu = 0.5f64;
+        let values: Vec<f64> = (0..200).map(|i| 1.0 + (i as f64) * 0.05).collect();
+        let items: Vec<usize> = (0..values.len()).collect();
+        let mut oracle = AdversarialValueOracle::new(values.clone(), mu, InvertAdversary);
+        let got = top_k_adv(
+            &items,
+            5,
+            &AdvParams::with_confidence(0.05),
+            &mut ValueCmp::new(&mut oracle),
+            &mut rng(2),
+        );
+        assert_eq!(got.len(), 5);
+        // Every extracted element is within (1+mu)^3 of the best element
+        // still available at its round (checked against the true order).
+        let mut remaining: Vec<usize> = items.clone();
+        let mut ok = 0;
+        for &g in &got {
+            let best = remaining.iter().map(|&v| values[v]).fold(0.0, f64::max);
+            if values[g] * (1.0 + mu).powi(3) >= best {
+                ok += 1;
+            }
+            remaining.retain(|&x| x != g);
+        }
+        assert!(ok >= 4, "only {ok}/5 rounds within bound");
+    }
+
+    #[test]
+    fn prob_top_k_has_small_rank_inflation() {
+        let n = 400usize;
+        let values: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let items: Vec<usize> = (0..n).collect();
+        let mut oracle = ProbValueOracle::new(values.clone(), 0.15, 11);
+        let got = top_k_prob(
+            &items,
+            5,
+            &ProbParams::experimental(),
+            &mut ValueCmp::new(&mut oracle),
+            &mut rng(3),
+        );
+        // All five winners rank within the top 10% of the true order.
+        for &g in &got {
+            let rank = n - g;
+            assert!(rank <= n / 10, "element of rank {rank} in top-5");
+        }
+        // No duplicates.
+        let mut d = got.clone();
+        d.sort_unstable();
+        d.dedup();
+        assert_eq!(d.len(), 5);
+    }
+
+    #[test]
+    fn exact_ranking_is_sorted_order() {
+        let keys: Vec<f64> = vec![3.0, 9.0, 1.0, 7.0, 5.0];
+        let items: Vec<usize> = (0..5).collect();
+        let got = rank_by_counts(&items, &mut ExactKeyCmp::new(&keys));
+        assert_eq!(got, vec![1, 3, 4, 0, 2]);
+    }
+
+    #[test]
+    fn noisy_ranking_has_bounded_dislocation() {
+        let n = 300usize;
+        let values: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let items: Vec<usize> = (0..n).collect();
+        let mut worst = 0usize;
+        for seed in 0..5u64 {
+            let mut oracle = ProbValueOracle::new(values.clone(), 0.2, 100 + seed);
+            let got = rank_by_counts(&items, &mut ValueCmp::new(&mut oracle));
+            for (pos, &item) in got.iter().enumerate() {
+                let true_pos = n - 1 - item; // descending order
+                worst = worst.max(pos.abs_diff(true_pos));
+            }
+        }
+        // O(sqrt(n log n)) ≈ sqrt(300 * 8) * c; allow a generous constant.
+        let bound = (4.0 * (n as f64 * (n as f64).ln()).sqrt()) as usize;
+        assert!(worst <= bound, "dislocation {worst} > bound {bound}");
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn top_k_rejects_oversized_k() {
+        let keys = [1.0];
+        let _ = top_k_adv(
+            &[0usize],
+            2,
+            &AdvParams::experimental(),
+            &mut ExactKeyCmp::new(&keys),
+            &mut rng(0),
+        );
+    }
+}

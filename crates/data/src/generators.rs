@@ -1,0 +1,348 @@
+//! Seeded dataset generators. See the crate docs for the mapping between
+//! each generator and the real dataset it substitutes.
+
+use crate::{AnyMetric, Dataset};
+use nco_metric::{EuclideanMetric, TreeMetric, TreeMetricBuilder};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Standard normal via Box–Muller (keeps us off the `rand_distr` crate).
+fn normal(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.random::<f64>().max(1e-12);
+    let u2: f64 = rng.random();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+fn min_cluster_size(labels: &[usize]) -> usize {
+    let k = labels.iter().copied().max().map(|m| m + 1).unwrap_or(0);
+    let mut counts = vec![0usize; k];
+    for &l in labels {
+        counts[l] += 1;
+    }
+    counts.into_iter().filter(|&c| c > 0).min().unwrap_or(0)
+}
+
+/// `cities` analogue: skewed 2-D point cloud (metros + remote outposts).
+///
+/// Mirrors the US-cities geometry the paper relies on: most records sit in a
+/// handful of dense metro areas inside a "continental" box, while a small
+/// remote group (the Alaska/Hawaii role) creates a heavily skewed pairwise
+/// distance distribution and a near-unique answer to farthest-point queries
+/// — the reason `Samp` misses the optimum there (Section 6.3).
+///
+/// # Panics
+/// Panics if `n < 40`.
+pub fn cities(n: usize, seed: u64) -> Dataset {
+    assert!(n >= 40, "cities needs n >= 40, got {n}");
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xc171_e500);
+    // ~12 metros with Zipf-ish weights inside [0, 100]^2.
+    let metros = 12usize;
+    let centers: Vec<(f64, f64)> = (0..metros)
+        .map(|_| (rng.random_range(0.0..100.0), rng.random_range(0.0..100.0)))
+        .collect();
+    let weights: Vec<f64> = (1..=metros).map(|r| 1.0 / r as f64).collect();
+    let wsum: f64 = weights.iter().sum();
+
+    // A remote outpost far outside the box: ~1% of records, at least 5.
+    let outpost = (420.0, 380.0);
+    let n_outpost = (n / 100).max(5);
+    let n_metro = n - n_outpost;
+
+    let mut pts = Vec::with_capacity(n);
+    let mut labels = Vec::with_capacity(n);
+    for _ in 0..n_metro {
+        let mut pick = rng.random::<f64>() * wsum;
+        let mut m = 0;
+        while m + 1 < metros && pick > weights[m] {
+            pick -= weights[m];
+            m += 1;
+        }
+        let (cx, cy) = centers[m];
+        pts.push(vec![cx + 1.5 * normal(&mut rng), cy + 1.5 * normal(&mut rng)]);
+        labels.push(m);
+    }
+    for _ in 0..n_outpost {
+        pts.push(vec![
+            outpost.0 + 1.5 * normal(&mut rng),
+            outpost.1 + 1.5 * normal(&mut rng),
+        ]);
+        labels.push(metros);
+    }
+
+    let min = min_cluster_size(&labels);
+    Dataset {
+        name: "cities",
+        metric: AnyMetric::Euclidean(EuclideanMetric::from_points(&pts)),
+        labels: Some(labels),
+        coarse_labels: None,
+        min_cluster_size: min,
+    }
+}
+
+/// `caltech` analogue: a balanced 20-category hierarchy with sharp
+/// separation.
+///
+/// Ten top-level groups of two leaf categories each, so both the paper's
+/// `k = 10` and `k = 20` Table 1 settings have a matching ground-truth
+/// granularity (coarse and fine labels). Level distances are chosen so
+/// that any cross-category comparison clears the crowd-accuracy cliff at
+/// ratio 1.45 (Fig. 4(a)): intra-leaf distances stay below
+/// `1 + jitter <= 1.4` while the next level starts at 4.0.
+///
+/// # Panics
+/// Panics if `n < 40` (need at least two records per leaf category).
+pub fn caltech(n: usize, seed: u64) -> Dataset {
+    assert!(n >= 40, "caltech needs n >= 40, got {n}");
+    let mut b = TreeMetricBuilder::new(vec![10.0, 4.0, 1.0])
+        .jitter(0.4)
+        .seed(seed ^ 0x0ca1_7ec4);
+    let mut labels = Vec::with_capacity(n);
+    let mut coarse = Vec::with_capacity(n);
+    for i in 0..n {
+        // Round-robin over 20 leaves keeps categories balanced like
+        // Caltech-256 subsets.
+        let leaf = i % 20;
+        let (top, sub) = ((leaf / 2) as u16, (leaf % 2) as u16);
+        b.record(&[top, sub]);
+        labels.push(leaf);
+        coarse.push(leaf / 2);
+    }
+    let min = min_cluster_size(&labels);
+    Dataset {
+        name: "caltech",
+        metric: AnyMetric::Tree(finish_tree(b)),
+        labels: Some(labels),
+        coarse_labels: Some(coarse),
+        min_cluster_size: min,
+    }
+}
+
+/// `amazon` analogue: an unbalanced catalog hierarchy with pervasive
+/// near-ties.
+///
+/// Seven departments with two leaf categories each (so the paper's Table 1
+/// settings `k = 7` and `k = 14` align with the coarse and fine labels).
+/// Department sizes are Zipf-skewed, level gaps are narrow and the jitter is
+/// large, producing comparable distances at *every* range — the regime the
+/// paper identifies as probabilistic noise (Fig. 4(b)).
+///
+/// # Panics
+/// Panics if `n < 70`.
+pub fn amazon(n: usize, seed: u64) -> Dataset {
+    assert!(n >= 70, "amazon needs n >= 70, got {n}");
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x00a3_a20e);
+    let mut b = TreeMetricBuilder::new(vec![8.0, 6.6, 5.4])
+        .jitter(1.1)
+        .seed(seed ^ 0x00a3_a20f);
+    let deps = 7usize;
+    let weights: Vec<f64> = (1..=deps).map(|r| 1.0 / (r as f64).sqrt()).collect();
+    let wsum: f64 = weights.iter().sum();
+    let mut labels = Vec::with_capacity(n);
+    let mut coarse = Vec::with_capacity(n);
+    // Guarantee >= 5 records per leaf first, then fill Zipf-style.
+    let mut plan: Vec<usize> = Vec::with_capacity(n);
+    for leaf in 0..(deps * 2) {
+        plan.extend(std::iter::repeat(leaf).take(5));
+    }
+    while plan.len() < n {
+        let mut pick = rng.random::<f64>() * wsum;
+        let mut d = 0;
+        while d + 1 < deps && pick > weights[d] {
+            pick -= weights[d];
+            d += 1;
+        }
+        let leaf = d * 2 + rng.random_range(0..2usize);
+        plan.push(leaf);
+    }
+    plan.truncate(n);
+    for &leaf in &plan {
+        let (top, sub) = ((leaf / 2) as u16, (leaf % 2) as u16);
+        b.record(&[top, sub]);
+        labels.push(leaf);
+        coarse.push(leaf / 2);
+    }
+    let min = min_cluster_size(&labels);
+    Dataset {
+        name: "amazon",
+        metric: AnyMetric::Tree(finish_tree(b)),
+        labels: Some(labels),
+        coarse_labels: Some(coarse),
+        min_cluster_size: min,
+    }
+}
+
+/// `monuments` analogue: 10 tight, well-separated landmark clusters.
+///
+/// # Panics
+/// Panics if `n < 20`.
+pub fn monuments(n: usize, seed: u64) -> Dataset {
+    assert!(n >= 20, "monuments needs n >= 20, got {n}");
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x0a0b_0c0d);
+    let k = 10usize;
+    let mut pts = Vec::with_capacity(n);
+    let mut labels = Vec::with_capacity(n);
+    for i in 0..n {
+        let c = i % k;
+        let angle = std::f64::consts::TAU * c as f64 / k as f64;
+        let (cx, cy) = (50.0 * angle.cos(), 50.0 * angle.sin());
+        pts.push(vec![cx + normal(&mut rng), cy + normal(&mut rng)]);
+        labels.push(c);
+    }
+    let min = min_cluster_size(&labels);
+    Dataset {
+        name: "monuments",
+        metric: AnyMetric::Euclidean(EuclideanMetric::from_points(&pts)),
+        labels: Some(labels),
+        coarse_labels: None,
+        min_cluster_size: min,
+    }
+}
+
+/// `dblp` analogue: high-dimensional Gaussian-mixture embeddings.
+///
+/// Stands in for the word2vec phrase embeddings of the 1.8M-title corpus;
+/// `n` is configurable so Table 2's scaling harness can sweep it. Fifty
+/// topic components in 16 dimensions give the moderate cluster structure of
+/// embedding spaces (no sharp separations, no extreme skew).
+///
+/// # Panics
+/// Panics if `n < 100`.
+pub fn dblp(n: usize, seed: u64) -> Dataset {
+    assert!(n >= 100, "dblp needs n >= 100, got {n}");
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xdb17);
+    let dim = 16usize;
+    let topics = 50usize;
+    let means: Vec<Vec<f64>> = (0..topics)
+        .map(|_| (0..dim).map(|_| 6.0 * normal(&mut rng)).collect())
+        .collect();
+    let mut pts = Vec::with_capacity(n);
+    let mut labels = Vec::with_capacity(n);
+    for i in 0..n {
+        let t = i % topics;
+        let p: Vec<f64> = means[t].iter().map(|&m| m + 1.5 * normal(&mut rng)).collect();
+        pts.push(p);
+        labels.push(t);
+    }
+    let min = min_cluster_size(&labels);
+    Dataset {
+        name: "dblp",
+        metric: AnyMetric::Euclidean(EuclideanMetric::from_points(&pts)),
+        labels: Some(labels),
+        coarse_labels: None,
+        min_cluster_size: min,
+    }
+}
+
+fn finish_tree(b: TreeMetricBuilder) -> TreeMetric {
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nco_metric::stats::distance_skew_sample;
+    use nco_metric::Metric;
+
+    #[test]
+    fn generators_are_deterministic() {
+        let a = cities(200, 5);
+        let b = cities(200, 5);
+        for i in 0..10 {
+            assert_eq!(a.metric.dist(i, i + 10), b.metric.dist(i, i + 10));
+        }
+        let c = cities(200, 6);
+        assert!((0..10).any(|i| a.metric.dist(i, i + 10) != c.metric.dist(i, i + 10)));
+    }
+
+    #[test]
+    fn cities_is_skewed_amazon_is_not() {
+        let c = cities(600, 1);
+        let a = amazon(600, 1);
+        let skew_c = distance_skew_sample(&c.metric, 4000, 9);
+        let skew_a = distance_skew_sample(&a.metric, 4000, 9);
+        assert!(
+            skew_c > 2.0 * skew_a,
+            "cities skew {skew_c} should dwarf amazon skew {skew_a}"
+        );
+    }
+
+    #[test]
+    fn caltech_clears_the_crowd_cliff() {
+        let d = caltech(200, 3);
+        let labels = d.labels.as_ref().unwrap();
+        let mut max_intra = 0.0f64;
+        let mut min_inter = f64::INFINITY;
+        for i in 0..d.n() {
+            for j in (i + 1)..d.n() {
+                let dist = d.metric.dist(i, j);
+                if labels[i] == labels[j] {
+                    max_intra = max_intra.max(dist);
+                } else {
+                    min_inter = min_inter.min(dist);
+                }
+            }
+        }
+        assert!(
+            min_inter / max_intra > 1.45,
+            "caltech separation {min_inter}/{max_intra} must clear the 1.45 cliff"
+        );
+    }
+
+    #[test]
+    fn amazon_has_near_ties_at_all_ranges() {
+        let d = amazon(300, 3);
+        // Cross-department and within-department distances overlap: the
+        // largest intra-leaf distance exceeds the smallest cross-department
+        // distance divided by the 1.45 cliff -> persistent confusion.
+        let t = match &d.metric {
+            AnyMetric::Tree(t) => t,
+            _ => unreachable!(),
+        };
+        let mut max_leaf = 0.0f64;
+        let mut min_cross = f64::INFINITY;
+        for i in 0..d.n() {
+            for j in (i + 1)..d.n() {
+                let dist = d.metric.dist(i, j);
+                match t.lca_depth(i, j) {
+                    2 => max_leaf = max_leaf.max(dist),
+                    0 => min_cross = min_cross.min(dist),
+                    _ => {}
+                }
+            }
+        }
+        assert!(
+            min_cross / max_leaf < 1.45,
+            "amazon must stay confusable: {min_cross} / {max_leaf}"
+        );
+    }
+
+    #[test]
+    fn label_granularities_line_up() {
+        let d = amazon(300, 2);
+        assert_eq!(d.k_true(), 14);
+        assert_eq!(d.k_coarse(), 7);
+        let c = caltech(200, 2);
+        assert_eq!(c.k_true(), 20);
+        assert_eq!(c.k_coarse(), 10);
+        assert!(d.min_cluster_size >= 5);
+    }
+
+    #[test]
+    fn dblp_sizes_scale() {
+        let d = dblp(500, 4);
+        assert_eq!(d.n(), 500);
+        assert_eq!(d.k_true(), 50);
+        assert!(d.min_cluster_size >= 10);
+    }
+
+    #[test]
+    fn cities_outpost_dominates_farthest_queries() {
+        let d = cities(400, 8);
+        let labels = d.labels.as_ref().unwrap();
+        let outpost_label = *labels.iter().max().unwrap();
+        // The true farthest point from any metro record is in the outpost.
+        let q = labels.iter().position(|&l| l != outpost_label).unwrap();
+        let far = nco_metric::stats::exact_farthest(&d.metric, q, 0..d.n()).unwrap();
+        assert_eq!(labels[far.0], outpost_label);
+    }
+}

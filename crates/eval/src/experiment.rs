@@ -1,0 +1,129 @@
+//! Seeded repetition runner — the paper averages every reported number
+//! over (up to) 100 randomly seeded runs; this module is that loop, with
+//! wall-clock timing attached.
+
+use std::time::Instant;
+
+/// Mean / standard deviation / extremes of a repeated measurement.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Number of repetitions aggregated.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation (0 for a single repetition).
+    pub std: f64,
+    /// Smallest observation.
+    pub min: f64,
+    /// Largest observation.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Aggregates a slice of observations.
+    ///
+    /// # Panics
+    /// Panics on an empty slice.
+    pub fn of(xs: &[f64]) -> Self {
+        assert!(!xs.is_empty(), "cannot summarise zero observations");
+        let n = xs.len();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = if n > 1 {
+            xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1) as f64
+        } else {
+            0.0
+        };
+        let min = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        Self { n, mean, std: var.sqrt(), min, max }
+    }
+}
+
+impl std::fmt::Display for Summary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.4} ± {:.4}", self.mean, self.std)
+    }
+}
+
+/// One timed repetition's outcome.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RepOutcome {
+    /// The measured metric value.
+    pub value: f64,
+    /// Oracle queries the repetition issued (0 when not applicable).
+    pub queries: u64,
+}
+
+/// Aggregated outcome of [`run_reps`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunStats {
+    /// Summary of the metric values.
+    pub value: Summary,
+    /// Mean queries per repetition.
+    pub mean_queries: f64,
+    /// Total wall-clock seconds across the repetitions.
+    pub total_secs: f64,
+}
+
+/// Runs `reps` seeded repetitions of `f` (seeds `seed_base`,
+/// `seed_base + 1`, ...), timing the whole batch.
+///
+/// # Panics
+/// Panics if `reps == 0`.
+pub fn run_reps(reps: usize, seed_base: u64, mut f: impl FnMut(u64) -> RepOutcome) -> RunStats {
+    assert!(reps > 0, "need at least one repetition");
+    let started = Instant::now();
+    let mut values = Vec::with_capacity(reps);
+    let mut queries = 0u128;
+    for r in 0..reps {
+        let out = f(seed_base + r as u64);
+        values.push(out.value);
+        queries += out.queries as u128;
+    }
+    RunStats {
+        value: Summary::of(&values),
+        mean_queries: queries as f64 / reps as f64,
+        total_secs: started.elapsed().as_secs_f64(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_known_values() {
+        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.n, 4);
+        assert!((s.mean - 2.5).abs() < 1e-12);
+        assert!((s.std - (5.0f64 / 3.0).sqrt()).abs() < 1e-12);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+    }
+
+    #[test]
+    fn single_observation_has_zero_std() {
+        let s = Summary::of(&[7.0]);
+        assert_eq!(s.std, 0.0);
+        assert_eq!(s.mean, 7.0);
+    }
+
+    #[test]
+    fn run_reps_feeds_sequential_seeds() {
+        let mut seen = Vec::new();
+        let stats = run_reps(5, 100, |seed| {
+            seen.push(seed);
+            RepOutcome { value: seed as f64, queries: 10 }
+        });
+        assert_eq!(seen, vec![100, 101, 102, 103, 104]);
+        assert!((stats.value.mean - 102.0).abs() < 1e-12);
+        assert!((stats.mean_queries - 10.0).abs() < 1e-12);
+        assert!(stats.total_secs >= 0.0);
+    }
+
+    #[test]
+    fn display_format() {
+        let s = Summary::of(&[1.0, 1.0]);
+        assert_eq!(format!("{s}"), "1.0000 ± 0.0000");
+    }
+}

@@ -1,0 +1,158 @@
+//! Pair-counting F-score over intra-cluster pairs — the clustering quality
+//! metric of Table 1 ("we use F-score over intra-cluster pairs", §6.1).
+//!
+//! A *pair* is a positive iff its two records share a cluster. Predicted
+//! positives are pairs co-clustered by the algorithm; true positives are
+//! pairs co-clustered in both the prediction and the ground truth.
+//! Computed in O(n + |pred clusters| * |true clusters|) via the
+//! contingency table, so it scales to every dataset size we run.
+
+/// Precision / recall / F1 over intra-cluster pairs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PairScore {
+    /// Fraction of predicted co-clustered pairs that are truly together.
+    pub precision: f64,
+    /// Fraction of truly co-clustered pairs that were predicted together.
+    pub recall: f64,
+    /// Harmonic mean of precision and recall.
+    pub f1: f64,
+}
+
+fn comb2(x: u64) -> u64 {
+    x * x.saturating_sub(1) / 2
+}
+
+/// Computes the pair-counting score of `predicted` against `truth`.
+///
+/// Labels may use arbitrary (not necessarily contiguous) ids; only
+/// equality matters. Degenerate cases follow the usual convention:
+/// a metric with an empty denominator counts as 1.0 (perfect vacuously).
+///
+/// # Panics
+/// Panics if the two label vectors have different lengths or are empty.
+pub fn pair_f_score(predicted: &[usize], truth: &[usize]) -> PairScore {
+    assert_eq!(predicted.len(), truth.len(), "label vectors must align");
+    assert!(!predicted.is_empty(), "need at least one record");
+
+    let compact = |labels: &[usize]| -> Vec<usize> {
+        let mut map = std::collections::HashMap::new();
+        labels
+            .iter()
+            .map(|&l| {
+                let next = map.len();
+                *map.entry(l).or_insert(next)
+            })
+            .collect()
+    };
+    let p = compact(predicted);
+    let t = compact(truth);
+    let kp = p.iter().max().unwrap() + 1;
+    let kt = t.iter().max().unwrap() + 1;
+
+    // Contingency table: n_ij = |cluster_p(i) ∩ cluster_t(j)|.
+    let mut table = vec![0u64; kp * kt];
+    let mut p_sizes = vec![0u64; kp];
+    let mut t_sizes = vec![0u64; kt];
+    for idx in 0..p.len() {
+        table[p[idx] * kt + t[idx]] += 1;
+        p_sizes[p[idx]] += 1;
+        t_sizes[t[idx]] += 1;
+    }
+
+    let true_positive: u64 = table.iter().map(|&c| comb2(c)).sum();
+    let predicted_positive: u64 = p_sizes.iter().map(|&c| comb2(c)).sum();
+    let actual_positive: u64 = t_sizes.iter().map(|&c| comb2(c)).sum();
+
+    let precision = if predicted_positive == 0 {
+        1.0
+    } else {
+        true_positive as f64 / predicted_positive as f64
+    };
+    let recall = if actual_positive == 0 {
+        1.0
+    } else {
+        true_positive as f64 / actual_positive as f64
+    };
+    let f1 = if precision + recall == 0.0 {
+        0.0
+    } else {
+        2.0 * precision * recall / (precision + recall)
+    };
+    PairScore { precision, recall, f1 }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn identical_partitions_score_one() {
+        let labels = vec![0, 0, 1, 1, 2, 2, 2];
+        let s = pair_f_score(&labels, &labels);
+        assert_eq!(s.precision, 1.0);
+        assert_eq!(s.recall, 1.0);
+        assert_eq!(s.f1, 1.0);
+    }
+
+    #[test]
+    fn relabelling_does_not_change_the_score() {
+        let truth = vec![0, 0, 1, 1, 2, 2];
+        let pred = vec![5, 5, 9, 9, 1, 1];
+        assert_eq!(pair_f_score(&pred, &truth).f1, 1.0);
+    }
+
+    #[test]
+    fn all_singletons_has_perfect_precision_zero_recall() {
+        let truth = vec![0, 0, 0, 0];
+        let pred = vec![0, 1, 2, 3];
+        let s = pair_f_score(&pred, &truth);
+        assert_eq!(s.precision, 1.0); // vacuous: no predicted pairs
+        assert_eq!(s.recall, 0.0);
+        assert_eq!(s.f1, 0.0);
+    }
+
+    #[test]
+    fn one_big_cluster_has_perfect_recall_low_precision() {
+        let truth = vec![0, 0, 1, 1];
+        let pred = vec![0, 0, 0, 0];
+        let s = pair_f_score(&pred, &truth);
+        assert_eq!(s.recall, 1.0);
+        assert!((s.precision - 2.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hand_computed_mixed_case() {
+        // truth: {0,1,2}, {3,4}; pred: {0,1}, {2,3}, {4}.
+        let truth = vec![0, 0, 0, 1, 1];
+        let pred = vec![0, 0, 1, 1, 2];
+        let s = pair_f_score(&pred, &truth);
+        // predicted pairs: (0,1), (2,3) -> tp = 1 ((0,1)).
+        // actual pairs: (0,1),(0,2),(1,2),(3,4) -> 4.
+        assert!((s.precision - 0.5).abs() < 1e-12);
+        assert!((s.recall - 0.25).abs() < 1e-12);
+        assert!((s.f1 - 2.0 * 0.5 * 0.25 / 0.75).abs() < 1e-12);
+    }
+
+    proptest! {
+        #[test]
+        fn score_is_in_unit_interval(
+            labels in proptest::collection::vec((0usize..5, 0usize..5), 2..80)
+        ) {
+            let pred: Vec<usize> = labels.iter().map(|&(p, _)| p).collect();
+            let truth: Vec<usize> = labels.iter().map(|&(_, t)| t).collect();
+            let s = pair_f_score(&pred, &truth);
+            prop_assert!((0.0..=1.0).contains(&s.precision));
+            prop_assert!((0.0..=1.0).contains(&s.recall));
+            prop_assert!((0.0..=1.0).contains(&s.f1));
+            prop_assert!(s.f1 <= s.precision.max(s.recall) + 1e-12);
+        }
+
+        #[test]
+        fn identical_random_partitions_score_one(
+            labels in proptest::collection::vec(0usize..6, 2..60)
+        ) {
+            prop_assert_eq!(pair_f_score(&labels, &labels).f1, 1.0);
+        }
+    }
+}

@@ -1,0 +1,28 @@
+//! # nco-eval — evaluation metrics and the experiment harness
+//!
+//! Everything the paper's Section 6 measures, implemented once and shared
+//! by the benchmark suite, the integration tests and the examples:
+//!
+//! * [`fscore`] — pair-counting precision / recall / F-score over
+//!   intra-cluster pairs (the Table 1 metric, following Galhotra et al.);
+//! * [`rank`] — ranks of returned elements in the true order (the
+//!   Theorem 3.7 quality measure);
+//! * [`hier_eval`] — per-merge true linkage distances of a dendrogram and
+//!   the normalised mean-merge-distance series of Figure 7;
+//! * [`noise_fit`] — the Section 6 validation-set procedure estimating
+//!   `mu` / `p` and classifying which noise model a dataset follows;
+//! * [`experiment`] — seeded repetition runner with wall-clock timing,
+//!   query counting and mean/std aggregation;
+//! * [`table`] — fixed-width table rendering (and CSV) for the bench
+//!   binaries that regenerate the paper's tables and figures.
+
+pub mod experiment;
+pub mod fscore;
+pub mod hier_eval;
+pub mod noise_fit;
+pub mod rank;
+pub mod table;
+
+pub use experiment::{run_reps, Summary};
+pub use fscore::{pair_f_score, PairScore};
+pub use table::Table;

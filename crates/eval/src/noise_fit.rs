@@ -1,0 +1,216 @@
+//! Noise-model estimation from a validation set — the Section 6 procedure
+//! ("we ran a user study ... to estimate the noise in oracle answers over a
+//! small sample of the dataset") that decides *which* algorithm variant to
+//! run.
+//!
+//! Given ground-truth distances on a validation sample and oracle access,
+//! we measure answer accuracy as a function of the ratio between the two
+//! compared distances and then:
+//!
+//! * if accuracy reaches (near-)certainty beyond some ratio `r*` — the
+//!   sharp decline the paper observes for `caltech`/`cities`/`monuments`
+//!   (Fig. 4a) — the **adversarial** model fits, with `mu_hat = r* - 1`;
+//! * otherwise — substantial noise at all ranges, the `amazon` shape
+//!   (Fig. 4b) — the **probabilistic** model fits, with `p_hat` the overall
+//!   error rate.
+
+use nco_metric::Metric;
+use nco_oracle::QuadrupletOracle;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Which noise model a validation sample supports, with the fitted
+/// parameter.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FittedModel {
+    /// Sharp cliff: answers reliable beyond ratio `1 + mu_hat`.
+    Adversarial {
+        /// Estimated band parameter.
+        mu_hat: f64,
+    },
+    /// Flat noise: answers wrong at rate `p_hat` at every ratio.
+    Probabilistic {
+        /// Estimated per-query error probability.
+        p_hat: f64,
+    },
+}
+
+/// The full fit: per-ratio-bucket accuracies plus the model call.
+#[derive(Debug, Clone)]
+pub struct NoiseFit {
+    /// Lower edge of each ratio bucket (the last bucket is open-ended).
+    pub ratio_edges: Vec<f64>,
+    /// Measured accuracy per bucket (`None` = no mass in the sample).
+    pub bucket_accuracy: Vec<Option<f64>>,
+    /// Accuracy over the whole sample.
+    pub overall_accuracy: f64,
+    /// The fitted model.
+    pub model: FittedModel,
+}
+
+/// Accuracy a bucket must reach to count as "reliable" for the cliff fit.
+pub const RELIABLE_ACCURACY: f64 = 0.95;
+
+/// Fits the noise model from `budget` random validation quadruplets.
+///
+/// `metric` is the validation ground truth (the paper's curated sample);
+/// `oracle` is the noisy answerer under test.
+///
+/// # Panics
+/// Panics if the metric has fewer than 4 records or `budget == 0`.
+pub fn fit_noise<M: Metric, O: QuadrupletOracle>(
+    metric: &M,
+    oracle: &mut O,
+    budget: usize,
+    seed: u64,
+) -> NoiseFit {
+    let n = metric.len();
+    assert!(n >= 4, "validation set needs at least 4 records");
+    assert!(budget > 0, "need a positive query budget");
+
+    // Ratio buckets: [1, 1.05), [1.05, 1.1), ... [1.95, 2.0), [2.0, inf).
+    let ratio_edges: Vec<f64> = (0..21).map(|i| 1.0 + 0.05 * i as f64).collect();
+    let buckets = ratio_edges.len();
+    let mut hits = vec![0usize; buckets];
+    let mut total = vec![0usize; buckets];
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    let mut asked = 0usize;
+    while asked < budget {
+        let (a, b) = (rng.random_range(0..n), rng.random_range(0..n));
+        let (c, d) = (rng.random_range(0..n), rng.random_range(0..n));
+        if a == b || c == d || (a.min(b), a.max(b)) == (c.min(d), c.max(d)) {
+            continue;
+        }
+        let d1 = metric.dist(a, b);
+        let d2 = metric.dist(c, d);
+        if d1 <= 0.0 || d2 <= 0.0 {
+            continue;
+        }
+        asked += 1;
+        let rho = d1.max(d2) / d1.min(d2);
+        let bucket = ratio_edges
+            .iter()
+            .rposition(|&e| rho >= e)
+            .unwrap_or(0)
+            .min(buckets - 1);
+        total[bucket] += 1;
+        if oracle.le(a, b, c, d) == (d1 <= d2) {
+            hits[bucket] += 1;
+        }
+    }
+
+    let bucket_accuracy: Vec<Option<f64>> = (0..buckets)
+        .map(|i| (total[i] >= 10).then(|| hits[i] as f64 / total[i] as f64))
+        .collect();
+    let overall_accuracy =
+        hits.iter().sum::<usize>() as f64 / total.iter().sum::<usize>().max(1) as f64;
+
+    // Cliff fit: the smallest edge from which every populated bucket is
+    // reliable. The cliff must arrive before the open-ended bucket for the
+    // adversarial call; otherwise the noise persists at all ranges.
+    let mut cliff: Option<usize> = None;
+    for start in (0..buckets).rev() {
+        let all_reliable = (start..buckets)
+            .filter_map(|i| bucket_accuracy[i])
+            .all(|a| a >= RELIABLE_ACCURACY);
+        let populated = (start..buckets).any(|i| bucket_accuracy[i].is_some());
+        if all_reliable && populated {
+            cliff = Some(start);
+        } else {
+            break;
+        }
+    }
+    let model = match cliff {
+        Some(c) if c + 1 < buckets => FittedModel::Adversarial { mu_hat: ratio_edges[c] - 1.0 },
+        _ => FittedModel::Probabilistic { p_hat: 1.0 - overall_accuracy },
+    };
+
+    NoiseFit { ratio_edges, bucket_accuracy, overall_accuracy, model }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nco_metric::EuclideanMetric;
+    use nco_oracle::crowd::{AccuracyProfile, CrowdQuadOracle};
+    use nco_oracle::probabilistic::ProbQuadOracle;
+    use nco_oracle::TrueQuadOracle;
+
+    fn validation_metric() -> EuclideanMetric {
+        // A spread of distances producing ratios across all buckets.
+        EuclideanMetric::from_points(
+            &(0..80).map(|i| vec![1.02f64.powi(i)]).collect::<Vec<_>>(),
+        )
+    }
+
+    #[test]
+    fn perfect_oracle_fits_adversarial_with_zero_mu() {
+        let m = validation_metric();
+        let mut o = TrueQuadOracle::new(m.clone());
+        let fit = fit_noise(&m, &mut o, 4000, 1);
+        match fit.model {
+            FittedModel::Adversarial { mu_hat } => assert!(mu_hat <= 0.01, "mu_hat {mu_hat}"),
+            other => panic!("expected adversarial fit, got {other:?}"),
+        }
+        assert!(fit.overall_accuracy > 0.999);
+    }
+
+    #[test]
+    fn cliff_crowd_fits_adversarial_near_the_true_cliff() {
+        let m = validation_metric();
+        let mut o = CrowdQuadOracle::new(m.clone(), AccuracyProfile::caltech_like(), 3, 5);
+        let fit = fit_noise(&m, &mut o, 30_000, 2);
+        match fit.model {
+            FittedModel::Adversarial { mu_hat } => {
+                // True cliff at ratio 1.45 (mu = 0.45); majority voting pulls
+                // the reliable region a bit earlier.
+                assert!(
+                    (0.1..=0.5).contains(&mu_hat),
+                    "mu_hat {mu_hat} should sit near the 1.45 cliff"
+                );
+            }
+            other => panic!("expected adversarial fit, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn flat_crowd_fits_probabilistic_near_true_error_rate() {
+        let m = validation_metric();
+        let mut o = CrowdQuadOracle::new(m.clone(), AccuracyProfile::amazon_like(), 3, 7);
+        let fit = fit_noise(&m, &mut o, 30_000, 3);
+        match fit.model {
+            FittedModel::Probabilistic { p_hat } => {
+                // Majority-of-3 at single-worker accuracy 0.83 errs at
+                // ~0.078.
+                assert!((0.04..=0.13).contains(&p_hat), "p_hat {p_hat}");
+            }
+            other => panic!("expected probabilistic fit, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn persistent_probabilistic_oracle_fits_probabilistic() {
+        let m = validation_metric();
+        let mut o = ProbQuadOracle::new(m.clone(), 0.2, 9);
+        let fit = fit_noise(&m, &mut o, 30_000, 4);
+        match fit.model {
+            FittedModel::Probabilistic { p_hat } => {
+                assert!((0.15..=0.25).contains(&p_hat), "p_hat {p_hat}");
+            }
+            other => panic!("expected probabilistic fit, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bucket_shapes_are_well_formed() {
+        let m = validation_metric();
+        let mut o = TrueQuadOracle::new(m.clone());
+        let fit = fit_noise(&m, &mut o, 2000, 5);
+        assert_eq!(fit.ratio_edges.len(), fit.bucket_accuracy.len());
+        assert!(fit.ratio_edges.windows(2).all(|w| w[0] < w[1]));
+        for acc in fit.bucket_accuracy.iter().flatten() {
+            assert!((0.0..=1.0).contains(acc));
+        }
+    }
+}

@@ -1,0 +1,60 @@
+//! Ranks of returned elements in the true order — the quality measure of
+//! Theorems 3.7 / Lemma 8.9 ("rank(u, V) denotes the index of u in the
+//! non-increasing sorted order").
+
+/// 1-based rank of `chosen` in the **non-increasing** order of `values`
+/// (rank 1 = a true maximum). Ties resolve in `chosen`'s favour.
+///
+/// # Panics
+/// Panics if `chosen` is out of range.
+pub fn max_rank(values: &[f64], chosen: usize) -> usize {
+    let v = values[chosen];
+    values.iter().filter(|&&x| x > v).count() + 1
+}
+
+/// 1-based rank of `chosen` in the **non-decreasing** order of `values`
+/// (rank 1 = a true minimum). Ties resolve in `chosen`'s favour.
+pub fn min_rank(values: &[f64], chosen: usize) -> usize {
+    let v = values[chosen];
+    values.iter().filter(|&&x| x < v).count() + 1
+}
+
+/// Approximation ratio of a returned maximum: `max(values) / values[chosen]`
+/// (`>= 1`, exactly 1 when the true maximum was found).
+///
+/// # Panics
+/// Panics if the chosen value is not strictly positive.
+pub fn max_approx_ratio(values: &[f64], chosen: usize) -> f64 {
+    let best = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    assert!(values[chosen] > 0.0, "ratio needs positive values");
+    best / values[chosen]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranks_on_a_permutation() {
+        let values = [3.0, 9.0, 1.0, 7.0];
+        assert_eq!(max_rank(&values, 1), 1);
+        assert_eq!(max_rank(&values, 3), 2);
+        assert_eq!(max_rank(&values, 2), 4);
+        assert_eq!(min_rank(&values, 2), 1);
+        assert_eq!(min_rank(&values, 1), 4);
+    }
+
+    #[test]
+    fn ties_favor_the_chosen() {
+        let values = [5.0, 5.0, 5.0];
+        assert_eq!(max_rank(&values, 2), 1);
+        assert_eq!(min_rank(&values, 0), 1);
+    }
+
+    #[test]
+    fn approx_ratio() {
+        let values = [2.0, 8.0, 4.0];
+        assert_eq!(max_approx_ratio(&values, 1), 1.0);
+        assert_eq!(max_approx_ratio(&values, 0), 4.0);
+    }
+}

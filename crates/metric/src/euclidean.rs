@@ -1,0 +1,148 @@
+//! Dense Euclidean (L2) point sets.
+//!
+//! Used for the `cities` (2-D coordinates), `monuments` (clustered 2-D) and
+//! `dblp` (high-dimensional embedding) dataset analogues. Points are stored
+//! row-major in one flat allocation so distance evaluation is a tight loop
+//! over contiguous memory.
+
+use crate::Metric;
+
+/// A finite set of points in `R^dim` with the Euclidean distance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EuclideanMetric {
+    data: Vec<f64>,
+    dim: usize,
+    n: usize,
+}
+
+impl EuclideanMetric {
+    /// Builds a metric from row-major flat coordinates.
+    ///
+    /// # Panics
+    /// Panics if `dim == 0` or `data.len()` is not a multiple of `dim`, or if
+    /// any coordinate is non-finite.
+    pub fn from_flat(data: Vec<f64>, dim: usize) -> Self {
+        assert!(dim > 0, "dimension must be positive");
+        assert_eq!(
+            data.len() % dim,
+            0,
+            "data length {} is not a multiple of dim {}",
+            data.len(),
+            dim
+        );
+        assert!(
+            data.iter().all(|x| x.is_finite()),
+            "coordinates must be finite"
+        );
+        let n = data.len() / dim;
+        Self { data, dim, n }
+    }
+
+    /// Builds a metric from a list of points, all of the same dimension.
+    ///
+    /// # Panics
+    /// Panics if points are empty or have inconsistent dimensions.
+    pub fn from_points(points: &[Vec<f64>]) -> Self {
+        assert!(!points.is_empty(), "need at least one point");
+        let dim = points[0].len();
+        let mut data = Vec::with_capacity(points.len() * dim);
+        for p in points {
+            assert_eq!(p.len(), dim, "inconsistent point dimension");
+            data.extend_from_slice(p);
+        }
+        Self::from_flat(data, dim)
+    }
+
+    /// The dimension of the ambient space.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Coordinates of point `i`.
+    pub fn point(&self, i: usize) -> &[f64] {
+        &self.data[i * self.dim..(i + 1) * self.dim]
+    }
+
+    /// Squared Euclidean distance (cheaper when only comparisons are needed).
+    pub fn dist_sq(&self, i: usize, j: usize) -> f64 {
+        let a = self.point(i);
+        let b = self.point(j);
+        a.iter()
+            .zip(b)
+            .map(|(x, y)| {
+                let d = x - y;
+                d * d
+            })
+            .sum()
+    }
+}
+
+impl Metric for EuclideanMetric {
+    fn len(&self) -> usize {
+        self.n
+    }
+
+    fn dist(&self, i: usize, j: usize) -> f64 {
+        self.dist_sq(i, j).sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit_square() -> EuclideanMetric {
+        EuclideanMetric::from_points(&[
+            vec![0.0, 0.0],
+            vec![1.0, 0.0],
+            vec![0.0, 1.0],
+            vec![1.0, 1.0],
+        ])
+    }
+
+    #[test]
+    fn distances_match_geometry() {
+        let m = unit_square();
+        assert_eq!(m.len(), 4);
+        assert_eq!(m.dim(), 2);
+        assert!((m.dist(0, 1) - 1.0).abs() < 1e-12);
+        assert!((m.dist(0, 3) - 2f64.sqrt()).abs() < 1e-12);
+        assert_eq!(m.dist(2, 2), 0.0);
+    }
+
+    #[test]
+    fn symmetry_and_identity() {
+        let m = unit_square();
+        for i in 0..4 {
+            assert_eq!(m.dist(i, i), 0.0);
+            for j in 0..4 {
+                assert_eq!(m.dist(i, j), m.dist(j, i));
+            }
+        }
+    }
+
+    #[test]
+    fn from_flat_round_trips_points() {
+        let m = EuclideanMetric::from_flat(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], 3);
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.point(1), &[4.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a multiple")]
+    fn from_flat_rejects_ragged_data() {
+        let _ = EuclideanMetric::from_flat(vec![1.0, 2.0, 3.0], 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn from_flat_rejects_nan() {
+        let _ = EuclideanMetric::from_flat(vec![1.0, f64::NAN], 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "inconsistent")]
+    fn from_points_rejects_mixed_dims() {
+        let _ = EuclideanMetric::from_points(&[vec![0.0], vec![0.0, 1.0]]);
+    }
+}

@@ -1,0 +1,98 @@
+//! Deterministic 64-bit mixing used for persistent noise and per-pair jitter.
+//!
+//! The paper's probabilistic noise model is *persistent*: repeating a query
+//! must return the same answer (Section 2.2). Rather than memoising every
+//! query in a table, we derive each answer from a seeded hash of the
+//! canonicalised query — O(1) memory, bit-for-bit reproducible, and
+//! indistinguishable from a persistent random oracle for the algorithms under
+//! test. The same mixer drives the deterministic per-pair jitter of
+//! [`crate::TreeMetric`].
+//!
+//! The finaliser is splitmix64 (Steele et al., "Fast splittable pseudorandom
+//! number generators"), which passes BigCrush as a 64→64 bit mixer.
+
+/// splitmix64 finaliser: a high-quality 64→64 bit mixer.
+#[inline]
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Mixes a seed with a sequence of words into a single 64-bit digest.
+///
+/// Each word is absorbed through an extra splitmix64 round, so digests of
+/// different-length inputs or permuted inputs are unrelated.
+#[inline]
+pub fn mix(seed: u64, words: &[u64]) -> u64 {
+    let mut h = splitmix64(seed ^ 0x6a09_e667_f3bc_c909);
+    for &w in words {
+        h = splitmix64(h ^ w);
+    }
+    h
+}
+
+/// Maps a 64-bit digest to a uniform `f64` in `[0, 1)`.
+#[inline]
+pub fn unit_f64(h: u64) -> f64 {
+    // Use the top 53 bits for a dyadic uniform in [0, 1).
+    (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Uniform `f64` in `[0, 1)` derived from `seed` and `words`.
+#[inline]
+pub fn unit_from(seed: u64, words: &[u64]) -> f64 {
+    unit_f64(mix(seed, words))
+}
+
+/// A deterministic Bernoulli draw: `true` with probability `p`.
+#[inline]
+pub fn bernoulli(seed: u64, words: &[u64], p: f64) -> bool {
+    unit_from(seed, words) < p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_known_values_are_stable() {
+        // Pin the mixer so persisted-noise experiments stay reproducible
+        // across refactors.
+        assert_eq!(splitmix64(0), 0xe220_a839_7b1d_cdaf);
+        assert_eq!(splitmix64(1), 0x910a_2dec_8902_5cc1);
+    }
+
+    #[test]
+    fn mix_is_order_sensitive() {
+        assert_ne!(mix(7, &[1, 2]), mix(7, &[2, 1]));
+        assert_ne!(mix(7, &[1, 2]), mix(8, &[1, 2]));
+        assert_ne!(mix(7, &[1]), mix(7, &[1, 0]));
+    }
+
+    #[test]
+    fn unit_is_in_range_and_deterministic() {
+        for i in 0..1000u64 {
+            let u = unit_from(42, &[i]);
+            assert!((0.0..1.0).contains(&u));
+            assert_eq!(u, unit_from(42, &[i]));
+        }
+    }
+
+    #[test]
+    fn unit_looks_uniform() {
+        // Coarse uniformity check: mean of 100k draws within 1% of 0.5.
+        let n = 100_000u64;
+        let mean: f64 = (0..n).map(|i| unit_from(9, &[i])).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean was {mean}");
+    }
+
+    #[test]
+    fn bernoulli_rate_matches_p() {
+        let n = 100_000u64;
+        let hits = (0..n).filter(|&i| bernoulli(3, &[i], 0.3)).count();
+        let rate = hits as f64 / n as f64;
+        assert!((rate - 0.3).abs() < 0.01, "rate was {rate}");
+    }
+}

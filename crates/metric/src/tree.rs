@@ -1,0 +1,271 @@
+//! Category-hierarchy metrics (jittered ultrametrics).
+//!
+//! The paper derives ground-truth distances for `caltech` from the
+//! Caltech-256 hierarchical categorization and for `amazon` from Amazon's
+//! catalog hierarchy: two records are closer the deeper their lowest common
+//! ancestor (LCA) sits in the category tree. We model this directly: every
+//! record carries a root-to-leaf category path, and the distance between two
+//! records is a per-level base distance (strictly decreasing with LCA depth)
+//! plus a small deterministic per-pair jitter that breaks ties without
+//! breaking the metric axioms.
+//!
+//! ## Why the jittered ultrametric is still a metric
+//!
+//! The base distance `b(i, j) = level_dist[lca_depth(i, j)]` is an
+//! ultrametric (`b(x,z) <= max(b(x,y), b(y,z))` because
+//! `lca(x,z) >= min(lca(x,y), lca(y,z))` in depth). The jitter is drawn from
+//! `[eps/2, eps]`, so for any triangle
+//! `d(x,z) = b(x,z) + j(x,z) <= max(b) + eps <= b(x,y) + b(y,z) + j(x,y) +
+//! j(y,z) = d(x,y) + d(y,z)` — the *weak* triangle inequality always holds.
+//! Requiring `eps` smaller than the smallest gap between consecutive level
+//! distances additionally preserves the hierarchy semantics (deeper LCA ⇒
+//! strictly smaller distance).
+
+use crate::hashing;
+use crate::Metric;
+
+/// Incremental builder for [`TreeMetric`].
+#[derive(Debug, Clone)]
+pub struct TreeMetricBuilder {
+    level_dist: Vec<f64>,
+    jitter: f64,
+    seed: u64,
+    paths: Vec<u16>,
+    offsets: Vec<u32>,
+}
+
+impl TreeMetricBuilder {
+    /// Starts a builder with the per-LCA-depth base distances.
+    ///
+    /// `level_dist[d]` is the base distance between two records whose LCA has
+    /// depth `d` (`d = 0` means they already differ at the root). The final
+    /// entry is the intra-leaf-category distance.
+    ///
+    /// # Panics
+    /// Panics unless the distances are finite, strictly decreasing and
+    /// strictly positive.
+    pub fn new(level_dist: Vec<f64>) -> Self {
+        assert!(!level_dist.is_empty(), "need at least one level distance");
+        assert!(
+            level_dist.iter().all(|d| d.is_finite() && *d > 0.0),
+            "level distances must be positive and finite"
+        );
+        assert!(
+            level_dist.windows(2).all(|w| w[0] > w[1]),
+            "level distances must be strictly decreasing with depth"
+        );
+        Self {
+            level_dist,
+            jitter: 0.0,
+            seed: 0,
+            paths: Vec::new(),
+            offsets: vec![0],
+        }
+    }
+
+    /// Sets the per-pair jitter amplitude `eps` (absolute, added to the base).
+    ///
+    /// # Panics
+    /// Panics if `eps` is negative or at least the smallest gap between
+    /// consecutive level distances (which would scramble the hierarchy).
+    pub fn jitter(mut self, eps: f64) -> Self {
+        assert!(eps >= 0.0 && eps.is_finite());
+        let min_gap = self
+            .level_dist
+            .windows(2)
+            .map(|w| w[0] - w[1])
+            .fold(f64::INFINITY, f64::min);
+        assert!(
+            eps < min_gap || self.level_dist.len() == 1,
+            "jitter {eps} must stay below the smallest level gap {min_gap}"
+        );
+        self.jitter = eps;
+        self
+    }
+
+    /// Seeds the deterministic jitter.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Adds a record with the given root-to-leaf category path and returns
+    /// its index.
+    ///
+    /// # Panics
+    /// Panics if the path is longer than the configured level distances
+    /// (there would be no distance for its deepest LCA).
+    pub fn record(&mut self, path: &[u16]) -> usize {
+        assert!(
+            path.len() < self.level_dist.len(),
+            "path depth {} needs level_dist of length > {}",
+            path.len(),
+            path.len()
+        );
+        self.paths.extend_from_slice(path);
+        self.offsets.push(self.paths.len() as u32);
+        self.offsets.len() - 2
+    }
+
+    /// Finalises the metric.
+    pub fn build(self) -> TreeMetric {
+        TreeMetric {
+            level_dist: self.level_dist,
+            jitter: self.jitter,
+            seed: self.seed,
+            paths: self.paths,
+            offsets: self.offsets,
+        }
+    }
+}
+
+/// A jittered ultrametric over leaves of a category hierarchy.
+#[derive(Debug, Clone)]
+pub struct TreeMetric {
+    level_dist: Vec<f64>,
+    jitter: f64,
+    seed: u64,
+    paths: Vec<u16>,
+    offsets: Vec<u32>,
+}
+
+impl TreeMetric {
+    /// The category path of record `i`.
+    pub fn path(&self, i: usize) -> &[u16] {
+        let lo = self.offsets[i] as usize;
+        let hi = self.offsets[i + 1] as usize;
+        &self.paths[lo..hi]
+    }
+
+    /// Depth of the lowest common ancestor of records `i` and `j`
+    /// (the length of their common path prefix).
+    pub fn lca_depth(&self, i: usize, j: usize) -> usize {
+        self.path(i)
+            .iter()
+            .zip(self.path(j))
+            .take_while(|(a, b)| a == b)
+            .count()
+    }
+
+    /// The top-level category (first path component) of record `i`.
+    pub fn root_category(&self, i: usize) -> u16 {
+        self.path(i)[0]
+    }
+}
+
+impl Metric for TreeMetric {
+    fn len(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    fn dist(&self, i: usize, j: usize) -> f64 {
+        if i == j {
+            return 0.0;
+        }
+        let depth = self.lca_depth(i, j).min(self.level_dist.len() - 1);
+        let base = self.level_dist[depth];
+        if self.jitter == 0.0 {
+            return base;
+        }
+        let (a, b) = if i < j { (i, j) } else { (j, i) };
+        // Jitter in [eps/2, eps] keeps the weak triangle inequality (see
+        // module docs) and never reorders levels.
+        let u = hashing::unit_from(self.seed, &[a as u64, b as u64]);
+        base + self.jitter * (0.5 + 0.5 * u)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn two_level_tree() -> TreeMetric {
+        // 2 top categories x 2 subcategories x 2 records.
+        let mut b = TreeMetricBuilder::new(vec![10.0, 4.0, 1.0]).jitter(0.5).seed(7);
+        for top in 0..2u16 {
+            for sub in 0..2u16 {
+                for _ in 0..2 {
+                    b.record(&[top, sub]);
+                }
+            }
+        }
+        b.build()
+    }
+
+    #[test]
+    fn depth_ordering_is_respected() {
+        let m = two_level_tree();
+        // Same leaf category (records 0,1) < same top category (0,2) <
+        // different top category (0,4).
+        assert!(m.dist(0, 1) < m.dist(0, 2));
+        assert!(m.dist(0, 2) < m.dist(0, 4));
+        assert_eq!(m.lca_depth(0, 1), 2);
+        assert_eq!(m.lca_depth(0, 2), 1);
+        assert_eq!(m.lca_depth(0, 4), 0);
+    }
+
+    #[test]
+    fn jitter_stays_in_band_and_is_symmetric() {
+        let m = two_level_tree();
+        for i in 0..m.len() {
+            for j in 0..m.len() {
+                assert_eq!(m.dist(i, j), m.dist(j, i));
+                if i != j {
+                    let base = m.level_dist[m.lca_depth(i, j).min(2)];
+                    let d = m.dist(i, j);
+                    assert!(d >= base + 0.25 && d <= base + 0.5, "d = {d}, base = {base}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn root_category_reads_first_component() {
+        let m = two_level_tree();
+        assert_eq!(m.root_category(0), 0);
+        assert_eq!(m.root_category(7), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly decreasing")]
+    fn builder_rejects_non_decreasing_levels() {
+        let _ = TreeMetricBuilder::new(vec![1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "smallest level gap")]
+    fn builder_rejects_oversized_jitter() {
+        let _ = TreeMetricBuilder::new(vec![2.0, 1.0]).jitter(1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "path depth")]
+    fn builder_rejects_too_deep_paths() {
+        let mut b = TreeMetricBuilder::new(vec![2.0, 1.0]);
+        b.record(&[0, 1]);
+    }
+
+    proptest! {
+        #[test]
+        fn triangle_inequality_holds(
+            paths in proptest::collection::vec(
+                proptest::collection::vec(0u16..3, 2), 3..24),
+            seed in any::<u64>(),
+        ) {
+            let mut b = TreeMetricBuilder::new(vec![9.0, 3.0, 1.0]).jitter(0.9).seed(seed);
+            for p in &paths {
+                b.record(p);
+            }
+            let m = b.build();
+            let n = m.len();
+            for x in 0..n {
+                for y in 0..n {
+                    for z in 0..n {
+                        prop_assert!(m.dist(x, z) <= m.dist(x, y) + m.dist(y, z) + 1e-12);
+                    }
+                }
+            }
+        }
+    }
+}

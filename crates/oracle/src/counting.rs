@@ -1,0 +1,98 @@
+//! Query metering — every reported query complexity flows through here.
+
+use crate::{ComparisonOracle, QuadrupletOracle};
+
+/// Wraps any oracle and counts the queries issued through it.
+///
+/// The paper's central cost measure is *query complexity* (each oracle call
+/// is a human/classifier invocation); wrap the oracle once and read
+/// [`Counting::queries`] after an algorithm finishes.
+#[derive(Debug, Clone)]
+pub struct Counting<O> {
+    inner: O,
+    count: u64,
+}
+
+impl<O> Counting<O> {
+    /// Wraps an oracle with a zeroed counter.
+    pub fn new(inner: O) -> Self {
+        Self { inner, count: 0 }
+    }
+
+    /// Queries issued so far.
+    pub fn queries(&self) -> u64 {
+        self.count
+    }
+
+    /// Resets the counter (e.g. between experiment repetitions).
+    pub fn reset(&mut self) {
+        self.count = 0;
+    }
+
+    /// Immutable access to the wrapped oracle.
+    pub fn inner(&self) -> &O {
+        &self.inner
+    }
+
+    /// Mutable access to the wrapped oracle (does not count as a query).
+    pub fn inner_mut(&mut self) -> &mut O {
+        &mut self.inner
+    }
+
+    /// Unwraps the oracle.
+    pub fn into_inner(self) -> O {
+        self.inner
+    }
+}
+
+impl<O: ComparisonOracle> ComparisonOracle for Counting<O> {
+    fn n(&self) -> usize {
+        self.inner.n()
+    }
+
+    fn le(&mut self, i: usize, j: usize) -> bool {
+        self.count += 1;
+        self.inner.le(i, j)
+    }
+}
+
+impl<O: QuadrupletOracle> QuadrupletOracle for Counting<O> {
+    fn n(&self) -> usize {
+        self.inner.n()
+    }
+
+    fn le(&mut self, a: usize, b: usize, c: usize, d: usize) -> bool {
+        self.count += 1;
+        self.inner.le(a, b, c, d)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{TrueQuadOracle, TrueValueOracle};
+    use nco_metric::EuclideanMetric;
+
+    #[test]
+    fn counts_comparison_queries() {
+        let mut o = Counting::new(TrueValueOracle::new(vec![1.0, 2.0, 3.0]));
+        assert_eq!(o.queries(), 0);
+        let _ = o.le(0, 1);
+        let _ = o.le(1, 2);
+        assert_eq!(o.queries(), 2);
+        o.reset();
+        assert_eq!(o.queries(), 0);
+        assert_eq!(o.n(), 3);
+    }
+
+    #[test]
+    fn counts_quadruplet_queries_and_unwraps() {
+        let m = EuclideanMetric::from_points(&[vec![0.0], vec![1.0], vec![2.0]]);
+        let mut o = Counting::new(TrueQuadOracle::new(m));
+        let _ = o.le(0, 1, 0, 2);
+        assert_eq!(o.queries(), 1);
+        assert_eq!(o.inner().n(), 3);
+        let inner = o.into_inner();
+        assert_eq!(inner.n(), 3);
+    }
+}

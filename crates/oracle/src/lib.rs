@@ -1,0 +1,101 @@
+//! # nco-oracle — noisy comparison and quadruplet oracles
+//!
+//! This crate implements the oracle substrate of *How to Design Robust
+//! Algorithms using Noisy Comparison Oracle* (VLDB 2021): the only interface
+//! through which the paper's algorithms may touch the ground truth.
+//!
+//! Two query interfaces (Definitions 2.1 and 2.3 of the paper):
+//!
+//! * [`ComparisonOracle`] — `le(i, j)` answers *"is value(i) <= value(j)?"*
+//!   over records with hidden scalar values;
+//! * [`QuadrupletOracle`] — `le(a, b, c, d)` answers *"is d(a,b) <= d(c,d)?"*
+//!   over records in a hidden metric space.
+//!
+//! Three noise regimes (Section 2.2), each available for both interfaces:
+//!
+//! * **exact** ([`value::TrueValueOracle`], [`quadruplet::TrueQuadOracle`]) —
+//!   always correct; the `mu = 0` / `p = 0` degenerate case;
+//! * **adversarial** ([`adversarial`]) — answers may be arbitrarily wrong
+//!   whenever the two compared quantities are within a multiplicative
+//!   `(1 + mu)` band (an additive-band variant lives in [`additive`]); the
+//!   in-band behaviour is delegated to a pluggable, possibly stateful
+//!   [`adversarial::Adversary`] strategy;
+//! * **probabilistic persistent** ([`probabilistic`]) — each distinct query
+//!   is wrong with probability `p < 1/2`, and *re-asking it returns the same
+//!   answer*, so repetition cannot boost confidence.
+//!
+//! [`crowd`] simulates the paper's AMT user study (Section 6.2): worker
+//! accuracy is a function of the ratio between the compared distances, and a
+//! majority over three persistent workers answers each query. It also stands
+//! in for the actively-trained classifier the paper uses at scale.
+//! [`cluster_query`] provides the noisy *optimal cluster* ("same cluster?")
+//! pairwise oracle used by the `Oq` baseline, and [`counting`] wraps any
+//! oracle to meter query complexity.
+
+pub mod additive;
+pub mod adversarial;
+pub mod cluster_query;
+pub mod counting;
+pub mod crowd;
+pub mod probabilistic;
+pub mod quadruplet;
+pub mod value;
+
+pub use counting::Counting;
+pub use quadruplet::TrueQuadOracle;
+pub use value::TrueValueOracle;
+
+/// A (possibly noisy) comparison oracle over records with hidden values
+/// (Definition 2.1).
+pub trait ComparisonOracle {
+    /// Number of records the oracle knows about.
+    fn n(&self) -> usize;
+
+    /// Answers *"is value(i) <= value(j)?"* — `true` encodes the paper's
+    /// `Yes`. Answers may be noisy; for persistent models, identical queries
+    /// always return identical answers.
+    fn le(&mut self, i: usize, j: usize) -> bool;
+}
+
+/// A (possibly noisy) quadruplet oracle over records in a hidden metric
+/// space (Definition 2.3).
+pub trait QuadrupletOracle {
+    /// Number of records the oracle knows about.
+    fn n(&self) -> usize;
+
+    /// Answers *"is d(a,b) <= d(c,d)?"* — `true` encodes the paper's `Yes`.
+    fn le(&mut self, a: usize, b: usize, c: usize, d: usize) -> bool;
+}
+
+impl<O: ComparisonOracle + ?Sized> ComparisonOracle for &mut O {
+    fn n(&self) -> usize {
+        (**self).n()
+    }
+    fn le(&mut self, i: usize, j: usize) -> bool {
+        (**self).le(i, j)
+    }
+}
+
+impl<O: QuadrupletOracle + ?Sized> QuadrupletOracle for &mut O {
+    fn n(&self) -> usize {
+        (**self).n()
+    }
+    fn le(&mut self, a: usize, b: usize, c: usize, d: usize) -> bool {
+        (**self).le(a, b, c, d)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mutable_reference_forwarding() {
+        let mut o = TrueValueOracle::new(vec![1.0, 2.0]);
+        fn takes_oracle<O: ComparisonOracle>(o: &mut O) -> bool {
+            o.le(0, 1)
+        }
+        assert!(takes_oracle(&mut &mut o));
+        assert_eq!(o.n(), 2);
+    }
+}

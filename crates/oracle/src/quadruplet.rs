@@ -1,0 +1,54 @@
+//! The exact quadruplet oracle over a hidden metric space.
+
+use crate::QuadrupletOracle;
+use nco_metric::Metric;
+
+/// A perfect quadruplet oracle: compares true pairwise distances.
+#[derive(Debug, Clone)]
+pub struct TrueQuadOracle<M> {
+    metric: M,
+}
+
+impl<M: Metric> TrueQuadOracle<M> {
+    /// Builds an oracle over the given hidden metric.
+    pub fn new(metric: M) -> Self {
+        Self { metric }
+    }
+
+    /// The hidden metric (for evaluators and tests only).
+    pub fn metric(&self) -> &M {
+        &self.metric
+    }
+
+    /// Consumes the oracle, returning the metric.
+    pub fn into_metric(self) -> M {
+        self.metric
+    }
+}
+
+impl<M: Metric> QuadrupletOracle for TrueQuadOracle<M> {
+    fn n(&self) -> usize {
+        self.metric.len()
+    }
+
+    fn le(&mut self, a: usize, b: usize, c: usize, d: usize) -> bool {
+        self.metric.dist(a, b) <= self.metric.dist(c, d)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nco_metric::EuclideanMetric;
+
+    #[test]
+    fn compares_true_distances() {
+        let m = EuclideanMetric::from_points(&[vec![0.0], vec![1.0], vec![5.0]]);
+        let mut o = TrueQuadOracle::new(m);
+        assert_eq!(o.n(), 3);
+        assert!(o.le(0, 1, 0, 2)); // 1 <= 5
+        assert!(!o.le(0, 2, 1, 2)); // 5 > 4
+        assert!(o.le(1, 0, 0, 1)); // symmetric pairs tie -> Yes
+        assert_eq!(o.metric().len(), 3);
+    }
+}

@@ -1,0 +1,60 @@
+//! Noise-model estimation on a validation sample — the Section 6 workflow
+//! that decides which algorithm variant to run on a new dataset:
+//! measure crowd accuracy per distance-ratio bucket, then fit either the
+//! adversarial model (sharp cliff, estimate `mu`) or the probabilistic
+//! model (flat noise, estimate `p`).
+//!
+//! Run with `cargo run --release --example noise_estimation`.
+
+use noisy_oracle::data::{amazon, caltech};
+use noisy_oracle::eval::noise_fit::{fit_noise, FittedModel};
+use noisy_oracle::eval::Table;
+use noisy_oracle::oracle::crowd::{AccuracyProfile, CrowdQuadOracle};
+
+fn main() {
+    let mut table = Table::new(
+        "noise-model fits from 20k validation quadruplets (3-worker crowd)",
+        &["dataset", "overall accuracy", "fitted model", "recommended algorithms"],
+    );
+
+    // caltech-like validation sample: sharp accuracy cliff (Fig. 4a).
+    let d = caltech(300, 3);
+    let mut crowd = CrowdQuadOracle::new(&d.metric, AccuracyProfile::caltech_like(), 3, 1);
+    let fit = fit_noise(&d.metric, &mut crowd, 20_000, 7);
+    table.row(&[
+        "caltech".into(),
+        format!("{:.3}", fit.overall_accuracy),
+        describe(&fit.model),
+        recommend(&fit.model),
+    ]);
+
+    // amazon-like validation sample: persistent noise at all ranges
+    // (Fig. 4b).
+    let d = amazon(300, 3);
+    let mut crowd = CrowdQuadOracle::new(&d.metric, AccuracyProfile::amazon_like(), 3, 2);
+    let fit = fit_noise(&d.metric, &mut crowd, 20_000, 8);
+    table.row(&[
+        "amazon".into(),
+        format!("{:.3}", fit.overall_accuracy),
+        describe(&fit.model),
+        recommend(&fit.model),
+    ]);
+
+    println!("{table}");
+    println!("paper (§6.2.1/§6.3): caltech's decline past ratio 1.45 selects the adversarial");
+    println!("algorithms; amazon's range-independent noise selects the probabilistic ones.");
+}
+
+fn describe(model: &FittedModel) -> String {
+    match model {
+        FittedModel::Adversarial { mu_hat } => format!("adversarial (mu_hat = {mu_hat:.2})"),
+        FittedModel::Probabilistic { p_hat } => format!("probabilistic (p_hat = {p_hat:.2})"),
+    }
+}
+
+fn recommend(model: &FittedModel) -> String {
+    match model {
+        FittedModel::Adversarial { .. } => "Max-Adv / kC_a / HC_a".into(),
+        FittedModel::Probabilistic { .. } => "Count-Max-Prob / kC_p / Far_p".into(),
+    }
+}

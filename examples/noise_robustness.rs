@@ -1,0 +1,123 @@
+//! Robustness sweep: how farthest-point quality degrades with the noise
+//! level, under both noise models — a miniature of Figures 8 and 9.
+//!
+//! Run with `cargo run --release --example noise_robustness`.
+
+use noisy_oracle::core::maxfind::AdvParams;
+use noisy_oracle::core::neighbor::baselines::{farthest_samp, farthest_tour2};
+use noisy_oracle::core::neighbor::{farthest_adv, farthest_prob};
+use noisy_oracle::data::cities;
+use noisy_oracle::eval::{run_reps, Table};
+use noisy_oracle::metric::stats::exact_farthest;
+use noisy_oracle::metric::Metric;
+use noisy_oracle::oracle::adversarial::{AdversarialQuadOracle, PersistentRandomAdversary};
+use noisy_oracle::oracle::probabilistic::ProbQuadOracle;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let n = 600usize;
+    let reps = 10usize;
+    let dataset = cities(n, 5);
+    let metric = &dataset.metric;
+    let q = 0usize;
+    let (_, d_opt) = exact_farthest(metric, q, 0..n).unwrap();
+    println!("cities analogue, n = {n}: true farthest distance from record {q} is {d_opt:.1}\n");
+
+    let mut table = Table::new(
+        "farthest-point distance vs. adversarial noise (mean over reps; optimum = 1.0)",
+        &["mu", "Far (ours)", "Tour2", "Samp"],
+    );
+    for mu in [0.0, 0.5, 1.0, 2.0] {
+        let ours = run_reps(reps, 40, |seed| {
+            let mut o = AdversarialQuadOracle::new(
+                metric,
+                mu,
+                PersistentRandomAdversary::new(seed),
+            );
+            let mut rng = StdRng::seed_from_u64(seed);
+            let got = farthest_adv(&mut o, q, &AdvParams::experimental(), &mut rng).unwrap();
+            noisy_oracle::eval::experiment::RepOutcome {
+                value: metric.dist(q, got) / d_opt,
+                queries: 0,
+            }
+        });
+        let tour2 = run_reps(reps, 40, |seed| {
+            let mut o = AdversarialQuadOracle::new(
+                metric,
+                mu,
+                PersistentRandomAdversary::new(seed),
+            );
+            let mut rng = StdRng::seed_from_u64(seed);
+            let got = farthest_tour2(&mut o, q, &mut rng).unwrap();
+            noisy_oracle::eval::experiment::RepOutcome {
+                value: metric.dist(q, got) / d_opt,
+                queries: 0,
+            }
+        });
+        let samp = run_reps(reps, 40, |seed| {
+            let mut o = AdversarialQuadOracle::new(
+                metric,
+                mu,
+                PersistentRandomAdversary::new(seed),
+            );
+            let mut rng = StdRng::seed_from_u64(seed);
+            let got = farthest_samp(&mut o, q, &mut rng).unwrap();
+            noisy_oracle::eval::experiment::RepOutcome {
+                value: metric.dist(q, got) / d_opt,
+                queries: 0,
+            }
+        });
+        table.row(&[
+            format!("{mu:.1}"),
+            format!("{:.3}", ours.value.mean),
+            format!("{:.3}", tour2.value.mean),
+            format!("{:.3}", samp.value.mean),
+        ]);
+    }
+    println!("{table}");
+
+    let mut table = Table::new(
+        "farthest-point distance vs. probabilistic noise (optimum = 1.0)",
+        &["p", "Far_p (ours)", "Tour2", "Samp"],
+    );
+    for p in [0.0, 0.1, 0.3] {
+        let ours = run_reps(reps, 70, |seed| {
+            let mut o = ProbQuadOracle::new(metric, p, seed);
+            let mut rng = StdRng::seed_from_u64(seed);
+            let got =
+                farthest_prob(&mut o, q, 0.1, &AdvParams::experimental(), &mut rng).unwrap();
+            noisy_oracle::eval::experiment::RepOutcome {
+                value: metric.dist(q, got) / d_opt,
+                queries: 0,
+            }
+        });
+        let tour2 = run_reps(reps, 70, |seed| {
+            let mut o = ProbQuadOracle::new(metric, p, seed);
+            let mut rng = StdRng::seed_from_u64(seed);
+            let got = farthest_tour2(&mut o, q, &mut rng).unwrap();
+            noisy_oracle::eval::experiment::RepOutcome {
+                value: metric.dist(q, got) / d_opt,
+                queries: 0,
+            }
+        });
+        let samp = run_reps(reps, 70, |seed| {
+            let mut o = ProbQuadOracle::new(metric, p, seed);
+            let mut rng = StdRng::seed_from_u64(seed);
+            let got = farthest_samp(&mut o, q, &mut rng).unwrap();
+            noisy_oracle::eval::experiment::RepOutcome {
+                value: metric.dist(q, got) / d_opt,
+                queries: 0,
+            }
+        });
+        table.row(&[
+            format!("{p:.1}"),
+            format!("{:.3}", ours.value.mean),
+            format!("{:.3}", tour2.value.mean),
+            format!("{:.3}", samp.value.mean),
+        ]);
+    }
+    println!("{table}");
+    println!("expected shape (paper Figs. 8–9): ours stays near 1.0 at every noise level;");
+    println!("Tour2 matches at low noise and degrades; Samp misses the skewed optimum.");
+}

@@ -1,0 +1,48 @@
+//! # noisy-oracle — facade crate
+//!
+//! A production-quality Rust reproduction of *How to Design Robust Algorithms
+//! using Noisy Comparison Oracle* (Addanki, Galhotra, Saha — PVLDB 14(9),
+//! 2021). This crate re-exports the whole workspace behind one dependency:
+//!
+//! * [`oracle`] — comparison/quadruplet oracles and the adversarial,
+//!   probabilistic (persistent) and crowd noise models;
+//! * [`metric`] — the hidden metric spaces the oracles compare over;
+//! * [`data`] — seeded synthetic analogues of the paper's five datasets;
+//! * [`core`] — the paper's algorithms: robust maximum/minimum, farthest and
+//!   nearest neighbour, k-center clustering, agglomerative hierarchical
+//!   clustering, and all evaluation baselines;
+//! * [`eval`] — pair-counting F-score, k-center objective, rank metrics and
+//!   the experiment harness used by the benchmark suite.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use noisy_oracle::core::maxfind::{count_max, max_adv, AdvParams};
+//! use noisy_oracle::core::comparator::ValueCmp;
+//! use noisy_oracle::oracle::adversarial::{AdversarialValueOracle, InvertAdversary};
+//! use rand::SeedableRng;
+//!
+//! // Hidden values; the algorithm only sees noisy comparisons.
+//! let values: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+//! let mut oracle = AdversarialValueOracle::new(values, 0.5, InvertAdversary);
+//! let items: Vec<usize> = (0..100).collect();
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+//! let best = max_adv(
+//!     &items,
+//!     &AdvParams::with_confidence(0.05),
+//!     &mut ValueCmp::new(&mut oracle),
+//!     &mut rng,
+//! )
+//! .unwrap();
+//!
+//! // Theorem 3.6: within (1 + mu)^3 of the true maximum (here w.h.p.).
+//! assert!(best as f64 + 1.0 >= 100.0 / 1.5f64.powi(3));
+//! # let _ = count_max(&items, &mut ValueCmp::new(&mut oracle));
+//! ```
+
+pub use nco_core as core;
+pub use nco_data as data;
+pub use nco_eval as eval;
+pub use nco_metric as metric;
+pub use nco_oracle as oracle;

@@ -1,0 +1,137 @@
+//! Cross-crate integration: the simulated user study (Section 6.2) —
+//! bucketised crowd accuracy (Figure 4's heatmap input) and the
+//! noise-model identification the paper performs on top of it.
+
+use noisy_oracle::data::{amazon, caltech};
+use noisy_oracle::metric::stats::Buckets;
+use noisy_oracle::metric::Metric;
+use noisy_oracle::oracle::crowd::{AccuracyProfile, CrowdQuadOracle};
+use noisy_oracle::oracle::QuadrupletOracle;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Measures the crowd accuracy matrix over distance-bucket pairs, exactly
+/// like the Figure 4 harness.
+fn accuracy_matrix<M: Metric + Clone>(
+    metric: &M,
+    profile: AccuracyProfile,
+    buckets: usize,
+    queries_per_cell: usize,
+    seed: u64,
+) -> Vec<Vec<Option<f64>>> {
+    let n = metric.len();
+    let diameter = noisy_oracle::metric::stats::diameter(metric);
+    let b = Buckets::equal_width(diameter, buckets);
+    let mut crowd = CrowdQuadOracle::new(metric.clone(), profile, 3, seed);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xf19);
+
+    let mut hits = vec![vec![0usize; buckets]; buckets];
+    let mut total = vec![vec![0usize; buckets]; buckets];
+    let mut attempts = 0usize;
+    while attempts < queries_per_cell * buckets * buckets * 4 {
+        attempts += 1;
+        let (a, b1, c, d) = (
+            rng.random_range(0..n),
+            rng.random_range(0..n),
+            rng.random_range(0..n),
+            rng.random_range(0..n),
+        );
+        if a == b1 || c == d || (a.min(b1), a.max(b1)) == (c.min(d), c.max(d)) {
+            continue;
+        }
+        let d1 = metric.dist(a, b1);
+        let d2 = metric.dist(c, d);
+        let (i, j) = (b.index_of(d1), b.index_of(d2));
+        if total[i][j] >= queries_per_cell {
+            continue;
+        }
+        total[i][j] += 1;
+        let truth = d1 <= d2;
+        if crowd.le(a, b1, c, d) == truth {
+            hits[i][j] += 1;
+        }
+    }
+    (0..buckets)
+        .map(|i| {
+            (0..buckets)
+                .map(|j| {
+                    if total[i][j] < queries_per_cell / 2 {
+                        None
+                    } else {
+                        Some(hits[i][j] as f64 / total[i][j] as f64)
+                    }
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Cells whose bucket indices are at least two apart (well-separated
+/// distance ranges).
+fn separated_cells(m: &[Vec<Option<f64>>]) -> Vec<Option<f64>> {
+    m.iter()
+        .enumerate()
+        .flat_map(|(i, row)| {
+            row.iter().enumerate().filter(move |(j, _)| i.abs_diff(*j) >= 2).map(|(_, c)| *c)
+        })
+        .collect()
+}
+
+fn mean_of(cells: &[Option<f64>]) -> Option<f64> {
+    let xs: Vec<f64> = cells.iter().flatten().copied().collect();
+    if xs.is_empty() {
+        None
+    } else {
+        Some(xs.iter().sum::<f64>() / xs.len() as f64)
+    }
+}
+
+#[test]
+fn figure_4a_caltech_diagonal_is_noisy_off_diagonal_is_clean() {
+    let d = caltech(240, 3);
+    let m = accuracy_matrix(&d.metric, AccuracyProfile::caltech_like(), 6, 40, 7);
+    // Diagonal cells (same bucket => comparable distances) are noisy...
+    let diag: Vec<Option<f64>> = (0..6).map(|i| m[i][i]).collect();
+    let diag_mean = mean_of(&diag).expect("diagonal populated");
+    assert!(diag_mean < 0.85, "diagonal accuracy {diag_mean:.3} should be noisy");
+    // ...while well-separated bucket pairs are answered near-perfectly
+    // (the sharp cliff the paper reads as the adversarial model).
+    let far_cells = separated_cells(&m);
+    let far_mean = mean_of(&far_cells).expect("off-diagonal populated");
+    assert!(far_mean > 0.95, "off-diagonal accuracy {far_mean:.3} should be clean");
+}
+
+#[test]
+fn figure_4b_amazon_noise_persists_at_all_ranges() {
+    let d = amazon(240, 3);
+    let m = accuracy_matrix(&d.metric, AccuracyProfile::amazon_like(), 6, 150, 9);
+    let mut all = Vec::new();
+    for row in &m {
+        all.extend(row.iter().copied());
+    }
+    let overall = mean_of(&all).unwrap();
+    // Average accuracy above 0.8 (paper: "more than 0.83") but *no* clean
+    // region: even separated buckets stay below 0.95.
+    assert!(overall > 0.75, "overall accuracy {overall:.3}");
+    let far_cells = separated_cells(&m);
+    let far_mean = mean_of(&far_cells).unwrap();
+    // Majority-of-3 over flat 0.83 accuracy is ~0.92 at *every* range — the
+    // signature of the probabilistic model (vs. caltech's ~1.0 beyond the
+    // cliff).
+    assert!(
+        far_mean < 0.97,
+        "amazon must stay noisy at all ranges, got {far_mean:.3} off-diagonal"
+    );
+}
+
+#[test]
+fn noise_model_identification_matches_the_paper() {
+    // The paper's §6.3 rule: sharp cliff => adversarial algorithms;
+    // flat noise => probabilistic algorithms. Verify the two profiles are
+    // distinguishable by the same statistic it uses (accuracy beyond the
+    // 1.45 ratio cliff).
+    let caltech_beyond = AccuracyProfile::caltech_like().accuracy(2.0);
+    let amazon_beyond = AccuracyProfile::amazon_like().accuracy(2.0);
+    assert!(caltech_beyond > 0.99);
+    assert!(amazon_beyond < 0.9);
+}

@@ -1,0 +1,118 @@
+//! Cross-crate integration: agglomerative clustering pipelines scored by
+//! per-merge true linkage distances (Figure 7's measure).
+
+use noisy_oracle::core::hier::baselines::{hier_samp, hier_tour2, Tour2Outcome};
+use noisy_oracle::core::hier::{hier_exact, hier_oracle, HierParams, Linkage};
+use noisy_oracle::data::{amazon, monuments};
+use noisy_oracle::eval::hier_eval::mean_merge_distance;
+use noisy_oracle::eval::pair_f_score;
+use noisy_oracle::oracle::adversarial::{AdversarialQuadOracle, InvertAdversary};
+use noisy_oracle::oracle::crowd::{AccuracyProfile, CrowdQuadOracle};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn oracle_hierarchy_stays_close_to_exact_merge_quality() {
+    let d = amazon(150, 9);
+    let metric = &d.metric;
+    for linkage in [Linkage::Single, Linkage::Complete] {
+        let exact = hier_exact(metric, linkage);
+        let base = mean_merge_distance(&exact, metric, linkage);
+
+        let mut o = AdversarialQuadOracle::new(metric, 0.3, InvertAdversary);
+        let mut rng = StdRng::seed_from_u64(4);
+        let ours = hier_oracle(&HierParams::experimental(linkage), &mut o, &mut rng);
+        let ours_d = mean_merge_distance(&ours, metric, linkage);
+        // Theorem 5.2: per-merge loss (1+mu)^3 = 2.2; the mean stays well
+        // inside that envelope.
+        assert!(
+            ours_d <= base * (1.3f64).powi(3) + 1e-9,
+            "{linkage:?}: {ours_d:.3} vs exact {base:.3}"
+        );
+    }
+}
+
+#[test]
+fn hierarchy_cut_recovers_monument_sites_under_crowd_noise() {
+    let d = monuments(100, 7);
+    let truth = d.labels.as_ref().unwrap();
+    let mut o = CrowdQuadOracle::new(&d.metric, AccuracyProfile::monuments_like(), 3, 13);
+    let mut rng = StdRng::seed_from_u64(2);
+    let dend = hier_oracle(&HierParams::experimental(Linkage::Single), &mut o, &mut rng);
+    let f = pair_f_score(&dend.cut(10), truth);
+    assert!(f.f1 >= 0.9, "monuments single-linkage cut F {:.3}", f.f1);
+}
+
+#[test]
+fn tour2_dnf_behaviour_reproduces_table_2() {
+    // Tour2 HC is cubic; at a budget that comfortably covers our algorithm
+    // it cannot finish, mirroring the DNF entries of Table 2.
+    let d = amazon(150, 3);
+    let metric = &d.metric;
+    let n = 150u64;
+
+    let mut o = noisy_oracle::oracle::counting::Counting::new(AdversarialQuadOracle::new(
+        metric,
+        0.5,
+        InvertAdversary,
+    ));
+    let mut rng = StdRng::seed_from_u64(8);
+    let ours = hier_oracle(&HierParams::experimental(Linkage::Single), &mut o, &mut rng);
+    assert_eq!(ours.merges.len() as u64, n - 1);
+    let our_queries = o.queries();
+
+    let mut o = AdversarialQuadOracle::new(metric, 0.5, InvertAdversary);
+    match hier_tour2(Linkage::Single, our_queries, &mut o, &mut rng) {
+        Tour2Outcome::DidNotFinish { merges_done, .. } => {
+            assert!(merges_done < (n - 1) as usize);
+        }
+        Tour2Outcome::Finished(_) => {
+            panic!("Tour2 should not finish within our query budget ({our_queries})")
+        }
+    }
+}
+
+#[test]
+fn samp_hierarchy_merges_are_measurably_worse() {
+    let d = monuments(80, 5);
+    let metric = &d.metric;
+    let exact = hier_exact(metric, Linkage::Single);
+    let base = mean_merge_distance(&exact, metric, Linkage::Single);
+
+    let mut ours_sum = 0.0;
+    let mut samp_sum = 0.0;
+    for seed in 0..5u64 {
+        let mut o = CrowdQuadOracle::new(metric, AccuracyProfile::monuments_like(), 3, seed);
+        let mut rng = StdRng::seed_from_u64(seed);
+        ours_sum += mean_merge_distance(
+            &hier_oracle(&HierParams::experimental(Linkage::Single), &mut o, &mut rng),
+            metric,
+            Linkage::Single,
+        );
+        let mut o = CrowdQuadOracle::new(metric, AccuracyProfile::monuments_like(), 3, seed);
+        samp_sum += mean_merge_distance(
+            &hier_samp(Linkage::Single, &mut o, &mut rng),
+            metric,
+            Linkage::Single,
+        );
+    }
+    assert!(
+        ours_sum <= samp_sum,
+        "ours {ours_sum:.3} should beat Samp {samp_sum:.3} (exact {base:.3})"
+    );
+}
+
+#[test]
+fn dendrogram_cuts_partition_at_every_k() {
+    let d = amazon(90, 1);
+    let mut o = AdversarialQuadOracle::new(&d.metric, 1.0, InvertAdversary);
+    let mut rng = StdRng::seed_from_u64(3);
+    let dend = hier_oracle(&HierParams::experimental(Linkage::Complete), &mut o, &mut rng);
+    dend.validate();
+    for k in [1usize, 2, 7, 14, 45, 90] {
+        let labels = dend.cut(k);
+        assert_eq!(labels.len(), 90);
+        let distinct: std::collections::HashSet<usize> = labels.iter().copied().collect();
+        assert_eq!(distinct.len(), k, "cut at k = {k}");
+    }
+}

@@ -1,0 +1,126 @@
+//! Cross-crate integration: k-center pipelines over generated datasets,
+//! scored with the evaluation crate — data -> oracle -> core -> eval.
+
+use noisy_oracle::core::kcenter::baselines::{kcenter_samp, kcenter_tour2};
+use noisy_oracle::core::kcenter::{
+    gonzalez, kcenter_adv, kcenter_prob, KCenterAdvParams, KCenterProbParams,
+};
+use noisy_oracle::data::{caltech, monuments};
+use noisy_oracle::eval::pair_f_score;
+use noisy_oracle::metric::stats::kcenter_objective;
+use noisy_oracle::oracle::adversarial::{AdversarialQuadOracle, InvertAdversary};
+use noisy_oracle::oracle::crowd::{AccuracyProfile, CrowdQuadOracle};
+use noisy_oracle::oracle::probabilistic::ProbQuadOracle;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn adversarial_kcenter_tracks_tdist_on_cities_scale_data() {
+    let d = noisy_oracle::data::cities(400, 11);
+    let metric = &d.metric;
+    let k = 13; // metros + outpost
+    let g = gonzalez(metric, k, Some(0));
+    let g_obj = kcenter_objective(metric, &g.centers, &g.assignment);
+
+    let mut within = 0;
+    let trials = 5;
+    for seed in 0..trials {
+        let mut o = AdversarialQuadOracle::new(metric, 0.5, InvertAdversary);
+        let params =
+            KCenterAdvParams { first_center: Some(0), ..KCenterAdvParams::with_confidence(k, 0.1) };
+        let mut rng = StdRng::seed_from_u64(seed);
+        let c = kcenter_adv(&params, &mut o, &mut rng);
+        c.validate();
+        let obj = kcenter_objective(metric, &c.centers, &c.assignment);
+        if obj <= 4.0 * g_obj {
+            within += 1;
+        }
+    }
+    assert!(within >= trials - 1, "only {within}/{trials} within 4x of TDist");
+}
+
+#[test]
+fn crowd_oracle_kcenter_recovers_caltech_categories() {
+    // Table 1's headline: kC hits F-score ~1.0 on caltech with the crowd
+    // oracle at k = 20.
+    let d = caltech(300, 5);
+    let truth = d.labels.as_ref().unwrap();
+    let mut o = CrowdQuadOracle::new(&d.metric, AccuracyProfile::caltech_like(), 3, 77);
+    let params = KCenterAdvParams::with_confidence(20, 0.1);
+    let mut rng = StdRng::seed_from_u64(5);
+    let c = kcenter_adv(&params, &mut o, &mut rng);
+    let f = pair_f_score(c.labels(), truth);
+    assert!(f.f1 >= 0.85, "caltech F-score {:.3}", f.f1);
+}
+
+#[test]
+fn probabilistic_kcenter_beats_baselines_on_monuments() {
+    let d = monuments(100, 4);
+    let truth = d.labels.as_ref().unwrap();
+    let p = 0.15;
+
+    let mut f_ours = Vec::new();
+    let mut f_tour = Vec::new();
+    let mut f_samp = Vec::new();
+    for seed in 0..5u64 {
+        let mut o = ProbQuadOracle::new(&d.metric, p, 900 + seed);
+        let params = KCenterProbParams {
+            gamma: 8.0,
+            ..KCenterProbParams::experimental(10, d.min_cluster_size)
+        };
+        let mut rng = StdRng::seed_from_u64(seed);
+        let c = kcenter_prob(&params, &mut o, &mut rng);
+        c.validate();
+        f_ours.push(pair_f_score(c.labels(), truth).f1);
+
+        let mut o = ProbQuadOracle::new(&d.metric, p, 900 + seed);
+        let c = kcenter_tour2(10, None, &mut o, &mut rng);
+        f_tour.push(pair_f_score(c.labels(), truth).f1);
+
+        let mut o = ProbQuadOracle::new(&d.metric, p, 900 + seed);
+        let c = kcenter_samp(10, None, &mut o, &mut rng);
+        f_samp.push(pair_f_score(c.labels(), truth).f1);
+    }
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    assert!(mean(&f_ours) >= 0.8, "ours {:.3}", mean(&f_ours));
+    assert!(
+        mean(&f_ours) >= mean(&f_tour) - 0.05,
+        "ours {:.3} vs tour2 {:.3}",
+        mean(&f_ours),
+        mean(&f_tour)
+    );
+    assert!(
+        mean(&f_ours) >= mean(&f_samp) - 0.05,
+        "ours {:.3} vs samp {:.3}",
+        mean(&f_ours),
+        mean(&f_samp)
+    );
+}
+
+#[test]
+fn all_points_covered_and_clusterings_valid_across_pipelines() {
+    let d = caltech(120, 2);
+    let mut rng = StdRng::seed_from_u64(1);
+
+    let mut o = AdversarialQuadOracle::new(&d.metric, 1.0, InvertAdversary);
+    let adv = kcenter_adv(&KCenterAdvParams::experimental(6), &mut o, &mut rng);
+    adv.validate();
+    assert_eq!(adv.n(), 120);
+
+    let mut o = ProbQuadOracle::new(&d.metric, 0.2, 3);
+    let prob = kcenter_prob(
+        &KCenterProbParams::experimental(6, d.min_cluster_size),
+        &mut o,
+        &mut rng,
+    );
+    prob.validate();
+    assert_eq!(prob.n(), 120);
+
+    let mut o = ProbQuadOracle::new(&d.metric, 0.2, 3);
+    let t2 = kcenter_tour2(6, None, &mut o, &mut rng);
+    t2.validate();
+
+    let mut o = ProbQuadOracle::new(&d.metric, 0.2, 3);
+    let sp = kcenter_samp(6, None, &mut o, &mut rng);
+    sp.validate();
+}

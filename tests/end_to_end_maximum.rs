@@ -1,0 +1,136 @@
+//! Cross-crate integration: maximum finding through the facade, with the
+//! theorem-grade bounds checked end to end (oracle crate -> core crate ->
+//! eval crate).
+
+use noisy_oracle::core::comparator::ValueCmp;
+use noisy_oracle::core::maxfind::{max_adv, max_prob, AdvParams, ProbParams};
+use noisy_oracle::eval::rank::{max_approx_ratio, max_rank};
+use noisy_oracle::oracle::adversarial::{
+    AdversarialValueOracle, ConsistentAdversary, InvertAdversary, PersistentRandomAdversary,
+};
+use noisy_oracle::oracle::counting::Counting;
+use noisy_oracle::oracle::probabilistic::ProbValueOracle;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn crowded_values(n: usize, mu: f64) -> Vec<f64> {
+    // A dense geometric ladder: every adjacent pair is inside the band.
+    (0..n).map(|i| (1.0 + mu * 0.3).powi((i % 48) as i32) * (1.0 + i as f64 * 1e-5)).collect()
+}
+
+#[test]
+fn theorem_3_6_holds_for_every_adversary_strategy() {
+    let n = 400usize;
+    let mu = 0.6;
+    let values = crowded_values(n, mu);
+    let items: Vec<usize> = (0..n).collect();
+    let params = AdvParams::with_confidence(0.1);
+    let bound = (1.0 + mu).powi(3) + 1e-9;
+
+    let mut failures = 0usize;
+    let trials = 20u64;
+    for seed in 0..trials {
+        // Invert (worst case).
+        let mut o = AdversarialValueOracle::new(values.clone(), mu, InvertAdversary);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let got = max_adv(&items, &params, &mut ValueCmp::new(&mut o), &mut rng).unwrap();
+        if max_approx_ratio(&values, got) > bound {
+            failures += 1;
+        }
+        // Persistent random liar.
+        let mut o = AdversarialValueOracle::new(
+            values.clone(),
+            mu,
+            PersistentRandomAdversary::new(seed),
+        );
+        let mut rng = StdRng::seed_from_u64(1000 + seed);
+        let got = max_adv(&items, &params, &mut ValueCmp::new(&mut o), &mut rng).unwrap();
+        if max_approx_ratio(&values, got) > bound {
+            failures += 1;
+        }
+        // Consistent (systematically biased) comparator.
+        let mut o = AdversarialValueOracle::new(
+            values.clone(),
+            mu,
+            ConsistentAdversary::new(seed, mu),
+        );
+        let mut rng = StdRng::seed_from_u64(2000 + seed);
+        let got = max_adv(&items, &params, &mut ValueCmp::new(&mut o), &mut rng).unwrap();
+        if max_approx_ratio(&values, got) > bound {
+            failures += 1;
+        }
+    }
+    // 60 runs at delta = 0.1: allow a generous 12 failures.
+    assert!(failures <= 12, "{failures}/60 runs broke the (1+mu)^3 bound");
+}
+
+#[test]
+fn max_adv_query_budget_matches_theorem() {
+    for n in [500usize, 2000, 8000] {
+        let values: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let mut o = Counting::new(AdversarialValueOracle::new(values, 0.5, InvertAdversary));
+        let items: Vec<usize> = (0..n).collect();
+        let delta = 0.05f64;
+        let mut rng = StdRng::seed_from_u64(3);
+        let _ = max_adv(
+            &items,
+            &AdvParams::with_confidence(delta),
+            &mut ValueCmp::new(&mut o),
+            &mut rng,
+        );
+        let log = (1.0 / delta).log2();
+        let budget = (20.0 * n as f64 * log * log) as u64;
+        assert!(o.queries() <= budget, "n={n}: {} > {budget}", o.queries());
+    }
+}
+
+#[test]
+fn theorem_3_7_rank_is_polylog_across_noise_levels() {
+    let n = 1000usize;
+    let values: Vec<f64> = (0..n).map(|i| ((i * 37) % n) as f64).collect();
+    let items: Vec<usize> = (0..n).collect();
+    for p in [0.1, 0.2, 0.3] {
+        let mut worst_rank = 0usize;
+        for seed in 0..8u64 {
+            let mut o = ProbValueOracle::new(values.clone(), p, 5000 + seed);
+            let mut rng = StdRng::seed_from_u64(seed);
+            let got = max_prob(
+                &items,
+                &ProbParams::experimental(),
+                &mut ValueCmp::new(&mut o),
+                &mut rng,
+            )
+            .unwrap();
+            worst_rank = worst_rank.max(max_rank(&values, got));
+        }
+        // log2(1000)^2 ≈ 99.3; the experimental constants do much better.
+        assert!(worst_rank <= 100, "p={p}: worst rank {worst_rank}");
+    }
+}
+
+#[test]
+fn perfect_oracles_are_exact_end_to_end() {
+    let n = 300usize;
+    let values: Vec<f64> = (0..n).map(|i| ((i * 7919) % 104729) as f64).collect();
+    let true_best = (0..n).max_by(|&a, &b| values[a].total_cmp(&values[b])).unwrap();
+    let items: Vec<usize> = (0..n).collect();
+
+    let mut o = AdversarialValueOracle::new(values.clone(), 0.0, InvertAdversary);
+    let mut rng = StdRng::seed_from_u64(1);
+    let got =
+        max_adv(&items, &AdvParams::experimental(), &mut ValueCmp::new(&mut o), &mut rng)
+            .unwrap();
+    assert_eq!(got, true_best, "mu = 0 must be exact");
+
+    let mut o = ProbValueOracle::new(values.clone(), 0.0, 9);
+    let mut rng = StdRng::seed_from_u64(2);
+    let got = max_prob(
+        &items,
+        &ProbParams::experimental(),
+        &mut ValueCmp::new(&mut o),
+        &mut rng,
+    )
+    .unwrap();
+    // p = 0 still discards sampled items; rank must be tiny regardless.
+    assert!(max_rank(&values, got) <= 15);
+}
