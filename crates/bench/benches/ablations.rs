@@ -45,14 +45,8 @@ fn threshold_ablation(r: usize) {
     let mut core_oracle = TrueQuadOracle::new(metric);
     let mut rng = StdRng::seed_from_u64(1);
     let cands: Vec<usize> = (0..n).filter(|&v| v != q).collect();
-    let core = nco_core::neighbor::core_set::build_core(
-        &mut core_oracle,
-        q,
-        &cands,
-        40,
-        60,
-        &mut rng,
-    );
+    let core =
+        nco_core::neighbor::core_set::build_core(&mut core_oracle, q, &cands, 40, 60, &mut rng);
 
     let mut table = Table::new(
         "Ablation 1 — PairwiseComp threshold vs. p (farthest quality, TDist = 1.0)",
@@ -65,9 +59,11 @@ fn threshold_ablation(r: usize) {
                 let mut rng = StdRng::seed_from_u64(seed);
                 let items: Vec<usize> = (0..n).filter(|&v| v != q).collect();
                 let mut cmp = PairwiseCmp::new(&mut o, &core).with_threshold(thr);
-                let got =
-                    max_adv(&items, &AdvParams::experimental(), &mut cmp, &mut rng).unwrap();
-                RepOutcome { value: metric.dist(q, got) / d_opt, queries: 0 }
+                let got = max_adv(&items, &AdvParams::experimental(), &mut cmp, &mut rng).unwrap();
+                RepOutcome {
+                    value: metric.dist(q, got) / d_opt,
+                    queries: 0,
+                }
             })
             .value
             .mean
@@ -87,8 +83,9 @@ fn threshold_ablation(r: usize) {
 fn rounds_ablation(r: usize) {
     let n = scaled(2000);
     let mu = 1.0;
-    let values: Vec<f64> =
-        (0..n).map(|i| (1.0 + mu * 0.3f64).powi((i % 40) as i32) * (1.0 + i as f64 * 1e-5)).collect();
+    let values: Vec<f64> = (0..n)
+        .map(|i| (1.0 + mu * 0.3f64).powi((i % 40) as i32) * (1.0 + i as f64 * 1e-5))
+        .collect();
     let vmax = values.iter().cloned().fold(0.0, f64::max);
     let items: Vec<usize> = (0..n).collect();
 
@@ -97,18 +94,28 @@ fn rounds_ablation(r: usize) {
         &["t", "approx ratio", "mean queries", "within (1+mu)^3"],
     );
     for t in [1usize, 2, 4, 8] {
-        let params = AdvParams { rounds: t, partitions: None, sample_size: None };
+        let params = AdvParams {
+            rounds: t,
+            partitions: None,
+            sample_size: None,
+        };
         let mut within = 0usize;
         let stats = run_reps(r, 33, |seed| {
-            let mut o =
-                Counting::new(AdversarialValueOracle::new(values.clone(), mu, InvertAdversary));
+            let mut o = Counting::new(AdversarialValueOracle::new(
+                values.clone(),
+                mu,
+                InvertAdversary,
+            ));
             let mut rng = StdRng::seed_from_u64(seed);
             let got = max_adv(&items, &params, &mut ValueCmp::new(&mut o), &mut rng).unwrap();
             let ratio = vmax / values[got];
             if ratio <= (1.0 + mu).powi(3) + 1e-9 {
                 within += 1;
             }
-            RepOutcome { value: ratio, queries: o.queries() }
+            RepOutcome {
+                value: ratio,
+                queries: o.queries(),
+            }
         });
         table.row(&[
             t.to_string(),
@@ -125,8 +132,9 @@ fn rounds_ablation(r: usize) {
 fn arity_ablation(r: usize) {
     let n = scaled(1024);
     let mu = 0.5;
-    let values: Vec<f64> =
-        (0..n).map(|i| (1.0 + mu * 0.35f64).powi((i % 48) as i32) * (1.0 + i as f64 * 1e-5)).collect();
+    let values: Vec<f64> = (0..n)
+        .map(|i| (1.0 + mu * 0.35f64).powi((i % 48) as i32) * (1.0 + i as f64 * 1e-5))
+        .collect();
     let vmax = values.iter().cloned().fold(0.0, f64::max);
     let items: Vec<usize> = (0..n).collect();
 
@@ -136,12 +144,17 @@ fn arity_ablation(r: usize) {
     );
     for lambda in [2usize, 4, 16, 64] {
         let stats = run_reps(r, 55, |seed| {
-            let mut o =
-                Counting::new(AdversarialValueOracle::new(values.clone(), mu, InvertAdversary));
+            let mut o = Counting::new(AdversarialValueOracle::new(
+                values.clone(),
+                mu,
+                InvertAdversary,
+            ));
             let mut rng = StdRng::seed_from_u64(seed);
-            let got =
-                tournament(&items, lambda, &mut ValueCmp::new(&mut o), &mut rng).unwrap();
-            RepOutcome { value: vmax / values[got], queries: o.queries() }
+            let got = tournament(&items, lambda, &mut ValueCmp::new(&mut o), &mut rng).unwrap();
+            RepOutcome {
+                value: vmax / values[got],
+                queries: o.queries(),
+            }
         });
         table.row(&[
             lambda.to_string(),
@@ -158,8 +171,9 @@ fn gamma_ablation(r: usize) {
     let n = 240usize;
     let mut pts = Vec::new();
     let mut labels = Vec::new();
-    for (ci, &(cx, cy)) in
-        [(0.0, 0.0), (100.0, 0.0), (0.0, 100.0), (100.0, 100.0)].iter().enumerate()
+    for (ci, &(cx, cy)) in [(0.0, 0.0), (100.0, 0.0), (0.0, 100.0), (100.0, 100.0)]
+        .iter()
+        .enumerate()
     {
         for p in 0..n / 4 {
             let a = p as f64;
@@ -187,7 +201,10 @@ fn gamma_ablation(r: usize) {
             let mut o = ProbQuadOracle::new(&metric, p_noise, seed);
             let mut rng = StdRng::seed_from_u64(seed);
             let c = kcenter_prob(&params, &mut o, &mut rng);
-            RepOutcome { value: pair_f_score(c.labels(), &labels).f1, queries: 0 }
+            RepOutcome {
+                value: pair_f_score(c.labels(), &labels).f1,
+                queries: 0,
+            }
         });
         table.row(&[
             format!("{gamma:.0}"),

@@ -17,12 +17,22 @@ fn main() {
     println!("Figure 4 — simulated AMT user study (3-worker majority per query)\n");
 
     let caltech = bench_caltech(n);
-    let m = accuracy_matrix(&caltech.metric, crowd_profile("caltech"), buckets, per_cell, 4);
+    let m = accuracy_matrix(
+        &caltech.metric,
+        crowd_profile("caltech"),
+        buckets,
+        per_cell,
+        4,
+    );
     println!("(a) caltech-like: accuracy per (bucket_i, bucket_j)");
     print!("{}", render_matrix(&m));
     let diag: Vec<f64> = (0..buckets).filter_map(|i| m[i][i]).collect();
     let off: Vec<f64> = (0..buckets)
-        .flat_map(|i| (0..buckets).filter(move |j| i.abs_diff(*j) >= 2).map(move |j| (i, j)))
+        .flat_map(|i| {
+            (0..buckets)
+                .filter(move |j| i.abs_diff(*j) >= 2)
+                .map(move |j| (i, j))
+        })
         .filter_map(|(i, j)| m[i][j])
         .collect();
     println!(
@@ -33,11 +43,20 @@ fn main() {
     println!("=> adversarial model fits caltech (paper Fig. 4a)\n");
 
     let amazon = bench_amazon(n);
-    let m = accuracy_matrix(&amazon.metric, crowd_profile("amazon"), buckets, per_cell, 5);
+    let m = accuracy_matrix(
+        &amazon.metric,
+        crowd_profile("amazon"),
+        buckets,
+        per_cell,
+        5,
+    );
     println!("(b) amazon-like: accuracy per (bucket_i, bucket_j)");
     print!("{}", render_matrix(&m));
     let all: Vec<f64> = m.iter().flatten().flatten().copied().collect();
-    println!("overall mean = {:.3}; noise persists at every distance range", mean(&all));
+    println!(
+        "overall mean = {:.3}; noise persists at every distance range",
+        mean(&all)
+    );
     println!("=> probabilistic model fits amazon (paper Fig. 4b; avg accuracy > 0.83)");
 }
 

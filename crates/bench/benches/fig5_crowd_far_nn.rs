@@ -37,8 +37,8 @@ fn main() {
         "Figure 5(a) — farthest distance, normalised to TDist = 1.000 (higher is better)",
         &["dataset", "Far (ours)", "Tour2", "Samp"],
     );
-    let mut nn_table = Table::new
-        ("Figure 5(b) — NN distance, normalised to TDist = 1.000 (lower is better)",
+    let mut nn_table = Table::new(
+        "Figure 5(b) — NN distance, normalised to TDist = 1.000 (lower is better)",
         &["dataset", "NN (ours)", "Tour2", "Samp"],
     );
 
@@ -68,7 +68,10 @@ fn main() {
                     "nnS" => nearest_samp(&mut oracle, q, &mut rng).unwrap(),
                     other => unreachable!("{other}"),
                 };
-                RepOutcome { value: metric.dist(q, got), queries: 0 }
+                RepOutcome {
+                    value: metric.dist(q, got),
+                    queries: 0,
+                }
             })
             .value
             .mean

@@ -8,9 +8,7 @@
 
 use nco_bench::{bench_cities, bench_dblp, reps, scaled};
 use nco_core::kcenter::baselines::{kcenter_samp, kcenter_tour2};
-use nco_core::kcenter::{
-    gonzalez, kcenter_adv, kcenter_prob, KCenterAdvParams, KCenterProbParams,
-};
+use nco_core::kcenter::{gonzalez, kcenter_adv, kcenter_prob, KCenterAdvParams, KCenterProbParams};
 use nco_data::Dataset;
 use nco_eval::experiment::{run_reps, RepOutcome};
 use nco_eval::Table;

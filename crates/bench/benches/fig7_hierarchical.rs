@@ -46,15 +46,19 @@ fn main() {
             let our_queries = oracle.queries();
 
             let mut oracle = crowd_oracle(d, 72);
-            let tour2_cell =
-                match hier_tour2(linkage, our_queries.saturating_mul(10), &mut oracle, &mut rng) {
-                    Tour2Outcome::Finished(t) => {
-                        format!("{:.2}", mean_merge_distance(&t, metric, linkage) / base)
-                    }
-                    Tour2Outcome::DidNotFinish { merges_done, .. } => {
-                        format!("DNF({merges_done}m)")
-                    }
-                };
+            let tour2_cell = match hier_tour2(
+                linkage,
+                our_queries.saturating_mul(10),
+                &mut oracle,
+                &mut rng,
+            ) {
+                Tour2Outcome::Finished(t) => {
+                    format!("{:.2}", mean_merge_distance(&t, metric, linkage) / base)
+                }
+                Tour2Outcome::DidNotFinish { merges_done, .. } => {
+                    format!("DNF({merges_done}m)")
+                }
+            };
 
             let mut oracle = crowd_oracle(d, 73);
             let samp = hier_samp(linkage, &mut oracle, &mut rng);

@@ -42,19 +42,30 @@ fn main() {
             ));
             let mut rng = StdRng::seed_from_u64(seed);
             let got = farthest_adv(&mut o, q, &AdvParams::experimental(), &mut rng).unwrap();
-            RepOutcome { value: metric.dist(q, got) / d_opt, queries: o.queries() }
+            RepOutcome {
+                value: metric.dist(q, got) / d_opt,
+                queries: o.queries(),
+            }
         });
         let t2 = run_reps(r, 31, |seed| {
-            let mut o = AdversarialQuadOracle::new(metric, mu, PersistentRandomAdversary::new(seed));
+            let mut o =
+                AdversarialQuadOracle::new(metric, mu, PersistentRandomAdversary::new(seed));
             let mut rng = StdRng::seed_from_u64(seed);
             let got = farthest_tour2(&mut o, q, &mut rng).unwrap();
-            RepOutcome { value: metric.dist(q, got) / d_opt, queries: 0 }
+            RepOutcome {
+                value: metric.dist(q, got) / d_opt,
+                queries: 0,
+            }
         });
         let sp = run_reps(r, 31, |seed| {
-            let mut o = AdversarialQuadOracle::new(metric, mu, PersistentRandomAdversary::new(seed));
+            let mut o =
+                AdversarialQuadOracle::new(metric, mu, PersistentRandomAdversary::new(seed));
             let mut rng = StdRng::seed_from_u64(seed);
             let got = farthest_samp(&mut o, q, &mut rng).unwrap();
-            RepOutcome { value: metric.dist(q, got) / d_opt, queries: 0 }
+            RepOutcome {
+                value: metric.dist(q, got) / d_opt,
+                queries: 0,
+            }
         });
         table.row(&[
             format!("{mu:.1}"),
@@ -74,21 +85,29 @@ fn main() {
         let ours = run_reps(r, 77, |seed| {
             let mut o = Counting::new(ProbQuadOracle::new(metric, p, seed));
             let mut rng = StdRng::seed_from_u64(seed);
-            let got =
-                farthest_prob(&mut o, q, 0.1, &AdvParams::experimental(), &mut rng).unwrap();
-            RepOutcome { value: metric.dist(q, got) / d_opt, queries: o.queries() }
+            let got = farthest_prob(&mut o, q, 0.1, &AdvParams::experimental(), &mut rng).unwrap();
+            RepOutcome {
+                value: metric.dist(q, got) / d_opt,
+                queries: o.queries(),
+            }
         });
         let t2 = run_reps(r, 77, |seed| {
             let mut o = ProbQuadOracle::new(metric, p, seed);
             let mut rng = StdRng::seed_from_u64(seed);
             let got = farthest_tour2(&mut o, q, &mut rng).unwrap();
-            RepOutcome { value: metric.dist(q, got) / d_opt, queries: 0 }
+            RepOutcome {
+                value: metric.dist(q, got) / d_opt,
+                queries: 0,
+            }
         });
         let sp = run_reps(r, 77, |seed| {
             let mut o = ProbQuadOracle::new(metric, p, seed);
             let mut rng = StdRng::seed_from_u64(seed);
             let got = farthest_samp(&mut o, q, &mut rng).unwrap();
-            RepOutcome { value: metric.dist(q, got) / d_opt, queries: 0 }
+            RepOutcome {
+                value: metric.dist(q, got) / d_opt,
+                queries: 0,
+            }
         });
         table.row(&[
             format!("{p:.1}"),

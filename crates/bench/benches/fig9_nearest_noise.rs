@@ -30,9 +30,7 @@ fn main() {
     let metric = &d.metric;
     let q = 0usize;
     let (_, d_opt) = exact_nearest(metric, q, 0..n).unwrap();
-    println!(
-        "cities analogue n = {n}; true NN distance from record {q} = {d_opt:.3} (TDist)\n"
-    );
+    println!("cities analogue n = {n}; true NN distance from record {q} = {d_opt:.3} (TDist)\n");
 
     let mut table = Table::new(
         "Figure 9(a) — NN distance vs. adversarial noise (absolute; TDist row first)",
@@ -47,19 +45,30 @@ fn main() {
             ));
             let mut rng = StdRng::seed_from_u64(seed);
             let got = nearest_adv(&mut o, q, &AdvParams::experimental(), &mut rng).unwrap();
-            RepOutcome { value: metric.dist(q, got), queries: o.queries() }
+            RepOutcome {
+                value: metric.dist(q, got),
+                queries: o.queries(),
+            }
         });
         let t2 = run_reps(r, 13, |seed| {
-            let mut o = AdversarialQuadOracle::new(metric, mu, PersistentRandomAdversary::new(seed));
+            let mut o =
+                AdversarialQuadOracle::new(metric, mu, PersistentRandomAdversary::new(seed));
             let mut rng = StdRng::seed_from_u64(seed);
             let got = nearest_tour2(&mut o, q, &mut rng).unwrap();
-            RepOutcome { value: metric.dist(q, got), queries: 0 }
+            RepOutcome {
+                value: metric.dist(q, got),
+                queries: 0,
+            }
         });
         let sp = run_reps(r, 13, |seed| {
-            let mut o = AdversarialQuadOracle::new(metric, mu, PersistentRandomAdversary::new(seed));
+            let mut o =
+                AdversarialQuadOracle::new(metric, mu, PersistentRandomAdversary::new(seed));
             let mut rng = StdRng::seed_from_u64(seed);
             let got = nearest_samp(&mut o, q, &mut rng).unwrap();
-            RepOutcome { value: metric.dist(q, got), queries: 0 }
+            RepOutcome {
+                value: metric.dist(q, got),
+                queries: 0,
+            }
         });
         table.row(&[
             format!("{mu:.1}"),
@@ -80,21 +89,29 @@ fn main() {
         let ours = run_reps(r, 19, |seed| {
             let mut o = Counting::new(ProbQuadOracle::new(metric, p, seed));
             let mut rng = StdRng::seed_from_u64(seed);
-            let got =
-                nearest_prob(&mut o, q, 0.1, &AdvParams::experimental(), &mut rng).unwrap();
-            RepOutcome { value: metric.dist(q, got), queries: o.queries() }
+            let got = nearest_prob(&mut o, q, 0.1, &AdvParams::experimental(), &mut rng).unwrap();
+            RepOutcome {
+                value: metric.dist(q, got),
+                queries: o.queries(),
+            }
         });
         let t2 = run_reps(r, 19, |seed| {
             let mut o = ProbQuadOracle::new(metric, p, seed);
             let mut rng = StdRng::seed_from_u64(seed);
             let got = nearest_tour2(&mut o, q, &mut rng).unwrap();
-            RepOutcome { value: metric.dist(q, got), queries: 0 }
+            RepOutcome {
+                value: metric.dist(q, got),
+                queries: 0,
+            }
         });
         let sp = run_reps(r, 19, |seed| {
             let mut o = ProbQuadOracle::new(metric, p, seed);
             let mut rng = StdRng::seed_from_u64(seed);
             let got = nearest_samp(&mut o, q, &mut rng).unwrap();
-            RepOutcome { value: metric.dist(q, got), queries: 0 }
+            RepOutcome {
+                value: metric.dist(q, got),
+                queries: 0,
+            }
         });
         table.row(&[
             format!("{p:.1}"),

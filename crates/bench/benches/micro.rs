@@ -23,7 +23,9 @@ fn bench_maxfind(c: &mut Criterion) {
     let n = 1024usize;
     let items: Vec<usize> = (0..n).collect();
     let mut group = c.benchmark_group("maxfind_n1024");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
 
     group.bench_function("count_max", |b| {
         b.iter_batched(
@@ -53,16 +55,31 @@ fn bench_maxfind(c: &mut Criterion) {
                 )
             },
             |(mut o, mut rng)| {
-                max_adv(&items, &AdvParams::experimental(), &mut ValueCmp::new(&mut o), &mut rng)
+                max_adv(
+                    &items,
+                    &AdvParams::experimental(),
+                    &mut ValueCmp::new(&mut o),
+                    &mut rng,
+                )
             },
             BatchSize::SmallInput,
         )
     });
     group.bench_function("max_prob", |b| {
         b.iter_batched(
-            || (ProbValueOracle::new(values(n), 0.2, 3), StdRng::seed_from_u64(3)),
+            || {
+                (
+                    ProbValueOracle::new(values(n), 0.2, 3),
+                    StdRng::seed_from_u64(3),
+                )
+            },
             |(mut o, mut rng)| {
-                max_prob(&items, &ProbParams::experimental(), &mut ValueCmp::new(&mut o), &mut rng)
+                max_prob(
+                    &items,
+                    &ProbParams::experimental(),
+                    &mut ValueCmp::new(&mut o),
+                    &mut rng,
+                )
             },
             BatchSize::SmallInput,
         )
@@ -73,7 +90,9 @@ fn bench_maxfind(c: &mut Criterion) {
 fn bench_pipelines(c: &mut Criterion) {
     let d = bench_dblp(400);
     let mut group = c.benchmark_group("pipelines_dblp400");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
 
     group.bench_function("farthest_adv", |b| {
         b.iter_batched(
@@ -95,9 +114,7 @@ fn bench_pipelines(c: &mut Criterion) {
                     StdRng::seed_from_u64(5),
                 )
             },
-            |(mut o, mut rng)| {
-                kcenter_adv(&KCenterAdvParams::experimental(10), &mut o, &mut rng)
-            },
+            |(mut o, mut rng)| kcenter_adv(&KCenterAdvParams::experimental(10), &mut o, &mut rng),
             BatchSize::SmallInput,
         )
     });
@@ -105,7 +122,9 @@ fn bench_pipelines(c: &mut Criterion) {
 
     let small = bench_dblp(160);
     let mut group = c.benchmark_group("hier_dblp160");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     group.bench_function("hier_oracle_single", |b| {
         b.iter_batched(
             || {

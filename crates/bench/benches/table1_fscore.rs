@@ -41,12 +41,42 @@ fn main() {
     // leaf categories). caltech k=15 sits between granularities, so its
     // best achievable F-score is < 1 by construction — reported as-is.
     let configs = vec![
-        Config { dataset: caltech.clone(), k: 10, probabilistic: false, coarse: true },
-        Config { dataset: caltech.clone(), k: 15, probabilistic: false, coarse: false },
-        Config { dataset: caltech.clone(), k: 20, probabilistic: false, coarse: false },
-        Config { dataset: monuments.clone(), k: 10, probabilistic: false, coarse: false },
-        Config { dataset: amazon.clone(), k: 7, probabilistic: true, coarse: true },
-        Config { dataset: amazon.clone(), k: 14, probabilistic: true, coarse: false },
+        Config {
+            dataset: caltech.clone(),
+            k: 10,
+            probabilistic: false,
+            coarse: true,
+        },
+        Config {
+            dataset: caltech.clone(),
+            k: 15,
+            probabilistic: false,
+            coarse: false,
+        },
+        Config {
+            dataset: caltech.clone(),
+            k: 20,
+            probabilistic: false,
+            coarse: false,
+        },
+        Config {
+            dataset: monuments.clone(),
+            k: 10,
+            probabilistic: false,
+            coarse: false,
+        },
+        Config {
+            dataset: amazon.clone(),
+            k: 7,
+            probabilistic: true,
+            coarse: true,
+        },
+        Config {
+            dataset: amazon.clone(),
+            k: 14,
+            probabilistic: true,
+            coarse: false,
+        },
     ];
 
     let mut table = Table::new(
@@ -81,8 +111,12 @@ fn main() {
                     "kc" => kcenter_adv(&KCenterAdvParams::experimental(k), &mut oracle, &mut rng)
                         .labels()
                         .to_vec(),
-                    "t2" => kcenter_tour2(k, None, &mut oracle, &mut rng).labels().to_vec(),
-                    "sp" => kcenter_samp(k, None, &mut oracle, &mut rng).labels().to_vec(),
+                    "t2" => kcenter_tour2(k, None, &mut oracle, &mut rng)
+                        .labels()
+                        .to_vec(),
+                    "sp" => kcenter_samp(k, None, &mut oracle, &mut rng)
+                        .labels()
+                        .to_vec(),
                     "oq" => {
                         // The paper's Oq row is "computed on a sample of 150
                         // pairwise queries to the crowd": F-score of the
@@ -100,15 +134,32 @@ fn main() {
                                 _ => {}
                             }
                         }
-                        let prec = if tp + fp == 0 { 1.0 } else { tp as f64 / (tp + fp) as f64 };
-                        let rec = if tp + fne == 0 { 1.0 } else { tp as f64 / (tp + fne) as f64 };
-                        let f1 =
-                            if prec + rec == 0.0 { 0.0 } else { 2.0 * prec * rec / (prec + rec) };
-                        return RepOutcome { value: f1, queries: 0 };
+                        let prec = if tp + fp == 0 {
+                            1.0
+                        } else {
+                            tp as f64 / (tp + fp) as f64
+                        };
+                        let rec = if tp + fne == 0 {
+                            1.0
+                        } else {
+                            tp as f64 / (tp + fne) as f64
+                        };
+                        let f1 = if prec + rec == 0.0 {
+                            0.0
+                        } else {
+                            2.0 * prec * rec / (prec + rec)
+                        };
+                        return RepOutcome {
+                            value: f1,
+                            queries: 0,
+                        };
                     }
                     other => unreachable!("{other}"),
                 };
-                RepOutcome { value: pair_f_score(&labels, truth).f1, queries: 0 }
+                RepOutcome {
+                    value: pair_f_score(&labels, truth).f1,
+                    queries: 0,
+                }
             })
             .value
             .mean

@@ -25,7 +25,8 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::time::Instant;
 
-type BenchOracle<'a> = Counting<AdversarialQuadOracle<&'a nco_data::AnyMetric, PersistentRandomAdversary>>;
+type BenchOracle<'a> =
+    Counting<AdversarialQuadOracle<&'a nco_data::AnyMetric, PersistentRandomAdversary>>;
 
 fn timed<R>(f: impl FnOnce() -> R) -> (R, f64) {
     let t = Instant::now();
@@ -54,7 +55,11 @@ fn main() {
     let d = bench_dblp(n);
     let metric = &d.metric;
     let mk_oracle = |seed: u64| -> BenchOracle<'_> {
-        Counting::new(AdversarialQuadOracle::new(metric, mu, PersistentRandomAdversary::new(seed)))
+        Counting::new(AdversarialQuadOracle::new(
+            metric,
+            mu,
+            PersistentRandomAdversary::new(seed),
+        ))
     };
     println!("dblp analogue: n = {n}, mu = {mu}, k = {k} (paper: n = 1.8M, k = 50)\n");
 
@@ -88,8 +93,7 @@ fn main() {
 
     // k-center.
     let mut o = mk_oracle(3);
-    let (_, t) =
-        timed(|| kcenter_adv(&KCenterAdvParams::experimental(k), &mut o, &mut rng));
+    let (_, t) = timed(|| kcenter_adv(&KCenterAdvParams::experimental(k), &mut o, &mut rng));
     let ours = cell(t, o.queries());
     let mut o = mk_oracle(3);
     let (_, t) = timed(|| kcenter_tour2(k, None, &mut o, &mut rng));
@@ -100,12 +104,12 @@ fn main() {
 
     // Single & complete linkage (HC is the expensive row; Tour2 gets a
     // 10x-our-queries budget and reports DNF beyond it, as in the paper).
-    for (label, linkage) in
-        [("Single Linkage", Linkage::Single), ("Complete Linkage", Linkage::Complete)]
-    {
+    for (label, linkage) in [
+        ("Single Linkage", Linkage::Single),
+        ("Complete Linkage", Linkage::Complete),
+    ] {
         let mut o = mk_oracle(4);
-        let (_, t) =
-            timed(|| hier_oracle(&HierParams::experimental(linkage), &mut o, &mut rng));
+        let (_, t) = timed(|| hier_oracle(&HierParams::experimental(linkage), &mut o, &mut rng));
         let our_queries = o.queries();
         let ours = cell(t, our_queries);
 

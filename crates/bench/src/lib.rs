@@ -22,7 +22,10 @@ use rand::{Rng, SeedableRng};
 
 /// The dataset-size multiplier from `NCO_SCALE`.
 pub fn scale() -> f64 {
-    std::env::var("NCO_SCALE").ok().and_then(|s| s.parse().ok()).unwrap_or(1.0)
+    std::env::var("NCO_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1.0)
 }
 
 /// Scales a default size by [`scale`], keeping a sane floor.
@@ -148,7 +151,10 @@ pub fn render_matrix(m: &[Vec<Option<f64>>]) -> String {
     for row in m {
         let cells: Vec<String> = row
             .iter()
-            .map(|c| c.map(|a| format!("{a:.2}")).unwrap_or_else(|| "  --".into()))
+            .map(|c| {
+                c.map(|a| format!("{a:.2}"))
+                    .unwrap_or_else(|| "  --".into())
+            })
             .collect();
         out.push_str(&cells.join(" "));
         out.push('\n');

@@ -17,8 +17,8 @@
 use super::graph::ClusterGraph;
 use super::{Dendrogram, Linkage, Merge};
 use crate::comparator::Comparator;
-use crate::maxfind::{count_max, tournament};
 use crate::comparator::Rev;
+use crate::maxfind::{count_max, tournament};
 use nco_oracle::QuadrupletOracle;
 use rand::Rng;
 
@@ -82,16 +82,27 @@ where
         }
         let cost = pairs.len() as u64 + actives.len() as u64;
         if spent + cost > query_budget {
-            return Tour2Outcome::DidNotFinish { merges_done: merges.len(), queries_spent: spent };
+            return Tour2Outcome::DidNotFinish {
+                merges_done: merges.len(),
+                queries_spent: spent,
+            };
         }
         spent += cost;
         let (a, b) = {
-            let mut cmp = Rev(PairRepCmp { oracle, graph: &graph });
+            let mut cmp = Rev(PairRepCmp {
+                oracle,
+                graph: &graph,
+            });
             tournament(&pairs, 2, &mut cmp, rng).expect("non-empty pair list")
         };
         let rep = graph.rep(a, b);
         let new = graph.merge(a, b, linkage, oracle);
-        merges.push(Merge { a, b, merged: new, rep });
+        merges.push(Merge {
+            a,
+            b,
+            merged: new,
+            rep,
+        });
     }
 
     let d = Dendrogram { n, merges };
@@ -132,12 +143,20 @@ where
             }
         }
         let (a, b) = {
-            let mut cmp = Rev(PairRepCmp { oracle, graph: &graph });
+            let mut cmp = Rev(PairRepCmp {
+                oracle,
+                graph: &graph,
+            });
             count_max(&sample, &mut cmp).expect("non-empty sample")
         };
         let rep = graph.rep(a, b);
         let new = graph.merge(a, b, linkage, oracle);
-        merges.push(Merge { a, b, merged: new, rep });
+        merges.push(Merge {
+            a,
+            b,
+            merged: new,
+            rep,
+        });
     }
 
     let d = Dendrogram { n, merges };
@@ -183,7 +202,10 @@ mod tests {
         let mut o = TrueQuadOracle::new(EuclideanMetric::from_points(&pts));
         match hier_tour2(Linkage::Single, 50, &mut o, &mut rng(2)) {
             Tour2Outcome::Finished(_) => panic!("budget of 50 cannot finish n = 24"),
-            Tour2Outcome::DidNotFinish { merges_done, queries_spent } => {
+            Tour2Outcome::DidNotFinish {
+                merges_done,
+                queries_spent,
+            } => {
                 assert!(merges_done < n - 1);
                 assert!(queries_spent <= 50);
             }

@@ -56,10 +56,19 @@ pub fn hier_exact<M: Metric>(metric: &M, linkage: Linkage) -> Dendrogram {
         let rep_ab = rep[&key(a, b)];
         let new = next_id;
         next_id += 1;
-        merges.push(Merge { a, b, merged: new, rep: (rep_ab.0 as usize, rep_ab.1 as usize) });
+        merges.push(Merge {
+            a,
+            b,
+            merged: new,
+            rep: (rep_ab.0 as usize, rep_ab.1 as usize),
+        });
 
         // Lance–Williams update: min (single) or max (complete).
-        let others: Vec<usize> = active.iter().copied().filter(|&c| c != a && c != b).collect();
+        let others: Vec<usize> = active
+            .iter()
+            .copied()
+            .filter(|&c| c != a && c != b)
+            .collect();
         for &c in &others {
             let (d1, r1) = (dist[&key(a, c)], rep[&key(a, c)]);
             let (d2, r2) = (dist[&key(b, c)], rep[&key(b, c)]);
@@ -130,13 +139,8 @@ mod tests {
     fn complete_vs_single_differ_on_chains() {
         // A chain 0-1-2-3-4 with unit gaps: single linkage merges left to
         // right; complete linkage balances.
-        let m = EuclideanMetric::from_points(&[
-            vec![0.0],
-            vec![1.0],
-            vec![2.1],
-            vec![3.3],
-            vec![4.6],
-        ]);
+        let m =
+            EuclideanMetric::from_points(&[vec![0.0], vec![1.0], vec![2.1], vec![3.3], vec![4.6]]);
         let s = hier_exact(&m, Linkage::Single);
         let c = hier_exact(&m, Linkage::Complete);
         // Cut both at k = 2. Single linkage chains left to right and peels
@@ -167,7 +171,11 @@ mod tests {
             let labels = d.cut(3);
             for i in 0..24 {
                 for j in 0..24 {
-                    assert_eq!(labels[i] == labels[j], i / 8 == j / 8, "{linkage:?} ({i},{j})");
+                    assert_eq!(
+                        labels[i] == labels[j],
+                        i / 8 == j / 8,
+                        "{linkage:?} ({i},{j})"
+                    );
                 }
             }
         }

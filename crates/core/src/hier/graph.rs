@@ -37,7 +37,11 @@ impl ClusterGraph {
                 adj.insert(key(i, j), (i as u32, j as u32));
             }
         }
-        Self { next_id: n, active: (0..n).collect(), adj }
+        Self {
+            next_id: n,
+            active: (0..n).collect(),
+            adj,
+        }
     }
 
     /// Currently live cluster ids.
@@ -69,8 +73,12 @@ impl ClusterGraph {
         let new = self.next_id;
         self.next_id += 1;
 
-        let others: Vec<usize> =
-            self.active.iter().copied().filter(|&c| c != a && c != b).collect();
+        let others: Vec<usize> = self
+            .active
+            .iter()
+            .copied()
+            .filter(|&c| c != a && c != b)
+            .collect();
         for &c in &others {
             let r1 = self.rep(a, c);
             let r2 = self.rep(b, c);

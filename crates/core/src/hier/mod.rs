@@ -73,7 +73,10 @@ impl Dendrogram {
     pub fn cut(&self, k: usize) -> Vec<usize> {
         assert!(k >= 1 && k <= self.n, "need 1 <= k <= n");
         let steps = self.n - k;
-        assert!(steps <= self.merges.len(), "dendrogram too shallow for k = {k}");
+        assert!(
+            steps <= self.merges.len(),
+            "dendrogram too shallow for k = {k}"
+        );
         let mut parent: Vec<usize> = (0..self.n + steps).collect();
         for (s, m) in self.merges[..steps].iter().enumerate() {
             let new = self.n + s;
@@ -126,9 +129,24 @@ mod tests {
         Dendrogram {
             n: 4,
             merges: vec![
-                Merge { a: 0, b: 1, merged: 4, rep: (0, 1) },
-                Merge { a: 2, b: 3, merged: 5, rep: (2, 3) },
-                Merge { a: 4, b: 5, merged: 6, rep: (1, 2) },
+                Merge {
+                    a: 0,
+                    b: 1,
+                    merged: 4,
+                    rep: (0, 1),
+                },
+                Merge {
+                    a: 2,
+                    b: 3,
+                    merged: 5,
+                    rep: (2, 3),
+                },
+                Merge {
+                    a: 4,
+                    b: 5,
+                    merged: 6,
+                    rep: (1, 2),
+                },
             ],
         }
     }
@@ -151,8 +169,18 @@ mod tests {
         let d = Dendrogram {
             n: 3,
             merges: vec![
-                Merge { a: 0, b: 1, merged: 3, rep: (0, 1) },
-                Merge { a: 0, b: 2, merged: 4, rep: (0, 2) },
+                Merge {
+                    a: 0,
+                    b: 1,
+                    merged: 3,
+                    rep: (0, 1),
+                },
+                Merge {
+                    a: 0,
+                    b: 2,
+                    merged: 4,
+                    rep: (0, 2),
+                },
             ],
         };
         d.validate();

@@ -34,14 +34,24 @@ pub struct HierParams {
 impl HierParams {
     /// The paper's experimental setting (`t = 1`).
     pub fn experimental(linkage: Linkage) -> Self {
-        Self { linkage, search: AdvParams::experimental() }
+        Self {
+            linkage,
+            search: AdvParams::experimental(),
+        }
     }
 
     /// Lemma 5.1's setting: per-merge failure probability `delta / n`.
     pub fn with_confidence(linkage: Linkage, n: usize, delta: f64) -> Self {
         assert!(delta > 0.0 && delta < 1.0);
         let t = ((2.0 * (n.max(2) as f64 / delta).log2()).ceil() as usize).max(1);
-        Self { linkage, search: AdvParams { rounds: t, partitions: None, sample_size: None } }
+        Self {
+            linkage,
+            search: AdvParams {
+                rounds: t,
+                partitions: None,
+                sample_size: None,
+            },
+        }
     }
 }
 
@@ -88,10 +98,13 @@ where
     O: QuadrupletOracle,
     R: Rng + ?Sized,
 {
-    let neighbours: Vec<usize> =
-        graph.active().iter().copied().filter(|&x| x != c).collect();
+    let neighbours: Vec<usize> = graph.active().iter().copied().filter(|&x| x != c).collect();
     debug_assert!(!neighbours.is_empty());
-    let mut cmp = RepCmp { oracle, graph, me: c };
+    let mut cmp = RepCmp {
+        oracle,
+        graph,
+        me: c,
+    };
     min_adv(&neighbours, params, &mut cmp, rng).expect("at least one neighbour")
 }
 
@@ -120,14 +133,23 @@ where
         // Closest (C, nn(C)) candidate.
         let actives: Vec<usize> = graph.active().to_vec();
         let winner = {
-            let mut cmp = CandidateCmp { oracle, graph: &graph, nn: &nn };
+            let mut cmp = CandidateCmp {
+                oracle,
+                graph: &graph,
+                nn: &nn,
+            };
             min_adv(&actives, &params.search, &mut cmp, rng).expect("non-empty actives")
         };
         let partner = nn[&winner];
         let rep = graph.rep(winner, partner);
 
         let new = graph.merge(winner, partner, params.linkage, oracle);
-        merges.push(Merge { a: winner, b: partner, merged: new, rep });
+        merges.push(Merge {
+            a: winner,
+            b: partner,
+            merged: new,
+            rep,
+        });
         nn.remove(&winner);
         nn.remove(&partner);
 
@@ -186,12 +208,28 @@ mod tests {
     #[test]
     fn perfect_oracle_single_linkage_merges_in_distance_order() {
         let mut o = TrueQuadOracle::new(two_pairs());
-        let d = hier_oracle(&HierParams::experimental(Linkage::Single), &mut o, &mut rng(1));
+        let d = hier_oracle(
+            &HierParams::experimental(Linkage::Single),
+            &mut o,
+            &mut rng(1),
+        );
         assert_eq!(d.merges.len(), 3);
         // First merge must be (0,1) at distance 1.
-        assert_eq!((d.merges[0].a.min(d.merges[0].b), d.merges[0].a.max(d.merges[0].b)), (0, 1));
+        assert_eq!(
+            (
+                d.merges[0].a.min(d.merges[0].b),
+                d.merges[0].a.max(d.merges[0].b)
+            ),
+            (0, 1)
+        );
         // Second merge must be (2,3) at distance 1.5.
-        assert_eq!((d.merges[1].a.min(d.merges[1].b), d.merges[1].a.max(d.merges[1].b)), (2, 3));
+        assert_eq!(
+            (
+                d.merges[1].a.min(d.merges[1].b),
+                d.merges[1].a.max(d.merges[1].b)
+            ),
+            (2, 3)
+        );
         // Cut at 2 recovers the two pairs.
         let labels = d.cut(2);
         assert_eq!(labels[0], labels[1]);
@@ -202,8 +240,11 @@ mod tests {
     #[test]
     fn perfect_oracle_complete_linkage_also_recovers_pairs() {
         let mut o = TrueQuadOracle::new(two_pairs());
-        let d =
-            hier_oracle(&HierParams::experimental(Linkage::Complete), &mut o, &mut rng(2));
+        let d = hier_oracle(
+            &HierParams::experimental(Linkage::Complete),
+            &mut o,
+            &mut rng(2),
+        );
         let labels = d.cut(2);
         assert_eq!(labels[0], labels[1]);
         assert_eq!(labels[2], labels[3]);
@@ -215,8 +256,9 @@ mod tests {
     #[test]
     fn merges_are_approximately_optimal_under_noise() {
         // A line of 16 points with growing gaps.
-        let pts: Vec<Vec<f64>> =
-            (0..16).map(|i| vec![(i as f64) * (1.0 + 0.1 * i as f64)]).collect();
+        let pts: Vec<Vec<f64>> = (0..16)
+            .map(|i| vec![(i as f64) * (1.0 + 0.1 * i as f64)])
+            .collect();
         let m = EuclideanMetric::from_points(&pts);
         let mu = 0.3;
         let trials = 10;
@@ -288,11 +330,16 @@ mod tests {
     #[test]
     fn query_complexity_is_subcubic() {
         let n = 64;
-        let pts: Vec<Vec<f64>> =
-            (0..n).map(|i| vec![((i * 37) % 101) as f64, ((i * 61) % 97) as f64]).collect();
+        let pts: Vec<Vec<f64>> = (0..n)
+            .map(|i| vec![((i * 37) % 101) as f64, ((i * 61) % 97) as f64])
+            .collect();
         let m = EuclideanMetric::from_points(&pts);
         let mut o = Counting::new(TrueQuadOracle::new(m));
-        let _ = hier_oracle(&HierParams::experimental(Linkage::Single), &mut o, &mut rng(7));
+        let _ = hier_oracle(
+            &HierParams::experimental(Linkage::Single),
+            &mut o,
+            &mut rng(7),
+        );
         // O(n^2) with t = 1: generous constant 40 n^2; far below n^3 ≈ 262k.
         let budget = (40 * n * n) as u64;
         assert!(o.queries() <= budget, "{} queries > {budget}", o.queries());
@@ -302,7 +349,11 @@ mod tests {
     fn two_records() {
         let m = EuclideanMetric::from_points(&[vec![0.0], vec![1.0]]);
         let mut o = TrueQuadOracle::new(m);
-        let d = hier_oracle(&HierParams::experimental(Linkage::Single), &mut o, &mut rng(0));
+        let d = hier_oracle(
+            &HierParams::experimental(Linkage::Single),
+            &mut o,
+            &mut rng(0),
+        );
         assert_eq!(d.merges.len(), 1);
         assert_eq!(d.cut(1), vec![0, 0]);
     }

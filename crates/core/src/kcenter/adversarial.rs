@@ -39,7 +39,11 @@ pub struct KCenterAdvParams {
 impl KCenterAdvParams {
     /// Experimental configuration (Section 6.1): `t = 1`.
     pub fn experimental(k: usize) -> Self {
-        Self { k, first_center: None, farthest: AdvParams::experimental() }
+        Self {
+            k,
+            first_center: None,
+            farthest: AdvParams::experimental(),
+        }
     }
 
     /// Theorem 4.2 configuration: per-iteration failure `delta / k`.
@@ -49,7 +53,11 @@ impl KCenterAdvParams {
         Self {
             k,
             first_center: None,
-            farthest: AdvParams { rounds: t, partitions: None, sample_size: None },
+            farthest: AdvParams {
+                rounds: t,
+                partitions: None,
+                sample_size: None,
+            },
         }
     }
 }
@@ -84,7 +92,9 @@ where
     let k = params.k;
     assert!(k >= 1 && k <= n, "need 1 <= k <= n (k = {k}, n = {n})");
 
-    let first = params.first_center.unwrap_or_else(|| rng.random_range(0..n));
+    let first = params
+        .first_center
+        .unwrap_or_else(|| rng.random_range(0..n));
     assert!(first < n, "first center out of range");
 
     let mut centers: Vec<usize> = vec![first];
@@ -97,7 +107,11 @@ where
     while centers.len() < k {
         // Approx-Farthest over all non-center points.
         let items: Vec<usize> = (0..n).filter(|&v| !is_center[v]).collect();
-        let mut cmp = AssignedDistCmp { oracle, centers: &centers, assignment: &assignment };
+        let mut cmp = AssignedDistCmp {
+            oracle,
+            centers: &centers,
+            assignment: &assignment,
+        };
         let far = max_adv(&items, &params.farthest, &mut cmp, rng)
             .expect("non-empty candidate set while centers < k <= n");
 
@@ -134,7 +148,10 @@ where
         }
     }
 
-    let clustering = Clustering { centers, assignment };
+    let clustering = Clustering {
+        centers,
+        assignment,
+    };
     clustering.validate();
     clustering
 }
@@ -170,7 +187,11 @@ mod tests {
 
     #[test]
     fn perfect_oracle_matches_gonzalez_objective() {
-        let m = blobs(10, &[(0.0, 0.0), (40.0, 0.0), (0.0, 40.0), (40.0, 40.0)], 1.0);
+        let m = blobs(
+            10,
+            &[(0.0, 0.0), (40.0, 0.0), (0.0, 40.0), (40.0, 40.0)],
+            1.0,
+        );
         let g = super::super::gonzalez(&m, 4, Some(0));
         let g_obj = kcenter_objective(&m, &g.centers, &g.assignment);
         let mut o = TrueQuadOracle::new(m.clone());
@@ -204,7 +225,10 @@ mod tests {
         };
         let c = kcenter_adv(&params, &mut o, &mut rng(2));
         let obj = kcenter_objective(&m, &c.centers, &c.assignment);
-        assert!(obj <= 3.0 * 51.0 + 1e-9, "objective {obj} within 3x OPT of the example");
+        assert!(
+            obj <= 3.0 * 51.0 + 1e-9,
+            "objective {obj} within 3x OPT of the example"
+        );
     }
 
     /// Theorem 4.2's shape: for small mu, the objective stays within a
@@ -212,7 +236,17 @@ mod tests {
     /// centers, and within (2 + O(mu)) * OPT-ish of the exact greedy.
     #[test]
     fn small_mu_objective_close_to_exact_greedy() {
-        let m = blobs(15, &[(0.0, 0.0), (60.0, 0.0), (0.0, 60.0), (60.0, 60.0), (30.0, 30.0)], 1.5);
+        let m = blobs(
+            15,
+            &[
+                (0.0, 0.0),
+                (60.0, 0.0),
+                (0.0, 60.0),
+                (60.0, 60.0),
+                (30.0, 30.0),
+            ],
+            1.5,
+        );
         let g = super::super::gonzalez(&m, 5, Some(0));
         let g_obj = kcenter_objective(&m, &g.centers, &g.assignment);
         let mu = 0.05; // < 1/18
@@ -232,21 +266,34 @@ mod tests {
                 ok += 1;
             }
         }
-        assert!(ok >= trials * 8 / 10, "{ok}/{trials} runs within 2x of greedy");
+        assert!(
+            ok >= trials * 8 / 10,
+            "{ok}/{trials} runs within 2x of greedy"
+        );
     }
 
     #[test]
     fn query_complexity_scales_as_nk_squared() {
-        let m = blobs(40, &[(0.0, 0.0), (50.0, 0.0), (0.0, 50.0), (50.0, 50.0)], 2.0);
+        let m = blobs(
+            40,
+            &[(0.0, 0.0), (50.0, 0.0), (0.0, 50.0), (50.0, 50.0)],
+            2.0,
+        );
         let n = 160;
         let k = 8;
         let mut o = Counting::new(TrueQuadOracle::new(m));
-        let params = KCenterAdvParams { first_center: Some(0), ..KCenterAdvParams::experimental(k) };
+        let params = KCenterAdvParams {
+            first_center: Some(0),
+            ..KCenterAdvParams::experimental(k)
+        };
         let _ = kcenter_adv(&params, &mut o, &mut rng(9));
         // Assign: sum_i n*i ≈ n k^2 / 2; farthest with t=1: ~3n per round.
         let budget = (n * k * k / 2 + 6 * n * k) as u64;
         assert!(o.queries() <= budget, "{} queries > {budget}", o.queries());
-        assert!(o.queries() >= (n * (k - 1) / 2) as u64, "suspiciously few queries");
+        assert!(
+            o.queries() >= (n * (k - 1) / 2) as u64,
+            "suspiciously few queries"
+        );
     }
 
     #[test]
@@ -265,7 +312,10 @@ mod tests {
     fn k_equals_one_assigns_everything_to_first() {
         let m = blobs(5, &[(0.0, 0.0)], 1.0);
         let mut o = TrueQuadOracle::new(m);
-        let params = KCenterAdvParams { first_center: Some(2), ..KCenterAdvParams::experimental(1) };
+        let params = KCenterAdvParams {
+            first_center: Some(2),
+            ..KCenterAdvParams::experimental(1)
+        };
         let c = kcenter_adv(&params, &mut o, &mut rng(0));
         assert_eq!(c.centers, vec![2]);
         assert!(c.assignment.iter().all(|&a| a == 0));

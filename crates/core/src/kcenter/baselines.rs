@@ -48,8 +48,11 @@ where
     while centers.len() < k {
         let items: Vec<usize> = (0..n).filter(|&v| !is_center[v]).collect();
         let far = {
-            let mut cmp =
-                AssignedDistCmp { oracle, centers: &centers, assignment: &assignment };
+            let mut cmp = AssignedDistCmp {
+                oracle,
+                centers: &centers,
+                assignment: &assignment,
+            };
             tournament(&items, 2, &mut cmp, rng).expect("non-empty candidates")
         };
         let pos = centers.len();
@@ -67,7 +70,10 @@ where
             }
         }
     }
-    let c = Clustering { centers, assignment };
+    let c = Clustering {
+        centers,
+        assignment,
+    };
     c.validate();
     c
 }
@@ -112,11 +118,13 @@ where
     is_center[first] = true;
 
     while centers.len() < k {
-        let items: Vec<usize> =
-            sample.iter().copied().filter(|&v| !is_center[v]).collect();
+        let items: Vec<usize> = sample.iter().copied().filter(|&v| !is_center[v]).collect();
         let far = {
-            let mut cmp =
-                AssignedDistCmp { oracle, centers: &centers, assignment: &s_assign };
+            let mut cmp = AssignedDistCmp {
+                oracle,
+                centers: &centers,
+                assignment: &s_assign,
+            };
             count_max(&items, &mut cmp).expect("sample larger than k")
         };
         let pos = centers.len();
@@ -159,7 +167,10 @@ where
             .map(|(j, _)| j)
             .expect("k >= 1");
     }
-    let c = Clustering { centers, assignment };
+    let c = Clustering {
+        centers,
+        assignment,
+    };
     c.validate();
     c
 }
@@ -215,7 +226,9 @@ struct UnionFind {
 
 impl UnionFind {
     fn new(n: usize) -> Self {
-        Self { parent: (0..n).collect() }
+        Self {
+            parent: (0..n).collect(),
+        }
     }
 
     fn find(&mut self, mut x: usize) -> usize {

@@ -37,7 +37,10 @@ pub fn gonzalez<M: Metric>(metric: &M, k: usize, first_center: Option<usize>) ->
             }
         }
     }
-    let c = Clustering { centers, assignment };
+    let c = Clustering {
+        centers,
+        assignment,
+    };
     c.validate();
     c
 }
@@ -91,7 +94,9 @@ mod tests {
     #[test]
     fn two_approximation_against_brute_force() {
         let m = EuclideanMetric::from_points(
-            &(0..10).map(|i| vec![((i * 7) % 10) as f64, ((i * 3) % 7) as f64]).collect::<Vec<_>>(),
+            &(0..10)
+                .map(|i| vec![((i * 7) % 10) as f64, ((i * 3) % 7) as f64])
+                .collect::<Vec<_>>(),
         );
         let k = 3;
         // Brute force optimum over all center triples.
@@ -109,7 +114,10 @@ mod tests {
         for first in 0..10 {
             let g = gonzalez(&m, k, Some(first));
             let obj = kcenter_objective(&m, &g.centers, &g.assignment);
-            assert!(obj <= 2.0 * opt + 1e-9, "greedy {obj} vs opt {opt} (first {first})");
+            assert!(
+                obj <= 2.0 * opt + 1e-9,
+                "greedy {obj} vs opt {opt} (first {first})"
+            );
         }
     }
 

@@ -97,7 +97,10 @@ mod tests {
 
     #[test]
     fn clustering_accessors() {
-        let c = Clustering { centers: vec![2, 0], assignment: vec![1, 0, 0, 1] };
+        let c = Clustering {
+            centers: vec![2, 0],
+            assignment: vec![1, 0, 0, 1],
+        };
         c.validate();
         assert_eq!(c.k(), 2);
         assert_eq!(c.n(), 4);
@@ -111,7 +114,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "not assigned to itself")]
     fn validate_catches_misassigned_center() {
-        let c = Clustering { centers: vec![0, 1], assignment: vec![0, 0] };
+        let c = Clustering {
+            centers: vec![0, 1],
+            assignment: vec![0, 0],
+        };
         c.validate();
     }
 }

@@ -80,7 +80,11 @@ impl KCenterProbParams {
             delta,
             threshold: PAIRWISE_THRESHOLD,
             first_center: None,
-            farthest: AdvParams { rounds: t, partitions: None, sample_size: None },
+            farthest: AdvParams {
+                rounds: t,
+                partitions: None,
+                sample_size: None,
+            },
         }
     }
 
@@ -257,12 +261,18 @@ where
         clusters.push(vec![far]);
         membership[far] = new_pos;
 
-        // Assign (Algorithm 8): ACount vote of every non-core member.
+        // Assign (Algorithm 8): ACount vote of every member. Core members
+        // are movable too: the fixed core size can exceed a cluster's true
+        // sampled population, in which case the committee absorbs the
+        // nearest *foreign* points — exempting them would pin them to the
+        // wrong cluster for good (they can never out-vote their own
+        // committee seat), which breaks the Theorem 4.4 objective even
+        // under an exact oracle.
         let mut moves: Vec<usize> = Vec::new();
         for j in 0..new_pos {
             let core = &cores[j];
             for &u in &clusters[j] {
-                if is_center[u] || core.contains(&u) {
+                if is_center[u] {
                     continue;
                 }
                 if acount(oracle, u, far, core) > params.threshold {
@@ -270,11 +280,23 @@ where
                 }
             }
         }
+        let mut stale_cores: Vec<bool> = vec![false; new_pos];
         for &u in &moves {
             let from = membership[u];
+            if cores[from].contains(&u) {
+                stale_cores[from] = true;
+            }
             clusters[from].retain(|&x| x != u);
             clusters[new_pos].push(u);
             membership[u] = new_pos;
+        }
+        // A committee that lost a member no longer represents its cluster;
+        // re-elect it from the surviving membership.
+        for (j, stale) in stale_cores.iter().enumerate() {
+            if *stale {
+                cores[j] = identify_core(oracle, &clusters[j], centers[j], core_size);
+                rtildes[j] = rtilde(&cores[j]);
+            }
         }
 
         cores.push(identify_core(oracle, &clusters[new_pos], far, core_size));
@@ -304,7 +326,10 @@ where
         *slot = cur;
     }
 
-    let clustering = Clustering { centers, assignment };
+    let clustering = Clustering {
+        centers,
+        assignment,
+    };
     clustering.validate();
     clustering
 }
@@ -341,8 +366,7 @@ mod tests {
     fn cluster_purity(assignment: &[usize], labels: &[usize], k: usize) -> f64 {
         let mut correct = 0usize;
         for c in 0..k {
-            let members: Vec<usize> =
-                (0..labels.len()).filter(|&v| assignment[v] == c).collect();
+            let members: Vec<usize> = (0..labels.len()).filter(|&v| assignment[v] == c).collect();
             if members.is_empty() {
                 continue;
             }
@@ -357,9 +381,7 @@ mod tests {
 
     #[test]
     fn identify_core_ranks_by_closeness() {
-        let m = EuclideanMetric::from_points(
-            &(0..12).map(|i| vec![i as f64]).collect::<Vec<_>>(),
-        );
+        let m = EuclideanMetric::from_points(&(0..12).map(|i| vec![i as f64]).collect::<Vec<_>>());
         let mut o = TrueQuadOracle::new(m);
         let cluster: Vec<usize> = (0..12).collect();
         let core = identify_core(&mut o, &cluster, 0, 4);
@@ -410,7 +432,10 @@ mod tests {
                 good += 1;
             }
         }
-        assert!(good >= trials * 7 / 10, "only {good}/{trials} pure clusterings");
+        assert!(
+            good >= trials * 7 / 10,
+            "only {good}/{trials} pure clusterings"
+        );
     }
 
     #[test]

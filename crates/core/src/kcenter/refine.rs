@@ -39,7 +39,11 @@ pub struct RefineParams {
 
 impl Default for RefineParams {
     fn default() -> Self {
-        Self { rounds: 2, center_candidates: 24, search: AdvParams::experimental() }
+        Self {
+            rounds: 2,
+            center_candidates: 24,
+            search: AdvParams::experimental(),
+        }
     }
 }
 
@@ -82,8 +86,7 @@ where
             let pairs: Vec<(usize, usize)> = candidates
                 .iter()
                 .filter_map(|&u| {
-                    farthest_adv_among(oracle, u, &members, &params.search, rng)
-                        .map(|w| (u, w))
+                    farthest_adv_among(oracle, u, &members, &params.search, rng).map(|w| (u, w))
                 })
                 .collect();
             if pairs.is_empty() {
@@ -177,7 +180,10 @@ mod tests {
         let mut o = TrueQuadOracle::new(m.clone());
         let refined = refine_kcenter(start, &RefineParams::default(), &mut o, &mut rng(1));
         let after = kcenter_objective(&m, &refined.centers, &refined.assignment);
-        assert!(after <= before + 1e-9, "refinement must not worsen: {after} vs {before}");
+        assert!(
+            after <= before + 1e-9,
+            "refinement must not worsen: {after} vs {before}"
+        );
         // Re-assignment splits the blobs; the radius drops from the
         // cross-blob scale (~60+) to the intra-blob scale (<= ~7).
         assert!(after < 10.0, "expected intra-blob radius, got {after}");
@@ -192,14 +198,17 @@ mod tests {
             let mut o = AdversarialQuadOracle::new(m.clone(), 0.8, InvertAdversary);
             let g = kcenter_adv(&KCenterAdvParams::experimental(3), &mut o, &mut rng(seed));
             let before = kcenter_objective(&m, &g.centers, &g.assignment);
-            let refined =
-                refine_kcenter(g, &RefineParams::default(), &mut o, &mut rng(100 + seed));
+            let refined = refine_kcenter(g, &RefineParams::default(), &mut o, &mut rng(100 + seed));
             let after = kcenter_objective(&m, &refined.centers, &refined.assignment);
             if after <= before + 1e-9 {
                 improvements += 1;
             }
         }
-        assert!(improvements >= trials - 1, "refinement regressed in {} runs", trials - improvements);
+        assert!(
+            improvements >= trials - 1,
+            "refinement regressed in {} runs",
+            trials - improvements
+        );
     }
 
     #[test]
@@ -209,7 +218,10 @@ mod tests {
         let g_obj = kcenter_objective(&m, &g.centers, &g.assignment);
         let mut o = TrueQuadOracle::new(m.clone());
         let noisy = kcenter_adv(
-            &KCenterAdvParams { first_center: Some(0), ..KCenterAdvParams::experimental(3) },
+            &KCenterAdvParams {
+                first_center: Some(0),
+                ..KCenterAdvParams::experimental(3)
+            },
             &mut o,
             &mut rng(4),
         );

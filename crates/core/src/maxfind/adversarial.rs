@@ -38,7 +38,11 @@ impl AdvParams {
     /// The paper's experimental configuration (Section 6.1): `t = 1`,
     /// `l = sqrt(n)`, sample of `sqrt(n)`.
     pub fn experimental() -> Self {
-        Self { rounds: 1, partitions: None, sample_size: None }
+        Self {
+            rounds: 1,
+            partitions: None,
+            sample_size: None,
+        }
     }
 
     /// The proof-grade configuration of Theorem 3.6: `t = 2 log2(2/delta)`
@@ -49,7 +53,11 @@ impl AdvParams {
     pub fn with_confidence(delta: f64) -> Self {
         assert!(delta > 0.0 && delta < 1.0, "delta must be in (0,1)");
         let t = (2.0 * (2.0 / delta).log2()).ceil() as usize;
-        Self { rounds: t.max(1), partitions: None, sample_size: None }
+        Self {
+            rounds: t.max(1),
+            partitions: None,
+            sample_size: None,
+        }
     }
 
     /// Resolves `(t, l, sample_size)` for an instance of `n` items.
@@ -110,7 +118,9 @@ where
 mod tests {
     use super::*;
     use crate::comparator::{ExactKeyCmp, ValueCmp};
-    use nco_oracle::adversarial::{AdversarialValueOracle, InvertAdversary, PersistentRandomAdversary};
+    use nco_oracle::adversarial::{
+        AdversarialValueOracle, InvertAdversary, PersistentRandomAdversary,
+    };
     use nco_oracle::counting::Counting;
     use nco_oracle::TrueValueOracle;
     use rand::rngs::StdRng;
@@ -127,7 +137,11 @@ mod tests {
         assert_eq!((t, l, s), (1, 10, 10));
         let p = AdvParams::with_confidence(0.1);
         assert_eq!(p.rounds, 9); // ceil(2 * log2(20)) = ceil(8.64)
-        let p = AdvParams { rounds: 2, partitions: Some(5), sample_size: Some(7) };
+        let p = AdvParams {
+            rounds: 2,
+            partitions: Some(5),
+            sample_size: Some(7),
+        };
         assert_eq!(p.resolve(100), (2, 5, 7));
     }
 
@@ -142,7 +156,9 @@ mod tests {
             &mut rng(11),
         )
         .unwrap();
-        let true_best = (0..200).max_by(|&a, &b| keys[a].total_cmp(&keys[b])).unwrap();
+        let true_best = (0..200)
+            .max_by(|&a, &b| keys[a].total_cmp(&keys[b]))
+            .unwrap();
         assert_eq!(best, true_best);
         let worst = min_adv(
             &items,
@@ -151,7 +167,9 @@ mod tests {
             &mut rng(12),
         )
         .unwrap();
-        let true_worst = (0..200).min_by(|&a, &b| keys[a].total_cmp(&keys[b])).unwrap();
+        let true_worst = (0..200)
+            .min_by(|&a, &b| keys[a].total_cmp(&keys[b]))
+            .unwrap();
         assert_eq!(worst, true_worst);
     }
 
@@ -163,8 +181,14 @@ mod tests {
             max_adv::<usize, _, _>(&[], &p, &mut ExactKeyCmp::new(&keys), &mut rng(0)),
             None
         );
-        assert_eq!(max_adv(&[0], &p, &mut ExactKeyCmp::new(&keys), &mut rng(0)), Some(0));
-        assert_eq!(max_adv(&[0, 1], &p, &mut ExactKeyCmp::new(&keys), &mut rng(0)), Some(1));
+        assert_eq!(
+            max_adv(&[0], &p, &mut ExactKeyCmp::new(&keys), &mut rng(0)),
+            Some(0)
+        );
+        assert_eq!(
+            max_adv(&[0, 1], &p, &mut ExactKeyCmp::new(&keys), &mut rng(0)),
+            Some(1)
+        );
     }
 
     /// Theorem 3.6's bound against the worst-case adversary, checked over
@@ -176,7 +200,9 @@ mod tests {
         let mu = 0.5f64;
         let n = 256usize;
         // Geometric-ish values: plenty of in-band confusion everywhere.
-        let values: Vec<f64> = (0..n).map(|i| 1.0 * (1.0 + mu * 0.35).powi(i as i32 % 40)).collect();
+        let values: Vec<f64> = (0..n)
+            .map(|i| 1.0 * (1.0 + mu * 0.35).powi(i as i32 % 40))
+            .collect();
         let vmax = values.iter().cloned().fold(0.0, f64::max);
         let params = AdvParams::with_confidence(0.1);
         let items: Vec<usize> = (0..n).collect();
@@ -195,7 +221,10 @@ mod tests {
                 ok += 1;
             }
         }
-        assert!(ok >= trials * 8 / 10, "bound held in only {ok}/{trials} trials");
+        assert!(
+            ok >= trials * 8 / 10,
+            "bound held in only {ok}/{trials} trials"
+        );
     }
 
     #[test]
@@ -208,7 +237,12 @@ mod tests {
             let items: Vec<usize> = (0..n).collect();
             let delta = 0.1;
             let params = AdvParams::with_confidence(delta);
-            let _ = max_adv(&items, &params, &mut ValueCmp::new(&mut oracle), &mut rng(5));
+            let _ = max_adv(
+                &items,
+                &params,
+                &mut ValueCmp::new(&mut oracle),
+                &mut rng(5),
+            );
             let log_term = (1.0 / delta).log2();
             let budget = (16.0 * n as f64 * log_term * log_term) as u64;
             assert!(

@@ -118,11 +118,11 @@ mod tests {
     fn lemma_3_1_bound_exhaustive() {
         for mu in [0.2, 0.5, 1.0] {
             for scale in 1..6 {
-                let values: Vec<f64> =
-                    (0..12).map(|i| (1.0f64 + mu * 0.4).powi(i) * scale as f64).collect();
+                let values: Vec<f64> = (0..12)
+                    .map(|i| (1.0f64 + mu * 0.4).powi(i) * scale as f64)
+                    .collect();
                 let vmax = values.iter().cloned().fold(0.0, f64::max);
-                let mut oracle =
-                    AdversarialValueOracle::new(values.clone(), mu, InvertAdversary);
+                let mut oracle = AdversarialValueOracle::new(values.clone(), mu, InvertAdversary);
                 let items: Vec<usize> = (0..values.len()).collect();
                 let w = count_max(&items, &mut ValueCmp::new(&mut oracle)).unwrap();
                 assert!(

@@ -36,7 +36,12 @@ impl ProbParams {
     /// Lean configuration for experiments (mirrors how the paper's own
     /// implementation keeps query counts near-linear, Section 6.3).
     pub fn experimental() -> Self {
-        Self { delta: 0.1, sample_coeff: 4.0, keep_ratio: 0.5, max_rounds: None }
+        Self {
+            delta: 0.1,
+            sample_coeff: 4.0,
+            keep_ratio: 0.5,
+            max_rounds: None,
+        }
     }
 
     /// The proof-grade constants of Lemma 8.10 (`100 log(n/delta)` samples,
@@ -46,7 +51,12 @@ impl ProbParams {
     /// Panics unless `0 < delta < 1`.
     pub fn theory(delta: f64) -> Self {
         assert!(delta > 0.0 && delta < 1.0);
-        Self { delta, sample_coeff: 100.0, keep_ratio: 0.5, max_rounds: None }
+        Self {
+            delta,
+            sample_coeff: 100.0,
+            keep_ratio: 0.5,
+            max_rounds: None,
+        }
     }
 
     fn sample_size(&self, n: usize) -> usize {
@@ -55,7 +65,8 @@ impl ProbParams {
     }
 
     fn rounds_cap(&self, n: usize) -> usize {
-        self.max_rounds.unwrap_or(2 * (n.max(2) as f64).log2().ceil() as usize + 2)
+        self.max_rounds
+            .unwrap_or(2 * (n.max(2) as f64).log2().ceil() as usize + 2)
     }
 }
 
@@ -86,8 +97,9 @@ where
     let mut round = 0usize;
     while survivors.len() > s && round < cap {
         // Sample with replacement; scoring counts multiset occurrences.
-        let sample: Vec<I> =
-            (0..s).map(|_| survivors[rng.random_range(0..survivors.len())]).collect();
+        let sample: Vec<I> = (0..s)
+            .map(|_| survivors[rng.random_range(0..survivors.len())])
+            .collect();
         let in_sample: std::collections::HashSet<I> = sample.iter().copied().collect();
         let mut kept = Vec::with_capacity(survivors.len());
         for &u in &survivors {
@@ -158,7 +170,11 @@ mod tests {
                 &mut rng(seed),
             )
             .unwrap();
-            assert!(rank_of(best, true) <= 25, "max rank {}", rank_of(best, true));
+            assert!(
+                rank_of(best, true) <= 25,
+                "max rank {}",
+                rank_of(best, true)
+            );
             let worst = min_prob(
                 &items,
                 &ProbParams::experimental(),
@@ -166,7 +182,11 @@ mod tests {
                 &mut rng(100 + seed),
             )
             .unwrap();
-            assert!(rank_of(worst, false) <= 25, "min rank {}", rank_of(worst, false));
+            assert!(
+                rank_of(worst, false) <= 25,
+                "min rank {}",
+                rank_of(worst, false)
+            );
         }
     }
 
@@ -178,7 +198,10 @@ mod tests {
             max_prob::<usize, _, _>(&[], &p, &mut ExactKeyCmp::new(&keys), &mut rng(0)),
             None
         );
-        assert_eq!(max_prob(&[0], &p, &mut ExactKeyCmp::new(&keys), &mut rng(0)), Some(0));
+        assert_eq!(
+            max_prob(&[0], &p, &mut ExactKeyCmp::new(&keys), &mut rng(0)),
+            Some(0)
+        );
     }
 
     /// Theorem 3.7: the returned item's rank is polylogarithmic. At n = 600,
@@ -217,7 +240,12 @@ mod tests {
             let mut oracle = Counting::new(TrueValueOracle::new(values));
             let items: Vec<usize> = (0..n).collect();
             let params = ProbParams::experimental();
-            let _ = max_prob(&items, &params, &mut ValueCmp::new(&mut oracle), &mut rng(8));
+            let _ = max_prob(
+                &items,
+                &params,
+                &mut ValueCmp::new(&mut oracle),
+                &mut rng(8),
+            );
             let ln = (n as f64 / params.delta).ln();
             let budget = (8.0 * n as f64 * ln + 4.0 * (params.sample_coeff * ln).powi(2)) as u64;
             assert!(
@@ -230,13 +258,32 @@ mod tests {
 
     #[test]
     fn survivor_counts_shrink_monotonically() {
-        // Indirect check: with a perfect oracle, the winner is exact even
-        // with the tiny theory-killing max_rounds cap of 1.
+        // Indirect check: with a perfect oracle the winner stays near the
+        // top even with the tiny theory-killing max_rounds cap of 1. Exact
+        // equality would over-claim: the round's sample is discarded
+        // permanently (to keep rounds independent), so for ~s/n of seeds
+        // the true maximum itself is sampled away and the best *surviving*
+        // item wins — Lemma 8.11 charges exactly this to the rank bound.
         let n = 300usize;
         let keys: Vec<f64> = (0..n).map(|i| i as f64).collect();
         let items: Vec<usize> = (0..n).collect();
-        let params = ProbParams { max_rounds: Some(1), ..ProbParams::experimental() };
-        let got = max_prob(&items, &params, &mut ExactKeyCmp::new(&keys), &mut rng(5)).unwrap();
-        assert_eq!(got, n - 1);
+        for seed in 0..8 {
+            let params = ProbParams {
+                max_rounds: Some(1),
+                ..ProbParams::experimental()
+            };
+            let got = max_prob(
+                &items,
+                &params,
+                &mut ExactKeyCmp::new(&keys),
+                &mut rng(seed),
+            )
+            .unwrap();
+            let rank = n - got; // rank 1 = true maximum
+            assert!(
+                rank <= 5,
+                "seed {seed}: rank {rank} after one pruning round"
+            );
+        }
     }
 }

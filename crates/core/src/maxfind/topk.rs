@@ -114,7 +114,13 @@ mod tests {
     fn exact_top_k_is_the_true_top_k_in_order() {
         let keys: Vec<f64> = (0..100).map(|i| ((i * 37) % 100) as f64).collect();
         let items: Vec<usize> = (0..100).collect();
-        let got = top_k_adv(&items, 5, &AdvParams::experimental(), &mut ExactKeyCmp::new(&keys), &mut rng(1));
+        let got = top_k_adv(
+            &items,
+            5,
+            &AdvParams::experimental(),
+            &mut ExactKeyCmp::new(&keys),
+            &mut rng(1),
+        );
         let mut expected: Vec<usize> = (0..100).collect();
         expected.sort_by(|&a, &b| keys[b].total_cmp(&keys[a]));
         assert_eq!(got, expected[..5].to_vec());

@@ -130,8 +130,7 @@ mod tests {
     fn partition_returns_one_winner_per_part() {
         let keys: Vec<f64> = (0..20).map(|i| i as f64).collect();
         let items: Vec<usize> = (0..20).collect();
-        let winners =
-            tournament_partition(&items, 4, &mut ExactKeyCmp::new(&keys), &mut rng(4));
+        let winners = tournament_partition(&items, 4, &mut ExactKeyCmp::new(&keys), &mut rng(4));
         assert_eq!(winners.len(), 4);
         // The global max must win its part under an exact comparator.
         assert!(winners.contains(&19));
@@ -146,8 +145,7 @@ mod tests {
     fn partition_clamps_l() {
         let keys = [1.0, 2.0, 3.0];
         let items = [0usize, 1, 2];
-        let winners =
-            tournament_partition(&items, 10, &mut ExactKeyCmp::new(&keys), &mut rng(5));
+        let winners = tournament_partition(&items, 10, &mut ExactKeyCmp::new(&keys), &mut rng(5));
         assert_eq!(winners.len(), 3); // one singleton part per item
         assert!(tournament_partition::<usize, _, _>(
             &[],
@@ -170,7 +168,9 @@ mod tests {
         }
         let keys: Vec<f64> = (0..50).map(|i| ((i * 13) % 50) as f64).collect();
         let items: Vec<usize> = (0..50).collect();
-        let mk = || FlakyCmp { oracle: TrueValueOracle::new(keys.clone()) };
+        let mk = || FlakyCmp {
+            oracle: TrueValueOracle::new(keys.clone()),
+        };
         let a = tournament(&items, 3, &mut mk(), &mut rng(9));
         let b = tournament(&items, 3, &mut mk(), &mut rng(9));
         assert_eq!(a, b);

@@ -80,7 +80,9 @@ mod tests {
 
     fn cloud(n: usize) -> EuclideanMetric {
         EuclideanMetric::from_points(
-            &(0..n).map(|i| vec![((i * 29) % 101) as f64, ((i * 53) % 97) as f64]).collect::<Vec<_>>(),
+            &(0..n)
+                .map(|i| vec![((i * 29) % 101) as f64, ((i * 53) % 97) as f64])
+                .collect::<Vec<_>>(),
         )
     }
 

@@ -115,7 +115,11 @@ mod tests {
                 hits += 1;
             }
         }
-        assert!(hits >= trials * 8 / 10, "core drifted in {}/{trials} runs", trials - hits);
+        assert!(
+            hits >= trials * 8 / 10,
+            "core drifted in {}/{trials} runs",
+            trials - hits
+        );
     }
 
     #[test]

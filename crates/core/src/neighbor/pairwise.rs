@@ -69,7 +69,11 @@ impl<'a, O: QuadrupletOracle> PairwiseCmp<'a, O> {
     /// Panics if `core` is empty.
     pub fn new(oracle: &'a mut O, core: &'a [usize]) -> Self {
         assert!(!core.is_empty(), "PairwiseComp needs a non-empty core");
-        Self { oracle, core, threshold: MAJORITY_THRESHOLD }
+        Self {
+            oracle,
+            core,
+            threshold: MAJORITY_THRESHOLD,
+        }
     }
 
     /// Builds the comparator with the paper's literal 0.3 threshold
@@ -79,7 +83,11 @@ impl<'a, O: QuadrupletOracle> PairwiseCmp<'a, O> {
     /// Panics if `core` is empty.
     pub fn paper(oracle: &'a mut O, core: &'a [usize]) -> Self {
         assert!(!core.is_empty(), "PairwiseComp needs a non-empty core");
-        Self { oracle, core, threshold: PAIRWISE_THRESHOLD }
+        Self {
+            oracle,
+            core,
+            threshold: PAIRWISE_THRESHOLD,
+        }
     }
 
     /// Overrides the acceptance threshold (the "different constants for
@@ -146,7 +154,10 @@ mod tests {
                 correct += 1;
             }
         }
-        assert!(correct >= trials * 9 / 10, "only {correct}/{trials} correct");
+        assert!(
+            correct >= trials * 9 / 10,
+            "only {correct}/{trials} correct"
+        );
     }
 
     #[test]

@@ -11,7 +11,12 @@ use rand::Rng;
 /// Farthest record from `q` under adversarial noise: Max-Adv over the
 /// distance set `D(q)` with raw quadruplet comparisons. `(1+mu)^3`
 /// guarantee by Theorem 3.6.
-pub fn farthest_adv<O, R>(oracle: &mut O, q: usize, params: &AdvParams, rng: &mut R) -> Option<usize>
+pub fn farthest_adv<O, R>(
+    oracle: &mut O,
+    q: usize,
+    params: &AdvParams,
+    rng: &mut R,
+) -> Option<usize>
 where
     O: QuadrupletOracle,
     R: Rng + ?Sized,
@@ -59,7 +64,12 @@ where
     R: Rng + ?Sized,
 {
     let items: Vec<usize> = candidates.iter().copied().filter(|&v| v != q).collect();
-    max_adv(&items, params, &mut Rev(DistToQueryCmp::new(oracle, q)), rng)
+    max_adv(
+        &items,
+        params,
+        &mut Rev(DistToQueryCmp::new(oracle, q)),
+        rng,
+    )
 }
 
 /// Farthest record from `q` under probabilistic noise, given a core `S` of
@@ -97,7 +107,12 @@ where
     R: Rng + ?Sized,
 {
     let items: Vec<usize> = super::candidates_excluding(oracle.n(), q);
-    max_adv(&items, params, &mut Rev(PairwiseCmp::new(oracle, core)), rng)
+    max_adv(
+        &items,
+        params,
+        &mut Rev(PairwiseCmp::new(oracle, core)),
+        rng,
+    )
 }
 
 /// Convenience pipeline for probabilistic farthest search: builds the core
@@ -169,7 +184,9 @@ mod tests {
 
     fn grid(n: usize) -> EuclideanMetric {
         EuclideanMetric::from_points(
-            &(0..n).map(|i| vec![(i % 17) as f64, (i / 17) as f64 * 1.37]).collect::<Vec<_>>(),
+            &(0..n)
+                .map(|i| vec![(i % 17) as f64, (i / 17) as f64 * 1.37])
+                .collect::<Vec<_>>(),
         )
     }
 
@@ -217,9 +234,13 @@ mod tests {
         let trials = 25;
         for seed in 0..trials {
             let mut o = AdversarialQuadOracle::new(m.clone(), mu, InvertAdversary);
-            let got =
-                farthest_adv(&mut o, 3, &AdvParams::with_confidence(0.1), &mut rng(40 + seed))
-                    .unwrap();
+            let got = farthest_adv(
+                &mut o,
+                3,
+                &AdvParams::with_confidence(0.1),
+                &mut rng(40 + seed),
+            )
+            .unwrap();
             if m.dist(3, got) * (1.0 + mu).powi(3) >= dmax - 1e-9 {
                 ok += 1;
             }
@@ -246,7 +267,10 @@ mod tests {
                 good += 1;
             }
         }
-        assert!(good >= trials * 2 / 3, "only {good}/{trials} in the top 10%");
+        assert!(
+            good >= trials * 2 / 3,
+            "only {good}/{trials} in the top 10%"
+        );
     }
 
     /// The additive `6*alpha` guarantee is only meaningful when the
@@ -279,13 +303,22 @@ mod tests {
                 good += 1;
             }
         }
-        assert!(good >= trials * 4 / 5, "only {good}/{trials} inside the dense cluster");
+        assert!(
+            good >= trials * 4 / 5,
+            "only {good}/{trials} inside the dense cluster"
+        );
         // Even at p = 0, PairwiseComp cannot resolve pairs within 2*alpha
         // of each other (the additive blind spot of Lemma 3.9), so the
         // noiseless sanity check is cluster containment, not exact rank.
         let mut o = ProbQuadOracle::new(m.clone(), 0.0, 1);
-        let got =
-            nearest_prob(&mut o, 0, 0.1, &AdvParams::with_confidence(0.1), &mut rng(4)).unwrap();
+        let got = nearest_prob(
+            &mut o,
+            0,
+            0.1,
+            &AdvParams::with_confidence(0.1),
+            &mut rng(4),
+        )
+        .unwrap();
         assert!(m.dist(0, got) < 1.0, "rank {}", nearest_rank(&m, 0, got));
     }
 
@@ -321,7 +354,10 @@ mod tests {
                 ok += 1;
             }
         }
-        assert!(ok >= trials * 8 / 10, "{ok}/{trials} within additive 6*alpha");
+        assert!(
+            ok >= trials * 8 / 10,
+            "{ok}/{trials} within additive 6*alpha"
+        );
     }
 
     #[test]

@@ -1,0 +1,180 @@
+//! # criterion (offline shim)
+//!
+//! The build environment has no cargo registry access, so this path crate
+//! stands in for the `criterion` benchmark harness. It implements the API
+//! subset `crates/bench/benches/micro.rs` uses — [`Criterion`],
+//! [`BenchmarkGroup`], [`Bencher::iter`] / [`Bencher::iter_batched`],
+//! [`BatchSize`], [`criterion_group!`], [`criterion_main!`] — and reports
+//! a median wall-clock time per iteration. It performs no statistical
+//! analysis, saves no baselines and draws no plots; swap in the real
+//! crate for publication-grade numbers.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Hint about per-iteration setup cost (accepted for API compatibility;
+/// the shim runs every batch at size 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Setup output is small; upstream batches many per allocation.
+    SmallInput,
+    /// Setup output is large.
+    LargeInput,
+    /// Batch size 1.
+    PerIteration,
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("\n== {name} ==");
+        BenchmarkGroup {
+            _parent: self,
+            sample_size: 10,
+            measurement_time: Duration::from_secs(2),
+        }
+    }
+}
+
+/// A named group of benchmarks sharing sampling settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples to collect per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Caps the total measurement time per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Runs one benchmark and prints its median per-iteration time.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut samples: Vec<Duration> = Vec::with_capacity(self.sample_size);
+        let deadline = Instant::now() + self.measurement_time;
+        for _ in 0..self.sample_size {
+            let mut b = Bencher {
+                elapsed: Duration::ZERO,
+                iters: 0,
+            };
+            f(&mut b);
+            if b.iters > 0 {
+                samples.push(b.elapsed / b.iters);
+            }
+            if Instant::now() >= deadline {
+                break;
+            }
+        }
+        samples.sort_unstable();
+        match samples.get(samples.len() / 2) {
+            Some(median) => println!(
+                "{id:<28} median {median:>12.2?} ({} samples)",
+                samples.len()
+            ),
+            None => println!("{id:<28} no samples"),
+        }
+        self
+    }
+
+    /// Ends the group (upstream flushes reports here; the shim prints
+    /// eagerly, so this is a no-op).
+    pub fn finish(&mut self) {}
+}
+
+/// Timing handle passed to each benchmark closure.
+#[derive(Debug)]
+pub struct Bencher {
+    elapsed: Duration,
+    iters: u32,
+}
+
+impl Bencher {
+    /// Times repeated calls of `routine`.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        std::hint::black_box(routine());
+        self.elapsed += start.elapsed();
+        self.iters += 1;
+    }
+
+    /// Times `routine` on fresh un-timed `setup` output each iteration.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let input = setup();
+        let start = Instant::now();
+        std::hint::black_box(routine(input));
+        self.elapsed += start.elapsed();
+        self.iters += 1;
+    }
+}
+
+/// Mirrors `criterion::criterion_group!`: bundles benchmark functions
+/// into one runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Mirrors `criterion::criterion_main!`: emits `fn main` running the
+/// given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim-smoke");
+        group
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(50));
+        let mut calls = 0u32;
+        group.bench_function("iter", |b| b.iter(|| std::hint::black_box(1 + 1)));
+        group.bench_function("iter_batched", |b| {
+            b.iter_batched(
+                || vec![1u8; 16],
+                |v| {
+                    calls += 1;
+                    v.len()
+                },
+                BatchSize::SmallInput,
+            )
+        });
+        group.finish();
+        assert!(calls >= 1);
+    }
+}

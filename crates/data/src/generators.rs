@@ -58,7 +58,10 @@ pub fn cities(n: usize, seed: u64) -> Dataset {
             m += 1;
         }
         let (cx, cy) = centers[m];
-        pts.push(vec![cx + 1.5 * normal(&mut rng), cy + 1.5 * normal(&mut rng)]);
+        pts.push(vec![
+            cx + 1.5 * normal(&mut rng),
+            cy + 1.5 * normal(&mut rng),
+        ]);
         labels.push(m);
     }
     for _ in 0..n_outpost {
@@ -142,7 +145,7 @@ pub fn amazon(n: usize, seed: u64) -> Dataset {
     // Guarantee >= 5 records per leaf first, then fill Zipf-style.
     let mut plan: Vec<usize> = Vec::with_capacity(n);
     for leaf in 0..(deps * 2) {
-        plan.extend(std::iter::repeat(leaf).take(5));
+        plan.extend(std::iter::repeat_n(leaf, 5));
     }
     while plan.len() < n {
         let mut pick = rng.random::<f64>() * wsum;
@@ -219,7 +222,10 @@ pub fn dblp(n: usize, seed: u64) -> Dataset {
     let mut labels = Vec::with_capacity(n);
     for i in 0..n {
         let t = i % topics;
-        let p: Vec<f64> = means[t].iter().map(|&m| m + 1.5 * normal(&mut rng)).collect();
+        let p: Vec<f64> = means[t]
+            .iter()
+            .map(|&m| m + 1.5 * normal(&mut rng))
+            .collect();
         pts.push(p);
         labels.push(t);
     }

@@ -91,7 +91,10 @@ impl Dataset {
 
     /// Number of distinct coarse clusters (0 when absent).
     pub fn k_coarse(&self) -> usize {
-        self.coarse_labels.as_ref().map(|l| distinct(l)).unwrap_or(0)
+        self.coarse_labels
+            .as_ref()
+            .map(|l| distinct(l))
+            .unwrap_or(0)
     }
 }
 

@@ -35,7 +35,13 @@ impl Summary {
         };
         let min = xs.iter().cloned().fold(f64::INFINITY, f64::min);
         let max = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-        Self { n, mean, std: var.sqrt(), min, max }
+        Self {
+            n,
+            mean,
+            std: var.sqrt(),
+            min,
+            max,
+        }
     }
 }
 
@@ -113,7 +119,10 @@ mod tests {
         let mut seen = Vec::new();
         let stats = run_reps(5, 100, |seed| {
             seen.push(seed);
-            RepOutcome { value: seed as f64, queries: 10 }
+            RepOutcome {
+                value: seed as f64,
+                queries: 10,
+            }
         });
         assert_eq!(seen, vec![100, 101, 102, 103, 104]);
         assert!((stats.value.mean - 102.0).abs() < 1e-12);

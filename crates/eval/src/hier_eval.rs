@@ -19,7 +19,10 @@ pub fn merge_linkage_distances<M: Metric>(
     metric: &M,
     linkage: Linkage,
 ) -> Vec<f64> {
-    assert!(dendrogram.n <= metric.len(), "dendrogram exceeds the metric");
+    assert!(
+        dendrogram.n <= metric.len(),
+        "dendrogram exceeds the metric"
+    );
     let mut members: Vec<Vec<usize>> = (0..dendrogram.n).map(|i| vec![i]).collect();
     let mut out = Vec::with_capacity(dendrogram.merges.len());
     for m in &dendrogram.merges {
@@ -97,9 +100,24 @@ mod tests {
         let bad = Dendrogram {
             n: 4,
             merges: vec![
-                Merge { a: 0, b: 3, merged: 4, rep: (0, 3) },
-                Merge { a: 1, b: 2, merged: 5, rep: (1, 2) },
-                Merge { a: 4, b: 5, merged: 6, rep: (0, 1) },
+                Merge {
+                    a: 0,
+                    b: 3,
+                    merged: 4,
+                    rep: (0, 3),
+                },
+                Merge {
+                    a: 1,
+                    b: 2,
+                    merged: 5,
+                    rep: (1, 2),
+                },
+                Merge {
+                    a: 4,
+                    b: 5,
+                    merged: 6,
+                    rep: (0, 1),
+                },
             ],
         };
         let e = mean_merge_distance(&exact, &m, Linkage::Single);

@@ -122,11 +122,20 @@ pub fn fit_noise<M: Metric, O: QuadrupletOracle>(
         }
     }
     let model = match cliff {
-        Some(c) if c + 1 < buckets => FittedModel::Adversarial { mu_hat: ratio_edges[c] - 1.0 },
-        _ => FittedModel::Probabilistic { p_hat: 1.0 - overall_accuracy },
+        Some(c) if c + 1 < buckets => FittedModel::Adversarial {
+            mu_hat: ratio_edges[c] - 1.0,
+        },
+        _ => FittedModel::Probabilistic {
+            p_hat: 1.0 - overall_accuracy,
+        },
     };
 
-    NoiseFit { ratio_edges, bucket_accuracy, overall_accuracy, model }
+    NoiseFit {
+        ratio_edges,
+        bucket_accuracy,
+        overall_accuracy,
+        model,
+    }
 }
 
 #[cfg(test)]
@@ -139,9 +148,7 @@ mod tests {
 
     fn validation_metric() -> EuclideanMetric {
         // A spread of distances producing ratios across all buckets.
-        EuclideanMetric::from_points(
-            &(0..80).map(|i| vec![1.02f64.powi(i)]).collect::<Vec<_>>(),
-        )
+        EuclideanMetric::from_points(&(0..80).map(|i| vec![1.02f64.powi(i)]).collect::<Vec<_>>())
     }
 
     #[test]

@@ -78,7 +78,11 @@ pub fn diameter<M: Metric>(metric: &M) -> f64 {
 /// Panics if `assignment.len() != metric.len()` or an assignment is out of
 /// range.
 pub fn kcenter_objective<M: Metric>(metric: &M, centers: &[usize], assignment: &[usize]) -> f64 {
-    assert_eq!(assignment.len(), metric.len(), "assignment covers all points");
+    assert_eq!(
+        assignment.len(),
+        metric.len(),
+        "assignment covers all points"
+    );
     assignment
         .iter()
         .enumerate()
@@ -260,7 +264,8 @@ mod tests {
 
     #[test]
     fn skew_is_larger_for_skewed_data() {
-        let tight = EuclideanMetric::from_points(&(0..50).map(|i| vec![i as f64]).collect::<Vec<_>>());
+        let tight =
+            EuclideanMetric::from_points(&(0..50).map(|i| vec![i as f64]).collect::<Vec<_>>());
         let mut pts: Vec<Vec<f64>> = (0..49).map(|i| vec![(i % 7) as f64 * 0.01]).collect();
         pts.push(vec![1000.0]);
         let skewed = EuclideanMetric::from_points(&pts);

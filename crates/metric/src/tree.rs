@@ -178,11 +178,12 @@ impl Metric for TreeMetric {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     fn two_level_tree() -> TreeMetric {
         // 2 top categories x 2 subcategories x 2 records.
-        let mut b = TreeMetricBuilder::new(vec![10.0, 4.0, 1.0]).jitter(0.5).seed(7);
+        let mut b = TreeMetricBuilder::new(vec![10.0, 4.0, 1.0])
+            .jitter(0.5)
+            .seed(7);
         for top in 0..2u16 {
             for sub in 0..2u16 {
                 for _ in 0..2 {
@@ -214,7 +215,10 @@ mod tests {
                 if i != j {
                     let base = m.level_dist[m.lca_depth(i, j).min(2)];
                     let d = m.dist(i, j);
-                    assert!(d >= base + 0.25 && d <= base + 0.5, "d = {d}, base = {base}");
+                    assert!(
+                        d >= base + 0.25 && d <= base + 0.5,
+                        "d = {d}, base = {base}"
+                    );
                 }
             }
         }
@@ -246,23 +250,33 @@ mod tests {
         b.record(&[0, 1]);
     }
 
-    proptest! {
-        #[test]
-        fn triangle_inequality_holds(
-            paths in proptest::collection::vec(
-                proptest::collection::vec(0u16..3, 2), 3..24),
-            seed in any::<u64>(),
-        ) {
-            let mut b = TreeMetricBuilder::new(vec![9.0, 3.0, 1.0]).jitter(0.9).seed(seed);
-            for p in &paths {
-                b.record(p);
+    // Seeded-loop replacement for the original proptest property (the
+    // offline build has no proptest; 64 random trees, fixed seed).
+    #[test]
+    fn triangle_inequality_holds() {
+        let mut gen_state = 0x7EE0_0001u64;
+        let mut next = move || {
+            gen_state = gen_state.wrapping_add(1);
+            crate::hashing::splitmix64(gen_state)
+        };
+        for _ in 0..64 {
+            let records = 3 + (next() % 21) as usize;
+            let seed = next();
+            let mut b = TreeMetricBuilder::new(vec![9.0, 3.0, 1.0])
+                .jitter(0.9)
+                .seed(seed);
+            for _ in 0..records {
+                b.record(&[(next() % 3) as u16, (next() % 3) as u16]);
             }
             let m = b.build();
             let n = m.len();
             for x in 0..n {
                 for y in 0..n {
                     for z in 0..n {
-                        prop_assert!(m.dist(x, z) <= m.dist(x, y) + m.dist(y, z) + 1e-12);
+                        assert!(
+                            m.dist(x, z) <= m.dist(x, y) + m.dist(y, z) + 1e-12,
+                            "triangle violated at ({x},{y},{z}), seed {seed}"
+                        );
                     }
                 }
             }

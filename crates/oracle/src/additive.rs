@@ -35,7 +35,11 @@ impl<A: Adversary> AdditiveValueOracle<A> {
     pub fn new(values: Vec<f64>, theta: f64, adversary: A) -> Self {
         assert!(theta >= 0.0 && theta.is_finite());
         assert!(values.iter().all(|v| v.is_finite()));
-        Self { values, theta, adversary }
+        Self {
+            values,
+            theta,
+            adversary,
+        }
     }
 
     /// The band width `theta`.
@@ -76,7 +80,11 @@ impl<M: Metric, A: Adversary> AdditiveQuadOracle<M, A> {
     /// Builds the oracle with additive slack `theta >= 0`.
     pub fn new(metric: M, theta: f64, adversary: A) -> Self {
         assert!(theta >= 0.0 && theta.is_finite());
-        Self { metric, theta, adversary }
+        Self {
+            metric,
+            theta,
+            adversary,
+        }
     }
 
     /// The band width `theta`.
@@ -101,8 +109,16 @@ impl<M: Metric, A: Adversary> QuadrupletOracle for AdditiveQuadOracle<M, A> {
         if !in_additive_band(d1, d2, self.theta) {
             d1 <= d2
         } else {
-            let p1 = if a <= b { [a as u64, b as u64] } else { [b as u64, a as u64] };
-            let p2 = if c <= d { [c as u64, d as u64] } else { [d as u64, c as u64] };
+            let p1 = if a <= b {
+                [a as u64, b as u64]
+            } else {
+                [b as u64, a as u64]
+            };
+            let p2 = if c <= d {
+                [c as u64, d as u64]
+            } else {
+                [d as u64, c as u64]
+            };
             self.adversary.decide(&p1, &p2, d1, d2)
         }
     }

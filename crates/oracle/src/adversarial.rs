@@ -138,13 +138,17 @@ pub struct PromoteTargetAdversary {
 impl PromoteTargetAdversary {
     /// Promotes the record with the given index (comparison-oracle keys).
     pub fn record(i: usize) -> Self {
-        Self { target: vec![i as u64] }
+        Self {
+            target: vec![i as u64],
+        }
     }
 
     /// Promotes the (unordered) record pair (quadruplet-oracle keys).
     pub fn pair(a: usize, b: usize) -> Self {
         let (a, b) = if a <= b { (a, b) } else { (b, a) };
-        Self { target: vec![a as u64, b as u64] }
+        Self {
+            target: vec![a as u64, b as u64],
+        }
     }
 }
 
@@ -177,12 +181,19 @@ impl<A: Adversary> AdversarialValueOracle<A> {
     /// Panics if `mu` is negative/non-finite or any value is negative or
     /// non-finite (the multiplicative band needs magnitudes).
     pub fn new(values: Vec<f64>, mu: f64, adversary: A) -> Self {
-        assert!(mu >= 0.0 && mu.is_finite(), "mu must be a non-negative constant");
+        assert!(
+            mu >= 0.0 && mu.is_finite(),
+            "mu must be a non-negative constant"
+        );
         assert!(
             values.iter().all(|v| v.is_finite() && *v >= 0.0),
             "values must be non-negative and finite for the multiplicative band"
         );
-        Self { values, mu, adversary }
+        Self {
+            values,
+            mu,
+            adversary,
+        }
     }
 
     /// The band parameter `mu`.
@@ -223,8 +234,15 @@ impl<M: Metric, A: Adversary> AdversarialQuadOracle<M, A> {
     /// Builds the oracle with error parameter `mu >= 0` and an in-band
     /// strategy.
     pub fn new(metric: M, mu: f64, adversary: A) -> Self {
-        assert!(mu >= 0.0 && mu.is_finite(), "mu must be a non-negative constant");
-        Self { metric, mu, adversary }
+        assert!(
+            mu >= 0.0 && mu.is_finite(),
+            "mu must be a non-negative constant"
+        );
+        Self {
+            metric,
+            mu,
+            adversary,
+        }
     }
 
     /// The band parameter `mu`.
@@ -249,8 +267,16 @@ impl<M: Metric, A: Adversary> QuadrupletOracle for AdversarialQuadOracle<M, A> {
         if !in_band(d1, d2, self.mu) {
             d1 <= d2
         } else {
-            let p1 = if a <= b { [a as u64, b as u64] } else { [b as u64, a as u64] };
-            let p2 = if c <= d { [c as u64, d as u64] } else { [d as u64, c as u64] };
+            let p1 = if a <= b {
+                [a as u64, b as u64]
+            } else {
+                [b as u64, a as u64]
+            };
+            let p2 = if c <= d {
+                [c as u64, d as u64]
+            } else {
+                [d as u64, c as u64]
+            };
             self.adversary.decide(&p1, &p2, d1, d2)
         }
     }
@@ -260,7 +286,6 @@ impl<M: Metric, A: Adversary> QuadrupletOracle for AdversarialQuadOracle<M, A> {
 mod tests {
     use super::*;
     use nco_metric::EuclideanMetric;
-    use proptest::prelude::*;
 
     #[test]
     fn band_membership() {
@@ -289,8 +314,7 @@ mod tests {
     #[test]
     fn promote_target_wins_all_in_band_duels() {
         let values = vec![1.0, 1.2, 1.4, 1.1];
-        let mut o =
-            AdversarialValueOracle::new(values, 1.0, PromoteTargetAdversary::record(0));
+        let mut o = AdversarialValueOracle::new(values, 1.0, PromoteTargetAdversary::record(0));
         for j in 1..4 {
             assert!(!o.le(0, j), "target must be declared larger than {j}");
             assert!(o.le(j, 0));
@@ -338,19 +362,29 @@ mod tests {
         assert!(o.le(0, 2, 1, 2));
     }
 
-    proptest! {
-        #[test]
-        fn separated_values_always_answered_correctly(
-            v in proptest::collection::vec(0.01f64..1e6, 2..30),
-            mu in 0.0f64..3.0,
-            seed in any::<u64>(),
-        ) {
-            let mut o = AdversarialValueOracle::new(
-                v.clone(), mu, PersistentRandomAdversary::new(seed));
+    // Seeded-loop replacement for the original proptest property (the
+    // offline build has no proptest; 128 random cases, fixed seed).
+    #[test]
+    fn separated_values_always_answered_correctly() {
+        use nco_metric::hashing::splitmix64;
+        let mut gen_state = 0xAD5E_0001u64;
+        let mut next = move || {
+            gen_state = gen_state.wrapping_add(1);
+            splitmix64(gen_state)
+        };
+        for _ in 0..128 {
+            let len = 2 + (next() % 28) as usize;
+            let v: Vec<f64> = (0..len)
+                .map(|_| 0.01 + (next() >> 11) as f64 / (1u64 << 53) as f64 * 1e6)
+                .collect();
+            let mu = (next() >> 11) as f64 / (1u64 << 53) as f64 * 3.0;
+            let seed = next();
+            let mut o =
+                AdversarialValueOracle::new(v.clone(), mu, PersistentRandomAdversary::new(seed));
             for i in 0..v.len() {
                 for j in 0..v.len() {
                     if !in_band(v[i], v[j], mu) {
-                        prop_assert_eq!(o.le(i, j), v[i] <= v[j]);
+                        assert_eq!(o.le(i, j), v[i] <= v[j], "v={v:?} mu={mu} i={i} j={j}");
                     }
                 }
             }

@@ -35,7 +35,13 @@ impl ClusterQueryOracle {
     pub fn new(labels: Vec<usize>, false_negative: f64, false_positive: f64, seed: u64) -> Self {
         assert!((0.0..1.0).contains(&false_negative));
         assert!((0.0..1.0).contains(&false_positive));
-        Self { labels, false_negative, false_positive, seed, queries: 0 }
+        Self {
+            labels,
+            false_negative,
+            false_positive,
+            seed,
+            queries: 0,
+        }
     }
 
     /// The crowd behaviour observed in the paper's user study: precision
@@ -63,7 +69,11 @@ impl ClusterQueryOracle {
         }
         let (a, b) = if i <= j { (i, j) } else { (j, i) };
         let truth = self.labels[a] == self.labels[b];
-        let err_rate = if truth { self.false_negative } else { self.false_positive };
+        let err_rate = if truth {
+            self.false_negative
+        } else {
+            self.false_positive
+        };
         let flip = hashing::bernoulli(self.seed, &[a as u64, b as u64], err_rate);
         truth ^ flip
     }

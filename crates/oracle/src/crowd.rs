@@ -45,18 +45,30 @@ impl AccuracyProfile {
     /// `caltech`-style profile: coin flip on ties, fully reliable past the
     /// ratio 1.45 observed in the paper's Fig. 4(a).
     pub fn caltech_like() -> Self {
-        Self::Cliff { tie_accuracy: 0.5, cliff_ratio: 1.45, beyond_accuracy: 0.995 }
+        Self::Cliff {
+            tie_accuracy: 0.5,
+            cliff_ratio: 1.45,
+            beyond_accuracy: 0.995,
+        }
     }
 
     /// `cities`-style profile: a sharp cliff slightly further out.
     pub fn cities_like() -> Self {
-        Self::Cliff { tie_accuracy: 0.55, cliff_ratio: 1.6, beyond_accuracy: 0.99 }
+        Self::Cliff {
+            tie_accuracy: 0.55,
+            cliff_ratio: 1.6,
+            beyond_accuracy: 0.99,
+        }
     }
 
     /// `monuments`-style profile: low noise everywhere (the paper observes
     /// all techniques do equally well there).
     pub fn monuments_like() -> Self {
-        Self::Cliff { tie_accuracy: 0.65, cliff_ratio: 1.3, beyond_accuracy: 1.0 }
+        Self::Cliff {
+            tie_accuracy: 0.65,
+            cliff_ratio: 1.3,
+            beyond_accuracy: 1.0,
+        }
     }
 
     /// `amazon`-style profile: substantial noise across *all* distance
@@ -71,7 +83,11 @@ impl AccuracyProfile {
     pub fn accuracy(&self, rho: f64) -> f64 {
         match *self {
             Self::Flat { accuracy } => accuracy,
-            Self::Cliff { tie_accuracy, cliff_ratio, beyond_accuracy } => {
+            Self::Cliff {
+                tie_accuracy,
+                cliff_ratio,
+                beyond_accuracy,
+            } => {
                 if rho >= cliff_ratio {
                     beyond_accuracy
                 } else if rho <= 1.0 {
@@ -92,8 +108,14 @@ impl AccuracyProfile {
         assert!((0.0..=1.0).contains(&retention));
         let shrink = |a: f64| 0.5 + (a - 0.5) * retention;
         match *self {
-            Self::Flat { accuracy } => Self::Flat { accuracy: shrink(accuracy) },
-            Self::Cliff { tie_accuracy, cliff_ratio, beyond_accuracy } => Self::Cliff {
+            Self::Flat { accuracy } => Self::Flat {
+                accuracy: shrink(accuracy),
+            },
+            Self::Cliff {
+                tie_accuracy,
+                cliff_ratio,
+                beyond_accuracy,
+            } => Self::Cliff {
                 tie_accuracy: shrink(tie_accuracy),
                 cliff_ratio,
                 beyond_accuracy: shrink(beyond_accuracy),
@@ -119,8 +141,16 @@ impl<M: Metric> CrowdQuadOracle<M> {
     /// # Panics
     /// Panics if `workers` is even or zero (majority must be decisive).
     pub fn new(metric: M, profile: AccuracyProfile, workers: u32, seed: u64) -> Self {
-        assert!(workers % 2 == 1, "need an odd number of workers, got {workers}");
-        Self { metric, profile, workers, seed }
+        assert!(
+            workers % 2 == 1,
+            "need an odd number of workers, got {workers}"
+        );
+        Self {
+            metric,
+            profile,
+            workers,
+            seed,
+        }
     }
 
     /// Single-annotator variant used to model the trained classifier.
@@ -201,7 +231,11 @@ mod tests {
     fn degraded_moves_toward_coin_flip() {
         let p = AccuracyProfile::caltech_like().degraded(0.8);
         match p {
-            AccuracyProfile::Cliff { tie_accuracy, beyond_accuracy, .. } => {
+            AccuracyProfile::Cliff {
+                tie_accuracy,
+                beyond_accuracy,
+                ..
+            } => {
                 assert!((tie_accuracy - 0.5).abs() < 1e-12);
                 assert!(beyond_accuracy < 0.995 && beyond_accuracy > 0.85);
             }
@@ -258,7 +292,11 @@ mod tests {
         let m = line(30);
         let mut o = CrowdQuadOracle::new(
             m.clone(),
-            AccuracyProfile::Cliff { tie_accuracy: 0.5, cliff_ratio: 1.45, beyond_accuracy: 1.0 },
+            AccuracyProfile::Cliff {
+                tie_accuracy: 0.5,
+                cliff_ratio: 1.45,
+                beyond_accuracy: 1.0,
+            },
             3,
             7,
         );

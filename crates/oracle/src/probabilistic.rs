@@ -184,7 +184,9 @@ mod tests {
 
     #[test]
     fn quad_error_rate_approximates_p() {
-        let m = EuclideanMetric::from_points(&(0..40).map(|i| vec![(i * i) as f64]).collect::<Vec<_>>());
+        let m = EuclideanMetric::from_points(
+            &(0..40).map(|i| vec![(i * i) as f64]).collect::<Vec<_>>(),
+        );
         let mut o = ProbQuadOracle::new(m, 0.25, 99);
         let mut wrong = 0usize;
         let mut total = 0usize;
@@ -199,8 +201,7 @@ mod tests {
                         continue;
                     }
                     total += 1;
-                    let truth =
-                        o.metric().dist(a, b) <= o.metric().dist(c, d);
+                    let truth = o.metric().dist(a, b) <= o.metric().dist(c, d);
                     if o.le(a, b, c, d) != truth {
                         wrong += 1;
                     }
@@ -208,7 +209,10 @@ mod tests {
             }
         }
         let rate = wrong as f64 / total as f64;
-        assert!((rate - 0.25).abs() < 0.03, "observed error rate {rate} over {total}");
+        assert!(
+            (rate - 0.25).abs() < 0.03,
+            "observed error rate {rate} over {total}"
+        );
     }
 
     #[test]

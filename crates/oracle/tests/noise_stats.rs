@@ -1,0 +1,277 @@
+//! Statistical conformance tests for the three noise models: the oracles
+//! must flip comparisons at exactly the configured rate (probabilistic,
+//! crowd) or within exactly the configured band (adversarial). All seeds
+//! are fixed, so these run bit-identically every time; the tolerances are
+//! the usual chi-square / z critical values at far-beyond-paranoid
+//! significance so they also survive a reseeding.
+
+use nco_metric::{EuclideanMetric, Metric};
+use nco_oracle::adversarial::{
+    in_band, AdversarialQuadOracle, AdversarialValueOracle, InvertAdversary,
+    PersistentRandomAdversary,
+};
+use nco_oracle::crowd::{AccuracyProfile, CrowdQuadOracle};
+use nco_oracle::probabilistic::{ProbQuadOracle, ProbValueOracle};
+use nco_oracle::{ComparisonOracle, QuadrupletOracle};
+
+/// Pearson chi-square statistic for per-block Binomial(m, p) flip counts.
+fn chi_square_binomial(flips_per_block: &[(usize, usize)], p: f64) -> f64 {
+    flips_per_block
+        .iter()
+        .map(|&(flips, m)| {
+            let exp_flip = m as f64 * p;
+            let exp_keep = m as f64 * (1.0 - p);
+            let f = flips as f64;
+            let k = (m - flips) as f64;
+            (f - exp_flip).powi(2) / exp_flip + (k - exp_keep).powi(2) / exp_keep
+        })
+        .sum()
+}
+
+/// Flip indicator stream of the value oracle over all distinct pairs of a
+/// strictly increasing instance, chunked into `blocks` equal blocks.
+fn value_flip_blocks(p: f64, seed: u64, n: usize, blocks: usize) -> (Vec<(usize, usize)>, f64) {
+    let values: Vec<f64> = (0..n).map(|i| i as f64).collect();
+    let mut oracle = ProbValueOracle::new(values.clone(), p, seed);
+    let mut flips: Vec<bool> = Vec::new();
+    for i in 0..n {
+        for j in (i + 1)..n {
+            flips.push(oracle.le(i, j) != (values[i] <= values[j]));
+        }
+    }
+    let per = flips.len() / blocks;
+    let blocks: Vec<(usize, usize)> = flips
+        .chunks(per)
+        .take(blocks)
+        .map(|c| (c.iter().filter(|&&f| f).count(), c.len()))
+        .collect();
+    let total_flips: usize = blocks.iter().map(|b| b.0).sum();
+    let total: usize = blocks.iter().map(|b| b.1).sum();
+    (blocks, total_flips as f64 / total as f64)
+}
+
+/// The probabilistic value oracle flips at rate `p` — globally (z-test)
+/// and uniformly across query blocks (chi-square, 16 blocks => df = 16,
+/// critical value 39.25 at significance 1e-3).
+#[test]
+fn prob_value_oracle_flip_rate_is_p() {
+    for &p in &[0.05, 0.15, 0.3, 0.45] {
+        let (blocks, rate) = value_flip_blocks(p, 0x5747 + (p * 100.0) as u64, 300, 16);
+        let m: usize = blocks.iter().map(|b| b.1).sum();
+        let z = (rate - p).abs() / (p * (1.0 - p) / m as f64).sqrt();
+        assert!(z < 4.0, "p = {p}: observed rate {rate} (z = {z:.2})");
+        let chi2 = chi_square_binomial(&blocks, p);
+        assert!(chi2 < 39.25, "p = {p}: chi-square {chi2:.1} over 16 blocks");
+    }
+}
+
+/// Same conformance for the quadruplet oracle (flip coins are hashed from
+/// canonicalised pairs, a different code path than the value oracle).
+#[test]
+fn prob_quad_oracle_flip_rate_is_p() {
+    let n = 60usize;
+    let m = EuclideanMetric::from_points(&(0..n).map(|i| vec![(i * i) as f64]).collect::<Vec<_>>());
+    for &p in &[0.1, 0.25, 0.4] {
+        let mut oracle = ProbQuadOracle::new(m.clone(), p, 0x05EE ^ (p * 64.0) as u64);
+        let mut flips: Vec<bool> = Vec::new();
+        for a in 0..n {
+            for c in (a + 1)..n {
+                let (b, d) = ((a + 7) % n, (c + 13) % n);
+                let p1 = (a.min(b), a.max(b));
+                let p2 = (c.min(d), c.max(d));
+                if a == b || c == d || p1 == p2 {
+                    continue;
+                }
+                let truth = m.dist(a, b) <= m.dist(c, d);
+                flips.push(oracle.le(a, b, c, d) != truth);
+            }
+        }
+        let total = flips.len();
+        let rate = flips.iter().filter(|&&f| f).count() as f64 / total as f64;
+        let z = (rate - p).abs() / (p * (1.0 - p) / total as f64).sqrt();
+        assert!(
+            z < 4.0,
+            "p = {p}: observed quad flip rate {rate} (z = {z:.2}, {total} queries)"
+        );
+    }
+}
+
+/// Flat-profile crowd: a majority over 3 workers of accuracy `a` must be
+/// correct with probability `a^3 + 3a^2(1-a)`, per accuracy level.
+#[test]
+fn crowd_majority_accuracy_matches_closed_form() {
+    let n = 70usize;
+    let m = EuclideanMetric::from_points(&(0..n).map(|i| vec![(i * i) as f64]).collect::<Vec<_>>());
+    for &a in &[0.6, 0.75, 0.9] {
+        let expected = a * a * a + 3.0 * a * a * (1.0 - a);
+        let mut oracle = CrowdQuadOracle::new(
+            m.clone(),
+            AccuracyProfile::Flat { accuracy: a },
+            3,
+            0xC0FFEE,
+        );
+        let mut ok = 0usize;
+        let mut total = 0usize;
+        for x in 0..n {
+            for c in (x + 1)..n {
+                let (b, d) = ((x + 5) % n, (c + 11) % n);
+                let p1 = (x.min(b), x.max(b));
+                let p2 = (c.min(d), c.max(d));
+                if x == b || c == d || p1 == p2 {
+                    continue;
+                }
+                total += 1;
+                let truth = m.dist(x, b) <= m.dist(c, d);
+                ok += (oracle.le(x, b, c, d) == truth) as usize;
+            }
+        }
+        let acc = ok as f64 / total as f64;
+        let z = (acc - expected).abs() / (expected * (1.0 - expected) / total as f64).sqrt();
+        assert!(
+            z < 4.0,
+            "accuracy {a}: majority accuracy {acc:.4} vs closed form {expected:.4} \
+             (z = {z:.2}, {total} queries)"
+        );
+    }
+}
+
+/// Cliff-profile crowd: measured accuracy per distance-ratio bucket must
+/// track the profile curve lifted through the majority-of-3 formula.
+#[test]
+fn crowd_cliff_accuracy_tracks_ratio_buckets() {
+    let n = 80usize;
+    // Geometric line: ratios between pair distances cover [1, inf) densely.
+    let m = EuclideanMetric::from_points(
+        &(0..n)
+            .map(|i| vec![1.06f64.powi(i as i32)])
+            .collect::<Vec<_>>(),
+    );
+    let profile = AccuracyProfile::caltech_like();
+    let mut oracle = CrowdQuadOracle::new(m.clone(), profile, 3, 0xC11F);
+    // Buckets over rho: [1, 1.15), [1.15, 1.45), [1.45, inf).
+    let mut ok = [0usize; 3];
+    let mut tot = [0usize; 3];
+    let mut exp_sum = [0.0f64; 3];
+    // Vary both pair positions and pair spans: on the geometric line the
+    // distance ratio is `r^(x-c) * (r^s1 - 1) / (r^s2 - 1)`, so sweeping
+    // spans 1..=6 fills every rho bucket, including near-ties.
+    for s1 in 1..=6usize {
+        for s2 in 1..=6usize {
+            for x in 0..(n - s1) {
+                let c = (x * 7 + s1 + 11 * s2) % (n - s2);
+                let (b, d) = (x + s1, c + s2);
+                let p1 = (x.min(b), x.max(b));
+                let p2 = (c.min(d), c.max(d));
+                if p1 == p2 {
+                    continue;
+                }
+                let (d1, d2) = (m.dist(x, b), m.dist(c, d));
+                let rho = d1.max(d2) / d1.min(d2);
+                let bucket = if rho < 1.15 {
+                    0
+                } else if rho < 1.45 {
+                    1
+                } else {
+                    2
+                };
+                let truth = d1 <= d2;
+                tot[bucket] += 1;
+                ok[bucket] += (oracle.le(x, b, c, d) == truth) as usize;
+                let a = profile.accuracy(rho);
+                exp_sum[bucket] += a * a * a + 3.0 * a * a * (1.0 - a);
+            }
+        }
+    }
+    for k in 0..3 {
+        assert!(tot[k] >= 100, "bucket {k} undersampled: {}", tot[k]);
+        let acc = ok[k] as f64 / tot[k] as f64;
+        let exp = exp_sum[k] / tot[k] as f64;
+        let z = (acc - exp).abs() / (exp * (1.0 - exp) / tot[k] as f64 + 1e-12).sqrt();
+        assert!(
+            z < 4.5,
+            "rho bucket {k}: accuracy {acc:.4} vs profile prediction {exp:.4} \
+             (z = {z:.2}, {} queries)",
+            tot[k]
+        );
+    }
+}
+
+/// The adversarial oracles' error budget is *exactly* the `(1 + mu)` band:
+/// every wrong answer must involve two in-band quantities, at every noise
+/// level and for both a deterministic and a seeded random in-band strategy.
+#[test]
+fn adversarial_value_oracle_never_exceeds_band_budget() {
+    let n = 120usize;
+    let values: Vec<f64> = (0..n).map(|i| 1.0 + (i as f64) * 0.37).collect();
+    for &mu in &[0.0, 0.2, 0.6, 1.5] {
+        for variant in 0..2 {
+            let mut wrong_in_band = 0usize;
+            let check = |oracle: &mut dyn ComparisonOracle, wrong_in_band: &mut usize| {
+                for i in 0..n {
+                    for j in 0..n {
+                        if i == j {
+                            continue;
+                        }
+                        let truth = values[i] <= values[j];
+                        let band = in_band(values[i], values[j], mu);
+                        let ans = oracle.le(i, j);
+                        if ans != truth {
+                            assert!(
+                                band,
+                                "mu = {mu}, variant {variant}: out-of-band lie at ({i},{j})"
+                            );
+                            *wrong_in_band += 1;
+                        }
+                    }
+                }
+            };
+            if variant == 0 {
+                let mut o = AdversarialValueOracle::new(values.clone(), mu, InvertAdversary);
+                check(&mut o, &mut wrong_in_band);
+                // The inverting adversary spends its whole budget.
+                if mu > 0.0 {
+                    assert!(wrong_in_band > 0, "mu = {mu}: invert adversary never lied");
+                }
+            } else {
+                let mut o = AdversarialValueOracle::new(
+                    values.clone(),
+                    mu,
+                    PersistentRandomAdversary::new(0xBAD + mu as u64),
+                );
+                check(&mut o, &mut wrong_in_band);
+            }
+        }
+    }
+}
+
+/// Same band-budget conformance for the quadruplet oracle over a metric.
+#[test]
+fn adversarial_quad_oracle_never_exceeds_band_budget() {
+    let n = 40usize;
+    let m = EuclideanMetric::from_points(
+        &(0..n)
+            .map(|i| vec![(i as f64).sqrt() * 3.0])
+            .collect::<Vec<_>>(),
+    );
+    for &mu in &[0.1, 0.5, 1.0] {
+        let mut oracle = AdversarialQuadOracle::new(m.clone(), mu, InvertAdversary);
+        for a in 0..n {
+            for c in (a + 1)..n {
+                let (b, d) = ((a + 6) % n, (c + 17) % n);
+                let p1 = (a.min(b), a.max(b));
+                let p2 = (c.min(d), c.max(d));
+                if a == b || c == d || p1 == p2 {
+                    continue;
+                }
+                let (d1, d2) = (m.dist(a, b), m.dist(c, d));
+                let truth = d1 <= d2;
+                if oracle.le(a, b, c, d) != truth {
+                    assert!(
+                        in_band(d1, d2, mu),
+                        "mu = {mu}: out-of-band lie at ({a},{b};{c},{d}), d1={d1} d2={d2}"
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,158 @@
+//! `assert_guarantee`-style helpers: each one states a theorem-shaped
+//! bound and panics with the measured quantity, the bound and enough
+//! context to reproduce the failure.
+
+use nco_metric::stats::kcenter_objective;
+use nco_metric::Metric;
+
+/// Asserts the multiplicative guarantee of Theorems 3.6 / 3.10: the chosen
+/// record's value times `factor` must reach the true maximum. `factor` is
+/// `(1 + mu)^3` for Max-Adv, `(1 + mu)^2` for plain Count-Max, etc.
+///
+/// # Panics
+/// Panics (with values, factor and context) when the bound is violated.
+#[track_caller]
+pub fn assert_max_within_factor(values: &[f64], chosen: usize, factor: f64, context: &str) {
+    let vmax = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let got = values[chosen];
+    assert!(
+        got * factor >= vmax - 1e-9,
+        "{context}: guarantee violated — chose value {got} (record {chosen}), \
+         but {got} * {factor} < true max {vmax}"
+    );
+}
+
+/// Asserts a rank bound (the Theorem 3.7 quality measure): the chosen
+/// record must be among the `bound` largest values (rank 1 = maximum).
+///
+/// # Panics
+/// Panics when the chosen record's rank exceeds `bound`.
+#[track_caller]
+pub fn assert_rank_at_most(values: &[f64], chosen: usize, bound: usize, context: &str) {
+    let rank = 1 + values.iter().filter(|&&v| v > values[chosen]).count();
+    assert!(
+        rank <= bound,
+        "{context}: rank guarantee violated — record {chosen} has rank {rank} > bound {bound}"
+    );
+}
+
+/// Asserts the k-center objective is within `factor` times the reference
+/// objective (Theorems 4.2 / 4.4 promise an O(1) factor; callers pass the
+/// Gonzalez objective, itself a 2-approximation of OPT, as the reference).
+///
+/// # Panics
+/// Panics when the objective exceeds `factor * reference` (with a small
+/// absolute floor so a zero reference cannot make the bound vacuous).
+#[track_caller]
+pub fn assert_kcenter_constant_factor<M: Metric>(
+    metric: &M,
+    centers: &[usize],
+    assignment: &[usize],
+    reference_objective: f64,
+    factor: f64,
+    context: &str,
+) {
+    let obj = kcenter_objective(metric, centers, assignment);
+    let bound = factor * reference_objective.max(1e-9);
+    assert!(
+        obj <= bound,
+        "{context}: k-center guarantee violated — objective {obj} > \
+         {factor} * reference {reference_objective}"
+    );
+}
+
+/// Fraction of `trials` seeded runs for which `trial(seed)` returns true.
+/// Seeds are `seed0, seed0 + 1, ..` so a reported failure names its seed
+/// exactly. Use for "holds w.p. >= 1 - delta" guarantees where a hard
+/// all-seeds assertion would over-claim the theorem.
+pub fn success_rate(trials: u64, seed0: u64, mut trial: impl FnMut(u64) -> bool) -> f64 {
+    assert!(trials > 0, "need at least one trial");
+    let ok = (0..trials).filter(|&t| trial(seed0 + t)).count();
+    ok as f64 / trials as f64
+}
+
+/// Runs `run` twice and asserts identical output — the reproducibility
+/// contract: every randomized algorithm in the workspace is a pure
+/// function of (instance, seed).
+///
+/// # Panics
+/// Panics when the two runs differ.
+#[track_caller]
+pub fn assert_deterministic<T: PartialEq + std::fmt::Debug>(
+    context: &str,
+    mut run: impl FnMut() -> T,
+) -> T {
+    let first = run();
+    let second = run();
+    assert_eq!(
+        first, second,
+        "{context}: two identically-seeded runs diverged"
+    );
+    first
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nco_metric::EuclideanMetric;
+
+    #[test]
+    fn max_within_factor_accepts_and_rejects() {
+        let values = [1.0, 4.0, 8.0];
+        assert_max_within_factor(&values, 2, 1.0, "exact max");
+        assert_max_within_factor(&values, 1, 2.0, "factor-2");
+        let caught = std::panic::catch_unwind(|| {
+            assert_max_within_factor(&values, 0, 2.0, "too far");
+        });
+        assert!(caught.is_err(), "1.0 * 2 < 8 must panic");
+    }
+
+    #[test]
+    fn rank_bound_accepts_and_rejects() {
+        let values = [5.0, 3.0, 9.0, 1.0];
+        assert_rank_at_most(&values, 2, 1, "true max");
+        assert_rank_at_most(&values, 0, 2, "second");
+        assert!(std::panic::catch_unwind(|| {
+            assert_rank_at_most(&values, 3, 3, "worst is rank 4");
+        })
+        .is_err());
+    }
+
+    #[test]
+    fn kcenter_factor_accepts_and_rejects() {
+        let m = EuclideanMetric::from_points(&[vec![0.0], vec![1.0], vec![10.0], vec![11.0]]);
+        let centers = [0usize, 2];
+        let assignment = [0usize, 0, 1, 1];
+        // Objective is 1.0; reference 0.6 with factor 2 passes.
+        assert_kcenter_constant_factor(&m, &centers, &assignment, 0.6, 2.0, "ok");
+        assert!(std::panic::catch_unwind(|| {
+            assert_kcenter_constant_factor(&m, &centers, &assignment, 0.4, 2.0, "tight");
+        })
+        .is_err());
+    }
+
+    #[test]
+    fn success_rate_counts_and_seeds() {
+        let mut seen = Vec::new();
+        let rate = success_rate(10, 100, |seed| {
+            seen.push(seed);
+            seed % 2 == 0
+        });
+        assert_eq!(rate, 0.5);
+        assert_eq!(seen, (100..110).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn deterministic_accepts_pure_and_rejects_impure() {
+        let v = assert_deterministic("pure", || 7u32);
+        assert_eq!(v, 7);
+        let mut calls = 0;
+        assert!(std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            assert_deterministic("impure", || {
+                calls += 1;
+                calls
+            });
+        }))
+        .is_err());
+    }
+}

@@ -1,0 +1,65 @@
+//! Call counting at the [`Comparator`] layer.
+//!
+//! `nco_oracle::Counting` (re-exported from the testkit root) meters
+//! *oracle* queries; [`CountingCmp`] meters *comparator* calls, which is
+//! the right unit when an algorithm runs on a synthetic comparator (e.g.
+//! `ExactKeyCmp`) or when a test wants the two layers separately — a
+//! ClusterComp call can fan out into many oracle queries.
+
+use nco_core::comparator::Comparator;
+
+/// Wraps any [`Comparator`] and counts the `le` calls issued through it.
+#[derive(Debug)]
+pub struct CountingCmp<C> {
+    inner: C,
+    count: u64,
+}
+
+impl<C> CountingCmp<C> {
+    /// Wraps a comparator with a zeroed counter.
+    pub fn new(inner: C) -> Self {
+        Self { inner, count: 0 }
+    }
+
+    /// Comparator calls so far.
+    pub fn calls(&self) -> u64 {
+        self.count
+    }
+
+    /// Resets the counter (e.g. between phases).
+    pub fn reset(&mut self) {
+        self.count = 0;
+    }
+
+    /// Unwraps the comparator.
+    pub fn into_inner(self) -> C {
+        self.inner
+    }
+}
+
+impl<I: Copy, C: Comparator<I>> Comparator<I> for CountingCmp<C> {
+    fn le(&mut self, a: I, b: I) -> bool {
+        self.count += 1;
+        self.inner.le(a, b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nco_core::comparator::ExactKeyCmp;
+    use nco_core::maxfind::count_max;
+
+    #[test]
+    fn counts_comparator_calls() {
+        let keys = [3.0, 1.0, 2.0];
+        let mut cmp = CountingCmp::new(ExactKeyCmp::new(&keys));
+        let items = [0usize, 1, 2];
+        let best = count_max(&items, &mut cmp).unwrap();
+        assert_eq!(best, 0);
+        // Count-Max queries each unordered pair once: n * (n - 1) / 2.
+        assert_eq!(cmp.calls(), 3);
+        cmp.reset();
+        assert_eq!(cmp.calls(), 0);
+    }
+}

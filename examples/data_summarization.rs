@@ -55,7 +55,14 @@ fn human_metric() -> MatrixMetric {
 
 fn main() {
     let truth = vec![0usize, 0, 1, 2, 1, 1]; // {0,1}, {2,4,5}, {3}
-    let names = ["Eiffel#1", "Eiffel#2", "Colosseum", "Vegas-Eiffel", "Venice", "Pisa"];
+    let names = [
+        "Eiffel#1",
+        "Eiffel#2",
+        "Colosseum",
+        "Vegas-Eiffel",
+        "Venice",
+        "Pisa",
+    ];
     let mut rng = StdRng::seed_from_u64(11);
 
     let mut table = Table::new(
@@ -74,10 +81,11 @@ fn main() {
 
     // (b) Quadruplet crowd oracle (3 AMT workers, monuments-like accuracy)
     //     driving the robust adversarial k-center.
-    let mut crowd =
-        CrowdQuadOracle::new(human_metric(), AccuracyProfile::monuments_like(), 3, 5);
-    let params =
-        KCenterAdvParams { first_center: Some(2), ..KCenterAdvParams::with_confidence(3, 0.05) };
+    let mut crowd = CrowdQuadOracle::new(human_metric(), AccuracyProfile::monuments_like(), 3, 5);
+    let params = KCenterAdvParams {
+        first_center: Some(2),
+        ..KCenterAdvParams::with_confidence(3, 0.05)
+    };
     let ours = kcenter_adv(&params, &mut crowd, &mut rng);
     let f_ours = pair_f_score(ours.labels(), &truth);
     table.row(&[
@@ -100,8 +108,14 @@ fn main() {
     println!("{table}");
     println!("paper reports: quadruplet F = 1.00, pairwise F = 0.40 (Section 1, 6.2.2)");
 
-    assert!(f_ours.f1 >= 0.99, "quadruplet pipeline must recover the summary");
-    assert!(f_auto.f1 < 0.99, "feature-based greedy must fall for the replica");
+    assert!(
+        f_ours.f1 >= 0.99,
+        "quadruplet pipeline must recover the summary"
+    );
+    assert!(
+        f_auto.f1 < 0.99,
+        "feature-based greedy must fall for the replica"
+    );
 }
 
 fn render(names: &[&str], labels: &[usize]) -> String {

@@ -23,7 +23,13 @@ fn main() {
 
     let mut table = Table::new(
         "mean true merge distance (normalised to TDist = 1.00; lower is better)",
-        &["linkage", "TDist", "HC (ours)", "Samp", "HC cut F-score @ k=14"],
+        &[
+            "linkage",
+            "TDist",
+            "HC (ours)",
+            "Samp",
+            "HC cut F-score @ k=14",
+        ],
     );
 
     for linkage in [Linkage::Single, Linkage::Complete] {
@@ -31,13 +37,11 @@ fn main() {
         let base = mean_merge_distance(&exact, metric, linkage);
 
         let mut rng = StdRng::seed_from_u64(9);
-        let mut oracle =
-            CrowdQuadOracle::new(metric, AccuracyProfile::amazon_like(), 3, 21);
+        let mut oracle = CrowdQuadOracle::new(metric, AccuracyProfile::amazon_like(), 3, 21);
         let ours = hier_oracle(&HierParams::experimental(linkage), &mut oracle, &mut rng);
         let ours_d = mean_merge_distance(&ours, metric, linkage);
 
-        let mut oracle =
-            CrowdQuadOracle::new(metric, AccuracyProfile::amazon_like(), 3, 22);
+        let mut oracle = CrowdQuadOracle::new(metric, AccuracyProfile::amazon_like(), 3, 22);
         let samp = hier_samp(linkage, &mut oracle, &mut rng);
         let samp_d = mean_merge_distance(&samp, metric, linkage);
 

@@ -18,9 +18,7 @@ fn main() {
     let mu = 1.0;
     let dataset = cities(n, 7);
     let metric = &dataset.metric;
-    println!(
-        "cities analogue: n = {n}, mu = {mu}, adversarial oracle (worst-case liar)\n"
-    );
+    println!("cities analogue: n = {n}, mu = {mu}, adversarial oracle (worst-case liar)\n");
 
     let mut table = Table::new(
         "k-center objective (max radius; lower is better)",
@@ -33,7 +31,10 @@ fn main() {
 
         let mut rng = StdRng::seed_from_u64(100 + k as u64);
         let mut oracle = AdversarialQuadOracle::new(metric, mu, InvertAdversary);
-        let params = KCenterAdvParams { first_center: Some(0), ..KCenterAdvParams::experimental(k) };
+        let params = KCenterAdvParams {
+            first_center: Some(0),
+            ..KCenterAdvParams::experimental(k)
+        };
         let ours = kcenter_adv(&params, &mut oracle, &mut rng);
         let obj_o = kcenter_objective(metric, &ours.centers, &ours.assignment);
 

@@ -14,7 +14,12 @@ use noisy_oracle::oracle::crowd::{AccuracyProfile, CrowdQuadOracle};
 fn main() {
     let mut table = Table::new(
         "noise-model fits from 20k validation quadruplets (3-worker crowd)",
-        &["dataset", "overall accuracy", "fitted model", "recommended algorithms"],
+        &[
+            "dataset",
+            "overall accuracy",
+            "fitted model",
+            "recommended algorithms",
+        ],
     );
 
     // caltech-like validation sample: sharp accuracy cliff (Fig. 4a).

@@ -30,11 +30,8 @@ fn main() {
     );
     for mu in [0.0, 0.5, 1.0, 2.0] {
         let ours = run_reps(reps, 40, |seed| {
-            let mut o = AdversarialQuadOracle::new(
-                metric,
-                mu,
-                PersistentRandomAdversary::new(seed),
-            );
+            let mut o =
+                AdversarialQuadOracle::new(metric, mu, PersistentRandomAdversary::new(seed));
             let mut rng = StdRng::seed_from_u64(seed);
             let got = farthest_adv(&mut o, q, &AdvParams::experimental(), &mut rng).unwrap();
             noisy_oracle::eval::experiment::RepOutcome {
@@ -43,11 +40,8 @@ fn main() {
             }
         });
         let tour2 = run_reps(reps, 40, |seed| {
-            let mut o = AdversarialQuadOracle::new(
-                metric,
-                mu,
-                PersistentRandomAdversary::new(seed),
-            );
+            let mut o =
+                AdversarialQuadOracle::new(metric, mu, PersistentRandomAdversary::new(seed));
             let mut rng = StdRng::seed_from_u64(seed);
             let got = farthest_tour2(&mut o, q, &mut rng).unwrap();
             noisy_oracle::eval::experiment::RepOutcome {
@@ -56,11 +50,8 @@ fn main() {
             }
         });
         let samp = run_reps(reps, 40, |seed| {
-            let mut o = AdversarialQuadOracle::new(
-                metric,
-                mu,
-                PersistentRandomAdversary::new(seed),
-            );
+            let mut o =
+                AdversarialQuadOracle::new(metric, mu, PersistentRandomAdversary::new(seed));
             let mut rng = StdRng::seed_from_u64(seed);
             let got = farthest_samp(&mut o, q, &mut rng).unwrap();
             noisy_oracle::eval::experiment::RepOutcome {
@@ -85,8 +76,7 @@ fn main() {
         let ours = run_reps(reps, 70, |seed| {
             let mut o = ProbQuadOracle::new(metric, p, seed);
             let mut rng = StdRng::seed_from_u64(seed);
-            let got =
-                farthest_prob(&mut o, q, 0.1, &AdvParams::experimental(), &mut rng).unwrap();
+            let got = farthest_prob(&mut o, q, 0.1, &AdvParams::experimental(), &mut rng).unwrap();
             noisy_oracle::eval::experiment::RepOutcome {
                 value: metric.dist(q, got) / d_opt,
                 queries: 0,

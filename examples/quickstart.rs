@@ -20,7 +20,9 @@ fn main() {
     let n = 1024usize;
     let mu = 0.5;
     // Hidden values: a geometric-ish ladder with lots of in-band confusion.
-    let values: Vec<f64> = (0..n).map(|i| 1.5f64.powi((i % 64) as i32 / 4) * (1.0 + i as f64 * 1e-4)).collect();
+    let values: Vec<f64> = (0..n)
+        .map(|i| 1.5f64.powi((i % 64) as i32 / 4) * (1.0 + i as f64 * 1e-4))
+        .collect();
     let items: Vec<usize> = (0..n).collect();
     let mut rng = StdRng::seed_from_u64(42);
 
@@ -32,8 +34,11 @@ fn main() {
 
     // Naive running maximum: can lose a (1+mu) factor at every step.
     {
-        let mut oracle =
-            Counting::new(AdversarialValueOracle::new(values.clone(), mu, InvertAdversary));
+        let mut oracle = Counting::new(AdversarialValueOracle::new(
+            values.clone(),
+            mu,
+            InvertAdversary,
+        ));
         let mut best = items[0];
         for &v in &items[1..] {
             use noisy_oracle::oracle::ComparisonOracle;
@@ -51,8 +56,11 @@ fn main() {
 
     // Count-Max (Algorithm 1): quadratic but (1+mu)^2-safe.
     {
-        let mut oracle =
-            Counting::new(AdversarialValueOracle::new(values.clone(), mu, InvertAdversary));
+        let mut oracle = Counting::new(AdversarialValueOracle::new(
+            values.clone(),
+            mu,
+            InvertAdversary,
+        ));
         let best = count_max(&items, &mut ValueCmp::new(&mut oracle)).unwrap();
         table.row(&[
             "Count-Max (Alg 1)".into(),
@@ -64,8 +72,11 @@ fn main() {
 
     // Binary tournament (the Tour2 baseline).
     {
-        let mut oracle =
-            Counting::new(AdversarialValueOracle::new(values.clone(), mu, InvertAdversary));
+        let mut oracle = Counting::new(AdversarialValueOracle::new(
+            values.clone(),
+            mu,
+            InvertAdversary,
+        ));
         let best = tournament(&items, 2, &mut ValueCmp::new(&mut oracle), &mut rng).unwrap();
         table.row(&[
             "Tournament λ=2".into(),
@@ -77,8 +88,11 @@ fn main() {
 
     // Max-Adv (Algorithm 4): the paper's headline result.
     {
-        let mut oracle =
-            Counting::new(AdversarialValueOracle::new(values.clone(), mu, InvertAdversary));
+        let mut oracle = Counting::new(AdversarialValueOracle::new(
+            values.clone(),
+            mu,
+            InvertAdversary,
+        ));
         let best = max_adv(
             &items,
             &AdvParams::with_confidence(0.1),

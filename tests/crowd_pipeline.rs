@@ -72,7 +72,10 @@ fn separated_cells(m: &[Vec<Option<f64>>]) -> Vec<Option<f64>> {
     m.iter()
         .enumerate()
         .flat_map(|(i, row)| {
-            row.iter().enumerate().filter(move |(j, _)| i.abs_diff(*j) >= 2).map(|(_, c)| *c)
+            row.iter()
+                .enumerate()
+                .filter(move |(j, _)| i.abs_diff(*j) >= 2)
+                .map(|(_, c)| *c)
         })
         .collect()
 }
@@ -93,12 +96,18 @@ fn figure_4a_caltech_diagonal_is_noisy_off_diagonal_is_clean() {
     // Diagonal cells (same bucket => comparable distances) are noisy...
     let diag: Vec<Option<f64>> = (0..6).map(|i| m[i][i]).collect();
     let diag_mean = mean_of(&diag).expect("diagonal populated");
-    assert!(diag_mean < 0.85, "diagonal accuracy {diag_mean:.3} should be noisy");
+    assert!(
+        diag_mean < 0.85,
+        "diagonal accuracy {diag_mean:.3} should be noisy"
+    );
     // ...while well-separated bucket pairs are answered near-perfectly
     // (the sharp cliff the paper reads as the adversarial model).
     let far_cells = separated_cells(&m);
     let far_mean = mean_of(&far_cells).expect("off-diagonal populated");
-    assert!(far_mean > 0.95, "off-diagonal accuracy {far_mean:.3} should be clean");
+    assert!(
+        far_mean > 0.95,
+        "off-diagonal accuracy {far_mean:.3} should be clean"
+    );
 }
 
 #[test]

@@ -107,7 +107,11 @@ fn dendrogram_cuts_partition_at_every_k() {
     let d = amazon(90, 1);
     let mut o = AdversarialQuadOracle::new(&d.metric, 1.0, InvertAdversary);
     let mut rng = StdRng::seed_from_u64(3);
-    let dend = hier_oracle(&HierParams::experimental(Linkage::Complete), &mut o, &mut rng);
+    let dend = hier_oracle(
+        &HierParams::experimental(Linkage::Complete),
+        &mut o,
+        &mut rng,
+    );
     dend.validate();
     for k in [1usize, 2, 7, 14, 45, 90] {
         let labels = dend.cut(k);

@@ -26,8 +26,10 @@ fn adversarial_kcenter_tracks_tdist_on_cities_scale_data() {
     let trials = 5;
     for seed in 0..trials {
         let mut o = AdversarialQuadOracle::new(metric, 0.5, InvertAdversary);
-        let params =
-            KCenterAdvParams { first_center: Some(0), ..KCenterAdvParams::with_confidence(k, 0.1) };
+        let params = KCenterAdvParams {
+            first_center: Some(0),
+            ..KCenterAdvParams::with_confidence(k, 0.1)
+        };
         let mut rng = StdRng::seed_from_u64(seed);
         let c = kcenter_adv(&params, &mut o, &mut rng);
         c.validate();
@@ -36,7 +38,10 @@ fn adversarial_kcenter_tracks_tdist_on_cities_scale_data() {
             within += 1;
         }
     }
-    assert!(within >= trials - 1, "only {within}/{trials} within 4x of TDist");
+    assert!(
+        within >= trials - 1,
+        "only {within}/{trials} within 4x of TDist"
+    );
 }
 
 #[test]

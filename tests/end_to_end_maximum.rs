@@ -15,7 +15,9 @@ use rand::SeedableRng;
 
 fn crowded_values(n: usize, mu: f64) -> Vec<f64> {
     // A dense geometric ladder: every adjacent pair is inside the band.
-    (0..n).map(|i| (1.0 + mu * 0.3).powi((i % 48) as i32) * (1.0 + i as f64 * 1e-5)).collect()
+    (0..n)
+        .map(|i| (1.0 + mu * 0.3).powi((i % 48) as i32) * (1.0 + i as f64 * 1e-5))
+        .collect()
 }
 
 #[test]
@@ -38,22 +40,16 @@ fn theorem_3_6_holds_for_every_adversary_strategy() {
             failures += 1;
         }
         // Persistent random liar.
-        let mut o = AdversarialValueOracle::new(
-            values.clone(),
-            mu,
-            PersistentRandomAdversary::new(seed),
-        );
+        let mut o =
+            AdversarialValueOracle::new(values.clone(), mu, PersistentRandomAdversary::new(seed));
         let mut rng = StdRng::seed_from_u64(1000 + seed);
         let got = max_adv(&items, &params, &mut ValueCmp::new(&mut o), &mut rng).unwrap();
         if max_approx_ratio(&values, got) > bound {
             failures += 1;
         }
         // Consistent (systematically biased) comparator.
-        let mut o = AdversarialValueOracle::new(
-            values.clone(),
-            mu,
-            ConsistentAdversary::new(seed, mu),
-        );
+        let mut o =
+            AdversarialValueOracle::new(values.clone(), mu, ConsistentAdversary::new(seed, mu));
         let mut rng = StdRng::seed_from_u64(2000 + seed);
         let got = max_adv(&items, &params, &mut ValueCmp::new(&mut o), &mut rng).unwrap();
         if max_approx_ratio(&values, got) > bound {
@@ -61,7 +57,10 @@ fn theorem_3_6_holds_for_every_adversary_strategy() {
         }
     }
     // 60 runs at delta = 0.1: allow a generous 12 failures.
-    assert!(failures <= 12, "{failures}/60 runs broke the (1+mu)^3 bound");
+    assert!(
+        failures <= 12,
+        "{failures}/60 runs broke the (1+mu)^3 bound"
+    );
 }
 
 #[test]
@@ -112,14 +111,20 @@ fn theorem_3_7_rank_is_polylog_across_noise_levels() {
 fn perfect_oracles_are_exact_end_to_end() {
     let n = 300usize;
     let values: Vec<f64> = (0..n).map(|i| ((i * 7919) % 104729) as f64).collect();
-    let true_best = (0..n).max_by(|&a, &b| values[a].total_cmp(&values[b])).unwrap();
+    let true_best = (0..n)
+        .max_by(|&a, &b| values[a].total_cmp(&values[b]))
+        .unwrap();
     let items: Vec<usize> = (0..n).collect();
 
     let mut o = AdversarialValueOracle::new(values.clone(), 0.0, InvertAdversary);
     let mut rng = StdRng::seed_from_u64(1);
-    let got =
-        max_adv(&items, &AdvParams::experimental(), &mut ValueCmp::new(&mut o), &mut rng)
-            .unwrap();
+    let got = max_adv(
+        &items,
+        &AdvParams::experimental(),
+        &mut ValueCmp::new(&mut o),
+        &mut rng,
+    )
+    .unwrap();
     assert_eq!(got, true_best, "mu = 0 must be exact");
 
     let mut o = ProbValueOracle::new(values.clone(), 0.0, 9);

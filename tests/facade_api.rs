@@ -42,7 +42,9 @@ fn readme_pipeline_compiles_and_runs() {
 
     // 2. A metric behind a quadruplet oracle, farthest + nearest.
     let metric = EuclideanMetric::from_points(
-        &(0..50).map(|i| vec![(i as f64).sqrt(), (i % 7) as f64]).collect::<Vec<_>>(),
+        &(0..50)
+            .map(|i| vec![(i as f64).sqrt(), (i % 7) as f64])
+            .collect::<Vec<_>>(),
     );
     let mut rng = StdRng::seed_from_u64(0);
     let mut quad = Counting::new(TrueQuadOracle::new(metric));
@@ -64,7 +66,11 @@ fn readme_pipeline_compiles_and_runs() {
 
     // 4. A hierarchy, cut and scored.
     let mut noisy = AdversarialQuadOracle::new(&d.metric, 0.5, InvertAdversary);
-    let dend = hier_oracle(&HierParams::experimental(Linkage::Single), &mut noisy, &mut rng);
+    let dend = hier_oracle(
+        &HierParams::experimental(Linkage::Single),
+        &mut noisy,
+        &mut rng,
+    );
     assert_eq!(dend.cut(20).len(), 120);
 
     // 5. Harness utilities.
