@@ -1,0 +1,533 @@
+//! `perfsuite` — the reproducible performance suite behind the repo's
+//! perf trajectory (`BENCH_*.json`).
+//!
+//! Four pinned, fully seeded workloads cover the paper's hot paths:
+//!
+//! | name | shape |
+//! |---|---|
+//! | `count_max_prob_n4096` | Algorithm 12 maximum over 4096 hidden values, persistent `p = 0.2` |
+//! | `neighbor_n2048` | 12 farthest + 12 nearest searches (Alg. 13/15), 128-d points, persistent `p = 0.15` |
+//! | `slink_n512` | Algorithm 11 single-linkage hierarchy over 512 128-d points, persistent `p = 0.05` |
+//! | `kcenter_n1024` | Algorithm 6 greedy 32-center over 1024 128-d points, adversarial `mu = 0.2` |
+//!
+//! Each workload runs twice: a **baseline** configuration (lazy
+//! re-computation of every distance / serial rounds — the pre-PR2 shape
+//! of the hot path) and an **optimized** configuration (condensed-matrix
+//! materialisation, `MemoOracle` caching, thread fan-out where compiled).
+//! Both runs draw the same seeds; the suite *verifies* that outputs are
+//! bit-identical and oracle-query totals are equal before reporting, so a
+//! speedup can never come from doing different work.
+//!
+//! Usage:
+//!
+//! ```text
+//! perfsuite [--smoke] [--out PATH] [--check-baseline PATH]
+//! ```
+//!
+//! `--smoke` shrinks every workload (~16x fewer queries) for CI;
+//! `--out` defaults to `BENCH_PR2.json` in the current directory;
+//! `--check-baseline` compares this run's query counts against a
+//! committed baseline JSON and exits non-zero on any regression
+//! (count > baseline) — the CI guard for the pinned workloads.
+
+use nco_core::comparator::ValueCmp;
+use nco_core::hier::{hier_oracle, Dendrogram, HierParams, Linkage};
+use nco_core::kcenter::{kcenter_adv, KCenterAdvParams};
+use nco_core::maxfind::{max_prob, AdvParams, ProbParams};
+use nco_core::neighbor::{farthest_adv, nearest_adv};
+use nco_metric::{materialize_if_small, EuclideanMetric};
+use nco_oracle::adversarial::{AdversarialQuadOracle, InvertAdversary};
+use nco_oracle::counting::Counting;
+use nco_oracle::probabilistic::{ProbQuadOracle, ProbValueOracle};
+use rand::rngs::{CounterRng, StdRng};
+use rand::{Rng, RngCore, SeedableRng};
+use std::time::Instant;
+
+struct WorkloadReport {
+    name: String,
+    n: usize,
+    reps: usize,
+    baseline_ms: f64,
+    optimized_ms: f64,
+    queries: u64,
+    optimization: &'static str,
+    outputs_match: bool,
+}
+
+impl WorkloadReport {
+    fn speedup(&self) -> f64 {
+        if self.optimized_ms > 0.0 {
+            self.baseline_ms / self.optimized_ms
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+/// Per-rep seeds derived from one workload seed through a counter stream —
+/// deterministic, and independent across reps and workloads.
+fn rep_seeds(workload_seed: u64, reps: usize) -> Vec<(u64, u64)> {
+    let mut stream = CounterRng::new(0xBE5C_0BE5, workload_seed);
+    (0..reps)
+        .map(|_| (stream.next_u64(), stream.next_u64()))
+        .collect()
+}
+
+/// Seeded Gaussian-ish mixture in `dim` dimensions: `k` well-spread
+/// cluster centers, points scattered around them.
+fn mixture_points(n: usize, dim: usize, k: usize, seed: u64) -> EuclideanMetric {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let centers: Vec<Vec<f64>> = (0..k)
+        .map(|_| (0..dim).map(|_| rng.random_range(-50.0..50.0)).collect())
+        .collect();
+    let mut flat = Vec::with_capacity(n * dim);
+    for i in 0..n {
+        let c = &centers[i % k];
+        for &coord in c.iter() {
+            flat.push(coord + rng.random_range(-4.0..4.0));
+        }
+    }
+    EuclideanMetric::from_flat(flat, dim)
+}
+
+fn ms(start: Instant) -> f64 {
+    start.elapsed().as_secs_f64() * 1e3
+}
+
+// ---------------------------------------------------------------------
+// Workload 1: Count-Max-Prob over hidden values.
+// ---------------------------------------------------------------------
+
+fn run_count_max_prob(n: usize, reps: usize) -> WorkloadReport {
+    let mut values: Vec<f64> = (1..=n).map(|i| i as f64).collect();
+    {
+        use rand::seq::SliceRandom;
+        values.shuffle(&mut StdRng::seed_from_u64(0xC0DE));
+    }
+    let params = ProbParams::experimental();
+    let seeds = rep_seeds(0xA1, reps);
+
+    // Baseline: the serial scoring rounds.
+    let start = Instant::now();
+    let mut queries = 0u64;
+    let mut serial_winners = Vec::with_capacity(reps);
+    for &(oracle_seed, rng_seed) in &seeds {
+        let mut oracle = Counting::new(ProbValueOracle::new(values.clone(), 0.2, oracle_seed));
+        let items: Vec<usize> = (0..n).collect();
+        let w = max_prob(
+            &items,
+            &params,
+            &mut ValueCmp::new(&mut oracle),
+            &mut StdRng::seed_from_u64(rng_seed),
+        );
+        queries += oracle.queries();
+        serial_winners.push(w);
+    }
+    let baseline_ms = ms(start);
+
+    // Optimized: thread fan-out of each scoring round when compiled with
+    // `parallel` *and* more than one worker is available (bit-identical
+    // to serial; with one core, the serial engine — already the fastest
+    // single-thread shape — runs instead).
+    let fan_out = cfg!(feature = "parallel") && threads() > 1;
+    let start = Instant::now();
+    let mut opt_queries = 0u64;
+    let mut opt_winners = Vec::with_capacity(reps);
+    for &(oracle_seed, rng_seed) in &seeds {
+        let items: Vec<usize> = (0..n).collect();
+        #[cfg(feature = "parallel")]
+        if fan_out {
+            use nco_core::parallel::{default_threads, AtomicCountingCmp, SharedValueCmp};
+            let oracle = ProbValueOracle::new(values.clone(), 0.2, oracle_seed);
+            let cmp = AtomicCountingCmp::new(SharedValueCmp::new(&oracle));
+            let w = nco_core::maxfind::max_prob_par(
+                &items,
+                &params,
+                &cmp,
+                &mut StdRng::seed_from_u64(rng_seed),
+                default_threads(),
+            );
+            opt_queries += cmp.calls();
+            opt_winners.push(w);
+            continue;
+        }
+        let mut oracle = Counting::new(ProbValueOracle::new(values.clone(), 0.2, oracle_seed));
+        let w = max_prob(
+            &items,
+            &params,
+            &mut ValueCmp::new(&mut oracle),
+            &mut StdRng::seed_from_u64(rng_seed),
+        );
+        opt_queries += oracle.queries();
+        opt_winners.push(w);
+    }
+    let optimized_ms = ms(start);
+
+    WorkloadReport {
+        name: format!("count_max_prob_n{n}"),
+        n,
+        reps,
+        baseline_ms,
+        optimized_ms,
+        queries,
+        optimization: if fan_out {
+            "std::thread::scope fan-out of scoring rounds (bit-identical)"
+        } else {
+            "serial rounds (single worker available; fan-out needs --features parallel and >1 core)"
+        },
+        outputs_match: serial_winners == opt_winners && queries == opt_queries,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Workload 2: farthest/nearest neighbour searches.
+// ---------------------------------------------------------------------
+
+fn neighbor_searches<O: nco_oracle::QuadrupletOracle>(
+    oracle: &mut O,
+    n: usize,
+    searches: usize,
+    params: &AdvParams,
+    rng_seed: u64,
+) -> Vec<usize> {
+    let mut out = Vec::with_capacity(2 * searches);
+    let mut rng = StdRng::seed_from_u64(rng_seed);
+    for s in 0..searches {
+        let q = (s * 97) % n;
+        out.push(farthest_adv(oracle, q, params, &mut rng).expect("n >= 2"));
+        out.push(nearest_adv(oracle, q, params, &mut rng).expect("n >= 2"));
+    }
+    out
+}
+
+fn run_neighbor(n: usize, searches: usize) -> WorkloadReport {
+    let dim = 128;
+    let metric = mixture_points(n, dim, 16, 0x4E16);
+    let params = AdvParams::with_confidence(0.1);
+    let (oracle_seed, rng_seed) = rep_seeds(0x4E, 1)[0];
+
+    // Baseline: every query re-computes two 128-d distances.
+    let start = Instant::now();
+    let mut oracle = Counting::new(ProbQuadOracle::new(metric.clone(), 0.15, oracle_seed));
+    let base_out = neighbor_searches(&mut oracle, n, searches, &params, rng_seed);
+    let queries = oracle.queries();
+    let baseline_ms = ms(start);
+
+    // Optimized: materialise the condensed matrix once — the distances
+    // are bit-exact copies, so the persistent noise pattern is unchanged.
+    // (A `MemoOracle` layer was measured here and *rejected*: the hit
+    // rate across distinct searches is ~2%, and a probe costs as much as
+    // a matrix lookup. Memoisation pays when the wrapped oracle is
+    // genuinely expensive — a real crowd or classifier — not a lookup.)
+    let start = Instant::now();
+    let dense = materialize_if_small(metric, n);
+    assert!(dense.is_dense());
+    let mut oracle = Counting::new(ProbQuadOracle::new(dense, 0.15, oracle_seed));
+    let opt_out = neighbor_searches(&mut oracle, n, searches, &params, rng_seed);
+    let optimized_ms = ms(start);
+
+    WorkloadReport {
+        name: format!("neighbor_n{n}"),
+        n,
+        reps: searches,
+        baseline_ms,
+        optimized_ms,
+        queries,
+        optimization: "condensed-matrix materialisation",
+        outputs_match: base_out == opt_out && queries == oracle.queries(),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Workload 3: SLINK agglomeration.
+// ---------------------------------------------------------------------
+
+fn run_slink(n: usize) -> WorkloadReport {
+    let dim = 128;
+    let metric = mixture_points(n, dim, 8, 0x511A);
+    let params = HierParams::experimental(Linkage::Single);
+    let (oracle_seed, rng_seed) = rep_seeds(0x51, 1)[0];
+
+    let start = Instant::now();
+    let mut oracle = Counting::new(ProbQuadOracle::new(metric.clone(), 0.05, oracle_seed));
+    let base: Dendrogram = hier_oracle(&params, &mut oracle, &mut StdRng::seed_from_u64(rng_seed));
+    let queries = oracle.queries();
+    let baseline_ms = ms(start);
+
+    let start = Instant::now();
+    let dense = materialize_if_small(metric, n);
+    assert!(dense.is_dense());
+    let mut oracle = Counting::new(ProbQuadOracle::new(dense, 0.05, oracle_seed));
+    let opt = hier_oracle(&params, &mut oracle, &mut StdRng::seed_from_u64(rng_seed));
+    let optimized_ms = ms(start);
+
+    WorkloadReport {
+        name: format!("slink_n{n}"),
+        n,
+        reps: 1,
+        baseline_ms,
+        optimized_ms,
+        queries,
+        optimization: "condensed-matrix materialisation (O(n^2) queries >> n^2/2 pairs)",
+        outputs_match: base == opt && queries == oracle.queries(),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Workload 4: greedy k-center under adversarial noise.
+// ---------------------------------------------------------------------
+
+fn run_kcenter(n: usize, k: usize, reps: usize) -> WorkloadReport {
+    let dim = 128;
+    let metric = mixture_points(n, dim, k, 0x6C3E);
+    let seeds = rep_seeds(0x6C, reps);
+
+    let start = Instant::now();
+    let mut queries = 0u64;
+    let mut base_out = Vec::with_capacity(reps);
+    for &(_, rng_seed) in &seeds {
+        let mut oracle = Counting::new(AdversarialQuadOracle::new(
+            metric.clone(),
+            0.2,
+            InvertAdversary,
+        ));
+        let c = kcenter_adv(
+            &KCenterAdvParams::experimental(k),
+            &mut oracle,
+            &mut StdRng::seed_from_u64(rng_seed),
+        );
+        queries += oracle.queries();
+        base_out.push((c.centers, c.assignment));
+    }
+    let baseline_ms = ms(start);
+
+    // Optimized: one materialisation amortised across the reps (the
+    // realistic shape — many clustering requests over one corpus).
+    let start = Instant::now();
+    let dense = materialize_if_small(metric, n);
+    assert!(dense.is_dense());
+    let mut opt_queries = 0u64;
+    let mut opt_out = Vec::with_capacity(reps);
+    for &(_, rng_seed) in &seeds {
+        let mut oracle = Counting::new(AdversarialQuadOracle::new(
+            dense.clone(),
+            0.2,
+            InvertAdversary,
+        ));
+        let c = kcenter_adv(
+            &KCenterAdvParams::experimental(k),
+            &mut oracle,
+            &mut StdRng::seed_from_u64(rng_seed),
+        );
+        opt_queries += oracle.queries();
+        opt_out.push((c.centers, c.assignment));
+    }
+    let optimized_ms = ms(start);
+
+    WorkloadReport {
+        name: format!("kcenter_n{n}"),
+        n,
+        reps,
+        baseline_ms,
+        optimized_ms,
+        queries,
+        optimization: "condensed-matrix materialisation amortised over reps",
+        outputs_match: base_out == opt_out && queries == opt_queries,
+    }
+}
+
+fn write_json(path: &str, mode: &str, reports: &[WorkloadReport]) -> std::io::Result<()> {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"schema\": \"nco-perfsuite/v1\",\n");
+    s.push_str("  \"pr\": \"PR2\",\n");
+    s.push_str(&format!("  \"mode\": \"{mode}\",\n"));
+    s.push_str(&format!(
+        "  \"parallel_feature\": {},\n",
+        cfg!(feature = "parallel")
+    ));
+    s.push_str(&format!("  \"threads\": {},\n", threads()));
+    s.push_str("  \"workloads\": [\n");
+    for (i, r) in reports.iter().enumerate() {
+        s.push_str("    {\n");
+        s.push_str(&format!("      \"name\": \"{}\",\n", r.name));
+        s.push_str(&format!("      \"n\": {},\n", r.n));
+        s.push_str(&format!("      \"reps\": {},\n", r.reps));
+        s.push_str(&format!(
+            "      \"baseline_wall_ms\": {:.3},\n",
+            r.baseline_ms
+        ));
+        s.push_str(&format!(
+            "      \"optimized_wall_ms\": {:.3},\n",
+            r.optimized_ms
+        ));
+        s.push_str(&format!("      \"speedup\": {:.3},\n", r.speedup()));
+        s.push_str(&format!("      \"queries\": {},\n", r.queries));
+        s.push_str(&format!(
+            "      \"optimization\": \"{}\",\n",
+            r.optimization
+        ));
+        s.push_str(&format!("      \"outputs_match\": {}\n", r.outputs_match));
+        s.push_str(if i + 1 == reports.len() {
+            "    }\n"
+        } else {
+            "    },\n"
+        });
+    }
+    s.push_str("  ],\n");
+    s.push_str(&format!(
+        "  \"total_queries\": {}\n",
+        reports.iter().map(|r| r.queries).sum::<u64>()
+    ));
+    s.push_str("}\n");
+    std::fs::write(path, s)
+}
+
+fn threads() -> usize {
+    #[cfg(feature = "parallel")]
+    {
+        nco_core::parallel::default_threads()
+    }
+    #[cfg(not(feature = "parallel"))]
+    {
+        1
+    }
+}
+
+/// Pulls `(name, n, queries)` triples out of a perfsuite JSON file using
+/// plain string scanning — the file format is our own, and the binary
+/// must stay dependency-free (no serde in the offline build).
+fn extract_workloads(json: &str) -> Vec<(String, u64, u64)> {
+    fn field_u64(segment: &str, key: &str) -> Option<u64> {
+        let at = segment.find(&format!("\"{key}\":"))?;
+        let rest = &segment[at + key.len() + 3..];
+        let digits: String = rest
+            .trim_start()
+            .chars()
+            .take_while(char::is_ascii_digit)
+            .collect();
+        digits.parse().ok()
+    }
+    let mut out = Vec::new();
+    let mut rest = json;
+    while let Some(at) = rest.find("\"name\":") {
+        rest = &rest[at + 7..];
+        let open = match rest.find('"') {
+            Some(i) => i,
+            None => break,
+        };
+        let close = match rest[open + 1..].find('"') {
+            Some(i) => open + 1 + i,
+            None => break,
+        };
+        let name = rest[open + 1..close].to_string();
+        let segment_end = rest.find("\"name\":").unwrap_or(rest.len());
+        let segment = &rest[..segment_end];
+        if let (Some(n), Some(queries)) = (field_u64(segment, "n"), field_u64(segment, "queries")) {
+            out.push((name, n, queries));
+        }
+    }
+    out
+}
+
+fn check_baseline(path: &str, reports: &[WorkloadReport]) -> Result<(), String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read baseline {path}: {e}"))?;
+    let baseline = extract_workloads(&text);
+    for r in reports {
+        let Some((_, base_n, base_queries)) = baseline.iter().find(|(name, _, _)| *name == r.name)
+        else {
+            return Err(format!("workload {} missing from baseline {path}", r.name));
+        };
+        if *base_n != r.n as u64 {
+            return Err(format!(
+                "workload {}: baseline pinned n = {base_n} but this run used n = {} — \
+                 regenerate the baseline",
+                r.name, r.n
+            ));
+        }
+        if r.queries > *base_queries {
+            return Err(format!(
+                "workload {}: {} oracle queries regress past the baseline's {base_queries}",
+                r.name, r.queries
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn main() {
+    let mut smoke = false;
+    let mut out_path = String::from("BENCH_PR2.json");
+    let mut baseline_path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--out" => out_path = args.next().expect("--out requires a path"),
+            "--check-baseline" => {
+                baseline_path = Some(args.next().expect("--check-baseline requires a path"));
+            }
+            other => {
+                eprintln!("unknown argument {other}");
+                eprintln!("usage: perfsuite [--smoke] [--out PATH] [--check-baseline PATH]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let mode = if smoke { "smoke" } else { "full" };
+    eprintln!(
+        "perfsuite: mode = {mode}, threads = {}, parallel = {}",
+        threads(),
+        cfg!(feature = "parallel")
+    );
+
+    let reports = if smoke {
+        vec![
+            run_count_max_prob(1024, 2),
+            run_neighbor(512, 4),
+            run_slink(128),
+            run_kcenter(256, 16, 2),
+        ]
+    } else {
+        vec![
+            run_count_max_prob(4096, 6),
+            run_neighbor(2048, 12),
+            run_slink(512),
+            run_kcenter(1024, 32, 4),
+        ]
+    };
+
+    let mut ok = true;
+    for r in &reports {
+        eprintln!(
+            "  {:22} n={:5} reps={:2}  baseline {:9.2} ms  optimized {:9.2} ms  \
+             speedup {:5.2}x  queries {:>10}  match={}",
+            r.name,
+            r.n,
+            r.reps,
+            r.baseline_ms,
+            r.optimized_ms,
+            r.speedup(),
+            r.queries,
+            r.outputs_match
+        );
+        ok &= r.outputs_match;
+    }
+
+    write_json(&out_path, mode, &reports).expect("cannot write BENCH json");
+    eprintln!("perfsuite: wrote {out_path}");
+
+    if !ok {
+        eprintln!("perfsuite: FAILED — an optimized configuration changed outputs or counts");
+        std::process::exit(1);
+    }
+    if let Some(path) = baseline_path {
+        if let Err(msg) = check_baseline(&path, &reports) {
+            eprintln!("perfsuite: baseline check FAILED — {msg}");
+            std::process::exit(1);
+        }
+        eprintln!("perfsuite: query counts within baseline {path}");
+    }
+}

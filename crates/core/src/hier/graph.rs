@@ -1,7 +1,6 @@
-//! The adjacency-list substrate shared by every oracle-driven
-//! agglomeration: for each unordered pair of live clusters, the
-//! representative record pair realising (approximately) their linkage
-//! distance.
+//! The adjacency substrate shared by every oracle-driven agglomeration:
+//! for each unordered pair of live clusters, the representative record
+//! pair realising (approximately) their linkage distance.
 //!
 //! Merging clusters `a` and `b` into `new` updates each surviving cluster
 //! `c` with **one** quadruplet query comparing `rep(a, c)` against
@@ -9,42 +8,54 @@
 //! `d_SL(a ∪ b, c) = min(d_SL(a, c), d_SL(b, c))` (keep the closer rep) and
 //! its complete-linkage mirror (keep the farther rep). This is what caps
 //! Algorithm 11 at `O(n^2)` total adjacency work.
+//!
+//! Storage is a dense slot matrix, not a hash map: live clusters occupy
+//! slots `0..m` of a fixed `n x n` rep matrix, every `rep` lookup is two
+//! `Vec` indexings, and a merge frees its two slots by installing the new
+//! cluster in one and swap-removing the other (copying one matrix
+//! row/column). The seed implementation kept a `HashMap` keyed by packed
+//! cluster-id pairs — four hashed lookups per oracle query on the
+//! clustering hot path.
 
 use super::Linkage;
 use nco_oracle::QuadrupletOracle;
-use std::collections::HashMap;
 
-#[inline]
-fn key(a: usize, b: usize) -> u64 {
-    let (x, y) = if a < b { (a, b) } else { (b, a) };
-    ((x as u64) << 32) | y as u64
-}
+const DEAD: usize = usize::MAX;
 
 /// Live clusters plus per-pair representative record pairs.
 pub(crate) struct ClusterGraph {
+    n0: usize,
     next_id: usize,
+    /// `active[slot]` = id of the live cluster occupying that slot.
     active: Vec<usize>,
-    adj: HashMap<u64, (u32, u32)>,
+    /// `slot_of[id]` = slot of a live cluster, [`DEAD`] otherwise.
+    slot_of: Vec<usize>,
+    /// Dense `n0 x n0` rep matrix indexed by slot pairs (diagonal unused).
+    reps: Vec<(u32, u32)>,
 }
 
 impl ClusterGraph {
     /// Singleton clusters `0..n`; the rep for `(i, j)` is the pair itself.
     pub fn new(n: usize) -> Self {
         assert!(n >= 2, "need at least two records");
-        let mut adj = HashMap::with_capacity(n * (n - 1) / 2);
+        let mut reps = vec![(0u32, 0u32); n * n];
         for i in 0..n {
-            for j in (i + 1)..n {
-                adj.insert(key(i, j), (i as u32, j as u32));
+            for j in 0..n {
+                if i != j {
+                    reps[i * n + j] = (i.min(j) as u32, i.max(j) as u32);
+                }
             }
         }
         Self {
+            n0: n,
             next_id: n,
             active: (0..n).collect(),
-            adj,
+            slot_of: (0..n).collect(),
+            reps,
         }
     }
 
-    /// Currently live cluster ids.
+    /// Currently live cluster ids (slot order; merges swap-remove).
     pub fn active(&self) -> &[usize] {
         &self.active
     }
@@ -52,10 +63,13 @@ impl ClusterGraph {
     /// The representative record pair between live clusters `a` and `b`.
     ///
     /// # Panics
-    /// Panics if the pair is not live.
+    /// Panics if either cluster is not live.
+    #[inline]
     pub fn rep(&self, a: usize, b: usize) -> (usize, usize) {
-        let (u, v) = self.adj[&key(a, b)];
-        (u as usize, v as usize)
+        let (sa, sb) = (self.slot_of[a], self.slot_of[b]);
+        assert!(sa != DEAD && sb != DEAD, "rep of a dead cluster");
+        let r = self.reps[sa * self.n0 + sb];
+        (r.0 as usize, r.1 as usize)
     }
 
     /// Merges live clusters `a` and `b`; returns the new cluster id.
@@ -72,18 +86,19 @@ impl ClusterGraph {
         assert!(a != b, "cannot merge a cluster with itself");
         let new = self.next_id;
         self.next_id += 1;
+        let n0 = self.n0;
+        let (sa, sb) = (self.slot_of[a], self.slot_of[b]);
+        assert!(sa != DEAD && sb != DEAD, "merge of a dead cluster");
 
-        let others: Vec<usize> = self
-            .active
-            .iter()
-            .copied()
-            .filter(|&c| c != a && c != b)
-            .collect();
-        for &c in &others {
-            let r1 = self.rep(a, c);
-            let r2 = self.rep(b, c);
+        // One query per survivor: the new cluster takes over slot `sa`.
+        for sc in 0..self.active.len() {
+            if sc == sa || sc == sb {
+                continue;
+            }
+            let r1 = self.reps[sa * n0 + sc];
+            let r2 = self.reps[sb * n0 + sc];
             // O(r1, r2) == Yes  <=>  d(r1) <= d(r2).
-            let r1_closer = oracle.le(r1.0, r1.1, r2.0, r2.1);
+            let r1_closer = oracle.le(r1.0 as usize, r1.1 as usize, r2.0 as usize, r2.1 as usize);
             let keep = match linkage {
                 Linkage::Single => {
                     if r1_closer {
@@ -100,13 +115,28 @@ impl ClusterGraph {
                     }
                 }
             };
-            self.adj.remove(&key(a, c));
-            self.adj.remove(&key(b, c));
-            self.adj.insert(key(new, c), (keep.0 as u32, keep.1 as u32));
+            self.reps[sa * n0 + sc] = keep;
+            self.reps[sc * n0 + sa] = keep;
         }
-        self.adj.remove(&key(a, b));
-        self.active.retain(|&c| c != a && c != b);
-        self.active.push(new);
+
+        self.active[sa] = new;
+        debug_assert_eq!(self.slot_of.len(), new);
+        self.slot_of.push(sa);
+        self.slot_of[a] = DEAD;
+        self.slot_of[b] = DEAD;
+
+        // Swap-remove slot `sb`: the cluster in the last slot moves in,
+        // bringing its matrix row and column along.
+        let last = self.active.len() - 1;
+        let moved = self.active[last];
+        self.active.swap_remove(sb);
+        if sb != last {
+            for t in 0..self.active.len() {
+                self.reps[sb * n0 + t] = self.reps[last * n0 + t];
+                self.reps[t * n0 + sb] = self.reps[t * n0 + last];
+            }
+            self.slot_of[moved] = sb;
+        }
         new
     }
 }
@@ -146,7 +176,10 @@ mod tests {
         assert_eq!(new, 4);
         assert_eq!(g.rep(4, 2), (1, 2));
         assert_eq!(g.rep(4, 3), (1, 3));
-        assert_eq!(g.active(), &[2, 3, 4]);
+        // Slot order: 4 took slot 0, 3 swap-removed into slot 1.
+        let mut live = g.active().to_vec();
+        live.sort_unstable();
+        assert_eq!(live, vec![2, 3, 4]);
     }
 
     #[test]
@@ -173,7 +206,41 @@ mod tests {
         let c01 = g.merge(0, 1, Linkage::Single, &mut o);
         let c23 = g.merge(2, 3, Linkage::Single, &mut o);
         assert_eq!(g.rep(c01, c23), (1, 2)); // closest cross pair d=4
+        assert_eq!(g.rep(c23, c01), (1, 2));
         let top = g.merge(c01, c23, Linkage::Single, &mut o);
         assert_eq!(g.active(), &[top]);
+    }
+
+    #[test]
+    fn swap_removed_rows_keep_their_reps() {
+        // Exercise the row/column move: merge in the middle of the slot
+        // range and check every surviving pair's rep is intact.
+        let m =
+            EuclideanMetric::from_points(&(0..6).map(|i| vec![i as f64 * 1.5]).collect::<Vec<_>>());
+        let mut o = TrueQuadOracle::new(m);
+        let mut g = ClusterGraph::new(6);
+        let c = g.merge(1, 2, Linkage::Single, &mut o);
+        // Survivors 0, 3, 4, 5 against the union {1, 2}.
+        assert_eq!(g.rep(c, 0), (0, 1));
+        assert_eq!(g.rep(c, 3), (2, 3));
+        assert_eq!(g.rep(c, 4), (2, 4));
+        assert_eq!(g.rep(c, 5), (2, 5));
+        // Untouched pairs are still the identity reps.
+        assert_eq!(g.rep(0, 5), (0, 5));
+        assert_eq!(g.rep(4, 3), (3, 4));
+        let c2 = g.merge(0, 5, Linkage::Single, &mut o);
+        // d(rep(0, c)) = d(0, 1) = 1.5 beats d(rep(5, c)) = d(2, 5) = 4.5.
+        assert_eq!(g.rep(c2, c), (0, 1));
+        // 6 singletons minus two merges -> 4 live clusters.
+        assert_eq!(g.active().len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "dead cluster")]
+    fn rep_of_merged_cluster_panics() {
+        let mut o = line_oracle();
+        let mut g = ClusterGraph::new(4);
+        let _ = g.merge(0, 1, Linkage::Single, &mut o);
+        let _ = g.rep(0, 2);
     }
 }

@@ -18,7 +18,6 @@ use crate::comparator::Comparator;
 use crate::maxfind::{min_adv, AdvParams};
 use nco_oracle::QuadrupletOracle;
 use rand::Rng;
-use std::collections::HashMap;
 
 /// Parameters of oracle-driven agglomeration (Algorithm 11).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -76,13 +75,14 @@ impl<O: QuadrupletOracle> Comparator<usize> for RepCmp<'_, O> {
 struct CandidateCmp<'a, O> {
     oracle: &'a mut O,
     graph: &'a ClusterGraph,
-    nn: &'a HashMap<usize, usize>,
+    /// Dense pointer table indexed by cluster id.
+    nn: &'a [usize],
 }
 
 impl<O: QuadrupletOracle> Comparator<usize> for CandidateCmp<'_, O> {
     fn le(&mut self, c1: usize, c2: usize) -> bool {
-        let r1 = self.graph.rep(c1, self.nn[&c1]);
-        let r2 = self.graph.rep(c2, self.nn[&c2]);
+        let r1 = self.graph.rep(c1, self.nn[c1]);
+        let r2 = self.graph.rep(c2, self.nn[c2]);
         self.oracle.le(r1.0, r1.1, r2.0, r2.1)
     }
 }
@@ -93,19 +93,21 @@ fn nearest_of<O, R>(
     params: &AdvParams,
     oracle: &mut O,
     rng: &mut R,
+    scratch: &mut Vec<usize>,
 ) -> usize
 where
     O: QuadrupletOracle,
     R: Rng + ?Sized,
 {
-    let neighbours: Vec<usize> = graph.active().iter().copied().filter(|&x| x != c).collect();
-    debug_assert!(!neighbours.is_empty());
+    scratch.clear();
+    scratch.extend(graph.active().iter().copied().filter(|&x| x != c));
+    debug_assert!(!scratch.is_empty());
     let mut cmp = RepCmp {
         oracle,
         graph,
         me: c,
     };
-    min_adv(&neighbours, params, &mut cmp, rng).expect("at least one neighbour")
+    min_adv(scratch, params, &mut cmp, rng).expect("at least one neighbour")
 }
 
 /// Algorithm 11: agglomerative clustering (single or complete linkage)
@@ -122,25 +124,33 @@ where
     assert!(n >= 2, "agglomeration needs at least two records");
     let mut graph = ClusterGraph::new(n);
 
+    // Dense nearest-neighbour pointer table indexed by cluster id (ids
+    // run `0..2n-1` across the whole agglomeration); `usize::MAX` marks
+    // dead/unset entries. The seed implementation kept a `HashMap` here —
+    // two hashed lookups per candidate comparison on the hot path.
+    let mut nn: Vec<usize> = vec![usize::MAX; 2 * n - 1];
+    // Scratch buffers reused by every search and repair round.
+    let mut neighbours: Vec<usize> = Vec::with_capacity(n);
+    let mut stale: Vec<usize> = Vec::with_capacity(n);
+
     // Initial nearest-neighbour pointers (n searches of O(n) queries).
-    let mut nn: HashMap<usize, usize> = HashMap::with_capacity(2 * n);
-    for c in 0..n {
-        nn.insert(c, nearest_of(&graph, c, &params.search, oracle, rng));
+    for (c, pointer) in nn.iter_mut().enumerate().take(n) {
+        *pointer = nearest_of(&graph, c, &params.search, oracle, rng, &mut neighbours);
     }
 
     let mut merges = Vec::with_capacity(n - 1);
     while graph.active().len() > 1 {
-        // Closest (C, nn(C)) candidate.
-        let actives: Vec<usize> = graph.active().to_vec();
+        // Closest (C, nn(C)) candidate, searched directly over the live
+        // slot list — no per-merge candidate `Vec` rebuild.
         let winner = {
             let mut cmp = CandidateCmp {
                 oracle,
                 graph: &graph,
                 nn: &nn,
             };
-            min_adv(&actives, &params.search, &mut cmp, rng).expect("non-empty actives")
+            min_adv(graph.active(), &params.search, &mut cmp, rng).expect("non-empty actives")
         };
-        let partner = nn[&winner];
+        let partner = nn[winner];
         let rep = graph.rep(winner, partner);
 
         let new = graph.merge(winner, partner, params.linkage, oracle);
@@ -150,36 +160,36 @@ where
             merged: new,
             rep,
         });
-        nn.remove(&winner);
-        nn.remove(&partner);
+        nn[winner] = usize::MAX;
+        nn[partner] = usize::MAX;
 
         if graph.active().len() == 1 {
             break;
         }
 
         // Repair pointers into the merged pair.
-        let stale: Vec<usize> = graph
-            .active()
-            .iter()
-            .copied()
-            .filter(|&c| c != new && matches!(nn.get(&c), Some(&t) if t == winner || t == partner))
-            .collect();
-        for c in stale {
+        stale.clear();
+        stale.extend(
+            graph
+                .active()
+                .iter()
+                .copied()
+                .filter(|&c| c != new && (nn[c] == winner || nn[c] == partner)),
+        );
+        for &c in &stale {
             match params.linkage {
                 // Single linkage: d(c, new) = min of the two old distances,
                 // so the union is still c's nearest — redirect for free.
                 Linkage::Single => {
-                    nn.insert(c, new);
+                    nn[c] = new;
                 }
                 // Complete linkage: distances grew; recompute.
                 Linkage::Complete => {
-                    let t = nearest_of(&graph, c, &params.search, oracle, rng);
-                    nn.insert(c, t);
+                    nn[c] = nearest_of(&graph, c, &params.search, oracle, rng, &mut neighbours);
                 }
             }
         }
-        let t = nearest_of(&graph, new, &params.search, oracle, rng);
-        nn.insert(new, t);
+        nn[new] = nearest_of(&graph, new, &params.search, oracle, rng, &mut neighbours);
     }
 
     let d = Dendrogram { n, merges };

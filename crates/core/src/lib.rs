@@ -32,6 +32,8 @@ pub mod hier;
 pub mod kcenter;
 pub mod maxfind;
 pub mod neighbor;
+#[cfg(feature = "parallel")]
+pub mod parallel;
 
 pub use comparator::Comparator;
 pub use kcenter::Clustering;

@@ -29,9 +29,15 @@ pub mod topk;
 mod tournament;
 
 pub use adversarial::{max_adv, min_adv, AdvParams};
-pub use count_max::{count_max, count_min, count_scores, duel};
+pub use count_max::{count_max, count_min, count_scores, count_scores_into, duel};
+#[cfg(feature = "parallel")]
+pub use count_max::{count_max_par, count_scores_par};
+#[cfg(feature = "parallel")]
+pub use probabilistic::max_prob_par;
 pub use probabilistic::{max_prob, min_prob, ProbParams};
 pub use topk::{rank_by_counts, top_k_adv, top_k_prob};
+#[cfg(feature = "parallel")]
+pub use tournament::tournament_par;
 pub use tournament::{tournament, tournament_partition};
 
 /// Deduplicates items preserving first-occurrence order (used by Max-Adv on

@@ -44,10 +44,21 @@ where
     let mut out = Vec::with_capacity(k);
     for _ in 0..k {
         let best = max_adv(&remaining, params, cmp, rng).expect("remaining non-empty");
-        remaining.retain(|&x| x != best);
+        swap_remove_item(&mut remaining, best);
         out.push(best);
     }
     out
+}
+
+/// Removes one occurrence of `item` in `O(n)` lookups and `O(1)` writes
+/// (swap-remove pruning — the remaining order is already randomised by
+/// the search's own shuffles, so preserving it buys nothing).
+fn swap_remove_item<I: Copy + Eq>(items: &mut Vec<I>, item: I) {
+    let pos = items
+        .iter()
+        .position(|&x| x == item)
+        .expect("winner must come from the remaining set");
+    items.swap_remove(pos);
 }
 
 /// Top-k under persistent probabilistic noise (iterated Count-Max-Prob).
@@ -71,7 +82,7 @@ where
     let mut out = Vec::with_capacity(k);
     for _ in 0..k {
         let best = max_prob(&remaining, params, cmp, rng).expect("remaining non-empty");
-        remaining.retain(|&x| x != best);
+        swap_remove_item(&mut remaining, best);
         out.push(best);
     }
     out

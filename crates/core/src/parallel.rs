@@ -1,0 +1,207 @@
+//! Shared-comparator infrastructure for the `parallel` feature.
+//!
+//! Braverman–Mao–Weinberg (*Parallel Algorithms for Select and Partition
+//! with Noisy Comparisons*) observe that tournament and scoring rounds are
+//! embarrassingly parallel **within** a round: every duel / score in a
+//! round touches disjoint state. This workspace exploits exactly that and
+//! nothing more, under three rules that keep parallel runs *bit-identical*
+//! to serial ones:
+//!
+//! 1. **All randomness is drawn serially.** Shuffles and sample draws
+//!    happen on the caller's rng before any fan-out; parallel regions are
+//!    RNG-free by construction. (For algorithms that ever need in-worker
+//!    randomness, `rand::rngs::CounterRng` provides per-chunk
+//!    counter-derived streams keyed by chunk index — deterministic
+//!    regardless of scheduling.)
+//! 2. **Oracles are queried through `&self`.** [`SyncComparator`] is the
+//!    comparator-level witness of the persistent-noise property
+//!    (`nco_oracle::persistent`): answers are pure functions of the
+//!    query, so query *order* across threads cannot matter.
+//! 3. **Results are reassembled in chunk order.** Each worker returns its
+//!    chunk's output; concatenation in chunk order reproduces the serial
+//!    output exactly, and per-item query counts are unchanged.
+//!
+//! The fan-out itself uses `std::thread::scope` (the build environment
+//! has no registry access, so no rayon). The parallel entry points live
+//! next to their serial twins — [`crate::maxfind::max_prob_par`],
+//! [`crate::maxfind::tournament_par`], [`crate::maxfind::count_scores_par`]
+//! — and each documents why its query sequence matches the serial one.
+
+use crate::comparator::Comparator;
+use nco_oracle::{SharedComparisonOracle, SharedQuadrupletOracle};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A comparator that can be queried through a shared reference from many
+/// threads — the comparator-level form of a persistent oracle.
+pub trait SyncComparator<I: Copy>: Sync {
+    /// Noisily decides whether item `a`'s hidden key is `<=` item `b`'s,
+    /// identically to the serial [`Comparator::le`] of the same instance.
+    fn le(&self, a: I, b: I) -> bool;
+}
+
+impl<I: Copy, C: SyncComparator<I> + ?Sized> SyncComparator<I> for &C {
+    fn le(&self, a: I, b: I) -> bool {
+        (**self).le(a, b)
+    }
+}
+
+/// Exposes a [`SyncComparator`] through the serial [`Comparator`] trait,
+/// so parallel drivers can reuse the serial engines (e.g. the final
+/// Count-Max of Algorithm 12) without duplicating them.
+#[derive(Debug)]
+pub struct AsSerial<'a, C>(pub &'a C);
+
+impl<I: Copy, C: SyncComparator<I>> Comparator<I> for AsSerial<'_, C> {
+    fn le(&mut self, a: I, b: I) -> bool {
+        self.0.le(a, b)
+    }
+}
+
+/// Items are record indices, keys are their hidden values — the shared
+/// twin of [`crate::comparator::ValueCmp`].
+#[derive(Debug)]
+pub struct SharedValueCmp<'a, O> {
+    oracle: &'a O,
+}
+
+impl<'a, O: SharedComparisonOracle> SharedValueCmp<'a, O> {
+    /// Wraps a shared comparison oracle.
+    pub fn new(oracle: &'a O) -> Self {
+        Self { oracle }
+    }
+}
+
+impl<O: SharedComparisonOracle> SyncComparator<usize> for SharedValueCmp<'_, O> {
+    #[inline]
+    fn le(&self, a: usize, b: usize) -> bool {
+        self.oracle.le_shared(a, b)
+    }
+}
+
+/// Items are record indices, keys are their distances from a fixed query
+/// record — the shared twin of [`crate::comparator::DistToQueryCmp`].
+#[derive(Debug)]
+pub struct SharedDistToQueryCmp<'a, O> {
+    oracle: &'a O,
+    q: usize,
+}
+
+impl<'a, O: SharedQuadrupletOracle> SharedDistToQueryCmp<'a, O> {
+    /// Wraps a shared quadruplet oracle with the query record `q`.
+    pub fn new(oracle: &'a O, q: usize) -> Self {
+        Self { oracle, q }
+    }
+}
+
+impl<O: SharedQuadrupletOracle> SyncComparator<usize> for SharedDistToQueryCmp<'_, O> {
+    #[inline]
+    fn le(&self, a: usize, b: usize) -> bool {
+        self.oracle.le_shared(self.q, a, self.q, b)
+    }
+}
+
+/// Order-reversing adapter — the shared twin of
+/// [`crate::comparator::Rev`].
+#[derive(Debug)]
+pub struct SyncRev<C>(pub C);
+
+impl<I: Copy, C: SyncComparator<I>> SyncComparator<I> for SyncRev<C> {
+    #[inline]
+    fn le(&self, a: I, b: I) -> bool {
+        self.0.le(b, a)
+    }
+}
+
+/// Thread-safe call counter at the comparator layer — the shared twin of
+/// `nco_testkit`'s `CountingCmp`. Counts are additive and
+/// order-independent, so a parallel run over the same query multiset
+/// reports exactly the serial total.
+#[derive(Debug)]
+pub struct AtomicCountingCmp<C> {
+    inner: C,
+    count: AtomicU64,
+}
+
+impl<C> AtomicCountingCmp<C> {
+    /// Wraps a comparator with a zeroed counter.
+    pub fn new(inner: C) -> Self {
+        Self {
+            inner,
+            count: AtomicU64::new(0),
+        }
+    }
+
+    /// Comparator calls so far.
+    pub fn calls(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Unwraps the comparator.
+    pub fn into_inner(self) -> C {
+        self.inner
+    }
+}
+
+impl<I: Copy, C: SyncComparator<I>> SyncComparator<I> for AtomicCountingCmp<C> {
+    #[inline]
+    fn le(&self, a: I, b: I) -> bool {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.inner.le(a, b)
+    }
+}
+
+impl<I: Copy, C: SyncComparator<I>> Comparator<I> for AtomicCountingCmp<C> {
+    fn le(&mut self, a: I, b: I) -> bool {
+        SyncComparator::le(self, a, b)
+    }
+}
+
+/// Worker count for the fan-outs: `std::thread::available_parallelism`,
+/// or 1 when the platform won't say.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nco_oracle::probabilistic::ProbValueOracle;
+
+    #[test]
+    fn shared_adapters_agree_with_serial_comparators() {
+        use crate::comparator::{Rev, ValueCmp};
+        let oracle = ProbValueOracle::new((0..30).map(f64::from).collect(), 0.3, 5);
+        let mut serial_oracle = oracle.clone();
+        let mut rev_oracle = oracle.clone();
+        let shared = SharedValueCmp::new(&oracle);
+        let rev_shared = SyncRev(SharedValueCmp::new(&oracle));
+        let mut serial = ValueCmp::new(&mut serial_oracle);
+        let mut rev_serial = Rev(ValueCmp::new(&mut rev_oracle));
+        for i in 0..30 {
+            for j in 0..30 {
+                assert_eq!(shared.le(i, j), serial.le(i, j), "({i},{j})");
+                assert_eq!(rev_shared.le(i, j), rev_serial.le(i, j), "rev ({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn atomic_counter_counts_across_threads() {
+        let oracle = ProbValueOracle::new((0..64).map(f64::from).collect(), 0.2, 1);
+        let cmp = AtomicCountingCmp::new(SharedValueCmp::new(&oracle));
+        std::thread::scope(|scope| {
+            for t in 0..4usize {
+                let cmp = &cmp;
+                scope.spawn(move || {
+                    for i in 0..16 {
+                        let a = (t * 16 + i) % 64;
+                        let _ = cmp.le(a, (a + 1) % 64);
+                    }
+                });
+            }
+        });
+        assert_eq!(cmp.calls(), 64);
+    }
+}

@@ -59,29 +59,57 @@ impl EuclideanMetric {
     }
 
     /// Coordinates of point `i`.
+    #[inline]
     pub fn point(&self, i: usize) -> &[f64] {
-        &self.data[i * self.dim..(i + 1) * self.dim]
+        &self.data[i * self.dim..i * self.dim + self.dim]
     }
 
     /// Squared Euclidean distance (cheaper when only comparisons are needed).
+    ///
+    /// The hot path of every lazily-evaluated quadruplet query: the two
+    /// coordinate windows are sliced once (one bounds check each), then the
+    /// inner loop runs over four independent accumulators so the adds
+    /// don't serialise on FP latency and LLVM can keep the loop
+    /// check-free. Dimensions `<= 4` take the plain sequential path, which
+    /// keeps low-dimensional summation order identical to the naive loop.
+    #[inline]
     pub fn dist_sq(&self, i: usize, j: usize) -> f64 {
-        let a = self.point(i);
-        let b = self.point(j);
-        a.iter()
-            .zip(b)
-            .map(|(x, y)| {
-                let d = x - y;
-                d * d
-            })
-            .sum()
+        let d = self.dim;
+        let a = &self.data[i * d..i * d + d];
+        let b = &self.data[j * d..j * d + d];
+        if d <= 4 {
+            let mut acc = 0.0;
+            for (x, y) in a.iter().zip(b) {
+                let t = x - y;
+                acc += t * t;
+            }
+            return acc;
+        }
+        let mut acc = [0.0f64; 4];
+        let mut ca = a.chunks_exact(4);
+        let mut cb = b.chunks_exact(4);
+        for (wa, wb) in (&mut ca).zip(&mut cb) {
+            for k in 0..4 {
+                let t = wa[k] - wb[k];
+                acc[k] += t * t;
+            }
+        }
+        let mut tail = 0.0;
+        for (x, y) in ca.remainder().iter().zip(cb.remainder()) {
+            let t = x - y;
+            tail += t * t;
+        }
+        (acc[0] + acc[1]) + (acc[2] + acc[3]) + tail
     }
 }
 
 impl Metric for EuclideanMetric {
+    #[inline]
     fn len(&self) -> usize {
         self.n
     }
 
+    #[inline]
     fn dist(&self, i: usize, j: usize) -> f64 {
         self.dist_sq(i, j).sqrt()
     }
@@ -126,6 +154,37 @@ mod tests {
         let m = EuclideanMetric::from_flat(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], 3);
         assert_eq!(m.len(), 2);
         assert_eq!(m.point(1), &[4.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn high_dimensional_distance_matches_naive_sum() {
+        // Exercise the unrolled accumulator path (dim > 4, with and
+        // without a remainder) against the naive sequential reference.
+        for dim in [5usize, 8, 16, 19] {
+            let pts: Vec<Vec<f64>> = (0..6)
+                .map(|p| {
+                    (0..dim)
+                        .map(|k| ((p * 31 + k * 7) % 13) as f64 * 0.37)
+                        .collect()
+                })
+                .collect();
+            let m = EuclideanMetric::from_points(&pts);
+            for i in 0..6 {
+                for j in 0..6 {
+                    let naive: f64 = pts[i]
+                        .iter()
+                        .zip(&pts[j])
+                        .map(|(x, y)| (x - y) * (x - y))
+                        .sum();
+                    let got = m.dist_sq(i, j);
+                    assert!(
+                        (got - naive).abs() <= 1e-12 * naive.max(1.0),
+                        "dim {dim} ({i},{j}): {got} vs naive {naive}"
+                    );
+                    assert_eq!(m.dist(i, j), m.dist(j, i), "symmetry at dim {dim}");
+                }
+            }
+        }
     }
 
     #[test]

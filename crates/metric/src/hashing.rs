@@ -33,6 +33,24 @@ pub fn mix(seed: u64, words: &[u64]) -> u64 {
     h
 }
 
+/// Two-word specialisation of [`mix`]: `mix2(s, a, b) == mix(s, &[a, b])`
+/// bit for bit, with the slice loop flattened out — the persistent
+/// comparison-oracle coin is one of the hottest call sites in the
+/// workspace.
+#[inline]
+pub fn mix2(seed: u64, w0: u64, w1: u64) -> u64 {
+    let h = splitmix64(seed ^ 0x6a09_e667_f3bc_c909);
+    splitmix64(splitmix64(h ^ w0) ^ w1)
+}
+
+/// Four-word specialisation of [`mix`] (`== mix(s, &[a, b, c, d])`), for
+/// the persistent quadruplet-oracle coin.
+#[inline]
+pub fn mix4(seed: u64, w0: u64, w1: u64, w2: u64, w3: u64) -> u64 {
+    let h = splitmix64(seed ^ 0x6a09_e667_f3bc_c909);
+    splitmix64(splitmix64(splitmix64(splitmix64(h ^ w0) ^ w1) ^ w2) ^ w3)
+}
+
 /// Maps a 64-bit digest to a uniform `f64` in `[0, 1)`.
 #[inline]
 pub fn unit_f64(h: u64) -> f64 {
@@ -69,6 +87,19 @@ mod tests {
         assert_ne!(mix(7, &[1, 2]), mix(7, &[2, 1]));
         assert_ne!(mix(7, &[1, 2]), mix(8, &[1, 2]));
         assert_ne!(mix(7, &[1]), mix(7, &[1, 0]));
+    }
+
+    #[test]
+    fn specialised_mixers_match_the_generic_mixer_bit_for_bit() {
+        // The unrolled fast paths must stay digest-identical to `mix`:
+        // every persisted noise pattern in the workspace depends on it.
+        for seed in [0u64, 7, 0xDEAD_BEEF] {
+            for w in 0..50u64 {
+                let (a, b, c, d) = (w, w.wrapping_mul(3) ^ 5, !w, w << 7);
+                assert_eq!(mix2(seed, a, b), mix(seed, &[a, b]));
+                assert_eq!(mix4(seed, a, b, c, d), mix(seed, &[a, b, c, d]));
+            }
+        }
     }
 
     #[test]

@@ -31,7 +31,7 @@ pub mod stats;
 pub mod tree;
 
 pub use euclidean::EuclideanMetric;
-pub use matrix::MatrixMetric;
+pub use matrix::{materialize_if_small, MaterializedMetric, MatrixMetric};
 pub use tree::{TreeMetric, TreeMetricBuilder};
 
 /// A finite metric space over points indexed `0..len()`.

@@ -38,22 +38,30 @@ impl MatrixMetric {
 
     /// Builds a matrix metric from a full `n x n` matrix (row-major).
     ///
+    /// Validation (symmetry, zero diagonal, finite non-negative entries)
+    /// and condensed-triangle construction happen in a single pass over
+    /// the upper triangle — each entry is read once, not re-walked by a
+    /// second builder loop.
+    ///
     /// # Panics
     /// Panics if the matrix is not square/symmetric, has a non-zero diagonal,
     /// or contains negative or non-finite entries.
     pub fn from_full(full: &[f64], n: usize) -> Self {
         assert_eq!(full.len(), n * n, "matrix must be n x n");
+        let mut tri = Vec::with_capacity(n * n.saturating_sub(1) / 2);
         for i in 0..n {
             assert_eq!(full[i * n + i], 0.0, "diagonal must be zero");
             for j in (i + 1)..n {
-                assert_eq!(
-                    full[i * n + j],
-                    full[j * n + i],
-                    "matrix must be symmetric at ({i},{j})"
+                let d = full[i * n + j];
+                assert_eq!(d, full[j * n + i], "matrix must be symmetric at ({i},{j})");
+                assert!(
+                    d.is_finite() && d >= 0.0,
+                    "distance ({i},{j}) = {d} must be finite and non-negative"
                 );
+                tri.push(d);
             }
         }
-        Self::from_fn(n, |i, j| full[i * n + j])
+        Self { n, tri }
     }
 
     /// Materialises any metric into an explicit matrix (O(n^2) memory).
@@ -81,16 +89,71 @@ impl MatrixMetric {
 }
 
 impl Metric for MatrixMetric {
+    #[inline]
     fn len(&self) -> usize {
         self.n
     }
 
+    #[inline]
     fn dist(&self, i: usize, j: usize) -> f64 {
         if i == j {
             return 0.0;
         }
         let (a, b) = if i < j { (i, j) } else { (j, i) };
         self.tri[self.idx(a, b)]
+    }
+}
+
+/// A metric that is either an up-front condensed matrix or the original
+/// lazy implementation — the return type of [`materialize_if_small`].
+#[derive(Debug, Clone)]
+pub enum MaterializedMetric<M> {
+    /// All `n (n - 1) / 2` distances were evaluated once and stored.
+    Dense(MatrixMetric),
+    /// The instance was too large to materialise; distances stay lazy.
+    Lazy(M),
+}
+
+impl<M: Metric> MaterializedMetric<M> {
+    /// `true` when the matrix was materialised.
+    pub fn is_dense(&self) -> bool {
+        matches!(self, Self::Dense(_))
+    }
+}
+
+impl<M: Metric> Metric for MaterializedMetric<M> {
+    #[inline]
+    fn len(&self) -> usize {
+        match self {
+            Self::Dense(m) => m.len(),
+            Self::Lazy(m) => m.len(),
+        }
+    }
+
+    #[inline]
+    fn dist(&self, i: usize, j: usize) -> f64 {
+        match self {
+            Self::Dense(m) => m.dist(i, j),
+            Self::Lazy(m) => m.dist(i, j),
+        }
+    }
+}
+
+/// Materialises `metric` into a condensed [`MatrixMetric`] when it has at
+/// most `max_points` points, and returns it unchanged otherwise.
+///
+/// `O(n^2)`-query algorithms (SLINK agglomeration, k-center refinement)
+/// revisit every pairwise distance many times; paying the `n (n - 1) / 2`
+/// evaluations once and answering every subsequent oracle query with a
+/// table lookup is strictly faster whenever the algorithm's query count
+/// exceeds the pair count. The stored distances are the bit-exact `f64`s
+/// the lazy metric produces, so persistent-noise oracles built over the
+/// materialised metric answer every query identically.
+pub fn materialize_if_small<M: Metric>(metric: M, max_points: usize) -> MaterializedMetric<M> {
+    if metric.len() <= max_points {
+        MaterializedMetric::Dense(MatrixMetric::from_metric(&metric))
+    } else {
+        MaterializedMetric::Lazy(metric)
     }
 }
 
@@ -148,6 +211,36 @@ mod tests {
     fn from_full_rejects_asymmetry() {
         let full = [0.0, 1.0, 2.0, 0.0];
         let _ = MatrixMetric::from_full(&full, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn from_full_rejects_negative_in_single_pass() {
+        let full = [0.0, -1.0, -1.0, 0.0];
+        let _ = MatrixMetric::from_full(&full, 2);
+    }
+
+    #[test]
+    fn materialize_if_small_is_exact_and_respects_cap() {
+        let e = crate::EuclideanMetric::from_points(
+            &(0..10)
+                .map(|i| vec![i as f64 * 0.3, (i * i) as f64 * 0.1])
+                .collect::<Vec<_>>(),
+        );
+        let dense = materialize_if_small(e.clone(), 10);
+        assert!(dense.is_dense());
+        let lazy = materialize_if_small(e.clone(), 9);
+        assert!(!lazy.is_dense());
+        for i in 0..10 {
+            for j in 0..10 {
+                // Bit-exact agreement, not just approximate: persistent
+                // noise built over the dense metric must not change.
+                assert_eq!(dense.dist(i, j), e.dist(i, j));
+                assert_eq!(lazy.dist(i, j), e.dist(i, j));
+            }
+        }
+        assert_eq!(dense.len(), 10);
+        assert_eq!(lazy.len(), 10);
     }
 
     #[test]

@@ -10,6 +10,7 @@
 //! survive, to more realistic systematically-biased comparators
 //! ([`ConsistentAdversary`]).
 
+use crate::persistent::{PersistentNoise, SharedComparisonOracle, SharedQuadrupletOracle};
 use crate::{ComparisonOracle, QuadrupletOracle};
 use nco_metric::hashing;
 use nco_metric::Metric;
@@ -43,6 +44,18 @@ pub trait Adversary {
     fn decide(&mut self, left_key: &[u64], right_key: &[u64], left: f64, right: f64) -> bool;
 }
 
+/// An [`Adversary`] whose decisions are a pure function of the query — no
+/// mutable strategy state — so it can decide through `&self` and its
+/// oracle is persistent (memoisable, shareable across threads).
+///
+/// Every strategy shipped in this module qualifies; implementations must
+/// keep `decide` and `decide_shared` identical, which the blanket
+/// persistence of the wrapping oracles relies on.
+pub trait SharedAdversary: Adversary + Sync {
+    /// Same decision as [`Adversary::decide`], through a shared reference.
+    fn decide_shared(&self, left_key: &[u64], right_key: &[u64], left: f64, right: f64) -> bool;
+}
+
 /// The worst-case liar: always answers in-band queries **incorrectly**.
 ///
 /// This is the strategy behind the paper's lower-bound discussions (the
@@ -52,7 +65,13 @@ pub trait Adversary {
 pub struct InvertAdversary;
 
 impl Adversary for InvertAdversary {
-    fn decide(&mut self, _l: &[u64], _r: &[u64], left: f64, right: f64) -> bool {
+    fn decide(&mut self, l: &[u64], r: &[u64], left: f64, right: f64) -> bool {
+        self.decide_shared(l, r, left, right)
+    }
+}
+
+impl SharedAdversary for InvertAdversary {
+    fn decide_shared(&self, _l: &[u64], _r: &[u64], left: f64, right: f64) -> bool {
         // Values are validated finite, so this is exactly !(left <= right).
         left > right
     }
@@ -74,7 +93,13 @@ impl PersistentRandomAdversary {
 }
 
 impl Adversary for PersistentRandomAdversary {
-    fn decide(&mut self, left_key: &[u64], right_key: &[u64], _l: f64, _r: f64) -> bool {
+    fn decide(&mut self, l: &[u64], r: &[u64], left: f64, right: f64) -> bool {
+        self.decide_shared(l, r, left, right)
+    }
+}
+
+impl SharedAdversary for PersistentRandomAdversary {
+    fn decide_shared(&self, left_key: &[u64], right_key: &[u64], _l: f64, _r: f64) -> bool {
         let swapped = left_key > right_key;
         let (a, b) = if swapped {
             (right_key, left_key)
@@ -120,7 +145,13 @@ impl ConsistentAdversary {
 }
 
 impl Adversary for ConsistentAdversary {
-    fn decide(&mut self, left_key: &[u64], right_key: &[u64], left: f64, right: f64) -> bool {
+    fn decide(&mut self, l: &[u64], r: &[u64], left: f64, right: f64) -> bool {
+        self.decide_shared(l, r, left, right)
+    }
+}
+
+impl SharedAdversary for ConsistentAdversary {
+    fn decide_shared(&self, left_key: &[u64], right_key: &[u64], left: f64, right: f64) -> bool {
         left * self.factor(left_key) <= right * self.factor(right_key)
     }
 }
@@ -153,7 +184,13 @@ impl PromoteTargetAdversary {
 }
 
 impl Adversary for PromoteTargetAdversary {
-    fn decide(&mut self, left_key: &[u64], right_key: &[u64], left: f64, right: f64) -> bool {
+    fn decide(&mut self, l: &[u64], r: &[u64], left: f64, right: f64) -> bool {
+        self.decide_shared(l, r, left, right)
+    }
+}
+
+impl SharedAdversary for PromoteTargetAdversary {
+    fn decide_shared(&self, left_key: &[u64], right_key: &[u64], left: f64, right: f64) -> bool {
         if left_key == self.target.as_slice() {
             false // target is "larger": left <= right is No
         } else if right_key == self.target.as_slice() {
@@ -212,6 +249,7 @@ impl<A: Adversary> ComparisonOracle for AdversarialValueOracle<A> {
         self.values.len()
     }
 
+    #[inline]
     fn le(&mut self, i: usize, j: usize) -> bool {
         let (vi, vj) = (self.values[i], self.values[j]);
         if !in_band(vi, vj, self.mu) {
@@ -221,6 +259,24 @@ impl<A: Adversary> ComparisonOracle for AdversarialValueOracle<A> {
         }
     }
 }
+
+impl<A: SharedAdversary> SharedComparisonOracle for AdversarialValueOracle<A>
+where
+    Self: Sync,
+{
+    #[inline]
+    fn le_shared(&self, i: usize, j: usize) -> bool {
+        let (vi, vj) = (self.values[i], self.values[j]);
+        if !in_band(vi, vj, self.mu) {
+            vi <= vj
+        } else {
+            self.adversary
+                .decide_shared(&[i as u64], &[j as u64], vi, vj)
+        }
+    }
+}
+
+impl<A: SharedAdversary> PersistentNoise for AdversarialValueOracle<A> {}
 
 /// Adversarial-noise quadruplet oracle over a hidden metric (Section 2.2).
 #[derive(Debug, Clone)]
@@ -261,6 +317,7 @@ impl<M: Metric, A: Adversary> QuadrupletOracle for AdversarialQuadOracle<M, A> {
         self.metric.len()
     }
 
+    #[inline]
     fn le(&mut self, a: usize, b: usize, c: usize, d: usize) -> bool {
         let d1 = self.metric.dist(a, b);
         let d2 = self.metric.dist(c, d);
@@ -281,6 +338,34 @@ impl<M: Metric, A: Adversary> QuadrupletOracle for AdversarialQuadOracle<M, A> {
         }
     }
 }
+
+impl<M: Metric, A: SharedAdversary> SharedQuadrupletOracle for AdversarialQuadOracle<M, A>
+where
+    Self: Sync,
+{
+    #[inline]
+    fn le_shared(&self, a: usize, b: usize, c: usize, d: usize) -> bool {
+        let d1 = self.metric.dist(a, b);
+        let d2 = self.metric.dist(c, d);
+        if !in_band(d1, d2, self.mu) {
+            d1 <= d2
+        } else {
+            let p1 = if a <= b {
+                [a as u64, b as u64]
+            } else {
+                [b as u64, a as u64]
+            };
+            let p2 = if c <= d {
+                [c as u64, d as u64]
+            } else {
+                [d as u64, c as u64]
+            };
+            self.adversary.decide_shared(&p1, &p2, d1, d2)
+        }
+    }
+}
+
+impl<M: Metric, A: SharedAdversary> PersistentNoise for AdversarialQuadOracle<M, A> {}
 
 #[cfg(test)]
 mod tests {

@@ -1,5 +1,6 @@
 //! Query metering — every reported query complexity flows through here.
 
+use crate::persistent::PersistentNoise;
 use crate::{ComparisonOracle, QuadrupletOracle};
 
 /// Wraps any oracle and counts the queries issued through it.
@@ -45,11 +46,16 @@ impl<O> Counting<O> {
     }
 }
 
+/// Counting is transparent: it forwards queries unchanged, so it
+/// preserves the wrapped oracle's persistence.
+impl<O: PersistentNoise> PersistentNoise for Counting<O> {}
+
 impl<O: ComparisonOracle> ComparisonOracle for Counting<O> {
     fn n(&self) -> usize {
         self.inner.n()
     }
 
+    #[inline]
     fn le(&mut self, i: usize, j: usize) -> bool {
         self.count += 1;
         self.inner.le(i, j)

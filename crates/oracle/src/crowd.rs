@@ -14,6 +14,7 @@
 //! classifier inherits the crowd's confusion behaviour, only noisier —
 //! see [`AccuracyProfile::degraded`]).
 
+use crate::persistent::{PersistentNoise, SharedQuadrupletOracle};
 use crate::QuadrupletOracle;
 use nco_metric::hashing;
 use nco_metric::Metric;
@@ -175,6 +176,22 @@ impl<M: Metric> QuadrupletOracle for CrowdQuadOracle<M> {
     }
 
     fn le(&mut self, a: usize, b: usize, c: usize, d: usize) -> bool {
+        self.answer(a, b, c, d)
+    }
+}
+
+impl<M: Metric + Sync> SharedQuadrupletOracle for CrowdQuadOracle<M> {
+    fn le_shared(&self, a: usize, b: usize, c: usize, d: usize) -> bool {
+        self.answer(a, b, c, d)
+    }
+}
+
+/// Workers are seeded hashes of the canonical query — a pure function —
+/// so the majority answer is persistent.
+impl<M: Metric> PersistentNoise for CrowdQuadOracle<M> {}
+
+impl<M: Metric> CrowdQuadOracle<M> {
+    fn answer(&self, a: usize, b: usize, c: usize, d: usize) -> bool {
         let p1 = if a <= b { (a, b) } else { (b, a) };
         let p2 = if c <= d { (c, d) } else { (d, c) };
         if p1 == p2 {

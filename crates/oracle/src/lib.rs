@@ -37,11 +37,15 @@ pub mod adversarial;
 pub mod cluster_query;
 pub mod counting;
 pub mod crowd;
+pub mod memo;
+pub mod persistent;
 pub mod probabilistic;
 pub mod quadruplet;
 pub mod value;
 
 pub use counting::Counting;
+pub use memo::MemoOracle;
+pub use persistent::{PersistentNoise, SharedComparisonOracle, SharedQuadrupletOracle};
 pub use quadruplet::TrueQuadOracle;
 pub use value::TrueValueOracle;
 

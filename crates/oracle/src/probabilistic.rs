@@ -14,6 +14,7 @@
 //!   the complementary answer — the oracle holds one consistent (possibly
 //!   wrong) belief about each unordered comparison.
 
+use crate::persistent::{PersistentNoise, SharedComparisonOracle, SharedQuadrupletOracle};
 use crate::{ComparisonOracle, QuadrupletOracle};
 use nco_metric::hashing;
 use nco_metric::Metric;
@@ -60,17 +61,30 @@ impl ComparisonOracle for ProbValueOracle {
         self.values.len()
     }
 
+    #[inline]
     fn le(&mut self, i: usize, j: usize) -> bool {
+        self.le_shared(i, j)
+    }
+}
+
+impl SharedComparisonOracle for ProbValueOracle {
+    #[inline]
+    fn le_shared(&self, i: usize, j: usize) -> bool {
         if i == j {
             return true; // degenerate self-comparison: trivially Yes
         }
         let swapped = i > j;
         let (a, b) = if swapped { (j, i) } else { (i, j) };
         let truth = self.values[a] <= self.values[b];
-        let flip = hashing::bernoulli(self.seed, &[a as u64, b as u64], self.p);
+        // `mix2` is the unrolled, digest-identical form of
+        // `bernoulli(seed, &[a, b], p)` — this is the hottest line in the
+        // probabilistic workloads.
+        let flip = hashing::unit_f64(hashing::mix2(self.seed, a as u64, b as u64)) < self.p;
         (truth ^ flip) ^ swapped
     }
 }
+
+impl PersistentNoise for ProbValueOracle {}
 
 /// Persistent probabilistic quadruplet oracle over a hidden metric.
 #[derive(Debug, Clone)]
@@ -103,8 +117,24 @@ impl<M: Metric> QuadrupletOracle for ProbQuadOracle<M> {
         self.metric.len()
     }
 
+    #[inline]
     fn le(&mut self, a: usize, b: usize, c: usize, d: usize) -> bool {
-        // Canonicalise each unordered pair, then order the two pairs.
+        self.answer(a, b, c, d)
+    }
+}
+
+impl<M: Metric + Sync> SharedQuadrupletOracle for ProbQuadOracle<M> {
+    #[inline]
+    fn le_shared(&self, a: usize, b: usize, c: usize, d: usize) -> bool {
+        self.answer(a, b, c, d)
+    }
+}
+
+impl<M: Metric> ProbQuadOracle<M> {
+    /// Canonicalise each unordered pair, order the two pairs, and answer —
+    /// the pure-function core shared by `le` and `le_shared`.
+    #[inline]
+    fn answer(&self, a: usize, b: usize, c: usize, d: usize) -> bool {
         let p1 = if a <= b { (a, b) } else { (b, a) };
         let p2 = if c <= d { (c, d) } else { (d, c) };
         if p1 == p2 {
@@ -113,14 +143,19 @@ impl<M: Metric> QuadrupletOracle for ProbQuadOracle<M> {
         let swapped = p1 > p2;
         let (q1, q2) = if swapped { (p2, p1) } else { (p1, p2) };
         let truth = self.metric.dist(q1.0, q1.1) <= self.metric.dist(q2.0, q2.1);
-        let flip = hashing::bernoulli(
+        // Unrolled, digest-identical form of `bernoulli(seed, &[..4], p)`.
+        let flip = hashing::unit_f64(hashing::mix4(
             self.seed,
-            &[q1.0 as u64, q1.1 as u64, q2.0 as u64, q2.1 as u64],
-            self.p,
-        );
+            q1.0 as u64,
+            q1.1 as u64,
+            q2.0 as u64,
+            q2.1 as u64,
+        )) < self.p;
         (truth ^ flip) ^ swapped
     }
 }
+
+impl<M: Metric> PersistentNoise for ProbQuadOracle<M> {}
 
 #[cfg(test)]
 mod tests {

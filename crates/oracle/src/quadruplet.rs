@@ -1,5 +1,6 @@
 //! The exact quadruplet oracle over a hidden metric space.
 
+use crate::persistent::{PersistentNoise, SharedQuadrupletOracle};
 use crate::QuadrupletOracle;
 use nco_metric::Metric;
 
@@ -31,10 +32,20 @@ impl<M: Metric> QuadrupletOracle for TrueQuadOracle<M> {
         self.metric.len()
     }
 
+    #[inline]
     fn le(&mut self, a: usize, b: usize, c: usize, d: usize) -> bool {
         self.metric.dist(a, b) <= self.metric.dist(c, d)
     }
 }
+
+impl<M: Metric + Sync> SharedQuadrupletOracle for TrueQuadOracle<M> {
+    #[inline]
+    fn le_shared(&self, a: usize, b: usize, c: usize, d: usize) -> bool {
+        self.metric.dist(a, b) <= self.metric.dist(c, d)
+    }
+}
+
+impl<M: Metric> PersistentNoise for TrueQuadOracle<M> {}
 
 #[cfg(test)]
 mod tests {

@@ -1,5 +1,6 @@
 //! The exact comparison oracle over hidden scalar values.
 
+use crate::persistent::{PersistentNoise, SharedComparisonOracle};
 use crate::ComparisonOracle;
 
 /// A perfect comparison oracle: answers every query truthfully.
@@ -41,10 +42,20 @@ impl ComparisonOracle for TrueValueOracle {
         self.values.len()
     }
 
+    #[inline]
     fn le(&mut self, i: usize, j: usize) -> bool {
+        self.le_shared(i, j)
+    }
+}
+
+impl SharedComparisonOracle for TrueValueOracle {
+    #[inline]
+    fn le_shared(&self, i: usize, j: usize) -> bool {
         self.values[i] <= self.values[j]
     }
 }
+
+impl PersistentNoise for TrueValueOracle {}
 
 #[cfg(test)]
 mod tests {

@@ -1,0 +1,230 @@
+//! Equivalence guarantees behind the PR-2 performance work.
+//!
+//! Two families of checks:
+//!
+//! 1. **Memoisation is invisible.** Under every persistent noise model,
+//!    an algorithm run over `MemoOracle<O>` must make bit-identical
+//!    decisions to the same run over `O` — the persistent-noise property
+//!    (Section 2.2) makes the cache semantically exact, and these tests
+//!    pin that end to end (max-finding, farthest search, k-center,
+//!    hierarchical clustering).
+//! 2. **Parallel == serial.** With the `parallel` feature, the fan-out
+//!    variants must return bit-identical outputs *and* identical
+//!    comparator call totals across 20 seeds.
+
+use nco_core::comparator::ValueCmp;
+use nco_core::hier::{hier_oracle, HierParams, Linkage};
+use nco_core::kcenter::{kcenter_adv, KCenterAdvParams};
+use nco_core::maxfind::{max_adv, max_prob, AdvParams, ProbParams};
+use nco_core::neighbor::{farthest_adv, nearest_adv};
+use nco_oracle::memo::MemoOracle;
+use nco_testkit::{MetricScenario, ValueScenario};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Count-Max-Prob over a memoised persistent probabilistic oracle returns
+/// exactly what it returns over the raw oracle, for every seed.
+#[test]
+fn memo_is_bit_identical_for_max_prob() {
+    let scenario = ValueScenario::shuffled_linear(300, 11);
+    let params = ProbParams::experimental();
+    for seed in 0..20u64 {
+        let mut raw = scenario.probabilistic_oracle(0.2, 500 + seed);
+        let mut memo = MemoOracle::new(scenario.probabilistic_oracle(0.2, 500 + seed));
+        let a = max_prob(
+            &scenario.items,
+            &params,
+            &mut ValueCmp::new(&mut raw),
+            &mut rng(seed),
+        );
+        let b = max_prob(
+            &scenario.items,
+            &params,
+            &mut ValueCmp::new(&mut memo),
+            &mut rng(seed),
+        );
+        assert_eq!(a, b, "seed {seed}");
+        assert!(memo.lookups() > 0, "memo must have been exercised");
+    }
+}
+
+/// Max-Adv over a memoised adversarial oracle (worst-case in-band liar —
+/// persistent because the strategy is a pure function of the query).
+#[test]
+fn memo_is_bit_identical_for_max_adv() {
+    let scenario = ValueScenario::shuffled_geometric(256, 1.2, 3);
+    let params = AdvParams::with_confidence(0.1);
+    for seed in 0..20u64 {
+        let mut raw = scenario.adversarial_oracle(0.5);
+        let mut memo = MemoOracle::new(scenario.adversarial_oracle(0.5));
+        let a = max_adv(
+            &scenario.items,
+            &params,
+            &mut ValueCmp::new(&mut raw),
+            &mut rng(900 + seed),
+        );
+        let b = max_adv(
+            &scenario.items,
+            &params,
+            &mut ValueCmp::new(&mut memo),
+            &mut rng(900 + seed),
+        );
+        assert_eq!(a, b, "seed {seed}");
+    }
+    // Same check under the persistent random in-band strategy.
+    for seed in 0..5u64 {
+        let mut raw = scenario.adversarial_random_oracle(0.5, 70 + seed);
+        let mut memo = MemoOracle::new(scenario.adversarial_random_oracle(0.5, 70 + seed));
+        let a = max_adv(
+            &scenario.items,
+            &params,
+            &mut ValueCmp::new(&mut raw),
+            &mut rng(40 + seed),
+        );
+        let b = max_adv(
+            &scenario.items,
+            &params,
+            &mut ValueCmp::new(&mut memo),
+            &mut rng(40 + seed),
+        );
+        assert_eq!(a, b, "random-adversary seed {seed}");
+    }
+}
+
+/// Farthest/nearest neighbour search over a memoised quadruplet oracle.
+#[test]
+fn memo_is_bit_identical_for_neighbor_search() {
+    let scenario = MetricScenario::separated_blobs(4, 40, 50.0, 17);
+    let params = AdvParams::with_confidence(0.1);
+    for seed in 0..10u64 {
+        let mut raw = scenario.probabilistic_oracle(0.15, 60 + seed);
+        let mut memo = MemoOracle::new(scenario.probabilistic_oracle(0.15, 60 + seed));
+        let q = (seed as usize * 13) % scenario.n();
+        assert_eq!(
+            farthest_adv(&mut raw, q, &params, &mut rng(seed)),
+            farthest_adv(&mut memo, q, &params, &mut rng(seed)),
+            "farthest seed {seed}"
+        );
+        assert_eq!(
+            nearest_adv(&mut raw, q, &params, &mut rng(1000 + seed)),
+            nearest_adv(&mut memo, q, &params, &mut rng(1000 + seed)),
+            "nearest seed {seed}"
+        );
+    }
+}
+
+/// k-center and the full SLINK hierarchy over memoised quadruplet oracles
+/// (crowd noise included — the majority over persistent workers is itself
+/// persistent).
+#[test]
+fn memo_is_bit_identical_for_kcenter_and_hierarchy() {
+    let scenario = MetricScenario::separated_blobs(4, 20, 40.0, 23);
+    for seed in 0..5u64 {
+        let params = KCenterAdvParams::experimental(4);
+        let mut raw = scenario.adversarial_oracle(0.3);
+        let mut memo = MemoOracle::new(scenario.adversarial_oracle(0.3));
+        let a = kcenter_adv(&params, &mut raw, &mut rng(300 + seed));
+        let b = kcenter_adv(&params, &mut memo, &mut rng(300 + seed));
+        assert_eq!(a.centers, b.centers, "kcenter centers seed {seed}");
+        assert_eq!(a.assignment, b.assignment, "kcenter assignment seed {seed}");
+
+        let hier_params = HierParams::experimental(Linkage::Single);
+        let mut raw = scenario.probabilistic_oracle(0.1, 80 + seed);
+        let mut memo = MemoOracle::new(scenario.probabilistic_oracle(0.1, 80 + seed));
+        let da = hier_oracle(&hier_params, &mut raw, &mut rng(600 + seed));
+        let db = hier_oracle(&hier_params, &mut memo, &mut rng(600 + seed));
+        assert_eq!(da.merges, db.merges, "hierarchy seed {seed}");
+        assert!(
+            memo.hits() > 0,
+            "SLINK revisits pairs; the cache must hit (seed {seed})"
+        );
+    }
+}
+
+#[cfg(feature = "parallel")]
+mod parallel_equivalence {
+    use super::*;
+    use nco_core::maxfind::{count_max, count_max_par, max_prob_par, tournament, tournament_par};
+    use nco_core::parallel::{AtomicCountingCmp, SharedValueCmp};
+    use nco_testkit::CountingCmp;
+
+    /// Count-Max-Prob: serial vs 4-thread fan-out across 20 seeds —
+    /// bit-identical winners and identical comparator call totals.
+    #[test]
+    fn max_prob_parallel_matches_serial_across_20_seeds() {
+        let scenario = ValueScenario::shuffled_linear(600, 5);
+        let params = ProbParams::experimental();
+        for seed in 0..20u64 {
+            let mut serial_oracle = scenario.probabilistic_oracle(0.2, 2000 + seed);
+            let mut serial_cmp = CountingCmp::new(ValueCmp::new(&mut serial_oracle));
+            let serial = max_prob(&scenario.items, &params, &mut serial_cmp, &mut rng(seed));
+            let serial_calls = serial_cmp.calls();
+
+            let par_oracle = scenario.probabilistic_oracle(0.2, 2000 + seed);
+            let par_cmp = AtomicCountingCmp::new(SharedValueCmp::new(&par_oracle));
+            let par = max_prob_par(&scenario.items, &params, &par_cmp, &mut rng(seed), 4);
+
+            assert_eq!(serial, par, "winner differs at seed {seed}");
+            assert_eq!(
+                serial_calls,
+                par_cmp.calls(),
+                "query totals differ at seed {seed}"
+            );
+        }
+    }
+
+    /// λ-ary tournament: serial vs fan-out for λ in {2, 3, 8}.
+    #[test]
+    fn tournament_parallel_matches_serial_across_20_seeds() {
+        let scenario = ValueScenario::shuffled_linear(257, 9);
+        for seed in 0..20u64 {
+            for lambda in [2usize, 3, 8] {
+                let mut serial_oracle = scenario.probabilistic_oracle(0.25, 4000 + seed);
+                let mut serial_cmp = CountingCmp::new(ValueCmp::new(&mut serial_oracle));
+                let serial = tournament(&scenario.items, lambda, &mut serial_cmp, &mut rng(seed));
+                let serial_calls = serial_cmp.calls();
+
+                let par_oracle = scenario.probabilistic_oracle(0.25, 4000 + seed);
+                let par_cmp = AtomicCountingCmp::new(SharedValueCmp::new(&par_oracle));
+                let par = tournament_par(&scenario.items, lambda, &par_cmp, &mut rng(seed), 4);
+
+                assert_eq!(
+                    serial, par,
+                    "winner differs at seed {seed}, lambda {lambda}"
+                );
+                assert_eq!(
+                    serial_calls,
+                    par_cmp.calls(),
+                    "query totals differ at seed {seed}, lambda {lambda}"
+                );
+            }
+        }
+    }
+
+    /// Count-Max itself: the scoring triangle fanned across threads.
+    #[test]
+    fn count_max_parallel_matches_serial() {
+        let scenario = ValueScenario::shuffled_linear(120, 2);
+        for seed in 0..20u64 {
+            let mut serial_oracle = scenario.probabilistic_oracle(0.3, 6000 + seed);
+            let mut serial_cmp = CountingCmp::new(ValueCmp::new(&mut serial_oracle));
+            let serial = count_max(&scenario.items, &mut serial_cmp);
+            let serial_calls = serial_cmp.calls();
+
+            let par_oracle = scenario.probabilistic_oracle(0.3, 6000 + seed);
+            let par_cmp = AtomicCountingCmp::new(SharedValueCmp::new(&par_oracle));
+            let par = count_max_par(&scenario.items, &par_cmp, 4);
+
+            assert_eq!(serial, par, "winner differs at seed {seed}");
+            assert_eq!(
+                serial_calls,
+                par_cmp.calls(),
+                "totals differ at seed {seed}"
+            );
+        }
+    }
+}
