@@ -1,19 +1,22 @@
 //! `perfsuite` — the reproducible performance suite behind the repo's
 //! perf trajectory (`BENCH_*.json`).
 //!
-//! Four pinned, fully seeded workloads cover the paper's hot paths:
+//! Six pinned, fully seeded workloads cover the paper's hot paths:
 //!
 //! | name | shape |
 //! |---|---|
 //! | `count_max_prob_n4096` | Algorithm 12 maximum over 4096 hidden values, persistent `p = 0.2` |
 //! | `neighbor_n2048` | 12 farthest + 12 nearest searches (Alg. 13/15), 128-d points, persistent `p = 0.15` |
+//! | `neighbor_d64_n2048` | 16 farthest + 16 nearest searches over 64-d points, persistent `p = 0.15` |
 //! | `slink_n512` | Algorithm 11 single-linkage hierarchy over 512 128-d points, persistent `p = 0.05` |
+//! | `slink_n1024` | counter-stream SLINK (`hier_oracle_par`) over 1024 64-d points, persistent `p = 0.05` |
 //! | `kcenter_n1024` | Algorithm 6 greedy 32-center over 1024 128-d points, adversarial `mu = 0.2` |
 //!
 //! Each workload runs twice: a **baseline** configuration (lazy
 //! re-computation of every distance / serial rounds — the pre-PR2 shape
-//! of the hot path) and an **optimized** configuration (condensed-matrix
-//! materialisation, `MemoOracle` caching, thread fan-out where compiled).
+//! of the hot path) and an **optimized** configuration (PR 3's batched
+//! query plane: `DistCache` distance memoisation fed through the
+//! oracles' `le_batch` rounds, plus thread fan-out where compiled).
 //! Both runs draw the same seeds; the suite *verifies* that outputs are
 //! bit-identical and oracle-query totals are equal before reporting, so a
 //! speedup can never come from doing different work.
@@ -25,19 +28,19 @@
 //! ```
 //!
 //! `--smoke` shrinks every workload (~16x fewer queries) for CI;
-//! `--out` defaults to `BENCH_PR2.json` in the current directory;
+//! `--out` defaults to `BENCH_PR3.json` in the current directory;
 //! `--check-baseline` compares this run's query counts against a
 //! committed baseline JSON and exits non-zero on any regression
 //! (count > baseline) — the CI guard for the pinned workloads.
 
 use nco_core::comparator::ValueCmp;
-use nco_core::hier::{hier_oracle, Dendrogram, HierParams, Linkage};
+use nco_core::hier::{hier_oracle, hier_oracle_par, Dendrogram, HierParams, Linkage};
 use nco_core::kcenter::{kcenter_adv, KCenterAdvParams};
 use nco_core::maxfind::{max_prob, AdvParams, ProbParams};
 use nco_core::neighbor::{farthest_adv, nearest_adv};
-use nco_metric::{materialize_if_small, EuclideanMetric};
+use nco_metric::{materialize_if_small, CachedMetric, EuclideanMetric};
 use nco_oracle::adversarial::{AdversarialQuadOracle, InvertAdversary};
-use nco_oracle::counting::Counting;
+use nco_oracle::counting::{Counting, SharedCounting};
 use nco_oracle::probabilistic::{ProbQuadOracle, ProbValueOracle};
 use rand::rngs::{CounterRng, StdRng};
 use rand::{Rng, RngCore, SeedableRng};
@@ -50,6 +53,9 @@ struct WorkloadReport {
     baseline_ms: f64,
     optimized_ms: f64,
     queries: u64,
+    /// Worker threads the optimized configuration fanned out across
+    /// (1 = serial; multi-host bench trajectories compare through this).
+    threads: usize,
     optimization: &'static str,
     outputs_match: bool,
 }
@@ -170,6 +176,7 @@ fn run_count_max_prob(n: usize, reps: usize) -> WorkloadReport {
         baseline_ms,
         optimized_ms,
         queries,
+        threads: if fan_out { threads() } else { 1 },
         optimization: if fan_out {
             "std::thread::scope fan-out of scoring rounds (bit-identical)"
         } else {
@@ -180,7 +187,7 @@ fn run_count_max_prob(n: usize, reps: usize) -> WorkloadReport {
 }
 
 // ---------------------------------------------------------------------
-// Workload 2: farthest/nearest neighbour searches.
+// Workloads 2 & 3: farthest/nearest neighbour searches (128-d and 64-d).
 // ---------------------------------------------------------------------
 
 fn neighbor_searches<O: nco_oracle::QuadrupletOracle>(
@@ -200,46 +207,52 @@ fn neighbor_searches<O: nco_oracle::QuadrupletOracle>(
     out
 }
 
-fn run_neighbor(n: usize, searches: usize) -> WorkloadReport {
-    let dim = 128;
-    let metric = mixture_points(n, dim, 16, 0x4E16);
+fn run_neighbor(
+    name_prefix: &str,
+    n: usize,
+    dim: usize,
+    searches: usize,
+    workload_seed: (u64, u64),
+) -> WorkloadReport {
+    let metric = mixture_points(n, dim, 16, workload_seed.0);
     let params = AdvParams::with_confidence(0.1);
-    let (oracle_seed, rng_seed) = rep_seeds(0x4E, 1)[0];
+    let (oracle_seed, rng_seed) = rep_seeds(workload_seed.1, 1)[0];
 
-    // Baseline: every query re-computes two 128-d distances.
+    // Baseline: every query re-computes two `dim`-d distances.
     let start = Instant::now();
     let mut oracle = Counting::new(ProbQuadOracle::new(metric.clone(), 0.15, oracle_seed));
     let base_out = neighbor_searches(&mut oracle, n, searches, &params, rng_seed);
     let queries = oracle.queries();
     let baseline_ms = ms(start);
 
-    // Optimized: materialise the condensed matrix once — the distances
-    // are bit-exact copies, so the persistent noise pattern is unchanged.
-    // (A `MemoOracle` layer was measured here and *rejected*: the hit
-    // rate across distinct searches is ~2%, and a probe costs as much as
-    // a matrix lookup. Memoisation pays when the wrapped oracle is
-    // genuinely expensive — a real crowd or classifier — not a lookup.)
+    // Optimized: DistCache — the searches are anchored at a handful of
+    // query points, so only ~searches * n of the n^2/2 pairs are ever
+    // touched; each is evaluated once and every le_batch round after that
+    // is table lookups + noise hashes. (PR 2 materialised the full
+    // condensed matrix here; the cache replaces ~n^2/2 eager evaluations
+    // with only the touched ones, which is where the PR 3 speedup on this
+    // workload comes from.)
     let start = Instant::now();
-    let dense = materialize_if_small(metric, n);
-    assert!(dense.is_dense());
-    let mut oracle = Counting::new(ProbQuadOracle::new(dense, 0.15, oracle_seed));
+    let cached = CachedMetric::new(metric);
+    let mut oracle = Counting::new(ProbQuadOracle::new(&cached, 0.15, oracle_seed));
     let opt_out = neighbor_searches(&mut oracle, n, searches, &params, rng_seed);
     let optimized_ms = ms(start);
 
     WorkloadReport {
-        name: format!("neighbor_n{n}"),
+        name: format!("{name_prefix}_n{n}"),
         n,
         reps: searches,
         baseline_ms,
         optimized_ms,
         queries,
-        optimization: "condensed-matrix materialisation",
+        threads: 1,
+        optimization: "DistCache: touched-pair distance memoisation behind batched oracle rounds",
         outputs_match: base_out == opt_out && queries == oracle.queries(),
     }
 }
 
 // ---------------------------------------------------------------------
-// Workload 3: SLINK agglomeration.
+// Workload 4: SLINK agglomeration (serial engine, dense materialisation).
 // ---------------------------------------------------------------------
 
 fn run_slink(n: usize) -> WorkloadReport {
@@ -268,13 +281,68 @@ fn run_slink(n: usize) -> WorkloadReport {
         baseline_ms,
         optimized_ms,
         queries,
+        threads: 1,
         optimization: "condensed-matrix materialisation (O(n^2) queries >> n^2/2 pairs)",
         outputs_match: base == opt && queries == oracle.queries(),
     }
 }
 
 // ---------------------------------------------------------------------
-// Workload 4: greedy k-center under adversarial noise.
+// Workload 5: counter-stream SLINK — the parallel-initialisation variant.
+// ---------------------------------------------------------------------
+
+fn run_slink_par(n: usize) -> WorkloadReport {
+    let dim = 64;
+    let metric = mixture_points(n, dim, 8, 0x511B);
+    let params = HierParams::experimental(Linkage::Single);
+    let (oracle_seed, rng_seed) = rep_seeds(0x52, 1)[0];
+
+    // Baseline: lazy distances, single worker. Both configurations run
+    // `hier_oracle_par`, whose initial nearest-neighbour rows draw from
+    // per-row CounterRng streams — rng-independent rows are exactly what
+    // makes the optimized fan-out bit-identical, and `outputs_match`
+    // below *is* the parallel-vs-serial equivalence check.
+    let start = Instant::now();
+    let mut oracle = SharedCounting::new(ProbQuadOracle::new(metric.clone(), 0.05, oracle_seed));
+    let base = hier_oracle_par(
+        &params,
+        &mut oracle,
+        &mut StdRng::seed_from_u64(rng_seed),
+        1,
+    );
+    let queries = oracle.queries();
+    let baseline_ms = ms(start);
+
+    // Optimized: DistCache + fan-out of the n initial searches across all
+    // available workers (1 on a single-core host: the cache is then the
+    // whole win).
+    let start = Instant::now();
+    let cached = CachedMetric::new(metric);
+    let mut oracle = SharedCounting::new(ProbQuadOracle::new(&cached, 0.05, oracle_seed));
+    let opt = hier_oracle_par(
+        &params,
+        &mut oracle,
+        &mut StdRng::seed_from_u64(rng_seed),
+        threads(),
+    );
+    let optimized_ms = ms(start);
+
+    WorkloadReport {
+        name: format!("slink_n{n}"),
+        n,
+        reps: 1,
+        baseline_ms,
+        optimized_ms,
+        queries,
+        threads: threads(),
+        optimization:
+            "DistCache + per-row CounterRng streams fanning the initial NN pass across threads",
+        outputs_match: base == opt && queries == oracle.queries(),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Workload 6: greedy k-center under adversarial noise.
 // ---------------------------------------------------------------------
 
 fn run_kcenter(n: usize, k: usize, reps: usize) -> WorkloadReport {
@@ -301,19 +369,16 @@ fn run_kcenter(n: usize, k: usize, reps: usize) -> WorkloadReport {
     }
     let baseline_ms = ms(start);
 
-    // Optimized: one materialisation amortised across the reps (the
-    // realistic shape — many clustering requests over one corpus).
+    // Optimized: one DistCache shared across the reps (the realistic
+    // shape — many clustering requests over one corpus). The queries only
+    // touch (point, center) pairs, a small slice of the triangle PR 2
+    // paid n^2/2 eager evaluations to materialise.
     let start = Instant::now();
-    let dense = materialize_if_small(metric, n);
-    assert!(dense.is_dense());
+    let cached = CachedMetric::new(metric);
     let mut opt_queries = 0u64;
     let mut opt_out = Vec::with_capacity(reps);
     for &(_, rng_seed) in &seeds {
-        let mut oracle = Counting::new(AdversarialQuadOracle::new(
-            dense.clone(),
-            0.2,
-            InvertAdversary,
-        ));
+        let mut oracle = Counting::new(AdversarialQuadOracle::new(&cached, 0.2, InvertAdversary));
         let c = kcenter_adv(
             &KCenterAdvParams::experimental(k),
             &mut oracle,
@@ -331,7 +396,8 @@ fn run_kcenter(n: usize, k: usize, reps: usize) -> WorkloadReport {
         baseline_ms,
         optimized_ms,
         queries,
-        optimization: "condensed-matrix materialisation amortised over reps",
+        threads: 1,
+        optimization: "DistCache shared across reps: touched (point, center) pairs only",
         outputs_match: base_out == opt_out && queries == opt_queries,
     }
 }
@@ -339,20 +405,24 @@ fn run_kcenter(n: usize, k: usize, reps: usize) -> WorkloadReport {
 fn write_json(path: &str, mode: &str, reports: &[WorkloadReport]) -> std::io::Result<()> {
     let mut s = String::new();
     s.push_str("{\n");
-    s.push_str("  \"schema\": \"nco-perfsuite/v1\",\n");
-    s.push_str("  \"pr\": \"PR2\",\n");
+    s.push_str("  \"schema\": \"nco-perfsuite/v2\",\n");
+    s.push_str("  \"pr\": \"PR3\",\n");
     s.push_str(&format!("  \"mode\": \"{mode}\",\n"));
     s.push_str(&format!(
         "  \"parallel_feature\": {},\n",
         cfg!(feature = "parallel")
     ));
-    s.push_str(&format!("  \"threads\": {},\n", threads()));
+    s.push_str(&format!(
+        "  \"host_logical_cores\": {},\n",
+        host_logical_cores()
+    ));
     s.push_str("  \"workloads\": [\n");
     for (i, r) in reports.iter().enumerate() {
         s.push_str("    {\n");
         s.push_str(&format!("      \"name\": \"{}\",\n", r.name));
         s.push_str(&format!("      \"n\": {},\n", r.n));
         s.push_str(&format!("      \"reps\": {},\n", r.reps));
+        s.push_str(&format!("      \"threads\": {},\n", r.threads));
         s.push_str(&format!(
             "      \"baseline_wall_ms\": {:.3},\n",
             r.baseline_ms
@@ -383,6 +453,15 @@ fn write_json(path: &str, mode: &str, reports: &[WorkloadReport]) -> std::io::Re
     std::fs::write(path, s)
 }
 
+/// Logical cores of the host, independent of the `parallel` feature —
+/// recorded in the JSON so bench trajectories from different machines are
+/// comparable.
+fn host_logical_cores() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
 fn threads() -> usize {
     #[cfg(feature = "parallel")]
     {
@@ -396,7 +475,8 @@ fn threads() -> usize {
 
 /// Pulls `(name, n, queries)` triples out of a perfsuite JSON file using
 /// plain string scanning — the file format is our own, and the binary
-/// must stay dependency-free (no serde in the offline build).
+/// must stay dependency-free (no serde in the offline build). Works for
+/// both the v1 and v2 schemas (the scanned fields are common to both).
 fn extract_workloads(json: &str) -> Vec<(String, u64, u64)> {
     fn field_u64(segment: &str, key: &str) -> Option<u64> {
         let at = segment.find(&format!("\"{key}\":"))?;
@@ -458,7 +538,7 @@ fn check_baseline(path: &str, reports: &[WorkloadReport]) -> Result<(), String> 
 
 fn main() {
     let mut smoke = false;
-    let mut out_path = String::from("BENCH_PR2.json");
+    let mut out_path = String::from("BENCH_PR3.json");
     let mut baseline_path: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -478,23 +558,28 @@ fn main() {
 
     let mode = if smoke { "smoke" } else { "full" };
     eprintln!(
-        "perfsuite: mode = {mode}, threads = {}, parallel = {}",
+        "perfsuite: mode = {mode}, threads = {}, host cores = {}, parallel = {}",
         threads(),
+        host_logical_cores(),
         cfg!(feature = "parallel")
     );
 
     let reports = if smoke {
         vec![
             run_count_max_prob(1024, 2),
-            run_neighbor(512, 4),
+            run_neighbor("neighbor", 512, 128, 4, (0x4E16, 0x4E)),
+            run_neighbor("neighbor_d64", 512, 64, 6, (0x4E64, 0x4D)),
             run_slink(128),
+            run_slink_par(256),
             run_kcenter(256, 16, 2),
         ]
     } else {
         vec![
             run_count_max_prob(4096, 6),
-            run_neighbor(2048, 12),
+            run_neighbor("neighbor", 2048, 128, 12, (0x4E16, 0x4E)),
+            run_neighbor("neighbor_d64", 2048, 64, 16, (0x4E64, 0x4D)),
             run_slink(512),
+            run_slink_par(1024),
             run_kcenter(1024, 32, 4),
         ]
     };
@@ -502,11 +587,12 @@ fn main() {
     let mut ok = true;
     for r in &reports {
         eprintln!(
-            "  {:22} n={:5} reps={:2}  baseline {:9.2} ms  optimized {:9.2} ms  \
+            "  {:22} n={:5} reps={:2} threads={:2}  baseline {:9.2} ms  optimized {:9.2} ms  \
              speedup {:5.2}x  queries {:>10}  match={}",
             r.name,
             r.n,
             r.reps,
+            r.threads,
             r.baseline_ms,
             r.optimized_ms,
             r.speedup(),

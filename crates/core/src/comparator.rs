@@ -20,11 +20,32 @@ use nco_oracle::{ComparisonOracle, QuadrupletOracle};
 pub trait Comparator<I: Copy> {
     /// Noisily decides whether item `a`'s hidden key is `<=` item `b`'s.
     fn le(&mut self, a: I, b: I) -> bool;
+
+    /// Answers one **round** of comparisons, appending one answer per pair
+    /// to `out` in round order.
+    ///
+    /// Engines that already issue their queries in rounds (the Count-Max
+    /// scoring triangle, committee votes, candidate scans) call this so
+    /// oracle-backed comparators can hand the whole round to
+    /// `le_batch` on the oracle, which amortises distance evaluation
+    /// across the round. Contract: answers must be bit-identical to
+    /// calling [`Comparator::le`] once per pair in order — the default
+    /// does exactly that.
+    fn le_round(&mut self, round: &[(I, I)], out: &mut Vec<bool>) {
+        out.reserve(round.len());
+        for &(a, b) in round {
+            let ans = self.le(a, b);
+            out.push(ans);
+        }
+    }
 }
 
 impl<I: Copy, C: Comparator<I> + ?Sized> Comparator<I> for &mut C {
     fn le(&mut self, a: I, b: I) -> bool {
         (**self).le(a, b)
+    }
+    fn le_round(&mut self, round: &[(I, I)], out: &mut Vec<bool>) {
+        (**self).le_round(round, out);
     }
 }
 
@@ -44,6 +65,11 @@ impl<'a, O: ComparisonOracle> ValueCmp<'a, O> {
 impl<O: ComparisonOracle> Comparator<usize> for ValueCmp<'_, O> {
     fn le(&mut self, a: usize, b: usize) -> bool {
         self.oracle.le(a, b)
+    }
+
+    fn le_round(&mut self, round: &[(usize, usize)], out: &mut Vec<bool>) {
+        // Item pairs are already oracle queries; hand the round over as-is.
+        self.oracle.le_batch(round, out);
     }
 }
 
@@ -66,6 +92,11 @@ impl<O: QuadrupletOracle> Comparator<usize> for DistToQueryCmp<'_, O> {
     fn le(&mut self, a: usize, b: usize) -> bool {
         self.oracle.le(self.q, a, self.q, b)
     }
+
+    fn le_round(&mut self, round: &[(usize, usize)], out: &mut Vec<bool>) {
+        let queries: Vec<[usize; 4]> = round.iter().map(|&(a, b)| [self.q, a, self.q, b]).collect();
+        self.oracle.le_batch(&queries, out);
+    }
 }
 
 /// Items are unordered record pairs, keys are their pairwise distances —
@@ -86,6 +117,14 @@ impl<O: QuadrupletOracle> Comparator<(usize, usize)> for PairDistCmp<'_, O> {
     fn le(&mut self, a: (usize, usize), b: (usize, usize)) -> bool {
         self.oracle.le(a.0, a.1, b.0, b.1)
     }
+
+    fn le_round(&mut self, round: &[((usize, usize), (usize, usize))], out: &mut Vec<bool>) {
+        let queries: Vec<[usize; 4]> = round
+            .iter()
+            .map(|&((a0, a1), (b0, b1))| [a0, a1, b0, b1])
+            .collect();
+        self.oracle.le_batch(&queries, out);
+    }
 }
 
 /// Order-reversing adapter: turns any max-finding engine into a min-finding
@@ -96,6 +135,13 @@ pub struct Rev<C>(pub C);
 impl<I: Copy, C: Comparator<I>> Comparator<I> for Rev<C> {
     fn le(&mut self, a: I, b: I) -> bool {
         self.0.le(b, a)
+    }
+
+    fn le_round(&mut self, round: &[(I, I)], out: &mut Vec<bool>) {
+        // Reverse every pair, then delegate so the inner comparator's
+        // batching (and therefore the oracle's) still kicks in.
+        let reversed: Vec<(I, I)> = round.iter().map(|&(a, b)| (b, a)).collect();
+        self.0.le_round(&reversed, out);
     }
 }
 

@@ -27,7 +27,7 @@ mod graph;
 mod slink;
 
 pub use exact::hier_exact;
-pub use slink::{hier_oracle, HierParams};
+pub use slink::{hier_oracle, hier_oracle_par, HierParams};
 
 /// Agglomeration objective: how the distance between two clusters is
 /// defined (Section 2.1).

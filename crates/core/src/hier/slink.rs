@@ -16,7 +16,8 @@ use super::graph::ClusterGraph;
 use super::{Dendrogram, Linkage, Merge};
 use crate::comparator::Comparator;
 use crate::maxfind::{min_adv, AdvParams};
-use nco_oracle::QuadrupletOracle;
+use nco_oracle::{QuadrupletOracle, SharedQuadrupletOracle};
+use rand::rngs::CounterRng;
 use rand::Rng;
 
 /// Parameters of oracle-driven agglomeration (Algorithm 11).
@@ -68,6 +69,36 @@ impl<O: QuadrupletOracle> Comparator<usize> for RepCmp<'_, O> {
         let r2 = self.graph.rep(self.me, c2);
         self.oracle.le(r1.0, r1.1, r2.0, r2.1)
     }
+
+    fn le_round(&mut self, round: &[(usize, usize)], out: &mut Vec<bool>) {
+        let queries: Vec<[usize; 4]> = round
+            .iter()
+            .map(|&(c1, c2)| {
+                let r1 = self.graph.rep(self.me, c1);
+                let r2 = self.graph.rep(self.me, c2);
+                [r1.0, r1.1, r2.0, r2.1]
+            })
+            .collect();
+        self.oracle.le_batch(&queries, out);
+    }
+}
+
+/// [`RepCmp`] through a shared oracle reference — the comparator the
+/// fanned-out initial nearest-neighbour searches of [`hier_oracle_par`]
+/// build per worker (answers are pure functions of the query, so the
+/// shared path is bit-identical to the `&mut` path).
+struct SharedRepCmp<'a, O> {
+    oracle: &'a O,
+    graph: &'a ClusterGraph,
+    me: usize,
+}
+
+impl<O: SharedQuadrupletOracle> Comparator<usize> for SharedRepCmp<'_, O> {
+    fn le(&mut self, c1: usize, c2: usize) -> bool {
+        let r1 = self.graph.rep(self.me, c1);
+        let r2 = self.graph.rep(self.me, c2);
+        self.oracle.le_shared(r1.0, r1.1, r2.0, r2.1)
+    }
 }
 
 /// Compares candidate clusters by the rep pair to their current nearest
@@ -84,6 +115,18 @@ impl<O: QuadrupletOracle> Comparator<usize> for CandidateCmp<'_, O> {
         let r1 = self.graph.rep(c1, self.nn[c1]);
         let r2 = self.graph.rep(c2, self.nn[c2]);
         self.oracle.le(r1.0, r1.1, r2.0, r2.1)
+    }
+
+    fn le_round(&mut self, round: &[(usize, usize)], out: &mut Vec<bool>) {
+        let queries: Vec<[usize; 4]> = round
+            .iter()
+            .map(|&(c1, c2)| {
+                let r1 = self.graph.rep(c1, self.nn[c1]);
+                let r2 = self.graph.rep(c2, self.nn[c2]);
+                [r1.0, r1.1, r2.0, r2.1]
+            })
+            .collect();
+        self.oracle.le_batch(&queries, out);
     }
 }
 
@@ -110,6 +153,32 @@ where
     min_adv(scratch, params, &mut cmp, rng).expect("at least one neighbour")
 }
 
+/// [`nearest_of`] through a shared oracle reference (the worker-side form
+/// of the initial pointer pass). Identical candidate list, comparator
+/// decisions and rng consumption — only the borrow discipline differs.
+fn nearest_of_shared<O, R>(
+    graph: &ClusterGraph,
+    c: usize,
+    params: &AdvParams,
+    oracle: &O,
+    rng: &mut R,
+    scratch: &mut Vec<usize>,
+) -> usize
+where
+    O: SharedQuadrupletOracle,
+    R: Rng + ?Sized,
+{
+    scratch.clear();
+    scratch.extend(graph.active().iter().copied().filter(|&x| x != c));
+    debug_assert!(!scratch.is_empty());
+    let mut cmp = SharedRepCmp {
+        oracle,
+        graph,
+        me: c,
+    };
+    min_adv(scratch, params, &mut cmp, rng).expect("at least one neighbour")
+}
+
 /// Algorithm 11: agglomerative clustering (single or complete linkage)
 /// under a noisy quadruplet oracle.
 ///
@@ -122,21 +191,132 @@ where
 {
     let n = oracle.n();
     assert!(n >= 2, "agglomeration needs at least two records");
-    let mut graph = ClusterGraph::new(n);
+    let graph = ClusterGraph::new(n);
 
     // Dense nearest-neighbour pointer table indexed by cluster id (ids
     // run `0..2n-1` across the whole agglomeration); `usize::MAX` marks
     // dead/unset entries. The seed implementation kept a `HashMap` here —
     // two hashed lookups per candidate comparison on the hot path.
     let mut nn: Vec<usize> = vec![usize::MAX; 2 * n - 1];
-    // Scratch buffers reused by every search and repair round.
     let mut neighbours: Vec<usize> = Vec::with_capacity(n);
-    let mut stale: Vec<usize> = Vec::with_capacity(n);
 
-    // Initial nearest-neighbour pointers (n searches of O(n) queries).
+    // Initial nearest-neighbour pointers (n searches of O(n) queries),
+    // drawn from the caller's rng row after row.
     for (c, pointer) in nn.iter_mut().enumerate().take(n) {
         *pointer = nearest_of(&graph, c, &params.search, oracle, rng, &mut neighbours);
     }
+
+    agglomerate(params, graph, nn, oracle, rng)
+}
+
+/// Counter-stream twin of [`hier_oracle`]: the initial `n`
+/// nearest-neighbour searches draw from **per-row
+/// [`CounterRng`](rand::rngs::CounterRng) streams** derived from one serial
+/// draw on the caller's rng, which makes the rows rng-independent — so
+/// they can fan out across `std::thread::scope` workers (with the
+/// `parallel` feature and `threads > 1`) and still produce the same
+/// pointers, the same queries and the same dendrogram as the `threads = 1`
+/// run, bit for bit. The merge loop after initialisation is the serial
+/// engine either way.
+///
+/// Note the randomness *schedule* differs from [`hier_oracle`] (per-row
+/// streams instead of one shared cursor), so for a given seed the two
+/// entry points return different — equally guarantee-respecting —
+/// dendrograms. Pick one per experiment; `perfsuite` pins both.
+///
+/// Without the `parallel` feature `threads` is ignored and the rows run
+/// serially — still through the per-row streams, so results match a
+/// `parallel`-enabled binary exactly.
+///
+/// # Panics
+/// Panics if `oracle.n() < 2`.
+pub fn hier_oracle_par<O, R>(
+    params: &HierParams,
+    oracle: &mut O,
+    rng: &mut R,
+    threads: usize,
+) -> Dendrogram
+where
+    O: SharedQuadrupletOracle,
+    R: Rng + ?Sized,
+{
+    let n = oracle.n();
+    assert!(n >= 2, "agglomeration needs at least two records");
+    let graph = ClusterGraph::new(n);
+
+    // One serial draw keys every row stream; row `c` then owns the
+    // deterministic stream `base.stream(c)` regardless of which worker
+    // (or how many workers) executes it.
+    let base = CounterRng::new(rng.next_u64(), rng.next_u64());
+    let mut nn: Vec<usize> = vec![usize::MAX; 2 * n - 1];
+
+    #[cfg(feature = "parallel")]
+    let fan_out = threads > 1;
+    #[cfg(not(feature = "parallel"))]
+    let fan_out = false;
+    let _ = threads;
+
+    if !fan_out {
+        let mut neighbours: Vec<usize> = Vec::with_capacity(n);
+        for (c, pointer) in nn.iter_mut().enumerate().take(n) {
+            let mut row_rng = base.stream(c as u64);
+            *pointer = nearest_of_shared(
+                &graph,
+                c,
+                &params.search,
+                &*oracle,
+                &mut row_rng,
+                &mut neighbours,
+            );
+        }
+    }
+    #[cfg(feature = "parallel")]
+    if fan_out {
+        let chunk = n.div_ceil(threads);
+        let graph = &graph;
+        let oracle = &*oracle;
+        let base = &base;
+        std::thread::scope(|scope| {
+            for (w, rows) in nn[..n].chunks_mut(chunk).enumerate() {
+                scope.spawn(move || {
+                    let mut neighbours: Vec<usize> = Vec::with_capacity(n);
+                    for (offset, pointer) in rows.iter_mut().enumerate() {
+                        let c = w * chunk + offset;
+                        let mut row_rng = base.stream(c as u64);
+                        *pointer = nearest_of_shared(
+                            graph,
+                            c,
+                            &params.search,
+                            oracle,
+                            &mut row_rng,
+                            &mut neighbours,
+                        );
+                    }
+                });
+            }
+        });
+    }
+
+    agglomerate(params, graph, nn, oracle, rng)
+}
+
+/// The merge loop shared by [`hier_oracle`] and [`hier_oracle_par`]:
+/// closest-pair selection, merging, and pointer repair, all serial.
+fn agglomerate<O, R>(
+    params: &HierParams,
+    mut graph: ClusterGraph,
+    mut nn: Vec<usize>,
+    oracle: &mut O,
+    rng: &mut R,
+) -> Dendrogram
+where
+    O: QuadrupletOracle,
+    R: Rng + ?Sized,
+{
+    let n = graph.active().len();
+    // Scratch buffers reused by every search and repair round.
+    let mut neighbours: Vec<usize> = Vec::with_capacity(n);
+    let mut stale: Vec<usize> = Vec::with_capacity(n);
 
     let mut merges = Vec::with_capacity(n - 1);
     while graph.active().len() > 1 {
@@ -353,6 +533,59 @@ mod tests {
         // O(n^2) with t = 1: generous constant 40 n^2; far below n^3 ≈ 262k.
         let budget = (40 * n * n) as u64;
         assert!(o.queries() <= budget, "{} queries > {budget}", o.queries());
+    }
+
+    #[test]
+    fn counter_stream_variant_is_deterministic_and_valid() {
+        let pts: Vec<Vec<f64>> = (0..48)
+            .map(|i| vec![((i * 37) % 101) as f64, ((i * 61) % 97) as f64])
+            .collect();
+        let m = EuclideanMetric::from_points(&pts);
+        let run = |seed: u64| {
+            let mut o = TrueQuadOracle::new(m.clone());
+            hier_oracle_par(
+                &HierParams::experimental(Linkage::Single),
+                &mut o,
+                &mut rng(seed),
+                1,
+            )
+        };
+        let a = run(11);
+        let b = run(11);
+        assert_eq!(a, b, "same seed must reproduce the dendrogram");
+        assert_eq!(a.merges.len(), 47);
+        a.validate();
+    }
+
+    /// The fan-out is bit-identical to the single-worker run of the same
+    /// entry point: per-row counter streams make rows rng-independent.
+    #[cfg(feature = "parallel")]
+    #[test]
+    fn counter_stream_fan_out_matches_single_worker() {
+        use nco_oracle::probabilistic::ProbQuadOracle;
+        use nco_oracle::SharedCounting;
+        let pts: Vec<Vec<f64>> = (0..64)
+            .map(|i| vec![((i * 29) % 83) as f64, ((i * 53) % 89) as f64])
+            .collect();
+        let m = EuclideanMetric::from_points(&pts);
+        for seed in 0..5u64 {
+            let mut serial = SharedCounting::new(ProbQuadOracle::new(m.clone(), 0.1, 70 + seed));
+            let a = hier_oracle_par(
+                &HierParams::experimental(Linkage::Single),
+                &mut serial,
+                &mut rng(seed),
+                1,
+            );
+            let mut par = SharedCounting::new(ProbQuadOracle::new(m.clone(), 0.1, 70 + seed));
+            let b = hier_oracle_par(
+                &HierParams::experimental(Linkage::Single),
+                &mut par,
+                &mut rng(seed),
+                4,
+            );
+            assert_eq!(a, b, "seed {seed}");
+            assert_eq!(serial.queries(), par.queries(), "seed {seed}");
+        }
     }
 
     #[test]

@@ -77,6 +77,21 @@ impl<O: QuadrupletOracle> Comparator<usize> for AssignedDistCmp<'_, O> {
         let sb = self.centers[self.assignment[b]];
         self.oracle.le(a, sa, b, sb)
     }
+
+    fn le_round(&mut self, round: &[(usize, usize)], out: &mut Vec<bool>) {
+        let queries: Vec<[usize; 4]> = round
+            .iter()
+            .map(|&(a, b)| {
+                [
+                    a,
+                    self.centers[self.assignment[a]],
+                    b,
+                    self.centers[self.assignment[b]],
+                ]
+            })
+            .collect();
+        self.oracle.le_batch(&queries, out);
+    }
 }
 
 /// Algorithm 6: greedy k-center under adversarial noise.
@@ -103,6 +118,9 @@ where
     is_center[first] = true;
     // mcount[v][j]: how many centers v's MCount deems farther than center j.
     let mut mcount: Vec<Vec<u32>> = vec![vec![0]; n];
+    // Per-point committee-scoring round, hoisted out of both loops.
+    let mut round: Vec<[usize; 4]> = Vec::new();
+    let mut answers: Vec<bool> = Vec::new();
 
     while centers.len() < k {
         // Approx-Farthest over all non-center points.
@@ -122,28 +140,41 @@ where
 
         // Assign: extend each point's MCount with the new center — one
         // query per (point, existing center) — and re-take the argmax.
+        // Each point's committee scan goes out as one batched round (the
+        // oracle then evaluates d(far, v) once per point, not once per
+        // query), and the argmax is maintained *incrementally*: counts
+        // only ever grow, and the rescan's tie-break (highest count, then
+        // oldest center) is preserved by never replacing the incumbent on
+        // a tie with a newer center — so the assignment is exactly the
+        // full rescan's.
         for v in 0..n {
             if is_center[v] {
                 mcount[v].push(0); // keep vector lengths aligned; unused
                 continue;
             }
+            round.clear();
+            answers.clear();
+            // O((s_j, v), (far, v)) == Yes  <=>  d(s_j, v) <= d(far, v).
+            round.extend(centers[..new_pos].iter().map(|&sj| [sj, v, far, v]));
+            oracle.le_batch(&round, &mut answers);
             let mut new_wins = 0u32;
-            for (j, &sj) in centers[..new_pos].iter().enumerate() {
-                // O((s_j, v), (far, v)) == Yes  <=>  d(s_j, v) <= d(far, v).
-                if oracle.le(sj, v, far, v) {
+            let (mut best, mut best_count) = (assignment[v], mcount[v][assignment[v]]);
+            for (j, &yes) in answers.iter().enumerate() {
+                if yes {
                     mcount[v][j] += 1;
+                    let c = mcount[v][j];
+                    if c > best_count || (c == best_count && j < best) {
+                        best = j;
+                        best_count = c;
+                    }
                 } else {
                     new_wins += 1;
                 }
             }
             mcount[v].push(new_wins);
-            // Argmax MCount; first maximal (older center) on ties.
-            let best = mcount[v]
-                .iter()
-                .enumerate()
-                .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(&a.0)))
-                .map(|(j, _)| j)
-                .expect("at least one center");
+            if new_wins > best_count {
+                best = new_pos;
+            }
             assignment[v] = best;
         }
     }

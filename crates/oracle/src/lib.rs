@@ -43,7 +43,7 @@ pub mod probabilistic;
 pub mod quadruplet;
 pub mod value;
 
-pub use counting::Counting;
+pub use counting::{Counting, SharedCounting};
 pub use memo::MemoOracle;
 pub use persistent::{PersistentNoise, SharedComparisonOracle, SharedQuadrupletOracle};
 pub use quadruplet::TrueQuadOracle;
@@ -59,6 +59,25 @@ pub trait ComparisonOracle {
     /// `Yes`. Answers may be noisy; for persistent models, identical queries
     /// always return identical answers.
     fn le(&mut self, i: usize, j: usize) -> bool;
+
+    /// Answers one **round** of queries, appending one answer per query to
+    /// `out` in query order.
+    ///
+    /// The paper's algorithms already issue their comparisons in rounds
+    /// (scoring triangles, committee votes, candidate scans); this is the
+    /// entry point that lets an oracle amortise shared work across the
+    /// round. The contract is strict: the answers (and, for metered
+    /// oracles, the query count) must be **bit-identical** to calling
+    /// [`ComparisonOracle::le`] once per query in order — the default does
+    /// exactly that, and every override is pinned against it in
+    /// `tests/perf_equivalence.rs`.
+    fn le_batch(&mut self, queries: &[(usize, usize)], out: &mut Vec<bool>) {
+        out.reserve(queries.len());
+        for &(i, j) in queries {
+            let ans = self.le(i, j);
+            out.push(ans);
+        }
+    }
 }
 
 /// A (possibly noisy) quadruplet oracle over records in a hidden metric
@@ -69,6 +88,23 @@ pub trait QuadrupletOracle {
 
     /// Answers *"is d(a,b) <= d(c,d)?"* — `true` encodes the paper's `Yes`.
     fn le(&mut self, a: usize, b: usize, c: usize, d: usize) -> bool;
+
+    /// Answers one **round** of quadruplet queries `[a, b, c, d]`,
+    /// appending one answer per query to `out` in query order.
+    ///
+    /// Same contract as [`ComparisonOracle::le_batch`]: bit-identical to
+    /// the scalar loop, which the default is. Distance-backed oracles
+    /// override this to evaluate each distinct record pair's distance once
+    /// per round (distances are pure functions of the pair, so deduplicating
+    /// them cannot change a truth bit), while noise coins are drawn in
+    /// serial query order so transcripts are unchanged.
+    fn le_batch(&mut self, queries: &[[usize; 4]], out: &mut Vec<bool>) {
+        out.reserve(queries.len());
+        for &[a, b, c, d] in queries {
+            let ans = self.le(a, b, c, d);
+            out.push(ans);
+        }
+    }
 }
 
 impl<O: ComparisonOracle + ?Sized> ComparisonOracle for &mut O {
@@ -78,6 +114,9 @@ impl<O: ComparisonOracle + ?Sized> ComparisonOracle for &mut O {
     fn le(&mut self, i: usize, j: usize) -> bool {
         (**self).le(i, j)
     }
+    fn le_batch(&mut self, queries: &[(usize, usize)], out: &mut Vec<bool>) {
+        (**self).le_batch(queries, out);
+    }
 }
 
 impl<O: QuadrupletOracle + ?Sized> QuadrupletOracle for &mut O {
@@ -86,6 +125,9 @@ impl<O: QuadrupletOracle + ?Sized> QuadrupletOracle for &mut O {
     }
     fn le(&mut self, a: usize, b: usize, c: usize, d: usize) -> bool {
         (**self).le(a, b, c, d)
+    }
+    fn le_batch(&mut self, queries: &[[usize; 4]], out: &mut Vec<bool>) {
+        (**self).le_batch(queries, out);
     }
 }
 

@@ -121,6 +121,24 @@ impl<M: Metric> QuadrupletOracle for ProbQuadOracle<M> {
     fn le(&mut self, a: usize, b: usize, c: usize, d: usize) -> bool {
         self.answer(a, b, c, d)
     }
+
+    /// Batched round: the split between distance evaluation and noise
+    /// coins is architectural — truth bits come from `Metric::dist`, which
+    /// is where batching/sharing lives (wrap the metric in
+    /// `nco_metric::DistCache` and one evaluation serves every query of
+    /// every round touching the pair, including the sequential tournament
+    /// duels no round can batch), while the coins are derived here in
+    /// serial query order, so the answer transcript is bit-identical to
+    /// the scalar loop. A per-round dedup map was measured at this layer
+    /// and rejected: over a cached metric a probe costs more than the
+    /// lookup it saves, and over a lazy metric it cannot help the duels.
+    fn le_batch(&mut self, queries: &[[usize; 4]], out: &mut Vec<bool>) {
+        out.reserve(queries.len());
+        for &[a, b, c, d] in queries {
+            let ans = self.answer(a, b, c, d);
+            out.push(ans);
+        }
+    }
 }
 
 impl<M: Metric + Sync> SharedQuadrupletOracle for ProbQuadOracle<M> {

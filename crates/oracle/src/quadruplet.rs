@@ -36,6 +36,17 @@ impl<M: Metric> QuadrupletOracle for TrueQuadOracle<M> {
     fn le(&mut self, a: usize, b: usize, c: usize, d: usize) -> bool {
         self.metric.dist(a, b) <= self.metric.dist(c, d)
     }
+
+    /// Batched round. Distance sharing lives one layer down (wrap the
+    /// metric in `nco_metric::DistCache`); this loop keeps the answer
+    /// sequence trivially identical to the scalar path.
+    fn le_batch(&mut self, queries: &[[usize; 4]], out: &mut Vec<bool>) {
+        out.reserve(queries.len());
+        for &[a, b, c, d] in queries {
+            let ans = self.metric.dist(a, b) <= self.metric.dist(c, d);
+            out.push(ans);
+        }
+    }
 }
 
 impl<M: Metric + Sync> SharedQuadrupletOracle for TrueQuadOracle<M> {

@@ -1,6 +1,6 @@
-//! Equivalence guarantees behind the PR-2 performance work.
+//! Equivalence guarantees behind the PR-2 and PR-3 performance work.
 //!
-//! Two families of checks:
+//! Four families of checks:
 //!
 //! 1. **Memoisation is invisible.** Under every persistent noise model,
 //!    an algorithm run over `MemoOracle<O>` must make bit-identical
@@ -8,9 +8,17 @@
 //!    (Section 2.2) makes the cache semantically exact, and these tests
 //!    pin that end to end (max-finding, farthest search, k-center,
 //!    hierarchical clustering).
-//! 2. **Parallel == serial.** With the `parallel` feature, the fan-out
-//!    variants must return bit-identical outputs *and* identical
-//!    comparator call totals across 20 seeds.
+//! 2. **Batch == scalar.** Every oracle's `le_batch` (and every
+//!    comparator's `le_round`) must produce bit-identical answers and
+//!    identical metered query counts to the scalar loop, across ≥20
+//!    seeds and every shipped noise model.
+//! 3. **Distance caching is invisible.** Algorithms over
+//!    `CachedMetric<M>`-backed oracles make bit-identical decisions with
+//!    identical query totals to the same oracles over the raw `M`.
+//! 4. **Parallel == serial.** With the `parallel` feature, the fan-out
+//!    variants (including `hier_oracle_par`'s counter-stream SLINK
+//!    initialisation) must return bit-identical outputs *and* identical
+//!    query totals across 20 seeds.
 
 use nco_core::comparator::ValueCmp;
 use nco_core::hier::{hier_oracle, HierParams, Linkage};
@@ -145,6 +153,250 @@ fn memo_is_bit_identical_for_kcenter_and_hierarchy() {
     }
 }
 
+mod batch_equivalence {
+    use super::*;
+    use nco_core::comparator::{Comparator, DistToQueryCmp, Rev};
+    use nco_core::maxfind::count_scores;
+    use nco_oracle::adversarial::PersistentRandomAdversary;
+    use nco_oracle::crowd::AccuracyProfile;
+    use nco_oracle::{ComparisonOracle, Counting, QuadrupletOracle};
+
+    /// A comparator wrapper that deliberately does **not** forward
+    /// `le_round`, forcing the trait's default scalar loop — the
+    /// reference the batched plumbing is checked against.
+    struct ScalarOnly<C>(C);
+
+    impl<I: Copy, C: Comparator<I>> Comparator<I> for ScalarOnly<C> {
+        fn le(&mut self, a: I, b: I) -> bool {
+            self.0.le(a, b)
+        }
+    }
+
+    /// Seeded pseudo-random quadruplet batch over `n` records, shaped
+    /// like real rounds: a mix of anchored scans, repeated pivots,
+    /// mirrored queries and degenerate (tied) pairs.
+    fn quad_batch(n: usize, seed: u64, len: usize) -> Vec<[usize; 4]> {
+        let mut r = rng(seed);
+        use rand::Rng;
+        (0..len)
+            .map(|i| {
+                let a = r.random_range(0..n);
+                let b = r.random_range(0..n);
+                let c = if i % 3 == 0 { a } else { r.random_range(0..n) };
+                let d = if i % 7 == 0 { b } else { r.random_range(0..n) };
+                [a, b, c, d]
+            })
+            .collect()
+    }
+
+    fn assert_quad_batch_matches_scalar<O, F>(make: F, label: &str)
+    where
+        O: QuadrupletOracle,
+        F: Fn(u64) -> O,
+    {
+        for seed in 0..20u64 {
+            let mut scalar_oracle = Counting::new(make(seed));
+            let mut batch_oracle = Counting::new(make(seed));
+            let queries = quad_batch(scalar_oracle.inner().n(), 9000 + seed, 400);
+            let scalar: Vec<bool> = queries
+                .iter()
+                .map(|&[a, b, c, d]| scalar_oracle.le(a, b, c, d))
+                .collect();
+            let mut batched = Vec::new();
+            batch_oracle.le_batch(&queries, &mut batched);
+            assert_eq!(scalar, batched, "{label}: answers differ at seed {seed}");
+            assert_eq!(
+                scalar_oracle.queries(),
+                batch_oracle.queries(),
+                "{label}: query totals differ at seed {seed}"
+            );
+        }
+    }
+
+    /// Every shipped quadruplet-oracle noise model answers a batch
+    /// bit-identically to the scalar loop, with identical metered counts.
+    #[test]
+    fn quad_le_batch_matches_scalar_for_every_noise_model() {
+        let scenario = MetricScenario::separated_blobs(4, 16, 40.0, 31);
+        assert_quad_batch_matches_scalar(|_| scenario.exact_oracle(), "exact");
+        assert_quad_batch_matches_scalar(
+            |seed| scenario.probabilistic_oracle(0.25, seed),
+            "probabilistic",
+        );
+        assert_quad_batch_matches_scalar(|_| scenario.adversarial_oracle(0.4), "adversarial");
+        assert_quad_batch_matches_scalar(
+            |seed| {
+                nco_oracle::adversarial::AdversarialQuadOracle::new(
+                    scenario.metric.clone(),
+                    0.4,
+                    PersistentRandomAdversary::new(seed),
+                )
+            },
+            "adversarial-random",
+        );
+        assert_quad_batch_matches_scalar(
+            |seed| scenario.crowd_oracle(AccuracyProfile::caltech_like(), seed),
+            "crowd",
+        );
+        assert_quad_batch_matches_scalar(
+            |seed| MemoOracle::new(scenario.probabilistic_oracle(0.25, seed)),
+            "memoised",
+        );
+    }
+
+    /// The comparison-oracle side of the same property.
+    #[test]
+    fn value_le_batch_matches_scalar_for_every_noise_model() {
+        let scenario = ValueScenario::shuffled_linear(120, 3);
+        let mut pair_queries: Vec<(usize, usize)> = Vec::new();
+        let mut r = rng(77);
+        use rand::Rng;
+        for i in 0..400 {
+            let a = r.random_range(0..120);
+            let b = if i % 5 == 0 {
+                a
+            } else {
+                r.random_range(0..120)
+            };
+            pair_queries.push((a, b));
+        }
+        for seed in 0..20u64 {
+            let mut scalar = Counting::new(scenario.probabilistic_oracle(0.3, 100 + seed));
+            let mut batch = Counting::new(scenario.probabilistic_oracle(0.3, 100 + seed));
+            let expect: Vec<bool> = pair_queries.iter().map(|&(i, j)| scalar.le(i, j)).collect();
+            let mut got = Vec::new();
+            batch.le_batch(&pair_queries, &mut got);
+            assert_eq!(expect, got, "seed {seed}");
+            assert_eq!(scalar.queries(), batch.queries(), "seed {seed}");
+        }
+        let mut adv_scalar = Counting::new(scenario.adversarial_oracle(0.5));
+        let mut adv_batch = Counting::new(scenario.adversarial_oracle(0.5));
+        let expect: Vec<bool> = pair_queries
+            .iter()
+            .map(|&(i, j)| adv_scalar.le(i, j))
+            .collect();
+        let mut got = Vec::new();
+        adv_batch.le_batch(&pair_queries, &mut got);
+        assert_eq!(expect, got);
+        assert_eq!(adv_scalar.queries(), adv_batch.queries());
+    }
+
+    /// The Count-Max scoring triangle routed through `le_round` produces
+    /// the scores (and bills the queries) of the scalar double loop — for
+    /// the plain comparator, the reversed one, and the oracle-batching
+    /// distance comparator.
+    #[test]
+    fn count_scores_round_matches_scalar_loop() {
+        let scenario = MetricScenario::separated_blobs(3, 20, 30.0, 7);
+        for seed in 0..20u64 {
+            let items: Vec<usize> = (0..scenario.n()).step_by(2).collect();
+            let q = ((seed as usize * 7) % scenario.n()) | 1; // odd: not in items
+
+            let mut scalar_oracle = Counting::new(scenario.probabilistic_oracle(0.2, seed));
+            let scalar = count_scores(
+                &items,
+                &mut ScalarOnly(DistToQueryCmp::new(&mut scalar_oracle, q)),
+            );
+            let mut batched_oracle = Counting::new(scenario.probabilistic_oracle(0.2, seed));
+            let batched = count_scores(&items, &mut DistToQueryCmp::new(&mut batched_oracle, q));
+            assert_eq!(scalar, batched, "seed {seed}");
+            assert_eq!(
+                scalar_oracle.queries(),
+                batched_oracle.queries(),
+                "seed {seed}"
+            );
+
+            let mut rev_scalar_oracle = Counting::new(scenario.probabilistic_oracle(0.2, seed));
+            let rev_scalar = count_scores(
+                &items,
+                &mut ScalarOnly(Rev(DistToQueryCmp::new(&mut rev_scalar_oracle, q))),
+            );
+            let mut rev_batched_oracle = Counting::new(scenario.probabilistic_oracle(0.2, seed));
+            let rev_batched = count_scores(
+                &items,
+                &mut Rev(DistToQueryCmp::new(&mut rev_batched_oracle, q)),
+            );
+            assert_eq!(rev_scalar, rev_batched, "rev seed {seed}");
+            assert_eq!(
+                rev_scalar_oracle.queries(),
+                rev_batched_oracle.queries(),
+                "rev seed {seed}"
+            );
+        }
+    }
+}
+
+mod dist_cache_equivalence {
+    use super::*;
+    use nco_metric::CachedMetric;
+    use nco_oracle::adversarial::{AdversarialQuadOracle, InvertAdversary};
+    use nco_oracle::probabilistic::ProbQuadOracle;
+    use nco_oracle::Counting;
+
+    /// Neighbour searches, k-center and the SLINK hierarchy over a
+    /// `CachedMetric`-backed oracle are bit-identical — outputs and query
+    /// totals — to the same runs over the raw metric, across 20 seeds.
+    /// (The cache returns the lazy metric's own `f64`s, so persistent
+    /// noise cannot observe it.)
+    #[test]
+    fn cached_metric_is_bit_identical_end_to_end() {
+        let scenario = MetricScenario::separated_blobs(4, 24, 45.0, 29);
+        let params = AdvParams::with_confidence(0.1);
+        for seed in 0..20u64 {
+            let raw_metric = scenario.metric.clone();
+            let cached = CachedMetric::new(scenario.metric.clone());
+            let q = (seed as usize * 11) % scenario.n();
+
+            let mut raw = Counting::new(ProbQuadOracle::new(raw_metric.clone(), 0.15, seed));
+            let mut opt = Counting::new(ProbQuadOracle::new(&cached, 0.15, seed));
+            assert_eq!(
+                farthest_adv(&mut raw, q, &params, &mut rng(seed)),
+                farthest_adv(&mut opt, q, &params, &mut rng(seed)),
+                "farthest seed {seed}"
+            );
+            assert_eq!(
+                nearest_adv(&mut raw, q, &params, &mut rng(50 + seed)),
+                nearest_adv(&mut opt, q, &params, &mut rng(50 + seed)),
+                "nearest seed {seed}"
+            );
+            assert_eq!(raw.queries(), opt.queries(), "neighbor queries seed {seed}");
+
+            let kparams = KCenterAdvParams::experimental(4);
+            let mut raw = Counting::new(AdversarialQuadOracle::new(
+                raw_metric.clone(),
+                0.3,
+                InvertAdversary,
+            ));
+            let mut opt = Counting::new(AdversarialQuadOracle::new(&cached, 0.3, InvertAdversary));
+            let a = kcenter_adv(&kparams, &mut raw, &mut rng(200 + seed));
+            let b = kcenter_adv(&kparams, &mut opt, &mut rng(200 + seed));
+            assert_eq!(a.centers, b.centers, "kcenter centers seed {seed}");
+            assert_eq!(a.assignment, b.assignment, "kcenter assignment seed {seed}");
+            assert_eq!(raw.queries(), opt.queries(), "kcenter queries seed {seed}");
+        }
+        // Hierarchy once per a few seeds (it is the slow one).
+        for seed in 0..5u64 {
+            let cached = CachedMetric::new(scenario.metric.clone());
+            let hier_params = HierParams::experimental(Linkage::Single);
+            let mut raw =
+                Counting::new(ProbQuadOracle::new(scenario.metric.clone(), 0.1, 70 + seed));
+            let mut opt = Counting::new(ProbQuadOracle::new(&cached, 0.1, 70 + seed));
+            let da = hier_oracle(&hier_params, &mut raw, &mut rng(600 + seed));
+            let db = hier_oracle(&hier_params, &mut opt, &mut rng(600 + seed));
+            assert_eq!(da.merges, db.merges, "hierarchy seed {seed}");
+            assert_eq!(
+                raw.queries(),
+                opt.queries(),
+                "hierarchy queries seed {seed}"
+            );
+            assert!(
+                cached.cache().filled() > 0,
+                "the cache must have been exercised"
+            );
+        }
+    }
+}
+
 #[cfg(feature = "parallel")]
 mod parallel_equivalence {
     use super::*;
@@ -202,6 +454,53 @@ mod parallel_equivalence {
                     "query totals differ at seed {seed}, lambda {lambda}"
                 );
             }
+        }
+    }
+
+    /// Counter-stream SLINK: the initial nearest-neighbour pass fanned
+    /// across 4 workers returns the identical dendrogram and query total
+    /// as the single-worker run, across 20 seeds — per-row `CounterRng`
+    /// streams make the rows rng-independent, so scheduling cannot leak
+    /// into the output.
+    #[test]
+    fn hier_oracle_par_fan_out_matches_single_worker_across_20_seeds() {
+        use nco_core::hier::hier_oracle_par;
+        use nco_oracle::SharedCounting;
+        let scenario = MetricScenario::separated_blobs(4, 16, 35.0, 13);
+        let params = HierParams::experimental(Linkage::Single);
+        for seed in 0..20u64 {
+            let mut serial = SharedCounting::new(scenario.probabilistic_oracle(0.1, 3000 + seed));
+            let a = hier_oracle_par(&params, &mut serial, &mut rng(seed), 1);
+            let mut par = SharedCounting::new(scenario.probabilistic_oracle(0.1, 3000 + seed));
+            let b = hier_oracle_par(&params, &mut par, &mut rng(seed), 4);
+            assert_eq!(a, b, "dendrogram differs at seed {seed}");
+            assert_eq!(
+                serial.queries(),
+                par.queries(),
+                "query totals differ at seed {seed}"
+            );
+        }
+    }
+
+    /// Counter-stream SLINK over a `CachedMetric` fanned across workers —
+    /// the perfsuite `slink_n1024` optimized configuration exactly —
+    /// equals the lazy single-worker run.
+    #[test]
+    fn hier_oracle_par_with_dist_cache_matches_lazy_serial() {
+        use nco_core::hier::hier_oracle_par;
+        use nco_metric::CachedMetric;
+        use nco_oracle::probabilistic::ProbQuadOracle;
+        use nco_oracle::SharedCounting;
+        let scenario = MetricScenario::separated_blobs(4, 20, 35.0, 17);
+        let params = HierParams::experimental(Linkage::Single);
+        for seed in 0..5u64 {
+            let mut lazy = SharedCounting::new(scenario.probabilistic_oracle(0.05, 4000 + seed));
+            let a = hier_oracle_par(&params, &mut lazy, &mut rng(seed), 1);
+            let cached = CachedMetric::new(scenario.metric.clone());
+            let mut opt = SharedCounting::new(ProbQuadOracle::new(&cached, 0.05, 4000 + seed));
+            let b = hier_oracle_par(&params, &mut opt, &mut rng(seed), 4);
+            assert_eq!(a, b, "dendrogram differs at seed {seed}");
+            assert_eq!(lazy.queries(), opt.queries(), "query totals at seed {seed}");
         }
     }
 
