@@ -1,7 +1,7 @@
 //! `perfsuite` — the reproducible performance suite behind the repo's
 //! perf trajectory (`BENCH_*.json`).
 //!
-//! Six pinned, fully seeded workloads cover the paper's hot paths:
+//! Seven pinned, fully seeded workloads cover the paper's hot paths:
 //!
 //! | name | shape |
 //! |---|---|
@@ -11,6 +11,7 @@
 //! | `slink_n512` | Algorithm 11 single-linkage hierarchy over 512 128-d points, persistent `p = 0.05` |
 //! | `slink_n1024` | counter-stream SLINK (`hier_oracle_par`) over 1024 64-d points, persistent `p = 0.05` |
 //! | `kcenter_n1024` | Algorithm 6 greedy 32-center over 1024 128-d points, adversarial `mu = 0.2` |
+//! | `session_kcenter_n1024` | the same greedy 32-center routed through the facade's `Session` front door (zero-overhead check) |
 //!
 //! Each workload runs twice: a **baseline** configuration (lazy
 //! re-computation of every distance / serial rounds — the pre-PR2 shape
@@ -28,7 +29,7 @@
 //! ```
 //!
 //! `--smoke` shrinks every workload (~16x fewer queries) for CI;
-//! `--out` defaults to `BENCH_PR3.json` in the current directory;
+//! `--out` defaults to `BENCH_PR4.json` in the current directory;
 //! `--check-baseline` compares this run's query counts against a
 //! committed baseline JSON and exits non-zero on any regression
 //! (count > baseline) — the CI guard for the pinned workloads.
@@ -402,11 +403,86 @@ fn run_kcenter(n: usize, k: usize, reps: usize) -> WorkloadReport {
     }
 }
 
+// ---------------------------------------------------------------------
+// Workload 7: the same greedy k-center routed through the facade's
+// `Session` front door — the zero-overhead proof for the engine API.
+// ---------------------------------------------------------------------
+
+fn run_session_kcenter(n: usize, k: usize, reps: usize) -> WorkloadReport {
+    use noisy_oracle::data::AnyMetric;
+    use noisy_oracle::{Engine, Noise, Session, Task};
+
+    let dim = 128;
+    let metric = mixture_points(n, dim, k, 0x6C3E);
+    // Same rep seeds as `kcenter_n1024`: this workload's baseline is
+    // exactly that workload's optimized configuration, so its query
+    // count must reproduce bit-for-bit across the two reports.
+    let seeds = rep_seeds(0x6C, reps);
+
+    // Baseline: the direct call over a shared DistCache (PR 3's optimized
+    // shape of the kcenter workload).
+    let start = Instant::now();
+    let cached = CachedMetric::new(metric.clone());
+    let mut queries = 0u64;
+    let mut base_out = Vec::with_capacity(reps);
+    for &(_, rng_seed) in &seeds {
+        let mut oracle = Counting::new(AdversarialQuadOracle::new(&cached, 0.2, InvertAdversary));
+        let c = kcenter_adv(
+            &KCenterAdvParams::experimental(k),
+            &mut oracle,
+            &mut StdRng::seed_from_u64(rng_seed),
+        );
+        queries += oracle.queries();
+        base_out.push((c.centers, c.assignment));
+    }
+    let baseline_ms = ms(start);
+
+    // "Optimized": the identical runs through `Session::run` on one
+    // shared `Engine`. The facade must add nothing — same answers, same
+    // query counts (checked below via outputs_match), wall time within
+    // noise of the direct loop.
+    let start = Instant::now();
+    let engine = Engine::from_metric(AnyMetric::Euclidean(metric), true);
+    let mut opt_queries = 0u64;
+    let mut opt_out = Vec::with_capacity(reps);
+    for &(_, rng_seed) in &seeds {
+        let session = Session::builder()
+            .engine(engine.clone())
+            .noise(Noise::Adversarial { mu: 0.2 })
+            .seed(rng_seed)
+            .build()
+            .expect("valid session configuration");
+        let outcome = session
+            .run(Task::KCenter { k })
+            .expect("unbudgeted run cannot fail");
+        let c = outcome
+            .answer
+            .clustering()
+            .expect("KCenter returns a clustering")
+            .clone();
+        opt_queries += outcome.report.queries;
+        opt_out.push((c.centers, c.assignment));
+    }
+    let optimized_ms = ms(start);
+
+    WorkloadReport {
+        name: format!("session_kcenter_n{n}"),
+        n,
+        reps,
+        baseline_ms,
+        optimized_ms,
+        queries,
+        threads: 1,
+        optimization: "Session front door over a shared Engine (zero-overhead facade check)",
+        outputs_match: base_out == opt_out && queries == opt_queries,
+    }
+}
+
 fn write_json(path: &str, mode: &str, reports: &[WorkloadReport]) -> std::io::Result<()> {
     let mut s = String::new();
     s.push_str("{\n");
     s.push_str("  \"schema\": \"nco-perfsuite/v2\",\n");
-    s.push_str("  \"pr\": \"PR3\",\n");
+    s.push_str("  \"pr\": \"PR4\",\n");
     s.push_str(&format!("  \"mode\": \"{mode}\",\n"));
     s.push_str(&format!(
         "  \"parallel_feature\": {},\n",
@@ -538,7 +614,7 @@ fn check_baseline(path: &str, reports: &[WorkloadReport]) -> Result<(), String> 
 
 fn main() {
     let mut smoke = false;
-    let mut out_path = String::from("BENCH_PR3.json");
+    let mut out_path = String::from("BENCH_PR4.json");
     let mut baseline_path: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -572,6 +648,7 @@ fn main() {
             run_slink(128),
             run_slink_par(256),
             run_kcenter(256, 16, 2),
+            run_session_kcenter(256, 16, 2),
         ]
     } else {
         vec![
@@ -581,6 +658,7 @@ fn main() {
             run_slink(512),
             run_slink_par(1024),
             run_kcenter(1024, 32, 4),
+            run_session_kcenter(1024, 32, 4),
         ]
     };
 

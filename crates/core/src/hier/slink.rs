@@ -55,6 +55,13 @@ impl HierParams {
     }
 }
 
+/// Single linkage with the experimental search constants.
+impl Default for HierParams {
+    fn default() -> Self {
+        Self::experimental(Linkage::Single)
+    }
+}
+
 /// Compares neighbour clusters of a fixed cluster by their rep-pair
 /// distances.
 struct RepCmp<'a, O> {

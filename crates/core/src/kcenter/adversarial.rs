@@ -47,6 +47,9 @@ impl KCenterAdvParams {
     }
 
     /// Theorem 4.2 configuration: per-iteration failure `delta / k`.
+    ///
+    /// # Panics
+    /// Panics unless `0 < delta < 1`.
     pub fn with_confidence(k: usize, delta: f64) -> Self {
         assert!(delta > 0.0 && delta < 1.0);
         let t = ((2.0 * k as f64 / delta).log2().ceil() as usize).max(1);
@@ -59,6 +62,14 @@ impl KCenterAdvParams {
                 sample_size: None,
             },
         }
+    }
+}
+
+/// `k = 2` with the experimental constants — a runnable placeholder for
+/// API symmetry; real callers set `k` for their instance.
+impl Default for KCenterAdvParams {
+    fn default() -> Self {
+        Self::experimental(2)
     }
 }
 

@@ -67,9 +67,30 @@ impl KCenterProbParams {
         }
     }
 
+    /// Targets failure probability `delta` with the lean experimental
+    /// constants — the confidence constructor every `*Params` struct in
+    /// this crate shares. Rounds follow the `AdvParams` confidence rule;
+    /// the enormous proof-grade constants of Theorem 4.4 stay available
+    /// through public fields (`gamma = 450`, `threshold = 0.3`).
+    ///
+    /// # Panics
+    /// Panics unless `0 < delta < 1`.
+    pub fn with_confidence(k: usize, m: usize, delta: f64) -> Self {
+        Self {
+            delta,
+            farthest: AdvParams::with_confidence(delta),
+            ..Self::experimental(k, m)
+        }
+    }
+
     /// Proof-grade configuration of Theorem 4.4 (`gamma = 450`,
     /// `t = log2(n/delta)` rounds). Intended for analysis, not for runs at
     /// realistic sizes — the constants are enormous by design.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `with_confidence(k, m, delta)` (or set `gamma: 450.0` \
+                explicitly for the proof-grade constants)"
+    )]
     pub fn theory(k: usize, m: usize, n: usize, delta: f64) -> Self {
         assert!(delta > 0.0 && delta < 1.0);
         let t = ((n as f64 / delta).log2().ceil() as usize).max(1);
@@ -101,6 +122,15 @@ impl KCenterProbParams {
     fn core_size(&self, n: usize) -> usize {
         let expected_min_cluster_sample = (self.gamma * self.ln_term(n)).min(self.m as f64);
         ((8.0 * expected_min_cluster_sample / 9.0).ceil() as usize).max(1)
+    }
+}
+
+/// `k = 2`, `m = 1` with the experimental constants — a runnable
+/// placeholder for API symmetry; real callers set `k` and the cluster-size
+/// promise `m` for their instance.
+impl Default for KCenterProbParams {
+    fn default() -> Self {
+        Self::experimental(2, 1)
     }
 }
 

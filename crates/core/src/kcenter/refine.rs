@@ -37,6 +37,21 @@ pub struct RefineParams {
     pub search: AdvParams,
 }
 
+impl RefineParams {
+    /// Default rounds/candidates with the inner searches run at failure
+    /// probability `delta` — the confidence constructor every `*Params`
+    /// struct in this crate shares.
+    ///
+    /// # Panics
+    /// Panics unless `0 < delta < 1`.
+    pub fn with_confidence(delta: f64) -> Self {
+        Self {
+            search: AdvParams::with_confidence(delta),
+            ..Self::default()
+        }
+    }
+}
+
 impl Default for RefineParams {
     fn default() -> Self {
         Self {

@@ -43,7 +43,7 @@ const SCORE_ROUND_CHUNK: usize = 4096;
 /// form for engines that score repeatedly.
 ///
 /// The upper triangle is issued as batched comparator rounds
-/// ([`Comparator::le_round`]) of at most [`SCORE_ROUND_CHUNK`] pairs, in
+/// ([`Comparator::le_round`]) of at most `SCORE_ROUND_CHUNK` pairs, in
 /// the same `(i, j), i < j` order the scalar loops used, so oracle-backed
 /// comparators amortise per-query dispatch across rounds while answers
 /// (and query counts) stay bit-identical — and the round buffers stay

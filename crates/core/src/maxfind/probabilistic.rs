@@ -44,11 +44,31 @@ impl ProbParams {
         }
     }
 
+    /// Targets failure probability `delta` with the lean experimental
+    /// constants — the confidence constructor every `*Params` struct in
+    /// this crate shares. (The proof of Lemma 8.10 uses `sample_coeff =
+    /// 100`; all fields are public, so proof-grade runs can still set it.)
+    ///
+    /// # Panics
+    /// Panics unless `0 < delta < 1`.
+    pub fn with_confidence(delta: f64) -> Self {
+        assert!(delta > 0.0 && delta < 1.0, "delta must be in (0,1)");
+        Self {
+            delta,
+            ..Self::experimental()
+        }
+    }
+
     /// The proof-grade constants of Lemma 8.10 (`100 log(n/delta)` samples,
     /// keep threshold `50 log(n/delta)`).
     ///
     /// # Panics
     /// Panics unless `0 < delta < 1`.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `with_confidence(delta)` (or set `sample_coeff: 100.0` \
+                explicitly for the proof-grade constants)"
+    )]
     pub fn theory(delta: f64) -> Self {
         assert!(delta > 0.0 && delta < 1.0);
         Self {

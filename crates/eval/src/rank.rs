@@ -30,6 +30,16 @@ pub fn max_approx_ratio(values: &[f64], chosen: usize) -> f64 {
     best / values[chosen]
 }
 
+/// [`max_rank`] of every element of a returned top-k list, in list order —
+/// the quality readout for iterated-extraction selections (a perfect
+/// selection reads `[1, 2, ..., k]` up to ties).
+///
+/// # Panics
+/// Panics if any chosen index is out of range.
+pub fn max_ranks(values: &[f64], chosen: &[usize]) -> Vec<usize> {
+    chosen.iter().map(|&c| max_rank(values, c)).collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -56,5 +66,12 @@ mod tests {
         let values = [2.0, 8.0, 4.0];
         assert_eq!(max_approx_ratio(&values, 1), 1.0);
         assert_eq!(max_approx_ratio(&values, 0), 4.0);
+    }
+
+    #[test]
+    fn top_k_ranks_in_list_order() {
+        let values = [3.0, 9.0, 1.0, 7.0];
+        assert_eq!(max_ranks(&values, &[1, 3, 0]), vec![1, 2, 3]);
+        assert_eq!(max_ranks(&values, &[0, 1]), vec![3, 1]);
     }
 }

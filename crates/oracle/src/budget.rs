@@ -1,0 +1,390 @@
+//! Budget-enforcing query metering — the counting layer behind the
+//! facade's `Session` front door.
+//!
+//! [`Budgeted`] is [`crate::Counting`] with a hard cap: queries up to the
+//! cap are forwarded (and billed) exactly like `Counting` would, so a run
+//! that stays inside its budget is **bit-identical** — same answers, same
+//! tally — to the unbudgeted run. The first query past the cap trips the
+//! [`Budgeted::exceeded`] flag and, from then on, the inner oracle is
+//! never touched again: every over-budget query is answered with a fixed
+//! `true` without evaluating a distance or drawing a noise coin. Callers
+//! (the facade's `Session::run`) check the flag after the algorithm
+//! returns and surface `NcoError::BudgetExceeded` instead of the
+//! (meaningless) answer — no panic, no unwinding through oracle state.
+//!
+//! [`SharedBudgeted`] is the atomic twin for oracles queried through
+//! `&self` from parallel rounds (the counter-stream SLINK engine),
+//! mirroring the [`Counting`](crate::Counting) /
+//! [`SharedCounting`](crate::SharedCounting) split.
+
+use crate::persistent::{PersistentNoise, SharedComparisonOracle, SharedQuadrupletOracle};
+use crate::{ComparisonOracle, QuadrupletOracle};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// The fixed answer handed out once the budget is exhausted. Arbitrary by
+/// design: a run that exceeds its budget is discarded, so the only
+/// requirements are determinism and not touching the inner oracle.
+const OVER_BUDGET_ANSWER: bool = true;
+
+/// Wraps any oracle with a query meter and a hard query budget.
+///
+/// Within budget it is indistinguishable from [`crate::Counting`]; past
+/// the budget it stops consulting the inner oracle, answers a constant
+/// bit, and records that the cap was crossed.
+#[derive(Debug, Clone)]
+pub struct Budgeted<O> {
+    inner: O,
+    cap: u64,
+    count: u64,
+    rounds: u64,
+    exceeded: bool,
+}
+
+impl<O> Budgeted<O> {
+    /// Wraps an oracle; `cap = None` means unlimited (pure metering).
+    pub fn new(inner: O, cap: Option<u64>) -> Self {
+        Self {
+            inner,
+            cap: cap.unwrap_or(u64::MAX),
+            count: 0,
+            rounds: 0,
+            exceeded: false,
+        }
+    }
+
+    /// Queries actually issued to the inner oracle so far — equal to
+    /// [`crate::Counting::queries`] for any run that stayed in budget,
+    /// and capped at the budget otherwise.
+    pub fn queries(&self) -> u64 {
+        self.count.min(self.cap)
+    }
+
+    /// Batched rounds ([`ComparisonOracle::le_batch`] /
+    /// [`QuadrupletOracle::le_batch`] calls) issued so far.
+    pub fn rounds(&self) -> u64 {
+        self.rounds
+    }
+
+    /// `true` once any query has been refused for lack of budget.
+    pub fn exceeded(&self) -> bool {
+        self.exceeded
+    }
+
+    /// The configured cap (`u64::MAX` = unlimited).
+    pub fn cap(&self) -> u64 {
+        self.cap
+    }
+
+    /// Immutable access to the wrapped oracle.
+    pub fn inner(&self) -> &O {
+        &self.inner
+    }
+
+    /// Unwraps the oracle.
+    pub fn into_inner(self) -> O {
+        self.inner
+    }
+
+    /// Bills `k` queries; returns how many of them are within budget.
+    #[inline]
+    fn admit(&mut self, k: u64) -> u64 {
+        let within = self.cap.saturating_sub(self.count.min(self.cap)).min(k);
+        self.count = self.count.saturating_add(k);
+        if within < k {
+            self.exceeded = true;
+        }
+        within
+    }
+}
+
+impl<O: ComparisonOracle> ComparisonOracle for Budgeted<O> {
+    fn n(&self) -> usize {
+        self.inner.n()
+    }
+
+    #[inline]
+    fn le(&mut self, i: usize, j: usize) -> bool {
+        if self.admit(1) == 1 {
+            self.inner.le(i, j)
+        } else {
+            OVER_BUDGET_ANSWER
+        }
+    }
+
+    fn le_batch(&mut self, queries: &[(usize, usize)], out: &mut Vec<bool>) {
+        self.rounds += 1;
+        let within = self.admit(queries.len() as u64) as usize;
+        self.inner.le_batch(&queries[..within], out);
+        out.extend(std::iter::repeat_n(
+            OVER_BUDGET_ANSWER,
+            queries.len() - within,
+        ));
+    }
+}
+
+impl<O: QuadrupletOracle> QuadrupletOracle for Budgeted<O> {
+    fn n(&self) -> usize {
+        self.inner.n()
+    }
+
+    #[inline]
+    fn le(&mut self, a: usize, b: usize, c: usize, d: usize) -> bool {
+        if self.admit(1) == 1 {
+            self.inner.le(a, b, c, d)
+        } else {
+            OVER_BUDGET_ANSWER
+        }
+    }
+
+    fn le_batch(&mut self, queries: &[[usize; 4]], out: &mut Vec<bool>) {
+        self.rounds += 1;
+        let within = self.admit(queries.len() as u64) as usize;
+        self.inner.le_batch(&queries[..within], out);
+        out.extend(std::iter::repeat_n(
+            OVER_BUDGET_ANSWER,
+            queries.len() - within,
+        ));
+    }
+}
+
+/// Within budget, `Budgeted` is transparent, so it preserves the wrapped
+/// oracle's persistence — which is what lets a [`crate::MemoOracle`] sit
+/// *outside* the budget layer (hits are free; only real oracle queries
+/// bill). Past the cap, the constant refusal answer can disagree with an
+/// earlier in-budget answer to the same query, but every such run is
+/// already doomed to be discarded as `BudgetExceeded`, so no memoised
+/// post-cap bit ever reaches a caller.
+impl<O: PersistentNoise> PersistentNoise for Budgeted<O> {}
+
+/// Atomic twin of [`Budgeted`] for oracles queried through `&self` from
+/// parallel rounds. Billing is additive and order-independent, so a
+/// parallel run over the same query multiset reports exactly the serial
+/// tally; which specific over-budget query first trips the flag may vary
+/// across thread interleavings, but *whether* the cap is crossed — the
+/// only bit `Session::run` acts on — cannot.
+#[derive(Debug)]
+pub struct SharedBudgeted<O> {
+    inner: O,
+    cap: u64,
+    count: AtomicU64,
+    rounds: AtomicU64,
+    exceeded: AtomicBool,
+}
+
+impl<O> SharedBudgeted<O> {
+    /// Wraps an oracle; `cap = None` means unlimited.
+    pub fn new(inner: O, cap: Option<u64>) -> Self {
+        Self {
+            inner,
+            cap: cap.unwrap_or(u64::MAX),
+            count: AtomicU64::new(0),
+            rounds: AtomicU64::new(0),
+            exceeded: AtomicBool::new(false),
+        }
+    }
+
+    /// Queries actually issued to the inner oracle (serial and shared
+    /// paths combined), capped at the budget.
+    pub fn queries(&self) -> u64 {
+        self.count.load(Ordering::Relaxed).min(self.cap)
+    }
+
+    /// Batched rounds issued so far.
+    pub fn rounds(&self) -> u64 {
+        self.rounds.load(Ordering::Relaxed)
+    }
+
+    /// `true` once any query has been refused for lack of budget.
+    pub fn exceeded(&self) -> bool {
+        self.exceeded.load(Ordering::Relaxed)
+    }
+
+    /// Immutable access to the wrapped oracle.
+    pub fn inner(&self) -> &O {
+        &self.inner
+    }
+
+    /// Unwraps the oracle.
+    pub fn into_inner(self) -> O {
+        self.inner
+    }
+
+    /// Bills `k` queries; returns how many of them are within budget.
+    #[inline]
+    fn admit(&self, k: u64) -> u64 {
+        let prior = self.count.fetch_add(k, Ordering::Relaxed);
+        let within = self.cap.saturating_sub(prior.min(self.cap)).min(k);
+        if within < k {
+            self.exceeded.store(true, Ordering::Relaxed);
+        }
+        within
+    }
+}
+
+impl<O: ComparisonOracle> ComparisonOracle for SharedBudgeted<O> {
+    fn n(&self) -> usize {
+        self.inner.n()
+    }
+
+    #[inline]
+    fn le(&mut self, i: usize, j: usize) -> bool {
+        if self.admit(1) == 1 {
+            self.inner.le(i, j)
+        } else {
+            OVER_BUDGET_ANSWER
+        }
+    }
+
+    fn le_batch(&mut self, queries: &[(usize, usize)], out: &mut Vec<bool>) {
+        self.rounds.fetch_add(1, Ordering::Relaxed);
+        let within = self.admit(queries.len() as u64) as usize;
+        self.inner.le_batch(&queries[..within], out);
+        out.extend(std::iter::repeat_n(
+            OVER_BUDGET_ANSWER,
+            queries.len() - within,
+        ));
+    }
+}
+
+impl<O: QuadrupletOracle> QuadrupletOracle for SharedBudgeted<O> {
+    fn n(&self) -> usize {
+        self.inner.n()
+    }
+
+    #[inline]
+    fn le(&mut self, a: usize, b: usize, c: usize, d: usize) -> bool {
+        if self.admit(1) == 1 {
+            self.inner.le(a, b, c, d)
+        } else {
+            OVER_BUDGET_ANSWER
+        }
+    }
+
+    fn le_batch(&mut self, queries: &[[usize; 4]], out: &mut Vec<bool>) {
+        self.rounds.fetch_add(1, Ordering::Relaxed);
+        let within = self.admit(queries.len() as u64) as usize;
+        self.inner.le_batch(&queries[..within], out);
+        out.extend(std::iter::repeat_n(
+            OVER_BUDGET_ANSWER,
+            queries.len() - within,
+        ));
+    }
+}
+
+/// See the [`Budgeted`] persistence note: transparent within budget,
+/// doomed-run-only divergence past it.
+impl<O: PersistentNoise> PersistentNoise for SharedBudgeted<O> {}
+
+impl<O: SharedComparisonOracle> SharedComparisonOracle for SharedBudgeted<O> {
+    #[inline]
+    fn le_shared(&self, i: usize, j: usize) -> bool {
+        if self.admit(1) == 1 {
+            self.inner.le_shared(i, j)
+        } else {
+            OVER_BUDGET_ANSWER
+        }
+    }
+}
+
+impl<O: SharedQuadrupletOracle> SharedQuadrupletOracle for SharedBudgeted<O> {
+    #[inline]
+    fn le_shared(&self, a: usize, b: usize, c: usize, d: usize) -> bool {
+        if self.admit(1) == 1 {
+            self.inner.le_shared(a, b, c, d)
+        } else {
+            OVER_BUDGET_ANSWER
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::counting::Counting;
+    use crate::{TrueQuadOracle, TrueValueOracle};
+    use nco_metric::EuclideanMetric;
+
+    fn line(n: usize) -> EuclideanMetric {
+        EuclideanMetric::from_points(&(0..n).map(|i| vec![i as f64]).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn within_budget_matches_counting_bit_for_bit() {
+        let values: Vec<f64> = (0..20).map(|i| ((i * 13) % 21) as f64).collect();
+        let mut plain = Counting::new(TrueValueOracle::new(values.clone()));
+        let mut capped = Budgeted::new(TrueValueOracle::new(values), Some(1_000));
+        for i in 0..20 {
+            for j in 0..20 {
+                assert_eq!(capped.le(i, j), plain.le(i, j));
+            }
+        }
+        assert_eq!(capped.queries(), plain.queries());
+        assert!(!capped.exceeded());
+        assert_eq!(capped.rounds(), 0);
+    }
+
+    #[test]
+    fn cap_trips_exactly_at_the_boundary() {
+        let mut o = Budgeted::new(TrueValueOracle::new(vec![1.0, 2.0, 3.0]), Some(2));
+        assert!(o.le(0, 1));
+        assert!(o.le(1, 2));
+        assert!(
+            !o.exceeded(),
+            "cap not yet crossed after exactly cap queries"
+        );
+        assert_eq!(o.queries(), 2);
+        // The third query is refused with the fixed bit, inner untouched.
+        assert_eq!(o.le(2, 0), OVER_BUDGET_ANSWER);
+        assert!(o.exceeded());
+        assert_eq!(o.queries(), 2, "refused queries are not billed as issued");
+    }
+
+    #[test]
+    fn batch_is_split_at_the_cap() {
+        let m = line(4);
+        let mut o = Budgeted::new(TrueQuadOracle::new(m.clone()), Some(2));
+        let mut truth = TrueQuadOracle::new(m);
+        let queries = [[0, 1, 0, 2], [0, 2, 0, 3], [0, 3, 0, 1], [1, 2, 1, 3]];
+        let mut out = Vec::new();
+        o.le_batch(&queries, &mut out);
+        assert_eq!(out.len(), 4);
+        assert_eq!(out[0], truth.le(0, 1, 0, 2));
+        assert_eq!(out[1], truth.le(0, 2, 0, 3));
+        assert_eq!(out[2], OVER_BUDGET_ANSWER);
+        assert_eq!(out[3], OVER_BUDGET_ANSWER);
+        assert!(o.exceeded());
+        assert_eq!(o.queries(), 2);
+        assert_eq!(o.rounds(), 1);
+    }
+
+    #[test]
+    fn unlimited_never_trips() {
+        let mut o = Budgeted::new(TrueValueOracle::new(vec![1.0, 2.0]), None);
+        for _ in 0..10_000 {
+            let _ = o.le(0, 1);
+        }
+        assert!(!o.exceeded());
+        assert_eq!(o.queries(), 10_000);
+        assert_eq!(o.cap(), u64::MAX);
+        assert_eq!(o.inner().n(), 2);
+        assert_eq!(o.into_inner().n(), 2);
+    }
+
+    #[test]
+    fn shared_budgeted_mirrors_serial_semantics() {
+        let m = line(5);
+        let mut o = SharedBudgeted::new(TrueQuadOracle::new(m.clone()), Some(3));
+        let mut truth = TrueQuadOracle::new(m);
+        assert_eq!(o.le(0, 1, 0, 2), truth.le(0, 1, 0, 2));
+        assert_eq!(o.le_shared(0, 2, 0, 3), truth.le(0, 2, 0, 3));
+        let mut out = Vec::new();
+        o.le_batch(&[[0, 3, 0, 4], [0, 4, 0, 1]], &mut out);
+        assert_eq!(out[0], truth.le(0, 3, 0, 4));
+        assert_eq!(out[1], OVER_BUDGET_ANSWER);
+        assert!(o.exceeded());
+        assert_eq!(o.queries(), 3);
+        assert_eq!(o.rounds(), 1);
+        assert_eq!(o.inner().n(), 5);
+        assert_eq!(o.into_inner().n(), 5);
+    }
+}

@@ -14,8 +14,8 @@
 //! classifier inherits the crowd's confusion behaviour, only noisier —
 //! see [`AccuracyProfile::degraded`]).
 
-use crate::persistent::{PersistentNoise, SharedQuadrupletOracle};
-use crate::QuadrupletOracle;
+use crate::persistent::{PersistentNoise, SharedComparisonOracle, SharedQuadrupletOracle};
+use crate::{ComparisonOracle, QuadrupletOracle};
 use nco_metric::hashing;
 use nco_metric::Metric;
 
@@ -222,6 +222,95 @@ impl<M: Metric> CrowdQuadOracle<M> {
     }
 }
 
+/// A comparison oracle answered by the same simulated crowd: worker
+/// accuracy is a function of the ratio between the two compared hidden
+/// *values*, majority over `workers` persistent annotators.
+///
+/// The paper's crowd experiments are all quadruplet-based; this value
+/// twin exists so the facade's `Session` can run maximum / top-k tasks
+/// under the crowd noise model with the exact same worker simulation.
+#[derive(Debug, Clone)]
+pub struct CrowdValueOracle {
+    values: Vec<f64>,
+    profile: AccuracyProfile,
+    workers: u32,
+    seed: u64,
+}
+
+impl CrowdValueOracle {
+    /// Builds the oracle; the paper's user study uses `workers = 3`.
+    ///
+    /// # Panics
+    /// Panics if `workers` is even or zero, or any value is negative or
+    /// non-finite (the accuracy curve needs magnitude ratios).
+    pub fn new(values: Vec<f64>, profile: AccuracyProfile, workers: u32, seed: u64) -> Self {
+        assert!(
+            workers % 2 == 1,
+            "need an odd number of workers, got {workers}"
+        );
+        assert!(
+            values.iter().all(|v| v.is_finite() && *v >= 0.0),
+            "values must be non-negative and finite for the accuracy-ratio curve"
+        );
+        Self {
+            values,
+            profile,
+            workers,
+            seed,
+        }
+    }
+
+    /// The accuracy profile in use.
+    pub fn profile(&self) -> &AccuracyProfile {
+        &self.profile
+    }
+
+    /// Ground-truth values (evaluation only).
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    fn answer(&self, i: usize, j: usize) -> bool {
+        if i == j {
+            return true;
+        }
+        let swapped = i > j;
+        let (a, b) = if swapped { (j, i) } else { (i, j) };
+        let (va, vb) = (self.values[a], self.values[b]);
+        let truth = va <= vb;
+        let (lo, hi) = if va <= vb { (va, vb) } else { (vb, va) };
+        let rho = if lo <= 0.0 { f64::INFINITY } else { hi / lo };
+        let acc = self.profile.accuracy(rho);
+        let mut correct_votes = 0u32;
+        for w in 0..self.workers {
+            let correct = hashing::bernoulli(self.seed, &[w as u64, a as u64, b as u64], acc);
+            correct_votes += correct as u32;
+        }
+        let majority_correct = correct_votes * 2 > self.workers;
+        (truth == majority_correct) ^ swapped
+    }
+}
+
+impl ComparisonOracle for CrowdValueOracle {
+    fn n(&self) -> usize {
+        self.values.len()
+    }
+
+    fn le(&mut self, i: usize, j: usize) -> bool {
+        self.answer(i, j)
+    }
+}
+
+impl SharedComparisonOracle for CrowdValueOracle {
+    fn le_shared(&self, i: usize, j: usize) -> bool {
+        self.answer(i, j)
+    }
+}
+
+/// Workers are seeded hashes of the canonical query — a pure function —
+/// so the majority answer is persistent.
+impl PersistentNoise for CrowdValueOracle {}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -330,5 +419,49 @@ mod tests {
     #[should_panic(expected = "odd number of workers")]
     fn rejects_even_worker_count() {
         let _ = CrowdQuadOracle::new(line(3), AccuracyProfile::amazon_like(), 2, 0);
+    }
+
+    #[test]
+    fn value_crowd_is_persistent_complementary_and_ratio_accurate() {
+        let values: Vec<f64> = (1..=40).map(|i| (i * i) as f64).collect();
+        let mut o = CrowdValueOracle::new(values.clone(), AccuracyProfile::caltech_like(), 3, 9);
+        assert_eq!(o.n(), 40);
+        let a = o.le(3, 17);
+        for _ in 0..5 {
+            assert_eq!(o.le(3, 17), a);
+            assert_eq!(o.le(17, 3), !a);
+            assert_eq!(o.le_shared(3, 17), a);
+        }
+        assert!(o.le(5, 5), "self-comparison is a truthful tie");
+        // Past the accuracy cliff (ratio 1.45), caltech workers are near
+        // perfect: well-separated values must be answered correctly.
+        for i in 0..20usize {
+            let j = i + 15;
+            let rho = values[j] / values[i];
+            if rho > 2.0 {
+                assert!(o.le(i, j), "({i},{j}) rho = {rho}");
+            }
+        }
+    }
+
+    #[test]
+    fn value_crowd_flat_profile_matches_accuracy() {
+        let values: Vec<f64> = (1..=80).map(|i| i as f64).collect();
+        let mut o = CrowdValueOracle::new(
+            values.clone(),
+            AccuracyProfile::Flat { accuracy: 0.8 },
+            1,
+            4,
+        );
+        let mut ok = 0usize;
+        let mut total = 0usize;
+        for i in 0..80usize {
+            for j in (i + 1)..80usize {
+                total += 1;
+                ok += (o.le(i, j) == (values[i] <= values[j])) as usize;
+            }
+        }
+        let acc = ok as f64 / total as f64;
+        assert!((acc - 0.8).abs() < 0.03, "observed accuracy {acc}");
     }
 }

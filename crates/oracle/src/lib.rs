@@ -29,11 +29,14 @@
 //! majority over three persistent workers answers each query. It also stands
 //! in for the actively-trained classifier the paper uses at scale.
 //! [`cluster_query`] provides the noisy *optimal cluster* ("same cluster?")
-//! pairwise oracle used by the `Oq` baseline, and [`counting`] wraps any
-//! oracle to meter query complexity.
+//! pairwise oracle used by the `Oq` baseline, [`counting`] wraps any
+//! oracle to meter query complexity, and [`budget`] adds a hard query
+//! budget on top of the meter (the enforcement layer behind the facade's
+//! `Session` front door).
 
 pub mod additive;
 pub mod adversarial;
+pub mod budget;
 pub mod cluster_query;
 pub mod counting;
 pub mod crowd;
@@ -43,6 +46,7 @@ pub mod probabilistic;
 pub mod quadruplet;
 pub mod value;
 
+pub use budget::{Budgeted, SharedBudgeted};
 pub use counting::{Counting, SharedCounting};
 pub use memo::MemoOracle;
 pub use persistent::{PersistentNoise, SharedComparisonOracle, SharedQuadrupletOracle};

@@ -5,7 +5,7 @@
 //! speed: the algorithms see the identical answer sequence while repeated
 //! queries skip the (hash / distance-evaluation / crowd-simulation) work.
 //! [`MemoOracle`] is that cache; its constructor requires the
-//! [`PersistentNoise`](crate::persistent::PersistentNoise) marker so a
+//! [`PersistentNoise`] marker so a
 //! non-persistent oracle cannot be wrapped by accident.
 //!
 //! Storage is sized to the query space:

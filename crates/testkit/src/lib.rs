@@ -14,7 +14,7 @@
 //! * [`scenario`] — seeded builders for value instances ([`ValueScenario`])
 //!   and metric instances ([`MetricScenario`]) with one-line constructors
 //!   for every noise model (exact / adversarial / probabilistic / crowd);
-//! * [`counting`] — [`CountingCmp`], a [`Comparator`]-level call counter
+//! * [`counting`] — [`CountingCmp`], a [`nco_core::Comparator`]-level call counter
 //!   (complementing `nco_oracle::Counting`, re-exported here), so tests can
 //!   budget query complexity at either layer;
 //! * [`check`] — `assert_guarantee`-style helpers that panic with the

@@ -1,43 +1,66 @@
 //! k-center over the `cities` analogue under adversarial noise — a
-//! miniature of Figure 6(a): objective vs. k for the robust algorithm, the
-//! `Tour2` / `Samp` baselines and the true-distance greedy (`TDist`).
+//! miniature of Figure 6(a), driven through the `Session` front door: one
+//! shared `Engine` (with its distance cache) serves every clustering
+//! request, and each run reports its exact query cost.
+//!
+//! The `Tour2` / `Samp` baselines and the true-distance greedy (`TDist`)
+//! stay on the low-level APIs — they are evaluation references, not part
+//! of the serving surface.
 //!
 //! Run with `cargo run --release --example kcenter_cities`.
 
 use noisy_oracle::core::kcenter::baselines::{kcenter_samp, kcenter_tour2};
-use noisy_oracle::core::kcenter::{gonzalez, kcenter_adv, KCenterAdvParams};
+use noisy_oracle::core::kcenter::gonzalez;
 use noisy_oracle::data::cities;
 use noisy_oracle::eval::Table;
 use noisy_oracle::metric::stats::kcenter_objective;
 use noisy_oracle::oracle::adversarial::{AdversarialQuadOracle, InvertAdversary};
+use noisy_oracle::{Engine, NcoError, Noise, Session, Task};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-fn main() {
+fn main() -> Result<(), NcoError> {
     let n = 800usize;
     let mu = 1.0;
     let dataset = cities(n, 7);
     let metric = &dataset.metric;
-    println!("cities analogue: n = {n}, mu = {mu}, adversarial oracle (worst-case liar)\n");
+    println!("cities analogue: n = {n}, mu = {mu}, adversarial oracle (worst-case liar)");
+    println!("one shared Engine + DistCache across all Session runs\n");
+
+    // One immutable engine for the whole corpus: every session below
+    // shares its lock-free distance cache, so each distinct pair distance
+    // is computed at most once across all values of k.
+    let engine = Engine::from_dataset(&dataset, true);
 
     let mut table = Table::new(
         "k-center objective (max radius; lower is better)",
-        &["k", "TDist", "kC (ours)", "Tour2", "Samp"],
+        &[
+            "k",
+            "TDist",
+            "kC (Session)",
+            "Tour2",
+            "Samp",
+            "queries (kC)",
+        ],
     );
 
     for k in [5usize, 10, 20, 40] {
         let tdist = gonzalez(metric, k, Some(0));
         let obj_t = kcenter_objective(metric, &tdist.centers, &tdist.assignment);
 
-        let mut rng = StdRng::seed_from_u64(100 + k as u64);
-        let mut oracle = AdversarialQuadOracle::new(metric, mu, InvertAdversary);
-        let params = KCenterAdvParams {
-            first_center: Some(0),
-            ..KCenterAdvParams::experimental(k)
-        };
-        let ours = kcenter_adv(&params, &mut oracle, &mut rng);
+        // The robust algorithm, through the front door.
+        let session = Session::builder()
+            .engine(engine.clone())
+            .noise(Noise::Adversarial { mu })
+            .first_center(0)
+            .seed(100 + k as u64)
+            .build()?;
+        let outcome = session.run(Task::KCenter { k })?;
+        let ours = outcome.answer.clustering().expect("KCenter returns one");
         let obj_o = kcenter_objective(metric, &ours.centers, &ours.assignment);
 
+        // Baselines, hand-wired (low-level API).
+        let mut rng = StdRng::seed_from_u64(100 + k as u64);
         let mut oracle = AdversarialQuadOracle::new(metric, mu, InvertAdversary);
         let t2 = kcenter_tour2(k, Some(0), &mut oracle, &mut rng);
         let obj_2 = kcenter_objective(metric, &t2.centers, &t2.assignment);
@@ -52,8 +75,14 @@ fn main() {
             format!("{obj_o:.1}"),
             format!("{obj_2:.1}"),
             format!("{obj_s:.1}"),
+            outcome.report.queries.to_string(),
         ]);
     }
     println!("{table}");
-    println!("expected shape (paper Fig. 6a): kC tracks TDist; baselines drift above.");
+    println!(
+        "expected shape (paper Fig. 6a): kC tracks TDist; baselines drift above.\n\
+         distance cache after all runs: {} distinct pairs materialised",
+        engine.cache_entries().unwrap_or(0)
+    );
+    Ok(())
 }

@@ -1,6 +1,11 @@
 //! Robustness sweep: how farthest-point quality degrades with the noise
 //! level, under both noise models — a miniature of Figures 8 and 9.
 //!
+//! **Low-level API example**: this one deliberately hand-wires oracles,
+//! comparators, params and rngs instead of going through the `Session`
+//! front door (see `quickstart.rs` / `kcenter_cities.rs` for that), so
+//! the full pipeline stays visible for callers who need to customise it.
+//!
 //! Run with `cargo run --release --example noise_robustness`.
 
 use noisy_oracle::core::maxfind::AdvParams;

@@ -1,147 +1,103 @@
-//! Quickstart: find the maximum of hidden values through a noisy
-//! comparison oracle, and watch the naive strategies fail where the
-//! paper's algorithms hold their guarantee.
+//! Quickstart — the `Session` front door.
+//!
+//! One builder captures the whole pipeline (data, noise model,
+//! confidence, seed, budget); every task then runs through
+//! `Session::run`, returning a typed answer plus exact cost accounting.
+//! The same hidden values are queried under each of the four noise
+//! models, and a hard query budget is shown failing typed — no panic,
+//! no overspend.
 //!
 //! Run with `cargo run --release --example quickstart`.
 
-use noisy_oracle::core::comparator::ValueCmp;
-use noisy_oracle::core::maxfind::{
-    count_max, max_adv, max_prob, tournament, AdvParams, ProbParams,
-};
-use noisy_oracle::eval::rank::max_approx_ratio;
+use noisy_oracle::eval::rank::{max_approx_ratio, max_rank, max_ranks};
 use noisy_oracle::eval::Table;
-use noisy_oracle::oracle::adversarial::{AdversarialValueOracle, InvertAdversary};
-use noisy_oracle::oracle::counting::Counting;
-use noisy_oracle::oracle::probabilistic::ProbValueOracle;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use noisy_oracle::oracle::crowd::AccuracyProfile;
+use noisy_oracle::{NcoError, Noise, Session, Task};
 
-fn main() {
+fn main() -> Result<(), NcoError> {
     let n = 1024usize;
-    let mu = 0.5;
     // Hidden values: a geometric-ish ladder with lots of in-band confusion.
     let values: Vec<f64> = (0..n)
         .map(|i| 1.5f64.powi((i % 64) as i32 / 4) * (1.0 + i as f64 * 1e-4))
         .collect();
-    let items: Vec<usize> = (0..n).collect();
-    let mut rng = StdRng::seed_from_u64(42);
 
-    println!("n = {n} hidden values, adversarial noise band mu = {mu}\n");
+    println!("n = {n} hidden values; one Session per noise model\n");
     let mut table = Table::new(
-        "finding the maximum under adversarial noise (worst-case liar)",
-        &["algorithm", "approx ratio", "queries", "guarantee"],
+        "Task::Max through Session::run, per noise model",
+        &[
+            "noise model",
+            "approx ratio",
+            "true rank",
+            "queries",
+            "rounds",
+        ],
     );
 
-    // Naive running maximum: can lose a (1+mu) factor at every step.
-    {
-        let mut oracle = Counting::new(AdversarialValueOracle::new(
-            values.clone(),
-            mu,
-            InvertAdversary,
-        ));
-        let mut best = items[0];
-        for &v in &items[1..] {
-            use noisy_oracle::oracle::ComparisonOracle;
-            if oracle.le(best, v) {
-                best = v;
-            }
+    let models: Vec<(&str, Noise)> = vec![
+        ("exact", Noise::Exact),
+        ("adversarial mu=0.5", Noise::Adversarial { mu: 0.5 }),
+        (
+            "probabilistic p=0.3",
+            Noise::Probabilistic { p: 0.3, seed: 7 },
+        ),
+        (
+            "crowd (caltech, 3 workers)",
+            Noise::Crowd {
+                profile: AccuracyProfile::caltech_like(),
+                workers: 3,
+                seed: 7,
+            },
+        ),
+    ];
+
+    for (name, noise) in models {
+        let session = Session::builder()
+            .values(values.clone())
+            .noise(noise)
+            .confidence(0.1) // theorem-grade parameters at delta = 0.1
+            .seed(42)
+            .build()?;
+        let outcome = session.run(Task::Max)?;
+        let best = outcome.answer.item().expect("Max returns an item");
+        table.row(&[
+            name.into(),
+            format!("{:.3}", max_approx_ratio(&values, best)),
+            format!("{} / {n}", max_rank(&values, best)),
+            outcome.report.queries.to_string(),
+            outcome.report.rounds.to_string(),
+        ]);
+    }
+    println!("{table}");
+    println!("(Thm 3.6: adversarial within (1+mu)^3 w.h.p.; Thm 3.7: probabilistic");
+    println!(" rank is O(log^2(n/delta)) w.h.p. — repetition cannot help there.)\n");
+
+    // Top-k through the same front door.
+    let session = Session::builder()
+        .values(values.clone())
+        .noise(Noise::Probabilistic { p: 0.2, seed: 3 })
+        .seed(1)
+        .build()?;
+    let top = session.run(Task::TopK { k: 5 })?;
+    println!(
+        "Task::TopK {{ k: 5 }} under p = 0.2 -> true ranks {:?} in {} queries\n",
+        max_ranks(&values, top.answer.items().unwrap()),
+        top.report.queries,
+    );
+
+    // A hard query budget: the run fails typed, and not a single oracle
+    // query past the cap is ever issued.
+    let capped = Session::builder()
+        .values(values)
+        .noise(Noise::Adversarial { mu: 0.5 })
+        .budget(1_000)
+        .seed(42)
+        .build()?;
+    match capped.run(Task::Max) {
+        Err(NcoError::BudgetExceeded { budget }) => {
+            println!("budget demo: Task::Max needs more than the {budget}-query budget");
+            println!("            -> Err(NcoError::BudgetExceeded), no panic, no overspend");
         }
-        table.row(&[
-            "running max".into(),
-            format!("{:.3}", max_approx_ratio(&values, best)),
-            oracle.queries().to_string(),
-            "none — Θ((1+mu)^n) worst case".into(),
-        ]);
+        other => println!("budget demo: unexpectedly {other:?}"),
     }
-
-    // Count-Max (Algorithm 1): quadratic but (1+mu)^2-safe.
-    {
-        let mut oracle = Counting::new(AdversarialValueOracle::new(
-            values.clone(),
-            mu,
-            InvertAdversary,
-        ));
-        let best = count_max(&items, &mut ValueCmp::new(&mut oracle)).unwrap();
-        table.row(&[
-            "Count-Max (Alg 1)".into(),
-            format!("{:.3}", max_approx_ratio(&values, best)),
-            oracle.queries().to_string(),
-            format!("(1+mu)^2 = {:.2}", (1.0 + mu) * (1.0 + mu)),
-        ]);
-    }
-
-    // Binary tournament (the Tour2 baseline).
-    {
-        let mut oracle = Counting::new(AdversarialValueOracle::new(
-            values.clone(),
-            mu,
-            InvertAdversary,
-        ));
-        let best = tournament(&items, 2, &mut ValueCmp::new(&mut oracle), &mut rng).unwrap();
-        table.row(&[
-            "Tournament λ=2".into(),
-            format!("{:.3}", max_approx_ratio(&values, best)),
-            oracle.queries().to_string(),
-            "(1+mu)^log n (weak)".into(),
-        ]);
-    }
-
-    // Max-Adv (Algorithm 4): the paper's headline result.
-    {
-        let mut oracle = Counting::new(AdversarialValueOracle::new(
-            values.clone(),
-            mu,
-            InvertAdversary,
-        ));
-        let best = max_adv(
-            &items,
-            &AdvParams::with_confidence(0.1),
-            &mut ValueCmp::new(&mut oracle),
-            &mut rng,
-        )
-        .unwrap();
-        table.row(&[
-            "Max-Adv (Alg 4)".into(),
-            format!("{:.3}", max_approx_ratio(&values, best)),
-            oracle.queries().to_string(),
-            format!("(1+mu)^3 = {:.2} w.p. 0.9", (1.0 + mu).powi(3)),
-        ]);
-    }
-    println!("{table}");
-
-    // Probabilistic persistent noise: repetition cannot help, but
-    // Count-Max-Prob still lands in the top ranks.
-    let p = 0.3;
-    let mut table = Table::new(
-        format!("finding the maximum under persistent noise (p = {p})"),
-        &["algorithm", "true rank of result", "queries"],
-    );
-    {
-        let mut oracle = Counting::new(ProbValueOracle::new(values.clone(), p, 7));
-        let best = max_prob(
-            &items,
-            &ProbParams::experimental(),
-            &mut ValueCmp::new(&mut oracle),
-            &mut rng,
-        )
-        .unwrap();
-        let rank = noisy_oracle::eval::rank::max_rank(&values, best);
-        table.row(&[
-            "Count-Max-Prob (Alg 12)".into(),
-            format!("{rank} / {n}"),
-            oracle.queries().to_string(),
-        ]);
-    }
-    {
-        let mut oracle = Counting::new(ProbValueOracle::new(values.clone(), p, 7));
-        let best = tournament(&items, 2, &mut ValueCmp::new(&mut oracle), &mut rng).unwrap();
-        let rank = noisy_oracle::eval::rank::max_rank(&values, best);
-        table.row(&[
-            "Tournament λ=2".into(),
-            format!("{rank} / {n}"),
-            oracle.queries().to_string(),
-        ]);
-    }
-    println!("{table}");
-    println!("(Theorem 3.7: Count-Max-Prob's rank is O(log^2(n/delta)) w.h.p.)");
+    Ok(())
 }

@@ -1,0 +1,86 @@
+//! The unified error type of the `Session` front door.
+//!
+//! Every way a [`crate::Session`] run can fail — a blown query budget, a
+//! parameter the paper's algorithms cannot accept, an input too small to
+//! ask anything about — surfaces as one [`NcoError`] variant instead of
+//! the bare `Option`s and panics of the low-level APIs.
+
+use std::fmt;
+
+/// Unified error type for the [`crate::Session`] engine API.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NcoError {
+    /// The run needed more oracle queries than the configured hard budget.
+    ///
+    /// Enforcement is deterministic: queries are billed in algorithm
+    /// order, the first query past the cap trips the flag, and no query
+    /// beyond the cap ever reaches the underlying oracle (no distance is
+    /// evaluated, no noise coin drawn).
+    BudgetExceeded {
+        /// The configured budget that was exhausted.
+        budget: u64,
+    },
+    /// A configuration or task parameter is outside its valid range, or
+    /// the task does not fit the session's data source (e.g. `Task::Max`
+    /// on a metric-only session).
+    InvalidParams {
+        /// Human-readable explanation of the rejected parameter.
+        reason: String,
+    },
+    /// The data source has too few records for the requested task (e.g.
+    /// a maximum over zero values, a hierarchy over one record).
+    EmptyInput {
+        /// Human-readable explanation of what was missing.
+        reason: String,
+    },
+}
+
+impl NcoError {
+    pub(crate) fn invalid(reason: impl Into<String>) -> Self {
+        Self::InvalidParams {
+            reason: reason.into(),
+        }
+    }
+
+    pub(crate) fn empty(reason: impl Into<String>) -> Self {
+        Self::EmptyInput {
+            reason: reason.into(),
+        }
+    }
+}
+
+impl fmt::Display for NcoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::BudgetExceeded { budget } => {
+                write!(f, "query budget of {budget} oracle queries exceeded")
+            }
+            Self::InvalidParams { reason } => write!(f, "invalid parameters: {reason}"),
+            Self::EmptyInput { reason } => write!(f, "empty input: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for NcoError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = NcoError::BudgetExceeded { budget: 42 };
+        assert!(e.to_string().contains("42"));
+        let e = NcoError::invalid("k = 0");
+        assert!(e.to_string().contains("k = 0"));
+        let e = NcoError::empty("no records");
+        assert!(e.to_string().contains("no records"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        let e: Box<dyn std::error::Error> = Box::new(NcoError::BudgetExceeded { budget: 1 });
+        assert!(e.source().is_none());
+    }
+}

@@ -1,0 +1,79 @@
+//! Run accounting: what a `Session::run` cost.
+//!
+//! The paper's central cost measure is *query complexity* — each oracle
+//! call simulates a crowd worker or classifier invocation — so every
+//! successful run returns its exact tally alongside the answer, plus the
+//! batching/caching/wall-clock context needed to reason about serving
+//! cost.
+
+use std::time::Duration;
+
+use crate::task::Answer;
+
+/// Cost accounting for one [`crate::Session::run`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct RunReport {
+    /// Oracle queries issued — exactly the tally a
+    /// [`nco_oracle::Counting`] wrapper around the same hand-wired call
+    /// would report.
+    pub queries: u64,
+    /// Batched oracle rounds (`le_batch` calls) that reached the budget
+    /// layer; the remaining queries went through the scalar path. With
+    /// memoisation enabled this reads 0: the answer memo intercepts
+    /// per query, decomposing rounds into scalar lookups before they
+    /// reach the meter.
+    pub rounds: u64,
+    /// Answer-cache hits when memoisation was enabled (`None` otherwise):
+    /// repeated queries served from the exact memo without touching the
+    /// oracle. These do **not** count into `queries`.
+    pub memo_hits: Option<u64>,
+    /// Distinct distances materialised in the engine's shared `DistCache`
+    /// by the end of this run (`None` when distance caching is off).
+    /// Cumulative across runs sharing the engine, by design: the cache is
+    /// the engine-level resource concurrent sessions amortise into.
+    pub cache_entries: Option<u64>,
+    /// Wall-clock time of the run.
+    pub wall: Duration,
+    /// The configured query budget, if any.
+    pub budget: Option<u64>,
+}
+
+/// A successful run: the typed answer plus its cost accounting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct Outcome {
+    /// The task's answer.
+    pub answer: Answer,
+    /// What the answer cost.
+    pub report: RunReport,
+}
+
+impl Outcome {
+    pub(crate) fn new(answer: Answer, report: RunReport) -> Self {
+        Self { answer, report }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outcome_carries_answer_and_report() {
+        let o = Outcome::new(
+            Answer::Item(3),
+            RunReport {
+                queries: 10,
+                rounds: 2,
+                memo_hits: None,
+                cache_entries: Some(5),
+                wall: Duration::from_millis(1),
+                budget: Some(100),
+            },
+        );
+        assert_eq!(o.answer.item(), Some(3));
+        assert_eq!(o.report.queries, 10);
+        assert_eq!(o.report.budget, Some(100));
+    }
+}

@@ -1,0 +1,1185 @@
+//! The `Session` front door: one typed, budgeted entry point for every
+//! algorithm in the reproduction.
+//!
+//! The paper's pipelines all share one shape — *pick a noise model, wire
+//! an oracle, wire a comparator, pick theorem parameters, pass an rng* —
+//! and before this module every caller re-built that chain by hand.
+//! [`SessionBuilder`] captures the choices once; [`Session::run`] executes
+//! any [`Task`] through the matching theorem-backed engine and returns a
+//! [`Outcome`] (answer + [`RunReport`] cost accounting) or a typed
+//! [`NcoError`].
+//!
+//! ## Architecture
+//!
+//! ```text
+//! SessionBuilder ──build()──▶ Session ──run(Task)──▶ Result<Outcome, NcoError>
+//!        │                      │
+//!        │ owns/shares          │ per run: oracle chain
+//!        ▼                      ▼
+//!     Arc<Engine>     Budgeted(MemoOracle?(noise oracle(&engine data)))
+//!  (values | metric        │
+//!   [+ DistCache])         └─ nco-core engines (Max-Adv, Count-Max-Prob,
+//!                             Alg. 6/7/11, core-routed searches)
+//! ```
+//!
+//! The [`Engine`] is immutable and `Sync`: many sessions — across threads
+//! — can share one engine over the same dataset, amortising its
+//! `DistCache` exactly like the batched query plane does in the perf
+//! suite. Oracles are built per run from shared references, so `run`
+//! takes `&self` and a `Session` can be cloned freely.
+//!
+//! ## Determinism
+//!
+//! A run is a pure function of (engine data, configuration, task): the
+//! rng is seeded from [`SessionBuilder::seed`] at every `run`, noise is
+//! persistent (seeded in [`Noise`]), and the wiring is bit-identical to
+//! the hand-assembled low-level calls — pinned, answer and query count,
+//! in `tests/session_equivalence.rs`.
+//!
+//! ## Budgets
+//!
+//! [`SessionBuilder::budget`] sets a hard cap on oracle queries. Billing
+//! is deterministic and in algorithm order; the first query past the cap
+//! stops all further access to the underlying oracle (no distance
+//! evaluation, no noise coin) and the run returns
+//! [`NcoError::BudgetExceeded`] instead of an answer. A run that stays
+//! within budget is bit-identical to the same run without a budget.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use nco_core::comparator::ValueCmp;
+use nco_core::hier::{hier_oracle, hier_oracle_par, HierParams};
+use nco_core::kcenter::{kcenter_adv, kcenter_prob, KCenterAdvParams, KCenterProbParams};
+use nco_core::maxfind::{max_adv, max_prob, top_k_adv, top_k_prob, AdvParams, ProbParams};
+use nco_core::neighbor::{farthest_adv, farthest_prob, nearest_adv, nearest_prob};
+use nco_data::{AnyMetric, Dataset};
+use nco_metric::{CachedMetric, DistCache, EuclideanMetric, Metric};
+use nco_oracle::adversarial::{AdversarialQuadOracle, AdversarialValueOracle, InvertAdversary};
+use nco_oracle::budget::{Budgeted, SharedBudgeted};
+use nco_oracle::crowd::{AccuracyProfile, CrowdQuadOracle, CrowdValueOracle};
+use nco_oracle::persistent::{PersistentNoise, SharedQuadrupletOracle};
+use nco_oracle::probabilistic::{ProbQuadOracle, ProbValueOracle};
+use nco_oracle::{ComparisonOracle, MemoOracle, QuadrupletOracle, TrueQuadOracle, TrueValueOracle};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::error::NcoError;
+use crate::report::{Outcome, RunReport};
+use crate::task::{Answer, Task};
+
+/// The noise model a session's oracle answers under (Section 2.2 of the
+/// paper, plus the Section 6.2 crowd simulation).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[non_exhaustive]
+pub enum Noise {
+    /// Always-correct answers — the `mu = 0` / `p = 0` degenerate case.
+    #[default]
+    Exact,
+    /// Adversarial multiplicative-band noise answered by the worst-case
+    /// liar (`InvertAdversary`) — the model every approximation bound
+    /// must survive.
+    Adversarial {
+        /// Band parameter `mu >= 0`: queries within a `(1 + mu)` ratio
+        /// may be answered arbitrarily.
+        mu: f64,
+    },
+    /// Persistent probabilistic noise: each distinct query is wrong with
+    /// probability `p`, and repeating it returns the same answer.
+    Probabilistic {
+        /// Per-query error probability, `0 <= p < 0.5`.
+        p: f64,
+        /// Seed of the persistent error pattern.
+        seed: u64,
+    },
+    /// Simulated crowd workers: per-query accuracy follows an
+    /// [`AccuracyProfile`] over the ratio of the compared quantities,
+    /// decided by majority over `workers` persistent annotators.
+    Crowd {
+        /// Accuracy-vs-ratio curve (Fig. 4 of the paper).
+        profile: AccuracyProfile,
+        /// Odd number of annotators per query (3 in the user study;
+        /// 1 models the trained classifier).
+        workers: u32,
+        /// Seed of the simulated worker pool.
+        seed: u64,
+    },
+}
+
+impl Noise {
+    /// `true` for the models routed through the probabilistic engines
+    /// (Count-Max-Prob, core-routed neighbour searches, Algorithm 7):
+    /// persistent statistical errors, where repetition cannot boost
+    /// confidence. Exact and adversarial noise route through the
+    /// adversarial engines (Max-Adv, Algorithm 6) instead.
+    pub fn is_statistical(&self) -> bool {
+        matches!(self, Noise::Probabilistic { .. } | Noise::Crowd { .. })
+    }
+}
+
+/// What a session's distances are computed against.
+#[derive(Debug)]
+enum MetricStore {
+    /// Every distance recomputed on demand.
+    Plain(AnyMetric),
+    /// Lazy distances memoised in a lock-free [`DistCache`], shared by
+    /// every session (and thread) on the engine.
+    Cached(CachedMetric<AnyMetric>),
+}
+
+impl MetricStore {
+    fn len(&self) -> usize {
+        match self {
+            Self::Plain(m) => m.len(),
+            Self::Cached(c) => c.len(),
+        }
+    }
+}
+
+/// The immutable data plane shared by sessions: the hidden ground truth
+/// (raw values or a metric space) plus the engine-level distance cache.
+///
+/// An `Engine` is `Sync` and designed to be shared behind an [`Arc`]:
+/// build it once per corpus, then attach any number of concurrent
+/// sessions via [`SessionBuilder::engine`]. Sessions never mutate the
+/// engine — the distance cache is lock-free and insert-only.
+#[derive(Debug)]
+pub struct Engine {
+    source: Source,
+}
+
+#[derive(Debug)]
+enum Source {
+    Values(Vec<f64>),
+    Metric(MetricStore),
+}
+
+impl Engine {
+    /// An engine over raw hidden values (for [`Task::Max`] /
+    /// [`Task::TopK`] sessions).
+    pub fn from_values(values: Vec<f64>) -> Arc<Self> {
+        Arc::new(Self {
+            source: Source::Values(values),
+        })
+    }
+
+    /// An engine over a metric space (for neighbour / clustering /
+    /// hierarchy sessions). `cache_distances` wraps the metric in a
+    /// shared [`DistCache`] so each distinct pair distance is evaluated
+    /// at most once across every session on this engine.
+    pub fn from_metric(metric: AnyMetric, cache_distances: bool) -> Arc<Self> {
+        let store = if cache_distances {
+            MetricStore::Cached(CachedMetric::new(metric))
+        } else {
+            MetricStore::Plain(metric)
+        };
+        Arc::new(Self {
+            source: Source::Metric(store),
+        })
+    }
+
+    /// An engine over a generated dataset's metric.
+    pub fn from_dataset(dataset: &Dataset, cache_distances: bool) -> Arc<Self> {
+        Self::from_metric(dataset.metric.clone(), cache_distances)
+    }
+
+    /// Number of records in the engine's ground truth.
+    pub fn n(&self) -> usize {
+        match &self.source {
+            Source::Values(v) => v.len(),
+            Source::Metric(m) => m.len(),
+        }
+    }
+
+    /// `true` when the engine holds raw values (value tasks runnable).
+    pub fn has_values(&self) -> bool {
+        matches!(self.source, Source::Values(_))
+    }
+
+    /// `true` when the engine holds a metric (metric tasks runnable).
+    pub fn has_metric(&self) -> bool {
+        matches!(self.source, Source::Metric(_))
+    }
+
+    /// Distinct distances currently materialised in the engine's shared
+    /// cache (`None` when distance caching is off or the engine holds
+    /// raw values).
+    pub fn cache_entries(&self) -> Option<u64> {
+        match &self.source {
+            Source::Metric(MetricStore::Cached(c)) => Some(c.cache().filled() as u64),
+            _ => None,
+        }
+    }
+
+    fn cache(&self) -> Option<&DistCache> {
+        match &self.source {
+            Source::Metric(MetricStore::Cached(c)) => Some(c.cache()),
+            _ => None,
+        }
+    }
+
+    fn values(&self) -> Option<&[f64]> {
+        match &self.source {
+            Source::Values(v) => Some(v),
+            Source::Metric(_) => None,
+        }
+    }
+}
+
+/// Configures and builds a [`Session`].
+///
+/// | knob | default | effect |
+/// |---|---|---|
+/// | [`values`](Self::values) / [`points`](Self::points) / [`metric`](Self::metric) / [`dataset`](Self::dataset) / [`engine`](Self::engine) | — (required) | the data source |
+/// | [`noise`](Self::noise) | [`Noise::Exact`] | oracle noise model |
+/// | [`confidence`](Self::confidence) | experimental params | theorem-grade failure probability `delta` |
+/// | [`cache_distances`](Self::cache_distances) | `false` | engine-level [`DistCache`] |
+/// | [`memoize`](Self::memoize) | `false` | exact answer memo ([`MemoOracle`]) |
+/// | [`threads`](Self::threads) | `1` | worker fan-out (hierarchy tasks) |
+/// | [`seed`](Self::seed) | `0` | rng stream of each run |
+/// | [`budget`](Self::budget) | unlimited | hard cap on oracle queries |
+/// | [`min_cluster_promise`](Self::min_cluster_promise) | `n / 2k` | Algorithm 7's `m` |
+#[derive(Debug, Default)]
+#[must_use = "a builder does nothing until build() is called"]
+pub struct SessionBuilder {
+    engine: Option<Arc<Engine>>,
+    values: Option<Vec<f64>>,
+    metric: Option<AnyMetric>,
+    cache_distances: bool,
+    noise: Noise,
+    delta: Option<f64>,
+    memo: bool,
+    threads: usize,
+    seed: u64,
+    budget: Option<u64>,
+    min_cluster_promise: Option<usize>,
+    first_center: Option<usize>,
+}
+
+impl SessionBuilder {
+    /// A fresh builder with every knob at its default.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Hidden scalar values for [`Task::Max`] / [`Task::TopK`] sessions.
+    pub fn values(mut self, values: Vec<f64>) -> Self {
+        self.values = Some(values);
+        self
+    }
+
+    /// Euclidean points as the hidden metric space.
+    pub fn points(self, points: &[Vec<f64>]) -> Self {
+        self.metric(AnyMetric::Euclidean(EuclideanMetric::from_points(points)))
+    }
+
+    /// An explicit hidden metric space.
+    pub fn metric(mut self, metric: AnyMetric) -> Self {
+        self.metric = Some(metric);
+        self
+    }
+
+    /// A generated dataset: its metric becomes the hidden space and its
+    /// minimum ground-truth cluster size seeds Algorithm 7's `m` promise.
+    pub fn dataset(mut self, dataset: &Dataset) -> Self {
+        self.min_cluster_promise = Some(dataset.min_cluster_size);
+        self.metric(dataset.metric.clone())
+    }
+
+    /// Attach an existing (shared) engine instead of building one. The
+    /// engine determines the data source *and* the distance-caching
+    /// choice; [`Self::cache_distances`] is ignored in this mode.
+    pub fn engine(mut self, engine: Arc<Engine>) -> Self {
+        self.engine = Some(engine);
+        self
+    }
+
+    /// The oracle noise model (default: [`Noise::Exact`]).
+    pub fn noise(mut self, noise: Noise) -> Self {
+        self.noise = noise;
+        self
+    }
+
+    /// Run with theorem-grade parameters at failure probability `delta`
+    /// (each engine's `with_confidence` configuration). Without this, the
+    /// paper's lean Section 6.1 experimental parameters are used.
+    pub fn confidence(mut self, delta: f64) -> Self {
+        self.delta = Some(delta);
+        self
+    }
+
+    /// Memoise lazy distance evaluations in an engine-level
+    /// [`DistCache`] shared across all sessions on the engine.
+    pub fn cache_distances(mut self, on: bool) -> Self {
+        self.cache_distances = on;
+        self
+    }
+
+    /// Memoise oracle *answers* in an exact [`MemoOracle`] (persistent
+    /// noise makes repeats free). Per run, serial tasks only.
+    pub fn memoize(mut self, on: bool) -> Self {
+        self.memo = on;
+        self
+    }
+
+    /// Worker threads for fan-out-capable engines. With `threads >= 2`,
+    /// [`Task::Hierarchy`] runs the counter-stream SLINK engine
+    /// ([`hier_oracle_par`]), whose output is bit-identical at any worker
+    /// count; other tasks currently run serially regardless.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Seed of the rng stream each [`Session::run`] draws from. Runs are
+    /// a pure function of (engine, configuration, task), so re-running
+    /// the same task returns the same answer.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Hard cap on oracle queries per run; exceeding it aborts the run
+    /// with [`NcoError::BudgetExceeded`] without issuing a single query
+    /// past the cap.
+    pub fn budget(mut self, max_queries: u64) -> Self {
+        self.budget = Some(max_queries);
+        self
+    }
+
+    /// Algorithm 7's minimum optimal-cluster-size promise `m` for
+    /// probabilistic k-center (default: `max(1, n / 2k)`, the balanced
+    /// heuristic; [`Self::dataset`] sets it from ground truth).
+    pub fn min_cluster_promise(mut self, m: usize) -> Self {
+        self.min_cluster_promise = Some(m);
+        self
+    }
+
+    /// Pin the greedy k-center's first center to a specific record
+    /// (default: the paper's "arbitrary point", drawn from the run's
+    /// seeded rng). Useful for comparing runs against a fixed reference.
+    pub fn first_center(mut self, record: usize) -> Self {
+        self.first_center = Some(record);
+        self
+    }
+
+    /// Validates the configuration and builds the session (constructing
+    /// the engine unless one was attached).
+    pub fn build(self) -> Result<Session, NcoError> {
+        match self.noise {
+            Noise::Adversarial { mu } => {
+                if !(mu >= 0.0 && mu.is_finite()) {
+                    return Err(NcoError::invalid(format!(
+                        "adversarial band mu = {mu} must be a finite non-negative constant"
+                    )));
+                }
+            }
+            Noise::Probabilistic { p, .. } => {
+                if !(0.0..0.5).contains(&p) {
+                    return Err(NcoError::invalid(format!(
+                        "error probability p = {p} must lie in [0, 0.5)"
+                    )));
+                }
+            }
+            Noise::Crowd { workers, .. } => {
+                if workers % 2 == 0 {
+                    return Err(NcoError::invalid(format!(
+                        "crowd majority needs an odd number of workers, got {workers}"
+                    )));
+                }
+            }
+            Noise::Exact => {}
+        }
+        if let Some(delta) = self.delta {
+            if !(delta > 0.0 && delta < 1.0) {
+                return Err(NcoError::invalid(format!(
+                    "confidence delta = {delta} must lie in (0, 1)"
+                )));
+            }
+        }
+        let sources =
+            self.engine.is_some() as u8 + self.values.is_some() as u8 + self.metric.is_some() as u8;
+        if sources != 1 {
+            return Err(NcoError::invalid(
+                "configure exactly one data source: values(), points()/metric()/dataset(), \
+                 or engine()",
+            ));
+        }
+        let engine = if let Some(engine) = self.engine {
+            engine
+        } else if let Some(values) = self.values {
+            Engine::from_values(values)
+        } else {
+            Engine::from_metric(
+                self.metric.expect("one source present"),
+                self.cache_distances,
+            )
+        };
+        // Value checks run against the *resolved* engine so that sessions
+        // attached to a shared `Engine::from_values` engine get the same
+        // typed rejection as builder-owned values (the oracle constructors
+        // would otherwise panic at run time).
+        if let Some(values) = engine.values() {
+            if values.iter().any(|v| !v.is_finite()) {
+                return Err(NcoError::invalid("hidden values must be finite"));
+            }
+            let needs_magnitudes =
+                matches!(self.noise, Noise::Adversarial { .. } | Noise::Crowd { .. });
+            if needs_magnitudes && values.iter().any(|v| *v < 0.0) {
+                return Err(NcoError::invalid(
+                    "adversarial / crowd noise compares magnitude ratios: \
+                     hidden values must be non-negative",
+                ));
+            }
+        }
+        if let Some(first) = self.first_center {
+            if first >= engine.n() {
+                return Err(NcoError::invalid(format!(
+                    "first center {first} out of range (n = {})",
+                    engine.n()
+                )));
+            }
+        }
+        if self.min_cluster_promise == Some(0) {
+            return Err(NcoError::invalid(
+                "minimum cluster-size promise m must be positive",
+            ));
+        }
+        if self.memo {
+            if engine.n() > (1 << 16) {
+                return Err(NcoError::invalid(format!(
+                    "answer memoisation is capped at n = 65536 records (n = {}): quadruplet \
+                     keys pack indices into 16 bits and the comparison pair table is \
+                     n(n-1)/4 bytes",
+                    engine.n()
+                )));
+            }
+            if self.threads >= 2 {
+                return Err(NcoError::invalid(
+                    "answer memoisation is serial-only; drop memoize(true) or threads(>= 2)",
+                ));
+            }
+        }
+        Ok(Session {
+            engine,
+            cfg: Config {
+                noise: self.noise,
+                delta: self.delta,
+                memo: self.memo,
+                threads: self.threads.max(1),
+                seed: self.seed,
+                budget: self.budget,
+                min_cluster_promise: self.min_cluster_promise,
+                first_center: self.first_center,
+            },
+        })
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Config {
+    noise: Noise,
+    delta: Option<f64>,
+    memo: bool,
+    threads: usize,
+    seed: u64,
+    budget: Option<u64>,
+    min_cluster_promise: Option<usize>,
+    first_center: Option<usize>,
+}
+
+/// A configured, reusable handle for running [`Task`]s against an
+/// [`Engine`] — see the crate-level docs for the architecture sketch.
+///
+/// `run` takes `&self`: sessions are cheap to clone and safe to share
+/// across threads (the engine is immutable, oracles are built per run).
+#[derive(Debug, Clone)]
+pub struct Session {
+    engine: Arc<Engine>,
+    cfg: Config,
+}
+
+impl Session {
+    /// Starts a fresh [`SessionBuilder`].
+    pub fn builder() -> SessionBuilder {
+        SessionBuilder::new()
+    }
+
+    /// The shared engine this session runs against — attach it to another
+    /// builder ([`SessionBuilder::engine`]) to serve more sessions over
+    /// the same data (and the same distance cache).
+    pub fn engine(&self) -> &Arc<Engine> {
+        &self.engine
+    }
+
+    /// Runs a task through the engine matching this session's noise
+    /// model, returning the typed answer plus cost accounting.
+    ///
+    /// The wiring is bit-identical — same answers, same query counts — to
+    /// hand-assembling the oracle, comparator, parameters and rng around
+    /// the low-level APIs (`tests/session_equivalence.rs` pins this for
+    /// every task under every noise model).
+    pub fn run(&self, task: Task) -> Result<Outcome, NcoError> {
+        let start = Instant::now();
+        self.validate(task)?;
+        match &self.engine.source {
+            Source::Values(values) => self.run_value(task, values, start),
+            Source::Metric(MetricStore::Plain(m)) => self.run_metric(task, m, start),
+            Source::Metric(MetricStore::Cached(c)) => self.run_metric(task, c, start),
+        }
+    }
+
+    /// Task/source compatibility and parameter-range checks, up front so
+    /// the dispatch below cannot panic.
+    fn validate(&self, task: Task) -> Result<(), NcoError> {
+        let n = self.engine.n();
+        if task.needs_values() && !self.engine.has_values() {
+            return Err(NcoError::invalid(
+                "Task::Max / Task::TopK need a session built over raw values",
+            ));
+        }
+        if !task.needs_values() && !self.engine.has_metric() {
+            return Err(NcoError::invalid(
+                "metric-space tasks need a session built over points, a metric or a dataset",
+            ));
+        }
+        match task {
+            Task::Max => {
+                if n == 0 {
+                    return Err(NcoError::empty("cannot take the maximum of zero values"));
+                }
+            }
+            Task::TopK { k } => {
+                if n == 0 {
+                    return Err(NcoError::empty("cannot select from zero values"));
+                }
+                if k == 0 || k > n {
+                    return Err(NcoError::invalid(format!(
+                        "top-k needs 1 <= k <= n (k = {k}, n = {n})"
+                    )));
+                }
+            }
+            Task::Nearest { q } | Task::Farthest { q } => {
+                if n < 2 {
+                    return Err(NcoError::empty(format!(
+                        "neighbour search needs at least 2 records (n = {n})"
+                    )));
+                }
+                if q >= n {
+                    return Err(NcoError::invalid(format!(
+                        "query record q = {q} out of range (n = {n})"
+                    )));
+                }
+            }
+            Task::KCenter { k } => {
+                if n == 0 {
+                    return Err(NcoError::empty("cannot cluster zero records"));
+                }
+                if k == 0 || k > n {
+                    return Err(NcoError::invalid(format!(
+                        "k-center needs 1 <= k <= n (k = {k}, n = {n})"
+                    )));
+                }
+            }
+            Task::Hierarchy { .. } => {
+                if n < 2 {
+                    return Err(NcoError::empty(format!(
+                        "agglomeration needs at least 2 records (n = {n})"
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    // -----------------------------------------------------------------
+    // Value tasks (comparison oracles).
+    //
+    // The value oracles own their Vec<f64>, so each run copies the
+    // engine's values once — O(n), dwarfed by the O(n polylog) query
+    // work of every value task. (The quadruplet oracles are generic
+    // over `M: Metric` and borrow instead; giving the value oracles
+    // the same shape is the clean fix if value corpora ever grow past
+    // the point where the copy shows up.)
+    // -----------------------------------------------------------------
+
+    fn run_value(&self, task: Task, values: &[f64], start: Instant) -> Result<Outcome, NcoError> {
+        match self.cfg.noise {
+            Noise::Exact => self.drive_value(task, TrueValueOracle::new(values.to_vec()), start),
+            Noise::Adversarial { mu } => self.drive_value(
+                task,
+                AdversarialValueOracle::new(values.to_vec(), mu, InvertAdversary),
+                start,
+            ),
+            Noise::Probabilistic { p, seed } => {
+                self.drive_value(task, ProbValueOracle::new(values.to_vec(), p, seed), start)
+            }
+            Noise::Crowd {
+                profile,
+                workers,
+                seed,
+            } => self.drive_value(
+                task,
+                CrowdValueOracle::new(values.to_vec(), profile, workers, seed),
+                start,
+            ),
+        }
+    }
+
+    fn drive_value<O>(&self, task: Task, raw: O, start: Instant) -> Result<Outcome, NcoError>
+    where
+        O: ComparisonOracle + PersistentNoise,
+    {
+        if self.cfg.memo {
+            // Memo outside, budget inside: hits are free, only queries
+            // that reach the real oracle bill against the budget.
+            let mut oracle = MemoOracle::new(Budgeted::new(raw, self.cfg.budget));
+            let answer = self.value_task(task, &mut oracle)?;
+            let memo_hits = oracle.hits();
+            let inner = oracle.inner();
+            self.finish(
+                answer,
+                inner.queries(),
+                inner.rounds(),
+                inner.exceeded(),
+                Some(memo_hits),
+                start,
+            )
+        } else {
+            let mut oracle = Budgeted::new(raw, self.cfg.budget);
+            let answer = self.value_task(task, &mut oracle)?;
+            self.finish(
+                answer,
+                oracle.queries(),
+                oracle.rounds(),
+                oracle.exceeded(),
+                None,
+                start,
+            )
+        }
+    }
+
+    fn value_task<O: ComparisonOracle>(
+        &self,
+        task: Task,
+        oracle: &mut O,
+    ) -> Result<Answer, NcoError> {
+        let items: Vec<usize> = (0..oracle.n()).collect();
+        let mut rng = StdRng::seed_from_u64(self.cfg.seed);
+        let mut cmp = ValueCmp::new(oracle);
+        match task {
+            Task::Max => {
+                let best = if self.cfg.noise.is_statistical() {
+                    max_prob(&items, &self.prob_params(), &mut cmp, &mut rng)
+                } else {
+                    max_adv(&items, &self.adv_params(), &mut cmp, &mut rng)
+                };
+                best.map(Answer::Item)
+                    .ok_or_else(|| NcoError::empty("no values"))
+            }
+            Task::TopK { k } => {
+                let top = if self.cfg.noise.is_statistical() {
+                    top_k_prob(&items, k, &self.prob_params(), &mut cmp, &mut rng)
+                } else {
+                    top_k_adv(&items, k, &self.adv_params(), &mut cmp, &mut rng)
+                };
+                Ok(Answer::Items(top))
+            }
+            // validate() routed metric tasks away from value sessions.
+            _ => Err(NcoError::invalid("not a value task")),
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Metric tasks (quadruplet oracles).
+    // -----------------------------------------------------------------
+
+    fn run_metric<M>(&self, task: Task, metric: M, start: Instant) -> Result<Outcome, NcoError>
+    where
+        M: Metric + Sync + Copy,
+    {
+        match self.cfg.noise {
+            Noise::Exact => self.drive_quad(task, TrueQuadOracle::new(metric), start),
+            Noise::Adversarial { mu } => self.drive_quad(
+                task,
+                AdversarialQuadOracle::new(metric, mu, InvertAdversary),
+                start,
+            ),
+            Noise::Probabilistic { p, seed } => {
+                self.drive_quad(task, ProbQuadOracle::new(metric, p, seed), start)
+            }
+            Noise::Crowd {
+                profile,
+                workers,
+                seed,
+            } => self.drive_quad(
+                task,
+                CrowdQuadOracle::new(metric, profile, workers, seed),
+                start,
+            ),
+        }
+    }
+
+    fn drive_quad<O>(&self, task: Task, raw: O, start: Instant) -> Result<Outcome, NcoError>
+    where
+        O: SharedQuadrupletOracle + PersistentNoise,
+    {
+        if self.cfg.memo {
+            // Memo outside, budget inside: hits are free, only queries
+            // that reach the real oracle bill against the budget.
+            let mut oracle = MemoOracle::new(Budgeted::new(raw, self.cfg.budget));
+            let answer = self.quad_task(task, &mut oracle)?;
+            let memo_hits = oracle.hits();
+            let inner = oracle.inner();
+            self.finish(
+                answer,
+                inner.queries(),
+                inner.rounds(),
+                inner.exceeded(),
+                Some(memo_hits),
+                start,
+            )
+        } else if self.cfg.threads >= 2 && matches!(task, Task::Hierarchy { .. }) {
+            // Counter-stream SLINK: bit-identical at any worker count.
+            let Task::Hierarchy { linkage } = task else {
+                unreachable!("matched above");
+            };
+            let mut oracle = SharedBudgeted::new(raw, self.cfg.budget);
+            let mut rng = StdRng::seed_from_u64(self.cfg.seed);
+            let dend = hier_oracle_par(
+                &self.hier_params(linkage),
+                &mut oracle,
+                &mut rng,
+                self.cfg.threads,
+            );
+            self.finish(
+                Answer::Dendrogram(dend),
+                oracle.queries(),
+                oracle.rounds(),
+                oracle.exceeded(),
+                None,
+                start,
+            )
+        } else {
+            let mut oracle = Budgeted::new(raw, self.cfg.budget);
+            let answer = self.quad_task(task, &mut oracle)?;
+            self.finish(
+                answer,
+                oracle.queries(),
+                oracle.rounds(),
+                oracle.exceeded(),
+                None,
+                start,
+            )
+        }
+    }
+
+    fn quad_task<O: QuadrupletOracle>(
+        &self,
+        task: Task,
+        oracle: &mut O,
+    ) -> Result<Answer, NcoError> {
+        let n = oracle.n();
+        let mut rng = StdRng::seed_from_u64(self.cfg.seed);
+        let statistical = self.cfg.noise.is_statistical();
+        match task {
+            Task::Farthest { q } => {
+                let far = if statistical {
+                    farthest_prob(oracle, q, self.delta_eff(), &self.adv_params(), &mut rng)
+                } else {
+                    farthest_adv(oracle, q, &self.adv_params(), &mut rng)
+                };
+                far.map(Answer::Item)
+                    .ok_or_else(|| NcoError::empty("no candidates"))
+            }
+            Task::Nearest { q } => {
+                let near = if statistical {
+                    nearest_prob(oracle, q, self.delta_eff(), &self.adv_params(), &mut rng)
+                } else {
+                    nearest_adv(oracle, q, &self.adv_params(), &mut rng)
+                };
+                near.map(Answer::Item)
+                    .ok_or_else(|| NcoError::empty("no candidates"))
+            }
+            Task::KCenter { k } => {
+                let clustering = if statistical {
+                    kcenter_prob(&self.kcenter_prob_params(k, n), oracle, &mut rng)
+                } else {
+                    kcenter_adv(&self.kcenter_adv_params(k), oracle, &mut rng)
+                };
+                Ok(Answer::Clustering(clustering))
+            }
+            Task::Hierarchy { linkage } => Ok(Answer::Dendrogram(hier_oracle(
+                &self.hier_params(linkage),
+                oracle,
+                &mut rng,
+            ))),
+            // validate() routed value tasks away from metric sessions.
+            _ => Err(NcoError::invalid("not a metric task")),
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Parameter resolution: `confidence(delta)` picks the theorem-grade
+    // configuration, otherwise the paper's experimental one.
+    // -----------------------------------------------------------------
+
+    fn delta_eff(&self) -> f64 {
+        self.cfg.delta.unwrap_or(0.1)
+    }
+
+    fn adv_params(&self) -> AdvParams {
+        self.cfg
+            .delta
+            .map(AdvParams::with_confidence)
+            .unwrap_or_default()
+    }
+
+    fn prob_params(&self) -> ProbParams {
+        self.cfg
+            .delta
+            .map(ProbParams::with_confidence)
+            .unwrap_or_default()
+    }
+
+    fn kcenter_adv_params(&self, k: usize) -> KCenterAdvParams {
+        let mut params = match self.cfg.delta {
+            Some(delta) => KCenterAdvParams::with_confidence(k, delta),
+            None => KCenterAdvParams::experimental(k),
+        };
+        params.first_center = self.cfg.first_center;
+        params
+    }
+
+    fn kcenter_prob_params(&self, k: usize, n: usize) -> KCenterProbParams {
+        let m = self
+            .cfg
+            .min_cluster_promise
+            .unwrap_or_else(|| (n / (2 * k)).max(1));
+        let mut params = match self.cfg.delta {
+            Some(delta) => KCenterProbParams::with_confidence(k, m, delta),
+            None => KCenterProbParams::experimental(k, m),
+        };
+        params.first_center = self.cfg.first_center;
+        params
+    }
+
+    fn hier_params(&self, linkage: nco_core::hier::Linkage) -> HierParams {
+        match self.cfg.delta {
+            Some(delta) => HierParams::with_confidence(linkage, self.engine.n(), delta),
+            None => HierParams::experimental(linkage),
+        }
+    }
+
+    fn finish(
+        &self,
+        answer: Answer,
+        queries: u64,
+        rounds: u64,
+        exceeded: bool,
+        memo_hits: Option<u64>,
+        start: Instant,
+    ) -> Result<Outcome, NcoError> {
+        if exceeded {
+            return Err(NcoError::BudgetExceeded {
+                budget: self.cfg.budget.expect("exceeded implies a budget"),
+            });
+        }
+        Ok(Outcome::new(
+            answer,
+            RunReport {
+                queries,
+                rounds,
+                memo_hits,
+                cache_entries: self.engine.cache().map(|c| c.filled() as u64),
+                wall: start.elapsed(),
+                budget: self.cfg.budget,
+            },
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nco_core::hier::Linkage;
+
+    fn square_points(n: usize) -> Vec<Vec<f64>> {
+        (0..n)
+            .map(|i| vec![(i % 8) as f64, (i / 8) as f64 * 1.3])
+            .collect()
+    }
+
+    #[test]
+    fn builder_requires_exactly_one_source() {
+        let err = Session::builder().build().unwrap_err();
+        assert!(matches!(err, NcoError::InvalidParams { .. }));
+        let err = Session::builder()
+            .values(vec![1.0])
+            .points(&square_points(4))
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, NcoError::InvalidParams { .. }));
+    }
+
+    #[test]
+    fn builder_validates_noise_and_delta() {
+        let base = || Session::builder().values(vec![1.0, 2.0]);
+        assert!(base()
+            .noise(Noise::Probabilistic { p: 0.5, seed: 0 })
+            .build()
+            .is_err());
+        assert!(base()
+            .noise(Noise::Adversarial { mu: -1.0 })
+            .build()
+            .is_err());
+        assert!(base()
+            .noise(Noise::Crowd {
+                profile: AccuracyProfile::amazon_like(),
+                workers: 2,
+                seed: 0
+            })
+            .build()
+            .is_err());
+        assert!(base().confidence(0.0).build().is_err());
+        assert!(base().confidence(1.0).build().is_err());
+        assert!(base().confidence(0.05).build().is_ok());
+    }
+
+    #[test]
+    fn builder_rejects_bad_values_for_band_models() {
+        let err = Session::builder()
+            .values(vec![1.0, -2.0])
+            .noise(Noise::Adversarial { mu: 0.5 })
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, NcoError::InvalidParams { .. }));
+        // Probabilistic noise has no magnitude requirement.
+        assert!(Session::builder()
+            .values(vec![1.0, -2.0])
+            .noise(Noise::Probabilistic { p: 0.1, seed: 0 })
+            .build()
+            .is_ok());
+        assert!(Session::builder()
+            .values(vec![1.0, f64::NAN])
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn task_source_mismatch_is_an_error() {
+        let s = Session::builder().values(vec![1.0, 2.0]).build().unwrap();
+        assert!(matches!(
+            s.run(Task::KCenter { k: 1 }),
+            Err(NcoError::InvalidParams { .. })
+        ));
+        let s = Session::builder()
+            .points(&square_points(4))
+            .build()
+            .unwrap();
+        assert!(matches!(
+            s.run(Task::Max),
+            Err(NcoError::InvalidParams { .. })
+        ));
+    }
+
+    #[test]
+    fn range_validation_catches_bad_tasks() {
+        let s = Session::builder()
+            .points(&square_points(8))
+            .build()
+            .unwrap();
+        assert!(matches!(
+            s.run(Task::Nearest { q: 8 }),
+            Err(NcoError::InvalidParams { .. })
+        ));
+        assert!(matches!(
+            s.run(Task::KCenter { k: 0 }),
+            Err(NcoError::InvalidParams { .. })
+        ));
+        assert!(matches!(
+            s.run(Task::KCenter { k: 9 }),
+            Err(NcoError::InvalidParams { .. })
+        ));
+        let s = Session::builder().values(vec![]).build().unwrap();
+        assert!(matches!(s.run(Task::Max), Err(NcoError::EmptyInput { .. })));
+        let s = Session::builder().values(vec![1.0, 2.0]).build().unwrap();
+        assert!(matches!(
+            s.run(Task::TopK { k: 3 }),
+            Err(NcoError::InvalidParams { .. })
+        ));
+    }
+
+    #[test]
+    fn exact_session_answers_every_task() {
+        let s = Session::builder()
+            .points(&square_points(24))
+            .seed(7)
+            .build()
+            .unwrap();
+        let far = s.run(Task::Farthest { q: 0 }).unwrap();
+        assert!(far.answer.item().is_some());
+        assert!(far.report.queries > 0);
+        let near = s.run(Task::Nearest { q: 0 }).unwrap();
+        assert_ne!(near.answer.item(), far.answer.item());
+        let kc = s.run(Task::KCenter { k: 3 }).unwrap();
+        assert_eq!(kc.answer.clustering().unwrap().k(), 3);
+        let h = s
+            .run(Task::Hierarchy {
+                linkage: Linkage::Single,
+            })
+            .unwrap();
+        assert_eq!(h.answer.dendrogram().unwrap().merges.len(), 23);
+
+        let v = Session::builder()
+            .values((0..64).map(f64::from).collect())
+            .seed(3)
+            .build()
+            .unwrap();
+        assert_eq!(v.run(Task::Max).unwrap().answer.item(), Some(63));
+        let top = v.run(Task::TopK { k: 4 }).unwrap();
+        assert_eq!(top.answer.items().unwrap(), &[63, 62, 61, 60]);
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let s = Session::builder()
+            .points(&square_points(32))
+            .noise(Noise::Probabilistic { p: 0.2, seed: 9 })
+            .seed(11)
+            .build()
+            .unwrap();
+        let a = s.run(Task::KCenter { k: 4 }).unwrap();
+        let b = s.run(Task::KCenter { k: 4 }).unwrap();
+        assert_eq!(a.answer, b.answer);
+        assert_eq!(a.report.queries, b.report.queries);
+        assert_eq!(a.report.rounds, b.report.rounds);
+    }
+
+    #[test]
+    fn shared_engine_serves_concurrent_sessions() {
+        let engine = Engine::from_metric(
+            AnyMetric::Euclidean(EuclideanMetric::from_points(&square_points(40))),
+            true,
+        );
+        let serial: Vec<Option<usize>> = (0..4u64)
+            .map(|seed| {
+                Session::builder()
+                    .engine(engine.clone())
+                    .noise(Noise::Probabilistic { p: 0.1, seed })
+                    .seed(seed)
+                    .build()
+                    .unwrap()
+                    .run(Task::Farthest { q: seed as usize })
+                    .unwrap()
+                    .answer
+                    .item()
+            })
+            .collect();
+        let concurrent: Vec<Option<usize>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..4u64)
+                .map(|seed| {
+                    let engine = engine.clone();
+                    scope.spawn(move || {
+                        Session::builder()
+                            .engine(engine)
+                            .noise(Noise::Probabilistic { p: 0.1, seed })
+                            .seed(seed)
+                            .build()
+                            .unwrap()
+                            .run(Task::Farthest { q: seed as usize })
+                            .unwrap()
+                            .answer
+                            .item()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert_eq!(serial, concurrent);
+        assert!(engine.cache_entries().unwrap() > 0);
+    }
+
+    #[test]
+    fn engine_attached_value_sessions_are_validated_too() {
+        // The same rejections as builder-owned values — no run-time
+        // panic from the oracle constructors.
+        let bad = Engine::from_values(vec![1.0, -2.0]);
+        let err = Session::builder()
+            .engine(bad.clone())
+            .noise(Noise::Adversarial { mu: 0.5 })
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, NcoError::InvalidParams { .. }));
+        // Probabilistic noise accepts negatives…
+        assert!(Session::builder()
+            .engine(bad)
+            .noise(Noise::Probabilistic { p: 0.1, seed: 0 })
+            .build()
+            .is_ok());
+        // …but non-finite values are rejected under every model.
+        let nan = Engine::from_values(vec![1.0, f64::NAN]);
+        assert!(Session::builder().engine(nan).build().is_err());
+    }
+
+    #[test]
+    fn kcenter_knobs_are_range_validated_at_build() {
+        let err = Session::builder()
+            .points(&square_points(16))
+            .first_center(99)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, NcoError::InvalidParams { .. }));
+        let err = Session::builder()
+            .points(&square_points(16))
+            .min_cluster_promise(0)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, NcoError::InvalidParams { .. }));
+        assert!(Session::builder()
+            .points(&square_points(16))
+            .first_center(3)
+            .min_cluster_promise(2)
+            .build()
+            .is_ok());
+    }
+
+    #[test]
+    fn memo_size_cap_applies_to_value_sessions() {
+        let err = Session::builder()
+            .values(vec![0.0; (1 << 16) + 1])
+            .memoize(true)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, NcoError::InvalidParams { .. }));
+        assert!(Session::builder()
+            .values(vec![0.0; 64])
+            .memoize(true)
+            .build()
+            .is_ok());
+    }
+
+    #[test]
+    fn memo_and_threads_are_mutually_exclusive() {
+        let err = Session::builder()
+            .points(&square_points(8))
+            .memoize(true)
+            .threads(4)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, NcoError::InvalidParams { .. }));
+    }
+
+    #[test]
+    fn budget_exceeded_is_an_error_not_a_panic() {
+        let s = Session::builder()
+            .points(&square_points(32))
+            .budget(10)
+            .build()
+            .unwrap();
+        match s.run(Task::KCenter { k: 4 }) {
+            Err(NcoError::BudgetExceeded { budget }) => assert_eq!(budget, 10),
+            other => panic!("expected BudgetExceeded, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,142 @@
+//! Typed task requests and answers for the `Session` front door.
+//!
+//! Each [`Task`] variant names one of the paper's problems; running it
+//! through [`crate::Session::run`] picks the matching theorem-backed
+//! engine for the session's noise model and returns the matching
+//! [`Answer`] variant.
+
+use nco_core::hier::{Dendrogram, Linkage};
+use nco_core::kcenter::Clustering;
+
+/// A typed request against a [`crate::Session`].
+///
+/// | Variant | Problem | Engines (by noise model) |
+/// |---|---|---|
+/// | [`Task::Max`] | robust maximum over hidden values | Max-Adv (Thm 3.6) / Count-Max-Prob (Thm 3.7) |
+/// | [`Task::TopK`] | top-k by iterated extraction | iterated Max-Adv / Count-Max-Prob |
+/// | [`Task::Nearest`] | nearest neighbour of record `q` | Alg. 15 / core-routed PairwiseComp (Thm 3.10) |
+/// | [`Task::Farthest`] | farthest neighbour of record `q` | Alg. 13 / core-routed PairwiseComp (Thm 3.10) |
+/// | [`Task::KCenter`] | k-center clustering | Alg. 6 (Thm 4.2) / Alg. 7 (Thm 4.4) |
+/// | [`Task::Hierarchy`] | agglomerative hierarchy | Alg. 11 (Thm 5.2) |
+///
+/// `Max` and `TopK` need a session built over raw values; the other four
+/// need a session built over a metric / dataset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Task {
+    /// Robust maximum of the hidden values.
+    Max,
+    /// The top `k` hidden values by iterated extraction, best first.
+    TopK {
+        /// Number of items to extract (`1 <= k <= n`).
+        k: usize,
+    },
+    /// Nearest record to the query record `q`.
+    Nearest {
+        /// The query record (`q < n`).
+        q: usize,
+    },
+    /// Farthest record from the query record `q`.
+    Farthest {
+        /// The query record (`q < n`).
+        q: usize,
+    },
+    /// Greedy k-center clustering.
+    KCenter {
+        /// Number of clusters (`1 <= k <= n`).
+        k: usize,
+    },
+    /// Full agglomerative hierarchy.
+    Hierarchy {
+        /// Single or complete linkage.
+        linkage: Linkage,
+    },
+}
+
+impl Task {
+    /// `true` for tasks that run over hidden scalar values (comparison
+    /// oracles); `false` for metric-space tasks (quadruplet oracles).
+    pub fn needs_values(&self) -> bool {
+        matches!(self, Task::Max | Task::TopK { .. })
+    }
+}
+
+/// The typed result of a [`crate::Session::run`], one variant per task
+/// family.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Answer {
+    /// A single record index ([`Task::Max`], [`Task::Nearest`],
+    /// [`Task::Farthest`]).
+    Item(usize),
+    /// Record indices, best first ([`Task::TopK`]).
+    Items(Vec<usize>),
+    /// Centers plus assignment ([`Task::KCenter`]).
+    Clustering(Clustering),
+    /// The full merge tree ([`Task::Hierarchy`]).
+    Dendrogram(Dendrogram),
+}
+
+impl Answer {
+    /// The single record index, if this answer is one.
+    pub fn item(&self) -> Option<usize> {
+        match self {
+            Self::Item(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// The ranked record list, if this answer is one.
+    pub fn items(&self) -> Option<&[usize]> {
+        match self {
+            Self::Items(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The clustering, if this answer is one.
+    pub fn clustering(&self) -> Option<&Clustering> {
+        match self {
+            Self::Clustering(c) => Some(c),
+            _ => None,
+        }
+    }
+
+    /// The dendrogram, if this answer is one.
+    pub fn dendrogram(&self) -> Option<&Dendrogram> {
+        match self {
+            Self::Dendrogram(d) => Some(d),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn task_data_requirements() {
+        assert!(Task::Max.needs_values());
+        assert!(Task::TopK { k: 3 }.needs_values());
+        assert!(!Task::Nearest { q: 0 }.needs_values());
+        assert!(!Task::Farthest { q: 0 }.needs_values());
+        assert!(!Task::KCenter { k: 2 }.needs_values());
+        assert!(!Task::Hierarchy {
+            linkage: Linkage::Single
+        }
+        .needs_values());
+    }
+
+    #[test]
+    fn answer_accessors_are_exclusive() {
+        let a = Answer::Item(7);
+        assert_eq!(a.item(), Some(7));
+        assert!(a.items().is_none());
+        let a = Answer::Items(vec![3, 1]);
+        assert_eq!(a.items(), Some(&[3usize, 1][..]));
+        assert!(a.item().is_none());
+        assert!(a.clustering().is_none());
+        assert!(a.dendrogram().is_none());
+    }
+}

@@ -85,6 +85,53 @@ fn readme_pipeline_compiles_and_runs() {
     assert!(t.to_csv().contains("1.5"));
 }
 
+/// The README's Session quickstart, compiled and executed: build,
+/// run, report, budget failure, shared engine.
+#[test]
+fn readme_session_front_door() {
+    use noisy_oracle::{Engine, NcoError, Noise, Session, Task};
+
+    let session = Session::builder()
+        .values((1..=100).map(f64::from).collect())
+        .noise(Noise::Adversarial { mu: 0.5 })
+        .confidence(0.05)
+        .budget(200_000)
+        .seed(7)
+        .build()
+        .unwrap();
+    let outcome = session.run(Task::Max).unwrap();
+    let best = outcome.answer.item().unwrap();
+    assert!(best as f64 + 1.0 >= 100.0 / 1.5f64.powi(3));
+    assert!(outcome.report.queries > 0);
+    assert_eq!(outcome.report.budget, Some(200_000));
+
+    // A starved budget fails typed.
+    let capped = Session::builder()
+        .values((1..=100).map(f64::from).collect())
+        .budget(10)
+        .build()
+        .unwrap();
+    assert!(matches!(
+        capped.run(Task::Max),
+        Err(NcoError::BudgetExceeded { budget: 10 })
+    ));
+
+    // One engine, several sessions, shared distance cache.
+    let d = caltech(120, 3);
+    let engine = Engine::from_dataset(&d, true);
+    for (seed, k) in [(1u64, 4usize), (2, 8)] {
+        let s = Session::builder()
+            .engine(engine.clone())
+            .noise(Noise::Adversarial { mu: 0.5 })
+            .seed(seed)
+            .build()
+            .unwrap();
+        let c = s.run(Task::KCenter { k }).unwrap();
+        assert_eq!(c.answer.clustering().unwrap().k(), k);
+    }
+    assert!(engine.cache_entries().unwrap() > 0);
+}
+
 #[test]
 fn min_and_rev_are_consistent() {
     let metric = EuclideanMetric::from_points(&(0..40).map(|i| vec![i as f64]).collect::<Vec<_>>());
