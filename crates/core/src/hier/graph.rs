@@ -62,12 +62,17 @@ impl ClusterGraph {
 
     /// The representative record pair between live clusters `a` and `b`.
     ///
+    /// Liveness is checked in debug builds only — `rep` sits on the
+    /// query-translation hot path (twice per quadruplet query), and a
+    /// dead cluster's `DEAD` slot would fault the `reps` indexing below
+    /// anyway rather than silently mis-read.
+    ///
     /// # Panics
-    /// Panics if either cluster is not live.
+    /// Panics (in debug builds) if either cluster is not live.
     #[inline]
     pub fn rep(&self, a: usize, b: usize) -> (usize, usize) {
         let (sa, sb) = (self.slot_of[a], self.slot_of[b]);
-        assert!(sa != DEAD && sb != DEAD, "rep of a dead cluster");
+        debug_assert!(sa != DEAD && sb != DEAD, "rep of a dead cluster");
         let r = self.reps[sa * self.n0 + sb];
         (r.0 as usize, r.1 as usize)
     }
@@ -90,15 +95,26 @@ impl ClusterGraph {
         let (sa, sb) = (self.slot_of[a], self.slot_of[b]);
         assert!(sa != DEAD && sb != DEAD, "merge of a dead cluster");
 
-        // One query per survivor: the new cluster takes over slot `sa`.
+        // One query per survivor, issued as a single batched round so
+        // oracle-side amortisation (distance dedup, thread fan-out) can
+        // kick in — the `le_batch` contract keeps answers bit-identical
+        // to the scalar loop. O(r1, r2) == Yes  <=>  d(r1) <= d(r2).
+        let mut survivors: Vec<usize> = Vec::with_capacity(self.active.len());
+        let mut queries: Vec<[usize; 4]> = Vec::with_capacity(self.active.len());
         for sc in 0..self.active.len() {
             if sc == sa || sc == sb {
                 continue;
             }
             let r1 = self.reps[sa * n0 + sc];
             let r2 = self.reps[sb * n0 + sc];
-            // O(r1, r2) == Yes  <=>  d(r1) <= d(r2).
-            let r1_closer = oracle.le(r1.0 as usize, r1.1 as usize, r2.0 as usize, r2.1 as usize);
+            survivors.push(sc);
+            queries.push([r1.0 as usize, r1.1 as usize, r2.0 as usize, r2.1 as usize]);
+        }
+        let mut answers: Vec<bool> = Vec::with_capacity(queries.len());
+        oracle.le_batch(&queries, &mut answers);
+        for (&sc, &r1_closer) in survivors.iter().zip(answers.iter()) {
+            let r1 = self.reps[sa * n0 + sc];
+            let r2 = self.reps[sb * n0 + sc];
             let keep = match linkage {
                 Linkage::Single => {
                     if r1_closer {
@@ -235,6 +251,9 @@ mod tests {
         assert_eq!(g.active().len(), 4);
     }
 
+    // The liveness guard is a debug assertion (see `rep`); release builds
+    // still abort via the poisoned index, just without this message.
+    #[cfg(debug_assertions)]
     #[test]
     #[should_panic(expected = "dead cluster")]
     fn rep_of_merged_cluster_panics() {

@@ -11,12 +11,43 @@
 //! recomputes those pointers (distances grew). Theorem 5.2: each merge is
 //! within `(1+mu)^3` of the best available merge w.h.p., and the whole
 //! hierarchy costs `O(n^2 log^2(n/delta))` queries.
+//!
+//! ## The incremental merge plane
+//!
+//! A merge invalidates only a handful of candidates — the two merged
+//! clusters, the new union, and the survivors whose pointer was
+//! redirected or recomputed — yet a from-scratch closest-pair sweep
+//! re-contests every live candidate. The default merge loop therefore
+//! maintains the Section 3 minimum engine **incrementally** across merges
+//! ([`crate::maxfind::MinContest`]): persistent random bucket assignments
+//! stand in for Max-Adv's per-sweep partitions, a persistent topped-up
+//! sample stands in for its per-sweep uniform sample, and cached bucket
+//! winners / pool outcomes are re-contested only for the dirty candidates,
+//! via batched `le_round`s. Because every shipped noise model is
+//! *persistent* (answers are pure functions of the canonical query —
+//! hence the [`PersistentNoise`] bound on the public entry points), a
+//! cached outcome is bit-equal to what re-asking would return, so the
+//! incremental plane produces **the identical merge sequence and
+//! tie-breaks** as the from-scratch sweep over the same structure — the
+//! [`hier_oracle_scratch`] / [`hier_oracle_par_scratch`] reference
+//! engines, pinned across noise models in
+//! `tests/hier_incremental_equivalence.rs`. When more than half the live
+//! candidates are dirty (complete-linkage repair cascades), the plane
+//! falls back to a full sweep of the incumbent structure, which is
+//! decision-identical by the same argument.
+//!
+//! Per-merge randomness (bucket deals for new clusters, sample top-ups,
+//! repair searches) is drawn from per-merge [`CounterRng`] streams keyed
+//! by the merge index, so the query transcript is deterministic at any
+//! worker count; with the `parallel` feature and `threads > 1`,
+//! [`hier_oracle_par`] fans large re-contest and rep-refresh rounds
+//! across `std::thread::scope` workers, bit-identically.
 
 use super::graph::ClusterGraph;
 use super::{Dendrogram, Linkage, Merge};
 use crate::comparator::Comparator;
-use crate::maxfind::{min_adv, AdvParams};
-use nco_oracle::{QuadrupletOracle, SharedQuadrupletOracle};
+use crate::maxfind::{max_adv, min_adv_incremental, AdvParams, MinContest};
+use nco_oracle::{PersistentNoise, QuadrupletOracle, SharedQuadrupletOracle};
 use rand::rngs::CounterRng;
 use rand::Rng;
 
@@ -26,7 +57,7 @@ pub struct HierParams {
     /// Linkage objective.
     pub linkage: Linkage,
     /// Max-Adv configuration for nearest-neighbour / closest-pair searches
-    /// (the paper uses `t = 2 log(n/delta)` for Lemma 5.1, `t = 1` in
+    /// (the paper uses `t = 2 ln(n/delta)` for Lemma 5.1, `t = 1` in
     /// experiments).
     pub search: AdvParams,
 }
@@ -40,10 +71,12 @@ impl HierParams {
         }
     }
 
-    /// Lemma 5.1's setting: per-merge failure probability `delta / n`.
+    /// Lemma 5.1's setting: per-merge failure probability `delta / n`,
+    /// i.e. `t = 2 ln(n/delta)` rounds (natural log, matching the paper's
+    /// Chernoff constant).
     pub fn with_confidence(linkage: Linkage, n: usize, delta: f64) -> Self {
         assert!(delta > 0.0 && delta < 1.0);
-        let t = ((2.0 * (n.max(2) as f64 / delta).log2()).ceil() as usize).max(1);
+        let t = ((2.0 * (n.max(2) as f64 / delta).ln()).ceil() as usize).max(1);
         Self {
             linkage,
             search: AdvParams {
@@ -62,59 +95,108 @@ impl Default for HierParams {
     }
 }
 
+/// Cost counters of the incremental merge plane, returned by
+/// [`hier_oracle_stats`] / [`hier_oracle_par_stats`] and surfaced in the
+/// facade's `RunReport`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MergePlaneStats {
+    /// Merges performed (`n - 1` for a complete agglomeration).
+    pub merges: u64,
+    /// Closest-pair sweeps that rebuilt the whole winner structure: the
+    /// initial build plus every dirty-majority fallback (and, in the
+    /// `*_scratch` reference engines, every merge).
+    pub full_sweeps: u64,
+    /// Candidates whose `(C, nn(C))` key changed and were re-contested
+    /// against the cached incumbent structure.
+    pub dirty_candidates: u64,
+    /// Nearest-neighbour pointers redirected or recomputed after merges.
+    pub repaired_pointers: u64,
+    /// Bucket tournaments replayed inside the winner structure.
+    pub bucket_replays: u64,
+    /// Duels played inside bucket tournament replays.
+    pub bucket_duels: u64,
+    /// Pairs (re-)contested at the final Count-Min stage.
+    pub pool_duels: u64,
+}
+
 /// Compares neighbour clusters of a fixed cluster by their rep-pair
-/// distances.
-struct RepCmp<'a, O> {
+/// distances, with the **minimum orientation fused into the
+/// translation**: `le(a, b)` asks `oracle.le(rep(me, b), rep(me, a))`,
+/// exactly what `Rev(RepCmp)` would ask — so `nearest_of` calls
+/// [`max_adv`](crate::maxfind::max_adv) directly and skips the `Rev`
+/// adapter's per-round reversal pass. The translated round is built in a
+/// caller-owned reusable buffer.
+struct RevRepCmp<'a, O> {
     oracle: &'a mut O,
     graph: &'a ClusterGraph,
     me: usize,
+    queries: &'a mut Vec<[usize; 4]>,
 }
 
-impl<O: QuadrupletOracle> Comparator<usize> for RepCmp<'_, O> {
+impl<O: QuadrupletOracle> Comparator<usize> for RevRepCmp<'_, O> {
     fn le(&mut self, c1: usize, c2: usize) -> bool {
-        let r1 = self.graph.rep(self.me, c1);
-        let r2 = self.graph.rep(self.me, c2);
+        let r1 = self.graph.rep(self.me, c2);
+        let r2 = self.graph.rep(self.me, c1);
         self.oracle.le(r1.0, r1.1, r2.0, r2.1)
     }
 
     fn le_round(&mut self, round: &[(usize, usize)], out: &mut Vec<bool>) {
-        let queries: Vec<[usize; 4]> = round
-            .iter()
-            .map(|&(c1, c2)| {
-                let r1 = self.graph.rep(self.me, c1);
-                let r2 = self.graph.rep(self.me, c2);
-                [r1.0, r1.1, r2.0, r2.1]
-            })
-            .collect();
-        self.oracle.le_batch(&queries, out);
+        let Self {
+            oracle,
+            graph,
+            me,
+            queries,
+        } = self;
+        queries.clear();
+        queries.extend(round.iter().map(|&(c1, c2)| {
+            let r1 = graph.rep(*me, c2);
+            let r2 = graph.rep(*me, c1);
+            [r1.0, r1.1, r2.0, r2.1]
+        }));
+        oracle.le_batch(queries, out);
     }
 }
 
-/// [`RepCmp`] through a shared oracle reference — the comparator the
+/// [`RevRepCmp`] through a shared oracle reference — the comparator the
 /// fanned-out initial nearest-neighbour searches of [`hier_oracle_par`]
 /// build per worker (answers are pure functions of the query, so the
 /// shared path is bit-identical to the `&mut` path).
-struct SharedRepCmp<'a, O> {
+struct RevSharedRepCmp<'a, O> {
     oracle: &'a O,
     graph: &'a ClusterGraph,
     me: usize,
 }
 
-impl<O: SharedQuadrupletOracle> Comparator<usize> for SharedRepCmp<'_, O> {
+impl<O: SharedQuadrupletOracle> Comparator<usize> for RevSharedRepCmp<'_, O> {
     fn le(&mut self, c1: usize, c2: usize) -> bool {
-        let r1 = self.graph.rep(self.me, c1);
-        let r2 = self.graph.rep(self.me, c2);
+        let r1 = self.graph.rep(self.me, c2);
+        let r2 = self.graph.rep(self.me, c1);
         self.oracle.le_shared(r1.0, r1.1, r2.0, r2.1)
+    }
+
+    /// Rounds through the shared path answer query by query (`le_shared`
+    /// has no batch form), but in a tight translated loop: answers and
+    /// counts are identical to the scalar default, while the row's
+    /// distance-table loads pipeline instead of serialising duel by duel.
+    fn le_round(&mut self, round: &[(usize, usize)], out: &mut Vec<bool>) {
+        out.reserve(round.len());
+        out.extend(round.iter().map(|&(c1, c2)| {
+            let r1 = self.graph.rep(self.me, c2);
+            let r2 = self.graph.rep(self.me, c1);
+            self.oracle.le_shared(r1.0, r1.1, r2.0, r2.1)
+        }));
     }
 }
 
 /// Compares candidate clusters by the rep pair to their current nearest
-/// neighbour — the closest-pair search of Algorithm 11 line 7.
+/// neighbour — the closest-pair search of Algorithm 11 line 7. Rounds are
+/// translated to quadruplet batches in a reusable buffer.
 struct CandidateCmp<'a, O> {
     oracle: &'a mut O,
     graph: &'a ClusterGraph,
     /// Dense pointer table indexed by cluster id.
     nn: &'a [usize],
+    queries: &'a mut Vec<[usize; 4]>,
 }
 
 impl<O: QuadrupletOracle> Comparator<usize> for CandidateCmp<'_, O> {
@@ -125,15 +207,75 @@ impl<O: QuadrupletOracle> Comparator<usize> for CandidateCmp<'_, O> {
     }
 
     fn le_round(&mut self, round: &[(usize, usize)], out: &mut Vec<bool>) {
-        let queries: Vec<[usize; 4]> = round
-            .iter()
-            .map(|&(c1, c2)| {
-                let r1 = self.graph.rep(c1, self.nn[c1]);
-                let r2 = self.graph.rep(c2, self.nn[c2]);
-                [r1.0, r1.1, r2.0, r2.1]
-            })
-            .collect();
-        self.oracle.le_batch(&queries, out);
+        let Self {
+            oracle,
+            graph,
+            nn,
+            queries,
+        } = self;
+        queries.clear();
+        queries.extend(round.iter().map(|&(c1, c2)| {
+            let r1 = graph.rep(c1, nn[c1]);
+            let r2 = graph.rep(c2, nn[c2]);
+            [r1.0, r1.1, r2.0, r2.1]
+        }));
+        oracle.le_batch(queries, out);
+    }
+}
+
+/// Fans batched quadruplet rounds across `std::thread::scope` workers
+/// through the shared (`&self`) query path. Answers are pure functions of
+/// the query under every persistent noise model, and workers' answer
+/// chunks are reassembled in query order, so a fanned round is
+/// bit-identical to the serial loop at any worker count. Rounds below
+/// [`MIN_FAN_ROUND`] run serially — spawn overhead would dominate.
+#[cfg(feature = "parallel")]
+struct FanQuad<'a, O> {
+    oracle: &'a O,
+    threads: usize,
+}
+
+/// Smallest round worth fanning out (deterministic: a pure function of
+/// the round length, never of timing).
+#[cfg(feature = "parallel")]
+const MIN_FAN_ROUND: usize = 512;
+
+#[cfg(feature = "parallel")]
+impl<O: SharedQuadrupletOracle> QuadrupletOracle for FanQuad<'_, O> {
+    fn n(&self) -> usize {
+        self.oracle.n()
+    }
+
+    fn le(&mut self, a: usize, b: usize, c: usize, d: usize) -> bool {
+        self.oracle.le_shared(a, b, c, d)
+    }
+
+    fn le_batch(&mut self, queries: &[[usize; 4]], out: &mut Vec<bool>) {
+        out.reserve(queries.len());
+        if self.threads < 2 || queries.len() < MIN_FAN_ROUND {
+            for &[a, b, c, d] in queries {
+                let ans = self.oracle.le_shared(a, b, c, d);
+                out.push(ans);
+            }
+            return;
+        }
+        let chunk = queries.len().div_ceil(self.threads);
+        let oracle = self.oracle;
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = queries
+                .chunks(chunk)
+                .map(|part| {
+                    scope.spawn(move || {
+                        part.iter()
+                            .map(|&[a, b, c, d]| oracle.le_shared(a, b, c, d))
+                            .collect::<Vec<bool>>()
+                    })
+                })
+                .collect();
+            for h in handles {
+                out.extend(h.join().expect("round worker panicked"));
+            }
+        });
     }
 }
 
@@ -144,6 +286,7 @@ fn nearest_of<O, R>(
     oracle: &mut O,
     rng: &mut R,
     scratch: &mut Vec<usize>,
+    quads: &mut Vec<[usize; 4]>,
 ) -> usize
 where
     O: QuadrupletOracle,
@@ -152,12 +295,15 @@ where
     scratch.clear();
     scratch.extend(graph.active().iter().copied().filter(|&x| x != c));
     debug_assert!(!scratch.is_empty());
-    let mut cmp = RepCmp {
+    let mut cmp = RevRepCmp {
         oracle,
         graph,
         me: c,
+        queries: quads,
     };
-    min_adv(scratch, params, &mut cmp, rng).expect("at least one neighbour")
+    // `max_adv` over the reversal-fused comparator IS `min_adv` over the
+    // plain one — identical queries, identical winner.
+    max_adv(scratch, params, &mut cmp, rng).expect("at least one neighbour")
 }
 
 /// [`nearest_of`] through a shared oracle reference (the worker-side form
@@ -178,20 +324,77 @@ where
     scratch.clear();
     scratch.extend(graph.active().iter().copied().filter(|&x| x != c));
     debug_assert!(!scratch.is_empty());
-    let mut cmp = SharedRepCmp {
+    let mut cmp = RevSharedRepCmp {
         oracle,
         graph,
         me: c,
     };
-    min_adv(scratch, params, &mut cmp, rng).expect("at least one neighbour")
+    // Same reversal-fused minimum as `nearest_of`.
+    max_adv(scratch, params, &mut cmp, rng).expect("at least one neighbour")
 }
 
 /// Algorithm 11: agglomerative clustering (single or complete linkage)
-/// under a noisy quadruplet oracle.
+/// under a noisy quadruplet oracle, with the incremental merge plane as
+/// the closest-pair engine (see the module docs).
+///
+/// The [`PersistentNoise`] bound is what makes the incremental plane
+/// sound: cached contest outcomes are reused only because re-asking a
+/// persistent oracle returns the same bit.
 ///
 /// # Panics
 /// Panics if `oracle.n() < 2`.
 pub fn hier_oracle<O, R>(params: &HierParams, oracle: &mut O, rng: &mut R) -> Dendrogram
+where
+    O: QuadrupletOracle + PersistentNoise,
+    R: Rng + ?Sized,
+{
+    hier_oracle_stats(params, oracle, rng).0
+}
+
+/// [`hier_oracle`] returning the merge-plane cost counters alongside the
+/// dendrogram.
+///
+/// # Panics
+/// Panics if `oracle.n() < 2`.
+pub fn hier_oracle_stats<O, R>(
+    params: &HierParams,
+    oracle: &mut O,
+    rng: &mut R,
+) -> (Dendrogram, MergePlaneStats)
+where
+    O: QuadrupletOracle + PersistentNoise,
+    R: Rng + ?Sized,
+{
+    let (graph, nn) = init_pointers(params, oracle, rng);
+    agglomerate(params, graph, nn, oracle, rng, false)
+}
+
+/// The from-scratch reference sweep: identical structure evolution and
+/// rng consumption as [`hier_oracle`], but every closest-pair sweep
+/// replays every bucket and re-asks every pool pair instead of reusing
+/// the cached incumbent state. Under persistent noise the two are
+/// decision-identical by construction; this entry point exists so the
+/// equivalence suite and the perf baseline can hold the incremental plane
+/// to that contract.
+///
+/// # Panics
+/// Panics if `oracle.n() < 2`.
+pub fn hier_oracle_scratch<O, R>(params: &HierParams, oracle: &mut O, rng: &mut R) -> Dendrogram
+where
+    O: QuadrupletOracle + PersistentNoise,
+    R: Rng + ?Sized,
+{
+    let (graph, nn) = init_pointers(params, oracle, rng);
+    agglomerate(params, graph, nn, oracle, rng, true).0
+}
+
+/// Initial nearest-neighbour pointers (`n` searches of `O(n)` queries),
+/// drawn from the caller's rng row after row.
+fn init_pointers<O, R>(
+    params: &HierParams,
+    oracle: &mut O,
+    rng: &mut R,
+) -> (ClusterGraph, Vec<usize>)
 where
     O: QuadrupletOracle,
     R: Rng + ?Sized,
@@ -202,18 +405,22 @@ where
 
     // Dense nearest-neighbour pointer table indexed by cluster id (ids
     // run `0..2n-1` across the whole agglomeration); `usize::MAX` marks
-    // dead/unset entries. The seed implementation kept a `HashMap` here —
-    // two hashed lookups per candidate comparison on the hot path.
+    // dead/unset entries.
     let mut nn: Vec<usize> = vec![usize::MAX; 2 * n - 1];
     let mut neighbours: Vec<usize> = Vec::with_capacity(n);
-
-    // Initial nearest-neighbour pointers (n searches of O(n) queries),
-    // drawn from the caller's rng row after row.
+    let mut quads: Vec<[usize; 4]> = Vec::new();
     for (c, pointer) in nn.iter_mut().enumerate().take(n) {
-        *pointer = nearest_of(&graph, c, &params.search, oracle, rng, &mut neighbours);
+        *pointer = nearest_of(
+            &graph,
+            c,
+            &params.search,
+            oracle,
+            rng,
+            &mut neighbours,
+            &mut quads,
+        );
     }
-
-    agglomerate(params, graph, nn, oracle, rng)
+    (graph, nn)
 }
 
 /// Counter-stream twin of [`hier_oracle`]: the initial `n`
@@ -223,15 +430,17 @@ where
 /// they can fan out across `std::thread::scope` workers (with the
 /// `parallel` feature and `threads > 1`) and still produce the same
 /// pointers, the same queries and the same dendrogram as the `threads = 1`
-/// run, bit for bit. The merge loop after initialisation is the serial
-/// engine either way.
+/// run, bit for bit. With `threads > 1` the merge loop additionally fans
+/// its large re-contest and rep-refresh rounds across workers through the
+/// shared query path — also bit-identical, since round answers are pure
+/// functions of the queries and are reassembled in query order.
 ///
 /// Note the randomness *schedule* differs from [`hier_oracle`] (per-row
 /// streams instead of one shared cursor), so for a given seed the two
 /// entry points return different — equally guarantee-respecting —
 /// dendrograms. Pick one per experiment; `perfsuite` pins both.
 ///
-/// Without the `parallel` feature `threads` is ignored and the rows run
+/// Without the `parallel` feature `threads` is ignored and everything runs
 /// serially — still through the per-row streams, so results match a
 /// `parallel`-enabled binary exactly.
 ///
@@ -243,6 +452,56 @@ pub fn hier_oracle_par<O, R>(
     rng: &mut R,
     threads: usize,
 ) -> Dendrogram
+where
+    O: SharedQuadrupletOracle + PersistentNoise,
+    R: Rng + ?Sized,
+{
+    hier_oracle_par_stats(params, oracle, rng, threads).0
+}
+
+/// [`hier_oracle_par`] returning the merge-plane cost counters alongside
+/// the dendrogram.
+///
+/// # Panics
+/// Panics if `oracle.n() < 2`.
+pub fn hier_oracle_par_stats<O, R>(
+    params: &HierParams,
+    oracle: &mut O,
+    rng: &mut R,
+    threads: usize,
+) -> (Dendrogram, MergePlaneStats)
+where
+    O: SharedQuadrupletOracle + PersistentNoise,
+    R: Rng + ?Sized,
+{
+    run_par(params, oracle, rng, threads, false)
+}
+
+/// The from-scratch reference sweep of the counter-stream engine — see
+/// [`hier_oracle_scratch`].
+///
+/// # Panics
+/// Panics if `oracle.n() < 2`.
+pub fn hier_oracle_par_scratch<O, R>(
+    params: &HierParams,
+    oracle: &mut O,
+    rng: &mut R,
+    threads: usize,
+) -> Dendrogram
+where
+    O: SharedQuadrupletOracle + PersistentNoise,
+    R: Rng + ?Sized,
+{
+    run_par(params, oracle, rng, threads, true).0
+}
+
+fn run_par<O, R>(
+    params: &HierParams,
+    oracle: &mut O,
+    rng: &mut R,
+    threads: usize,
+    scratch: bool,
+) -> (Dendrogram, MergePlaneStats)
 where
     O: SharedQuadrupletOracle,
     R: Rng + ?Sized,
@@ -304,39 +563,63 @@ where
         });
     }
 
-    agglomerate(params, graph, nn, oracle, rng)
+    #[cfg(feature = "parallel")]
+    if fan_out {
+        let mut fan = FanQuad {
+            oracle: &*oracle,
+            threads,
+        };
+        return agglomerate(params, graph, nn, &mut fan, rng, scratch);
+    }
+    agglomerate(params, graph, nn, oracle, rng, scratch)
 }
 
-/// The merge loop shared by [`hier_oracle`] and [`hier_oracle_par`]:
-/// closest-pair selection, merging, and pointer repair, all serial.
+/// The merge loop shared by every entry point: incremental closest-pair
+/// selection ([`MinContest`]), merging, and pointer repair. `scratch`
+/// forces the from-scratch reference sweep at every merge.
 fn agglomerate<O, R>(
     params: &HierParams,
     mut graph: ClusterGraph,
     mut nn: Vec<usize>,
     oracle: &mut O,
     rng: &mut R,
-) -> Dendrogram
+    scratch: bool,
+) -> (Dendrogram, MergePlaneStats)
 where
     O: QuadrupletOracle,
     R: Rng + ?Sized,
 {
     let n = graph.active().len();
+    let mut stats = MergePlaneStats::default();
+
+    // Per-merge counter streams keyed by the merge index: stream 0 deals
+    // the initial winner structure; merge `t` draws pointer repairs from
+    // stream `2t + 1` and structure maintenance (bucket deal of the new
+    // cluster, sample top-up) from stream `2t + 2`. Serial control flow
+    // plus keyed streams make the transcript worker-count-independent.
+    let base = CounterRng::new(rng.next_u64(), rng.next_u64());
+    let mut contest = {
+        let mut deal_rng = base.stream(0);
+        MinContest::new(graph.active(), 2 * n - 1, &params.search, &mut deal_rng)
+    };
+
     // Scratch buffers reused by every search and repair round.
     let mut neighbours: Vec<usize> = Vec::with_capacity(n);
     let mut stale: Vec<usize> = Vec::with_capacity(n);
+    let mut quads: Vec<[usize; 4]> = Vec::new();
 
     let mut merges = Vec::with_capacity(n - 1);
-    while graph.active().len() > 1 {
-        // Closest (C, nn(C)) candidate, searched directly over the live
-        // slot list — no per-merge candidate `Vec` rebuild.
-        let winner = {
-            let mut cmp = CandidateCmp {
-                oracle,
-                graph: &graph,
-                nn: &nn,
-            };
-            min_adv(graph.active(), &params.search, &mut cmp, rng).expect("non-empty actives")
+    let mut winner = {
+        let mut cmp = CandidateCmp {
+            oracle,
+            graph: &graph,
+            nn: &nn,
+            queries: &mut quads,
         };
+        min_adv_incremental(&mut contest, &mut cmp, true).expect("non-empty actives")
+    };
+    let mut step = 0u64;
+    while graph.active().len() > 1 {
         let partner = nn[winner];
         let rep = graph.rep(winner, partner);
 
@@ -349,12 +632,14 @@ where
         });
         nn[winner] = usize::MAX;
         nn[partner] = usize::MAX;
+        stats.merges += 1;
 
         if graph.active().len() == 1 {
             break;
         }
 
         // Repair pointers into the merged pair.
+        let mut repair_rng = base.stream(2 * step + 1);
         stale.clear();
         stale.extend(
             graph
@@ -372,16 +657,67 @@ where
                 }
                 // Complete linkage: distances grew; recompute.
                 Linkage::Complete => {
-                    nn[c] = nearest_of(&graph, c, &params.search, oracle, rng, &mut neighbours);
+                    nn[c] = nearest_of(
+                        &graph,
+                        c,
+                        &params.search,
+                        oracle,
+                        &mut repair_rng,
+                        &mut neighbours,
+                        &mut quads,
+                    );
                 }
             }
         }
-        nn[new] = nearest_of(&graph, new, &params.search, oracle, rng, &mut neighbours);
+        nn[new] = nearest_of(
+            &graph,
+            new,
+            &params.search,
+            oracle,
+            &mut repair_rng,
+            &mut neighbours,
+            &mut quads,
+        );
+        stats.repaired_pointers += stale.len() as u64;
+
+        // Winner-structure maintenance: dead candidates out, the union
+        // in, repaired pointers marked dirty, sample topped back up.
+        let mut maint_rng = base.stream(2 * step + 2);
+        contest.remove(winner);
+        contest.remove(partner);
+        contest.insert(new, &mut maint_rng);
+        for &c in &stale {
+            contest.touch(c);
+        }
+        contest.resample(graph.active(), &mut maint_rng);
+
+        let dirty = stale.len() + 1;
+        stats.dirty_candidates += dirty as u64;
+        // Dirty-majority fallback: once most candidates changed, replaying
+        // them incrementally costs more than one full sweep of the
+        // incumbent structure (decision-identical either way).
+        let full = scratch || 2 * dirty > graph.active().len();
+        winner = {
+            let mut cmp = CandidateCmp {
+                oracle,
+                graph: &graph,
+                nn: &nn,
+                queries: &mut quads,
+            };
+            min_adv_incremental(&mut contest, &mut cmp, full).expect("non-empty actives")
+        };
+        step += 1;
     }
+
+    let contest_stats = contest.stats();
+    stats.full_sweeps = contest_stats.full_sweeps;
+    stats.bucket_replays = contest_stats.bucket_replays;
+    stats.bucket_duels = contest_stats.bucket_duels;
+    stats.pool_duels = contest_stats.pool_duels;
 
     let d = Dendrogram { n, merges };
     d.validate();
-    d
+    (d, stats)
 }
 
 #[cfg(test)]
@@ -542,6 +878,44 @@ mod tests {
         assert!(o.queries() <= budget, "{} queries > {budget}", o.queries());
     }
 
+    /// The incremental plane must beat the from-scratch sweep on queries
+    /// while returning the identical dendrogram.
+    #[test]
+    fn incremental_plane_saves_queries_and_matches_scratch() {
+        let n = 48;
+        let pts: Vec<Vec<f64>> = (0..n)
+            .map(|i| vec![((i * 37) % 101) as f64, ((i * 61) % 97) as f64])
+            .collect();
+        let m = EuclideanMetric::from_points(&pts);
+        let params = HierParams::experimental(Linkage::Single);
+        let mut inc_oracle = Counting::new(TrueQuadOracle::new(m.clone()));
+        let (inc, stats) = hier_oracle_stats(&params, &mut inc_oracle, &mut rng(3));
+        let mut scr_oracle = Counting::new(TrueQuadOracle::new(m));
+        let scr = hier_oracle_scratch(&params, &mut scr_oracle, &mut rng(3));
+        assert_eq!(inc, scr, "incremental and scratch sweeps must agree");
+        assert!(
+            inc_oracle.queries() < scr_oracle.queries(),
+            "incremental {} queries should beat scratch {}",
+            inc_oracle.queries(),
+            scr_oracle.queries()
+        );
+        assert_eq!(stats.merges, (n - 1) as u64);
+        assert!(
+            stats.full_sweeps < stats.merges,
+            "most sweeps must be incremental ({stats:?})"
+        );
+    }
+
+    #[test]
+    fn with_confidence_uses_the_natural_log_round_count() {
+        // t = ceil(2 ln(n / delta)): n = 16, delta = 0.1 -> ceil(10.15).
+        let p = HierParams::with_confidence(Linkage::Single, 16, 0.1);
+        assert_eq!(p.search.rounds, 11);
+        // The old base-2 constant would have inflated this to 15.
+        let p = HierParams::with_confidence(Linkage::Complete, 2, 0.5);
+        assert_eq!(p.search.rounds, 3); // ceil(2 ln 4) = ceil(2.77)
+    }
+
     #[test]
     fn counter_stream_variant_is_deterministic_and_valid() {
         let pts: Vec<Vec<f64>> = (0..48)
@@ -565,7 +939,8 @@ mod tests {
     }
 
     /// The fan-out is bit-identical to the single-worker run of the same
-    /// entry point: per-row counter streams make rows rng-independent.
+    /// entry point: per-row counter streams make rows rng-independent and
+    /// fanned merge-plane rounds are reassembled in query order.
     #[cfg(feature = "parallel")]
     #[test]
     fn counter_stream_fan_out_matches_single_worker() {

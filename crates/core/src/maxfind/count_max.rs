@@ -61,38 +61,40 @@ pub fn count_scores_into<I: Copy, C: Comparator<I>>(
     }
     let cap = SCORE_ROUND_CHUNK.min(n * (n - 1) / 2);
     let mut round: Vec<(I, I)> = Vec::with_capacity(cap);
-    let mut index: Vec<(usize, usize)> = Vec::with_capacity(cap);
     let mut answers: Vec<bool> = Vec::with_capacity(cap);
-    let flush = |round: &mut Vec<(I, I)>,
-                 index: &mut Vec<(usize, usize)>,
-                 answers: &mut Vec<bool>,
-                 cmp: &mut C,
-                 scores: &mut Vec<u32>| {
+    // The scoring walk re-derives each flushed pair's `(i, j)` by
+    // replaying the same row-major triangle order the builder used, so no
+    // per-pair index buffer is carried alongside the round.
+    let (mut si, mut sj) = (0usize, 1usize);
+    let mut flush = |round: &mut Vec<(I, I)>, answers: &mut Vec<bool>, cmp: &mut C| {
         answers.clear();
         cmp.le_round(round, answers);
         debug_assert_eq!(answers.len(), round.len());
-        for (&(i, j), &ans) in index.iter().zip(answers.iter()) {
+        for &ans in answers.iter() {
             if ans {
-                scores[j] += 1;
+                scores[sj] += 1;
             } else {
-                scores[i] += 1;
+                scores[si] += 1;
+            }
+            sj += 1;
+            if sj == n {
+                si += 1;
+                sj = si + 1;
             }
         }
         round.clear();
-        index.clear();
     };
     for i in 0..n {
         let vi = items[i];
-        for (j, &vj) in items.iter().enumerate().skip(i + 1) {
+        for &vj in items.iter().skip(i + 1) {
             round.push((vi, vj));
-            index.push((i, j));
             if round.len() == SCORE_ROUND_CHUNK {
-                flush(&mut round, &mut index, &mut answers, cmp, scores);
+                flush(&mut round, &mut answers, cmp);
             }
         }
     }
     if !round.is_empty() {
-        flush(&mut round, &mut index, &mut answers, cmp, scores);
+        flush(&mut round, &mut answers, cmp);
     }
 }
 

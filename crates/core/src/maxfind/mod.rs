@@ -28,7 +28,7 @@ mod probabilistic;
 pub mod topk;
 mod tournament;
 
-pub use adversarial::{max_adv, min_adv, AdvParams};
+pub use adversarial::{max_adv, min_adv, min_adv_incremental, AdvParams, ContestStats, MinContest};
 pub use count_max::{count_max, count_min, count_scores, count_scores_into, duel};
 #[cfg(feature = "parallel")]
 pub use count_max::{count_max_par, count_scores_par};

@@ -37,6 +37,48 @@ pub fn tournament<I: Copy, C: Comparator<I>, R: Rng + ?Sized>(
     // overtakes the read cursor), so no per-round `Vec` is built.
     let mut round: Vec<I> = items.to_vec();
     round.shuffle(rng);
+    if lambda == 2 {
+        // Binary case: a level's duels are independent, so each level is
+        // issued as ONE batched comparator round — the same queries in
+        // the same left-to-right order as the scalar loop (bit-identical
+        // answers and billing), but with the memory latency of the
+        // lookups overlapped instead of serialised duel by duel.
+        // NOTE: `tournament_partition` below and `MinContest`'s bucket
+        // replay (min orientation) carry siblings of this loop over
+        // different storage — fixes here must visit them too.
+        let mut pairs: Vec<(I, I)> = Vec::with_capacity(round.len() / 2);
+        let mut answers: Vec<bool> = Vec::with_capacity(round.len() / 2);
+        let mut len = round.len();
+        while len > 1 {
+            pairs.clear();
+            let mut start = 0;
+            while start + 1 < len {
+                pairs.push((round[start], round[start + 1]));
+                start += 2;
+            }
+            answers.clear();
+            cmp.le_round(&pairs, &mut answers);
+            let mut write = 0;
+            let mut start = 0;
+            while start < len {
+                round[write] = if start + 1 < len {
+                    let a = round[start];
+                    let b = round[start + 1];
+                    if answers[write] {
+                        b
+                    } else {
+                        a
+                    }
+                } else {
+                    round[start]
+                };
+                write += 1;
+                start += 2;
+            }
+            len = write;
+        }
+        return Some(round[0]);
+    }
     let mut len = round.len();
     while len > 1 {
         let mut write = 0;
@@ -131,6 +173,15 @@ where
 /// return each part's binary-tournament winner.
 ///
 /// `l` is clamped to `[1, items.len()]`.
+///
+/// All parts advance **level-synchronously**, each level issued as one
+/// batched comparator round across every part. This is bit-identical to
+/// playing each part's [`tournament`] to completion in part order: the
+/// rng draws are unchanged (the global shuffle, then each part's
+/// within-part shuffle, in part order — duels draw no randomness), every
+/// part keeps its own bracket, and duel answers are pure functions of
+/// their queries — only the interleaving of queries *between* parts
+/// differs, which batching-contract oracles cannot observe.
 pub fn tournament_partition<I: Copy, C: Comparator<I>, R: Rng + ?Sized>(
     items: &[I],
     l: usize,
@@ -143,20 +194,64 @@ pub fn tournament_partition<I: Copy, C: Comparator<I>, R: Rng + ?Sized>(
     let l = l.clamp(1, items.len());
     let mut shuffled: Vec<I> = items.to_vec();
     shuffled.shuffle(rng);
-    // Split into l contiguous chunks of near-equal size.
+    // Split into l contiguous chunks of near-equal size; shuffle each
+    // chunk in part order (the draws `tournament` would have made).
     let base = shuffled.len() / l;
     let extra = shuffled.len() % l;
-    let mut winners = Vec::with_capacity(l);
+    let mut bounds: Vec<(usize, usize)> = Vec::with_capacity(l);
     let mut start = 0;
     for part in 0..l {
         let size = base + usize::from(part < extra);
-        let chunk = &shuffled[start..start + size];
+        shuffled[start..start + size].shuffle(rng);
+        bounds.push((start, size));
         start += size;
-        if let Some(w) = tournament(chunk, 2, cmp, rng) {
-            winners.push(w);
-        }
     }
-    winners
+    // Level-synchronous duels: each part compacts its winners into the
+    // prefix of its own chunk, one batched round per level.
+    let mut pairs: Vec<(I, I)> = Vec::with_capacity(shuffled.len() / 2);
+    let mut answers: Vec<bool> = Vec::new();
+    loop {
+        pairs.clear();
+        for &(start, len) in &bounds {
+            let mut k = 0;
+            while k + 1 < len {
+                pairs.push((shuffled[start + k], shuffled[start + k + 1]));
+                k += 2;
+            }
+        }
+        if pairs.is_empty() {
+            break;
+        }
+        answers.clear();
+        cmp.le_round(&pairs, &mut answers);
+        let mut at = 0;
+        for (start, len) in bounds.iter_mut() {
+            let mut write = 0;
+            let mut k = 0;
+            while k < *len {
+                shuffled[*start + write] = if k + 1 < *len {
+                    let winner = if answers[at] {
+                        shuffled[*start + k + 1]
+                    } else {
+                        shuffled[*start + k]
+                    };
+                    at += 1;
+                    winner
+                } else {
+                    shuffled[*start + k]
+                };
+                write += 1;
+                k += 2;
+            }
+            *len = write;
+        }
+        debug_assert_eq!(at, answers.len());
+    }
+    bounds
+        .iter()
+        .filter(|&&(_, len)| len > 0)
+        .map(|&(start, _)| shuffled[start])
+        .collect()
 }
 
 #[cfg(test)]

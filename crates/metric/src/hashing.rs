@@ -51,6 +51,29 @@ pub fn mix4(seed: u64, w0: u64, w1: u64, w2: u64, w3: u64) -> u64 {
     splitmix64(splitmix64(splitmix64(splitmix64(h ^ w0) ^ w1) ^ w2) ^ w3)
 }
 
+/// The seed-absorption round shared by every mixer: precompute it once
+/// per oracle ([`mix_seed`]) and feed [`mix2_from`] / [`mix4_from`] on the
+/// per-query hot path — digests are bit-identical to [`mix2`] / [`mix4`],
+/// one splitmix round cheaper per query.
+#[inline]
+pub fn mix_seed(seed: u64) -> u64 {
+    splitmix64(seed ^ 0x6a09_e667_f3bc_c909)
+}
+
+/// [`mix2`] resuming from a precomputed [`mix_seed`] digest:
+/// `mix2_from(mix_seed(s), a, b) == mix2(s, a, b)` bit for bit.
+#[inline]
+pub fn mix2_from(h0: u64, w0: u64, w1: u64) -> u64 {
+    splitmix64(splitmix64(h0 ^ w0) ^ w1)
+}
+
+/// [`mix4`] resuming from a precomputed [`mix_seed`] digest:
+/// `mix4_from(mix_seed(s), a, b, c, d) == mix4(s, a, b, c, d)` bit for bit.
+#[inline]
+pub fn mix4_from(h0: u64, w0: u64, w1: u64, w2: u64, w3: u64) -> u64 {
+    splitmix64(splitmix64(splitmix64(splitmix64(h0 ^ w0) ^ w1) ^ w2) ^ w3)
+}
+
 /// Maps a 64-bit digest to a uniform `f64` in `[0, 1)`.
 #[inline]
 pub fn unit_f64(h: u64) -> f64 {
@@ -68,6 +91,62 @@ pub fn unit_from(seed: u64, words: &[u64]) -> f64 {
 #[inline]
 pub fn bernoulli(seed: u64, words: &[u64], p: f64) -> bool {
     unit_from(seed, words) < p
+}
+
+/// A splitmix64-based [`std::hash::Hasher`] for integer-keyed hot-path
+/// maps (packed pair/quadruplet keys): one finaliser round per written
+/// word instead of SipHash's full keyed construction. These maps are
+/// internal caches — attacker-controlled keys are not a concern, and the
+/// mixer's avalanche quality keeps bucket collisions at the random
+/// baseline.
+#[derive(Debug, Default, Clone)]
+pub struct MixHasher(u64);
+
+impl std::hash::Hasher for MixHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        // Generic fallback (derived Hash on structs): absorb 8-byte words.
+        for chunk in bytes.chunks(8) {
+            let mut word = [0u8; 8];
+            word[..chunk.len()].copy_from_slice(chunk);
+            self.0 = splitmix64(self.0 ^ u64::from_le_bytes(word));
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, x: u64) {
+        self.0 = splitmix64(self.0 ^ x);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, x: u32) {
+        self.write_u64(u64::from(x));
+    }
+
+    #[inline]
+    fn write_usize(&mut self, x: usize) {
+        self.write_u64(x as u64);
+    }
+}
+
+/// [`std::hash::BuildHasher`] for [`MixHasher`] — plug into
+/// `HashMap::with_hasher` / `HashSet::with_hasher` for integer-keyed
+/// caches on query hot paths.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct MixBuildHasher;
+
+impl std::hash::BuildHasher for MixBuildHasher {
+    type Hasher = MixHasher;
+
+    #[inline]
+    fn build_hasher(&self) -> MixHasher {
+        MixHasher(0x6a09_e667_f3bc_c909)
+    }
 }
 
 #[cfg(test)]
@@ -98,6 +177,9 @@ mod tests {
                 let (a, b, c, d) = (w, w.wrapping_mul(3) ^ 5, !w, w << 7);
                 assert_eq!(mix2(seed, a, b), mix(seed, &[a, b]));
                 assert_eq!(mix4(seed, a, b, c, d), mix(seed, &[a, b, c, d]));
+                let h0 = mix_seed(seed);
+                assert_eq!(mix2_from(h0, a, b), mix2(seed, a, b));
+                assert_eq!(mix4_from(h0, a, b, c, d), mix4(seed, a, b, c, d));
             }
         }
     }

@@ -34,8 +34,8 @@ pub mod tree;
 pub use cache::{CachedMetric, DistCache};
 pub use euclidean::EuclideanMetric;
 pub use matrix::{
-    materialize, materialize_if_small, MaterializedMetric, MatrixMetric, CACHE_TAKEOVER_MAX_POINTS,
-    DEFAULT_MATERIALIZE_CUTOFF,
+    materialize, materialize_if_small, MaterializedMetric, MatrixMetric, SquareMetric,
+    CACHE_TAKEOVER_MAX_POINTS, DEFAULT_MATERIALIZE_CUTOFF,
 };
 pub use tree::{TreeMetric, TreeMetricBuilder};
 

@@ -104,6 +104,52 @@ impl Metric for MatrixMetric {
     }
 }
 
+/// A full `n x n` distance grid — the locality-optimised materialisation
+/// for **anchored** query patterns.
+///
+/// Twice the memory of the condensed triangle, but `dist(i, j)` is a
+/// single load with no index canonicalisation, and every query anchored
+/// at record `i` (nearest/farthest rows, SLINK's per-row pointer
+/// searches) reads the contiguous `8n`-byte row `i`, which stays
+/// L1/L2-resident across the whole search instead of hopping around a
+/// multi-megabyte triangle. Each distance is evaluated once (upper
+/// triangle) and mirrored, so the stored values are the source metric's
+/// own `f64`s — bit-identical to lazy evaluation under every noise model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SquareMetric {
+    n: usize,
+    grid: Vec<f64>,
+}
+
+impl SquareMetric {
+    /// Materialises any metric into the full grid (`O(n^2)` memory,
+    /// `n (n - 1) / 2` distance evaluations).
+    pub fn from_metric<M: Metric>(m: &M) -> Self {
+        let n = m.len();
+        let mut grid = vec![0.0; n * n];
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let d = m.dist(i, j);
+                grid[i * n + j] = d;
+                grid[j * n + i] = d;
+            }
+        }
+        Self { n, grid }
+    }
+}
+
+impl Metric for SquareMetric {
+    #[inline]
+    fn len(&self) -> usize {
+        self.n
+    }
+
+    #[inline]
+    fn dist(&self, i: usize, j: usize) -> f64 {
+        self.grid[i * self.n + j]
+    }
+}
+
 /// A metric that is an up-front condensed matrix, a lazily filling
 /// [`crate::DistCache`] over the original implementation, or the original
 /// left untouched — the return type of [`materialize_if_small`].

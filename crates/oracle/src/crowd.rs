@@ -178,6 +178,41 @@ impl<M: Metric> QuadrupletOracle for CrowdQuadOracle<M> {
     fn le(&mut self, a: usize, b: usize, c: usize, d: usize) -> bool {
         self.answer(a, b, c, d)
     }
+
+    /// Batched committee round: worker draws are simulated across the
+    /// whole batch in serial query order — each answer is a pure function
+    /// of its canonical query, so the transcript is bit-identical to the
+    /// scalar loop — while the round's distance work is amortised: each
+    /// **distinct record pair**'s distance is evaluated once per round
+    /// (the paper's rounds re-touch the same few rep pairs many times —
+    /// a Count-Max pool of `p` contestants asks `p(p-1)/2` queries over
+    /// only `p` distinct pairs). Keys are packed pair indices hashed with
+    /// the splitmix mixer, so a cache probe stays far below one lazy
+    /// distance evaluation.
+    fn le_batch(&mut self, queries: &[[usize; 4]], out: &mut Vec<bool>) {
+        use nco_metric::hashing::MixBuildHasher;
+        use std::collections::HashMap;
+        debug_assert!(self.metric.len() <= u32::MAX as usize, "packed pair keys");
+        let mut dists: HashMap<u64, f64, MixBuildHasher> =
+            HashMap::with_capacity_and_hasher(64, MixBuildHasher);
+        let metric = &self.metric;
+        let mut dist_of = |p: (usize, usize)| -> f64 {
+            *dists
+                .entry(((p.0 as u64) << 32) | p.1 as u64)
+                .or_insert_with(|| metric.dist(p.0, p.1))
+        };
+        out.reserve(queries.len());
+        for &[a, b, c, d] in queries {
+            let Some((q1, q2, swapped)) = Self::canonical(a, b, c, d) else {
+                out.push(true);
+                continue;
+            };
+            let d1 = dist_of(q1);
+            let d2 = dist_of(q2);
+            let ans = decide(&self.profile, self.workers, self.seed, q1, q2, d1, d2);
+            out.push(ans ^ swapped);
+        }
+    }
 }
 
 impl<M: Metric + Sync> SharedQuadrupletOracle for CrowdQuadOracle<M> {
@@ -191,35 +226,89 @@ impl<M: Metric + Sync> SharedQuadrupletOracle for CrowdQuadOracle<M> {
 impl<M: Metric> PersistentNoise for CrowdQuadOracle<M> {}
 
 impl<M: Metric> CrowdQuadOracle<M> {
-    fn answer(&self, a: usize, b: usize, c: usize, d: usize) -> bool {
+    /// Canonicalises a query: ordered pairs, ordered pair-of-pairs, and
+    /// whether the answer must be mirrored. `None` means the two pairs are
+    /// identical (a truthful tie, answered `Yes`).
+    #[inline]
+    #[allow(clippy::type_complexity)]
+    fn canonical(
+        a: usize,
+        b: usize,
+        c: usize,
+        d: usize,
+    ) -> Option<((usize, usize), (usize, usize), bool)> {
         let p1 = if a <= b { (a, b) } else { (b, a) };
         let p2 = if c <= d { (c, d) } else { (d, c) };
         if p1 == p2 {
-            return true;
+            return None;
         }
         let swapped = p1 > p2;
         let (q1, q2) = if swapped { (p2, p1) } else { (p1, p2) };
+        Some((q1, q2, swapped))
+    }
+
+    fn answer(&self, a: usize, b: usize, c: usize, d: usize) -> bool {
+        let Some((q1, q2, swapped)) = Self::canonical(a, b, c, d) else {
+            return true;
+        };
         let d1 = self.metric.dist(q1.0, q1.1);
         let d2 = self.metric.dist(q2.0, q2.1);
-        let truth = d1 <= d2;
-        let rho = if d1.min(d2) <= 0.0 {
-            f64::INFINITY
+        decide(&self.profile, self.workers, self.seed, q1, q2, d1, d2) ^ swapped
+    }
+}
+
+/// Majority vote of a `workers`-sized committee whose member `w` answers
+/// correctly when `coin(w)` is `true`. Worker coins are independent
+/// seeded hashes, so the vote may stop as soon as either side reaches a
+/// majority — the outcome is identical to polling every worker. Shared
+/// by the quadruplet and value committees so their vote semantics can
+/// never drift apart.
+fn majority_correct(workers: u32, mut coin: impl FnMut(u32) -> bool) -> bool {
+    let majority = workers / 2 + 1;
+    let mut correct_votes = 0u32;
+    let mut wrong_votes = 0u32;
+    for w in 0..workers {
+        if coin(w) {
+            correct_votes += 1;
+            if correct_votes == majority {
+                break;
+            }
         } else {
-            d1.max(d2) / d1.min(d2)
-        };
-        let acc = self.profile.accuracy(rho);
-        let mut correct_votes = 0u32;
-        for w in 0..self.workers {
-            let correct = hashing::bernoulli(
-                self.seed,
+            wrong_votes += 1;
+            if wrong_votes == majority {
+                break;
+            }
+        }
+    }
+    correct_votes >= majority
+}
+
+/// Majority decision of one committee over a canonical query: `true`
+/// encodes `Yes` ("`d1 <= d2`").
+fn decide(
+    profile: &AccuracyProfile,
+    workers: u32,
+    seed: u64,
+    q1: (usize, usize),
+    q2: (usize, usize),
+    d1: f64,
+    d2: f64,
+) -> bool {
+    let truth = d1 <= d2;
+    let rho = if d1.min(d2) <= 0.0 {
+        f64::INFINITY
+    } else {
+        d1.max(d2) / d1.min(d2)
+    };
+    let acc = profile.accuracy(rho);
+    truth
+        == majority_correct(workers, |w| {
+            hashing::bernoulli(
+                seed,
                 &[w as u64, q1.0 as u64, q1.1 as u64, q2.0 as u64, q2.1 as u64],
                 acc,
-            );
-            correct_votes += correct as u32;
-        }
-        let majority_correct = correct_votes * 2 > self.workers;
-        (truth == majority_correct) ^ swapped
-    }
+            )
+        })
 }
 
 /// A comparison oracle answered by the same simulated crowd: worker
@@ -270,24 +359,27 @@ impl CrowdValueOracle {
         &self.values
     }
 
+    /// Majority decision over the canonical pair `a < b` — the value twin
+    /// of the quadruplet committee, through the same shared vote.
+    fn decide(&self, a: usize, b: usize) -> bool {
+        let (va, vb) = (self.values[a], self.values[b]);
+        let truth = va <= vb;
+        let (lo, hi) = if va <= vb { (va, vb) } else { (vb, va) };
+        let rho = if lo <= 0.0 { f64::INFINITY } else { hi / lo };
+        let acc = self.profile.accuracy(rho);
+        truth
+            == majority_correct(self.workers, |w| {
+                hashing::bernoulli(self.seed, &[w as u64, a as u64, b as u64], acc)
+            })
+    }
+
     fn answer(&self, i: usize, j: usize) -> bool {
         if i == j {
             return true;
         }
         let swapped = i > j;
         let (a, b) = if swapped { (j, i) } else { (i, j) };
-        let (va, vb) = (self.values[a], self.values[b]);
-        let truth = va <= vb;
-        let (lo, hi) = if va <= vb { (va, vb) } else { (vb, va) };
-        let rho = if lo <= 0.0 { f64::INFINITY } else { hi / lo };
-        let acc = self.profile.accuracy(rho);
-        let mut correct_votes = 0u32;
-        for w in 0..self.workers {
-            let correct = hashing::bernoulli(self.seed, &[w as u64, a as u64, b as u64], acc);
-            correct_votes += correct as u32;
-        }
-        let majority_correct = correct_votes * 2 > self.workers;
-        (truth == majority_correct) ^ swapped
+        self.decide(a, b) ^ swapped
     }
 }
 
@@ -298,6 +390,32 @@ impl ComparisonOracle for CrowdValueOracle {
 
     fn le(&mut self, i: usize, j: usize) -> bool {
         self.answer(i, j)
+    }
+
+    /// Batched committee round: each **distinct canonical pair**'s
+    /// committee is simulated once per round and repeats are served from
+    /// the round answer cache — answers are pure functions of the pair,
+    /// so the transcript is bit-identical to the scalar loop in serial
+    /// query order.
+    fn le_batch(&mut self, queries: &[(usize, usize)], out: &mut Vec<bool>) {
+        use nco_metric::hashing::MixBuildHasher;
+        use std::collections::HashMap;
+        debug_assert!(self.values.len() <= u32::MAX as usize, "packed pair keys");
+        let mut answers: HashMap<u64, bool, MixBuildHasher> =
+            HashMap::with_capacity_and_hasher(64, MixBuildHasher);
+        out.reserve(queries.len());
+        for &(i, j) in queries {
+            if i == j {
+                out.push(true);
+                continue;
+            }
+            let swapped = i > j;
+            let (a, b) = if swapped { (j, i) } else { (i, j) };
+            let ans = *answers
+                .entry(((a as u64) << 32) | b as u64)
+                .or_insert_with(|| self.decide(a, b));
+            out.push(ans ^ swapped);
+        }
     }
 }
 

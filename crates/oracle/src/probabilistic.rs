@@ -31,7 +31,9 @@ fn validate_p(p: f64) {
 pub struct ProbValueOracle {
     values: Vec<f64>,
     p: f64,
-    seed: u64,
+    /// Precomputed seed-absorption round ([`hashing::mix_seed`]) — one
+    /// splitmix round saved on every coin, digest-identical.
+    seed_h: u64,
 }
 
 impl ProbValueOracle {
@@ -42,7 +44,11 @@ impl ProbValueOracle {
     pub fn new(values: Vec<f64>, p: f64, seed: u64) -> Self {
         validate_p(p);
         assert!(values.iter().all(|v| v.is_finite()));
-        Self { values, p, seed }
+        Self {
+            values,
+            p,
+            seed_h: hashing::mix_seed(seed),
+        }
     }
 
     /// The error probability.
@@ -76,10 +82,10 @@ impl SharedComparisonOracle for ProbValueOracle {
         let swapped = i > j;
         let (a, b) = if swapped { (j, i) } else { (i, j) };
         let truth = self.values[a] <= self.values[b];
-        // `mix2` is the unrolled, digest-identical form of
+        // `mix2_from` is the unrolled, digest-identical form of
         // `bernoulli(seed, &[a, b], p)` — this is the hottest line in the
         // probabilistic workloads.
-        let flip = hashing::unit_f64(hashing::mix2(self.seed, a as u64, b as u64)) < self.p;
+        let flip = hashing::unit_f64(hashing::mix2_from(self.seed_h, a as u64, b as u64)) < self.p;
         (truth ^ flip) ^ swapped
     }
 }
@@ -91,14 +97,20 @@ impl PersistentNoise for ProbValueOracle {}
 pub struct ProbQuadOracle<M> {
     metric: M,
     p: f64,
-    seed: u64,
+    /// Precomputed seed-absorption round ([`hashing::mix_seed`]) — one
+    /// splitmix round saved on every coin, digest-identical.
+    seed_h: u64,
 }
 
 impl<M: Metric> ProbQuadOracle<M> {
     /// Builds the oracle with per-query error probability `p in [0, 0.5)`.
     pub fn new(metric: M, p: f64, seed: u64) -> Self {
         validate_p(p);
-        Self { metric, p, seed }
+        Self {
+            metric,
+            p,
+            seed_h: hashing::mix_seed(seed),
+        }
     }
 
     /// The error probability.
@@ -162,8 +174,8 @@ impl<M: Metric> ProbQuadOracle<M> {
         let (q1, q2) = if swapped { (p2, p1) } else { (p1, p2) };
         let truth = self.metric.dist(q1.0, q1.1) <= self.metric.dist(q2.0, q2.1);
         // Unrolled, digest-identical form of `bernoulli(seed, &[..4], p)`.
-        let flip = hashing::unit_f64(hashing::mix4(
-            self.seed,
+        let flip = hashing::unit_f64(hashing::mix4_from(
+            self.seed_h,
             q1.0 as u64,
             q1.1 as u64,
             q2.0 as u64,

@@ -9,6 +9,7 @@
 use std::time::Duration;
 
 use crate::task::Answer;
+use nco_core::hier::MergePlaneStats;
 
 /// Cost accounting for one [`crate::Session::run`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -22,7 +23,10 @@ pub struct RunReport {
     /// layer; the remaining queries went through the scalar path. With
     /// memoisation enabled this reads 0: the answer memo intercepts
     /// per query, decomposing rounds into scalar lookups before they
-    /// reach the meter.
+    /// reach the meter. Threaded hierarchy runs (`threads >= 2` on a
+    /// `parallel` build) also under-report: the merge plane's fan-out
+    /// wrapper answers rounds through the per-query shared path, so
+    /// those rounds bill queries but not round counts.
     pub rounds: u64,
     /// Answer-cache hits when memoisation was enabled (`None` otherwise):
     /// repeated queries served from the exact memo without touching the
@@ -37,6 +41,11 @@ pub struct RunReport {
     pub wall: Duration,
     /// The configured query budget, if any.
     pub budget: Option<u64>,
+    /// Incremental merge-plane counters of the hierarchy engine (`None`
+    /// for every other task): merges, full closest-pair sweeps vs dirty
+    /// re-contests, pointer repairs, bucket replays and pool duels — the
+    /// cost anatomy behind [`Self::queries`] for `Task::Hierarchy` runs.
+    pub merge_plane: Option<MergePlaneStats>,
 }
 
 /// A successful run: the typed answer plus its cost accounting.
@@ -70,6 +79,7 @@ mod tests {
                 cache_entries: Some(5),
                 wall: Duration::from_millis(1),
                 budget: Some(100),
+                merge_plane: None,
             },
         );
         assert_eq!(o.answer.item(), Some(3));

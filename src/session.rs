@@ -49,7 +49,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use nco_core::comparator::ValueCmp;
-use nco_core::hier::{hier_oracle, hier_oracle_par, HierParams};
+use nco_core::hier::{hier_oracle_par_stats, hier_oracle_stats, HierParams, MergePlaneStats};
 use nco_core::kcenter::{kcenter_adv, kcenter_prob, KCenterAdvParams, KCenterProbParams};
 use nco_core::maxfind::{max_adv, max_prob, top_k_adv, top_k_prob, AdvParams, ProbParams};
 use nco_core::neighbor::{farthest_adv, farthest_prob, nearest_adv, nearest_prob};
@@ -324,7 +324,7 @@ impl SessionBuilder {
 
     /// Worker threads for fan-out-capable engines. With `threads >= 2`,
     /// [`Task::Hierarchy`] runs the counter-stream SLINK engine
-    /// ([`hier_oracle_par`]), whose output is bit-identical at any worker
+    /// (`hier_oracle_par`), whose output is bit-identical at any worker
     /// count; other tasks currently run serially regardless.
     pub fn threads(mut self, threads: usize) -> Self {
         self.threads = threads;
@@ -643,6 +643,7 @@ impl Session {
                 inner.rounds(),
                 inner.exceeded(),
                 Some(memo_hits),
+                None,
                 start,
             )
         } else {
@@ -653,6 +654,7 @@ impl Session {
                 oracle.queries(),
                 oracle.rounds(),
                 oracle.exceeded(),
+                None,
                 None,
                 start,
             )
@@ -727,8 +729,9 @@ impl Session {
         if self.cfg.memo {
             // Memo outside, budget inside: hits are free, only queries
             // that reach the real oracle bill against the budget.
+            let mut plane = None;
             let mut oracle = MemoOracle::new(Budgeted::new(raw, self.cfg.budget));
-            let answer = self.quad_task(task, &mut oracle)?;
+            let answer = self.quad_task(task, &mut oracle, &mut plane)?;
             let memo_hits = oracle.hits();
             let inner = oracle.inner();
             self.finish(
@@ -737,6 +740,7 @@ impl Session {
                 inner.rounds(),
                 inner.exceeded(),
                 Some(memo_hits),
+                plane,
                 start,
             )
         } else if self.cfg.threads >= 2 && matches!(task, Task::Hierarchy { .. }) {
@@ -746,7 +750,7 @@ impl Session {
             };
             let mut oracle = SharedBudgeted::new(raw, self.cfg.budget);
             let mut rng = StdRng::seed_from_u64(self.cfg.seed);
-            let dend = hier_oracle_par(
+            let (dend, plane) = hier_oracle_par_stats(
                 &self.hier_params(linkage),
                 &mut oracle,
                 &mut rng,
@@ -758,26 +762,30 @@ impl Session {
                 oracle.rounds(),
                 oracle.exceeded(),
                 None,
+                Some(plane),
                 start,
             )
         } else {
+            let mut plane = None;
             let mut oracle = Budgeted::new(raw, self.cfg.budget);
-            let answer = self.quad_task(task, &mut oracle)?;
+            let answer = self.quad_task(task, &mut oracle, &mut plane)?;
             self.finish(
                 answer,
                 oracle.queries(),
                 oracle.rounds(),
                 oracle.exceeded(),
                 None,
+                plane,
                 start,
             )
         }
     }
 
-    fn quad_task<O: QuadrupletOracle>(
+    fn quad_task<O: QuadrupletOracle + nco_oracle::PersistentNoise>(
         &self,
         task: Task,
         oracle: &mut O,
+        plane: &mut Option<MergePlaneStats>,
     ) -> Result<Answer, NcoError> {
         let n = oracle.n();
         let mut rng = StdRng::seed_from_u64(self.cfg.seed);
@@ -809,11 +817,11 @@ impl Session {
                 };
                 Ok(Answer::Clustering(clustering))
             }
-            Task::Hierarchy { linkage } => Ok(Answer::Dendrogram(hier_oracle(
-                &self.hier_params(linkage),
-                oracle,
-                &mut rng,
-            ))),
+            Task::Hierarchy { linkage } => {
+                let (dend, stats) = hier_oracle_stats(&self.hier_params(linkage), oracle, &mut rng);
+                *plane = Some(stats);
+                Ok(Answer::Dendrogram(dend))
+            }
             // validate() routed value tasks away from metric sessions.
             _ => Err(NcoError::invalid("not a metric task")),
         }
@@ -871,6 +879,7 @@ impl Session {
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn finish(
         &self,
         answer: Answer,
@@ -878,6 +887,7 @@ impl Session {
         rounds: u64,
         exceeded: bool,
         memo_hits: Option<u64>,
+        merge_plane: Option<MergePlaneStats>,
         start: Instant,
     ) -> Result<Outcome, NcoError> {
         if exceeded {
@@ -894,6 +904,7 @@ impl Session {
                 cache_entries: self.engine.cache().map(|c| c.filled() as u64),
                 wall: start.elapsed(),
                 budget: self.cfg.budget,
+                merge_plane,
             },
         ))
     }

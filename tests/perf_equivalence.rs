@@ -1,4 +1,4 @@
-//! Equivalence guarantees behind the PR-2 and PR-3 performance work.
+//! Equivalence guarantees behind the PR-2..PR-5 performance work.
 //!
 //! Four families of checks:
 //!
@@ -11,7 +11,8 @@
 //! 2. **Batch == scalar.** Every oracle's `le_batch` (and every
 //!    comparator's `le_round`) must produce bit-identical answers and
 //!    identical metered query counts to the scalar loop, across ≥20
-//!    seeds and every shipped noise model.
+//!    seeds and every shipped noise model — including the PR 5 crowd
+//!    committee override (per-round distance + answer dedup).
 //! 3. **Distance caching is invisible.** Algorithms over
 //!    `CachedMetric<M>`-backed oracles make bit-identical decisions with
 //!    identical query totals to the same oracles over the raw `M`.
@@ -279,6 +280,89 @@ mod batch_equivalence {
         adv_batch.le_batch(&pair_queries, &mut got);
         assert_eq!(expect, got);
         assert_eq!(adv_scalar.queries(), adv_batch.queries());
+    }
+
+    /// The PR 5 crowd `le_batch` override (per-round distance dedup +
+    /// committee-answer dedup + short-circuited majority votes) is
+    /// bit-identical to the scalar committee loop on repeat-heavy rounds,
+    /// for both cliff and flat accuracy profiles, across 20 seeds.
+    #[test]
+    fn crowd_quad_le_batch_override_matches_scalar_across_20_seeds() {
+        let scenario = MetricScenario::separated_blobs(4, 12, 30.0, 41);
+        let n = scenario.n();
+        for profile in [
+            AccuracyProfile::caltech_like(),
+            AccuracyProfile::amazon_like(),
+        ] {
+            for seed in 0..20u64 {
+                let mut scalar = Counting::new(scenario.crowd_oracle(profile, 7000 + seed));
+                let mut batch = Counting::new(scenario.crowd_oracle(profile, 7000 + seed));
+                // A Count-Max-pool-shaped round: p(p-1)/2 queries over only
+                // p distinct pairs — the dedup-heavy case — plus mirrored
+                // and degenerate queries.
+                let pairs: Vec<(usize, usize)> = (0..8)
+                    .map(|i| ((i * 5) % n, ((i * 5) + 1 + i % 3) % n))
+                    .collect();
+                let mut queries: Vec<[usize; 4]> = Vec::new();
+                for i in 0..pairs.len() {
+                    for j in 0..pairs.len() {
+                        if i != j {
+                            let (a, b) = pairs[i];
+                            let (c, d) = pairs[j];
+                            queries.push([a, b, c, d]);
+                            queries.push([b, a, c, d]);
+                        }
+                    }
+                }
+                queries.extend(quad_batch(n, 9500 + seed, 150));
+                let expect: Vec<bool> = queries
+                    .iter()
+                    .map(|&[a, b, c, d]| scalar.le(a, b, c, d))
+                    .collect();
+                let mut got = Vec::new();
+                batch.le_batch(&queries, &mut got);
+                assert_eq!(expect, got, "profile {profile:?}, seed {seed}");
+                assert_eq!(scalar.queries(), batch.queries(), "seed {seed}");
+            }
+        }
+    }
+
+    /// The value-oracle twin: `CrowdValueOracle::le_batch` serves repeated
+    /// canonical pairs from the round answer cache, bit-identically.
+    #[test]
+    fn crowd_value_le_batch_override_matches_scalar_across_20_seeds() {
+        use nco_oracle::crowd::CrowdValueOracle;
+        let values: Vec<f64> = (1..=60).map(|i| (i * i) as f64).collect();
+        for profile in [
+            AccuracyProfile::caltech_like(),
+            AccuracyProfile::amazon_like(),
+        ] {
+            for seed in 0..20u64 {
+                let mut scalar =
+                    Counting::new(CrowdValueOracle::new(values.clone(), profile, 3, 80 + seed));
+                let mut batch =
+                    Counting::new(CrowdValueOracle::new(values.clone(), profile, 3, 80 + seed));
+                let mut queries: Vec<(usize, usize)> = Vec::new();
+                let mut r = rng(1200 + seed);
+                use rand::Rng;
+                for i in 0..300 {
+                    let a = r.random_range(0..60);
+                    // Heavy repetition: a small anchor set keeps recurring.
+                    let b = if i % 2 == 0 {
+                        (i / 2) % 7
+                    } else {
+                        r.random_range(0..60)
+                    };
+                    queries.push((a, b));
+                    queries.push((b, a));
+                }
+                let expect: Vec<bool> = queries.iter().map(|&(i, j)| scalar.le(i, j)).collect();
+                let mut got = Vec::new();
+                batch.le_batch(&queries, &mut got);
+                assert_eq!(expect, got, "profile {profile:?}, seed {seed}");
+                assert_eq!(scalar.queries(), batch.queries(), "seed {seed}");
+            }
+        }
     }
 
     /// The Count-Max scoring triangle routed through `le_round` produces

@@ -145,7 +145,7 @@ fn direct_quad_answer(
     rng_seed: u64,
     min_cluster_promise: Option<usize>,
 ) -> (QuadAnswer, u64) {
-    fn drive<O: QuadrupletOracle>(
+    fn drive<O: QuadrupletOracle + noisy_oracle::oracle::PersistentNoise>(
         task: Task,
         statistical: bool,
         mut oracle: Counting<O>,
