@@ -1,7 +1,7 @@
 //! `perfsuite` — the reproducible performance suite behind the repo's
 //! perf trajectory (`BENCH_*.json`).
 //!
-//! Nine pinned, fully seeded workloads cover the paper's hot paths:
+//! Ten pinned, fully seeded workloads cover the paper's hot paths:
 //!
 //! | name | shape |
 //! |---|---|
@@ -14,6 +14,7 @@
 //! | `slink_crowd_n512` | single-linkage SLINK under the 3-worker crowd oracle, **scalar loop vs `le_batch` committee rounds** (PR 5) |
 //! | `kcenter_n1024` | Algorithm 6 greedy 32-center over 1024 128-d points, adversarial `mu = 0.2` |
 //! | `session_kcenter_n1024` | the same greedy 32-center routed through the facade's `Session` front door (zero-overhead check) |
+//! | `serve_mixed_n512` | a sustained mixed request stream, **sequential solo sessions vs the concurrent serving plane** (PR 6): shared-memo backend + cross-request round coalescing |
 //!
 //! Each workload runs twice: a **baseline** configuration and an
 //! **optimized** configuration. Both runs draw the same seeds; the suite
@@ -33,7 +34,7 @@
 //! ```
 //!
 //! `--smoke` shrinks every workload (~16x fewer queries) for CI;
-//! `--out` defaults to `BENCH_PR5.json` in the current directory;
+//! `--out` defaults to `BENCH_PR6.json` in the current directory;
 //! `--check-baseline` compares this run's query counts against a
 //! committed baseline JSON and exits non-zero on any regression
 //! (count > baseline) — the CI guard for the pinned workloads.
@@ -65,6 +66,11 @@ struct WorkloadReport {
     threads: usize,
     optimization: &'static str,
     outputs_match: bool,
+    /// Free-form extra measurements (latency percentiles, backend
+    /// tallies); rendered into the JSON only when present. Must never
+    /// contain a quoted JSON key (`"x":`) — `extract_workloads` scans
+    /// the raw text.
+    detail: Option<String>,
 }
 
 impl WorkloadReport {
@@ -190,6 +196,7 @@ fn run_count_max_prob(n: usize, reps: usize) -> WorkloadReport {
             "serial rounds (single worker available; fan-out needs --features parallel and >1 core)"
         },
         outputs_match: serial_winners == opt_winners && queries == opt_queries,
+        detail: None,
     }
 }
 
@@ -255,6 +262,7 @@ fn run_neighbor(
         threads: 1,
         optimization: "DistCache: touched-pair distance memoisation behind batched oracle rounds",
         outputs_match: base_out == opt_out && queries == oracle.queries(),
+        detail: None,
     }
 }
 
@@ -290,6 +298,7 @@ fn run_slink(n: usize) -> WorkloadReport {
         threads: 1,
         optimization: "full-grid materialisation (both configs run the incremental merge plane)",
         outputs_match: base == opt && queries == oracle.queries(),
+        detail: None,
     }
 }
 
@@ -347,6 +356,7 @@ fn run_slink_par(n: usize) -> WorkloadReport {
         optimization:
             "incremental merge plane + full-grid materialisation + counter-stream fan-out",
         outputs_match: base == opt && queries == oracle.queries(),
+        detail: None,
     }
 }
 
@@ -391,6 +401,7 @@ fn run_slink_complete(n: usize) -> WorkloadReport {
         optimization:
             "incremental closest-pair merge plane vs from-scratch sweep (decision-identical)",
         outputs_match: base == opt && oracle.queries() <= scratch_queries,
+        detail: None,
     }
 }
 
@@ -454,6 +465,7 @@ fn run_slink_crowd(n: usize) -> WorkloadReport {
         threads: 1,
         optimization: "crowd le_batch override: per-round distance + committee-answer dedup",
         outputs_match: base == opt && queries == oracle.queries(),
+        detail: None,
     }
 }
 
@@ -515,6 +527,7 @@ fn run_kcenter(n: usize, k: usize, reps: usize) -> WorkloadReport {
         threads: 1,
         optimization: "DistCache shared across reps: touched (point, center) pairs only",
         outputs_match: base_out == opt_out && queries == opt_queries,
+        detail: None,
     }
 }
 
@@ -590,14 +603,157 @@ fn run_session_kcenter(n: usize, k: usize, reps: usize) -> WorkloadReport {
         threads: 1,
         optimization: "Session front door over a shared Engine (zero-overhead facade check)",
         outputs_match: base_out == opt_out && queries == opt_queries,
+        detail: None,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Workload 10: the concurrent serving plane under a sustained mixed
+// request stream (the PR 6 tentpole, measured head to head).
+// ---------------------------------------------------------------------
+
+fn run_serve_mixed(n: usize, batches: usize) -> WorkloadReport {
+    use noisy_oracle::data::AnyMetric;
+    use noisy_oracle::{Engine, Noise, Request, Server, Session, Task};
+
+    let dim = 64;
+    let metric = mixture_points(n, dim, 8, 0x5E12);
+    let noise = Noise::Probabilistic {
+        p: 0.1,
+        seed: 0x5EED,
+    };
+    // A realistic stream: nearest/farthest probes anchored at a rotating
+    // handful of query points plus periodic clustering requests. Seeds
+    // repeat across batches, so the stream re-asks earlier questions —
+    // the shape cross-request memoisation exists for.
+    let requests: Vec<Request> = (0..batches)
+        .flat_map(|b| {
+            let seed = 100 + (b % 3) as u64;
+            [
+                Request {
+                    task: Task::Nearest { q: (b * 37) % 5 },
+                    seed,
+                },
+                Request {
+                    task: Task::Farthest { q: (b * 53) % 7 },
+                    seed: seed + 7,
+                },
+                Request {
+                    task: Task::KCenter { k: 8 },
+                    seed: seed + 13,
+                },
+            ]
+        })
+        .collect();
+
+    // Baseline: the pre-serving shape — each request is a solo
+    // `Session::run`, sequentially, over one shared engine.
+    let start = Instant::now();
+    let engine = Engine::from_metric(AnyMetric::Euclidean(metric.clone()), true);
+    let mut solo = Vec::with_capacity(requests.len());
+    let mut base_walls = Vec::with_capacity(requests.len());
+    for r in &requests {
+        let outcome = Session::builder()
+            .engine(engine.clone())
+            .noise(noise)
+            .seed(r.seed)
+            .build()
+            .expect("valid session configuration")
+            .run(r.task)
+            .expect("unbudgeted run cannot fail");
+        base_walls.push(outcome.report.wall.as_secs_f64() * 1e3);
+        solo.push(outcome);
+    }
+    let baseline_ms = ms(start);
+    let queries: u64 = solo.iter().map(|o| o.report.queries).sum();
+
+    // Optimized: the same stream submitted up front to the serving
+    // plane — a worker pool over one memoised backend, concurrent
+    // rounds coalesced into shared batches. Per-request answers and
+    // bills stay bit-identical to the solo runs (checked below); the
+    // backend answers every cross-request repeat from the shared memo.
+    // Worker pool scaled to the host (like every fan-out workload): on a
+    // single-core host one worker drains the stream and the win is the
+    // shared backend memo alone; with real cores the pool overlaps
+    // requests and the coalescer merges their concurrent rounds.
+    let workers = host_logical_cores().min(4);
+    let start = Instant::now();
+    let template = Session::builder()
+        .engine(Engine::from_metric(AnyMetric::Euclidean(metric), true))
+        .noise(noise)
+        .build()
+        .expect("valid session configuration");
+    let server = Server::builder(template)
+        .workers(workers)
+        .queue(requests.len())
+        .build()
+        .expect("valid server configuration");
+    let handles: Vec<_> = requests
+        .iter()
+        .map(|&r| server.submit(r).expect("queue sized to the stream"))
+        .collect();
+    let served: Vec<_> = handles
+        .into_iter()
+        .map(|h| h.join().expect("unbudgeted request cannot fail"))
+        .collect();
+    let stats = server.shutdown();
+    let optimized_ms = ms(start);
+
+    let identical = requests.len() == served.len()
+        && solo.iter().zip(&served).all(|(s, o)| {
+            s.answer == o.answer
+                && s.report.queries == o.report.queries
+                && s.report.rounds == o.report.rounds
+        });
+
+    let mut serve_walls: Vec<f64> = served
+        .iter()
+        .map(|o| o.report.wall.as_secs_f64() * 1e3)
+        .collect();
+    serve_walls.sort_by(f64::total_cmp);
+    base_walls.sort_by(f64::total_cmp);
+    let pct = |sorted: &[f64], q: f64| sorted[((sorted.len() - 1) as f64 * q).round() as usize];
+    let per_request = |total: u64| total as f64 / requests.len() as f64;
+
+    WorkloadReport {
+        name: format!("serve_mixed_n{n}"),
+        n,
+        reps: requests.len(),
+        baseline_ms,
+        optimized_ms,
+        queries,
+        threads: workers,
+        optimization: if workers > 1 {
+            "concurrent serving plane: worker pool + shared-memo backend + coalesced rounds"
+        } else {
+            "serving plane on one worker: shared-memo backend (pool overlap needs >1 core)"
+        },
+        // The serving plane must not change what any single request
+        // computes or is billed — and the shared backend must actually
+        // save work on the wire (strictly fewer oracle queries than the
+        // requests' solo bills sum to).
+        outputs_match: identical && stats.backend_queries < queries,
+        detail: Some(format!(
+            "solo_p50_ms={:.3} solo_p99_ms={:.3} served_p50_ms={:.3} served_p99_ms={:.3} \
+             queries_per_request_solo={:.1} queries_per_request_backend={:.1} \
+             backend_memo_hits={} coalesced_rounds={}",
+            pct(&base_walls, 0.50),
+            pct(&base_walls, 0.99),
+            pct(&serve_walls, 0.50),
+            pct(&serve_walls, 0.99),
+            per_request(queries),
+            per_request(stats.backend_queries),
+            stats.memo_hits,
+            stats.coalesced_rounds,
+        )),
     }
 }
 
 fn write_json(path: &str, mode: &str, reports: &[WorkloadReport]) -> std::io::Result<()> {
     let mut s = String::new();
     s.push_str("{\n");
-    s.push_str("  \"schema\": \"nco-perfsuite/v2\",\n");
-    s.push_str("  \"pr\": \"PR5\",\n");
+    s.push_str("  \"schema\": \"nco-perfsuite/v3\",\n");
+    s.push_str("  \"pr\": \"PR6\",\n");
     s.push_str(&format!("  \"mode\": \"{mode}\",\n"));
     s.push_str(&format!(
         "  \"parallel_feature\": {},\n",
@@ -628,6 +784,9 @@ fn write_json(path: &str, mode: &str, reports: &[WorkloadReport]) -> std::io::Re
             "      \"optimization\": \"{}\",\n",
             r.optimization
         ));
+        if let Some(detail) = &r.detail {
+            s.push_str(&format!("      \"detail\": \"{detail}\",\n"));
+        }
         s.push_str(&format!("      \"outputs_match\": {}\n", r.outputs_match));
         s.push_str(if i + 1 == reports.len() {
             "    }\n"
@@ -729,7 +888,7 @@ fn check_baseline(path: &str, reports: &[WorkloadReport]) -> Result<(), String> 
 
 fn main() {
     let mut smoke = false;
-    let mut out_path = String::from("BENCH_PR5.json");
+    let mut out_path = String::from("BENCH_PR6.json");
     let mut baseline_path: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -766,6 +925,7 @@ fn main() {
             run_slink_crowd(128),
             run_kcenter(256, 16, 2),
             run_session_kcenter(256, 16, 2),
+            run_serve_mixed(128, 4),
         ]
     } else {
         vec![
@@ -778,6 +938,7 @@ fn main() {
             run_slink_crowd(512),
             run_kcenter(1024, 32, 4),
             run_session_kcenter(1024, 32, 4),
+            run_serve_mixed(512, 8),
         ]
     };
 

@@ -178,7 +178,10 @@ impl<O: SharedQuadrupletOracle> Comparator<usize> for RevSharedRepCmp<'_, O> {
     /// has no batch form), but in a tight translated loop: answers and
     /// counts are identical to the scalar default, while the row's
     /// distance-table loads pipeline instead of serialising duel by duel.
+    /// `note_round` bills the round up front, exactly as the `&mut`
+    /// comparator's `le_batch` would have.
     fn le_round(&mut self, round: &[(usize, usize)], out: &mut Vec<bool>) {
+        self.oracle.note_round();
         out.reserve(round.len());
         out.extend(round.iter().map(|&(c1, c2)| {
             let r1 = self.graph.rep(self.me, c2);
@@ -251,6 +254,10 @@ impl<O: SharedQuadrupletOracle> QuadrupletOracle for FanQuad<'_, O> {
     }
 
     fn le_batch(&mut self, queries: &[[usize; 4]], out: &mut Vec<bool>) {
+        // One batched call is one round no matter how it is answered;
+        // billing it here keeps the fanned path's round meter equal to
+        // the serial path's `le_batch` accounting.
+        self.oracle.note_round();
         out.reserve(queries.len());
         if self.threads < 2 || queries.len() < MIN_FAN_ROUND {
             for &[a, b, c, d] in queries {

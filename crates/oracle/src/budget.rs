@@ -24,7 +24,9 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 /// The fixed answer handed out once the budget is exhausted. Arbitrary by
 /// design: a run that exceeds its budget is discarded, so the only
 /// requirements are determinism and not touching the inner oracle.
-const OVER_BUDGET_ANSWER: bool = true;
+/// Public so callers layering their own admission control (the facade's
+/// serving plane) can hand out the identical refusal bit.
+pub const OVER_BUDGET_ANSWER: bool = true;
 
 /// Wraps any oracle with a query meter and a hard query budget.
 ///
@@ -284,6 +286,15 @@ impl<O: SharedComparisonOracle> SharedComparisonOracle for SharedBudgeted<O> {
             OVER_BUDGET_ANSWER
         }
     }
+
+    /// Bills the round a fan-out driver just completed through the
+    /// per-query shared path — the shared-path twin of the `+1` that
+    /// [`ComparisonOracle::le_batch`] applies, so fanned rounds and
+    /// batched rounds meter identically.
+    fn note_round(&self) {
+        self.rounds.fetch_add(1, Ordering::Relaxed);
+        self.inner.note_round();
+    }
 }
 
 impl<O: SharedQuadrupletOracle> SharedQuadrupletOracle for SharedBudgeted<O> {
@@ -293,6 +304,83 @@ impl<O: SharedQuadrupletOracle> SharedQuadrupletOracle for SharedBudgeted<O> {
             self.inner.le_shared(a, b, c, d)
         } else {
             OVER_BUDGET_ANSWER
+        }
+    }
+
+    /// See the comparison-side `note_round`.
+    fn note_round(&self) {
+        self.rounds.fetch_add(1, Ordering::Relaxed);
+        self.inner.note_round();
+    }
+}
+
+/// A shared, all-or-nothing query-budget pool for concurrent admission
+/// control.
+///
+/// Unlike [`SharedBudgeted`]'s internal `admit` — which bills first and splits a
+/// partially-affordable batch at the cap (correct for a single doomed run
+/// that will be discarded wholesale) — a serving plane admitting rounds
+/// from *many* independent requests must never let one request's refusal
+/// burn budget other requests could have used. `try_reserve` therefore
+/// reserves a whole round's worth of queries atomically or not at all:
+/// the pool's spend never exceeds its cap, and a refused round leaves the
+/// pool exactly as it found it.
+#[derive(Debug)]
+pub struct BudgetPool {
+    cap: u64,
+    spent: AtomicU64,
+    refused: AtomicBool,
+}
+
+impl BudgetPool {
+    /// A pool with `cap` total queries; `None` means unlimited.
+    pub fn new(cap: Option<u64>) -> Self {
+        Self {
+            cap: cap.unwrap_or(u64::MAX),
+            spent: AtomicU64::new(0),
+            refused: AtomicBool::new(false),
+        }
+    }
+
+    /// The configured cap (`u64::MAX` = unlimited).
+    pub fn cap(&self) -> u64 {
+        self.cap
+    }
+
+    /// Queries reserved so far. Never exceeds [`BudgetPool::cap`].
+    pub fn spent(&self) -> u64 {
+        self.spent.load(Ordering::Relaxed)
+    }
+
+    /// Queries still available.
+    pub fn remaining(&self) -> u64 {
+        self.cap - self.spent()
+    }
+
+    /// `true` once any reservation has been refused.
+    pub fn refused(&self) -> bool {
+        self.refused.load(Ordering::Relaxed)
+    }
+
+    /// Atomically reserves `k` queries, or refuses without spending
+    /// anything. A successful reservation is permanent — refunds would
+    /// make admission order-dependent across thread interleavings.
+    pub fn try_reserve(&self, k: u64) -> bool {
+        let mut cur = self.spent.load(Ordering::Relaxed);
+        loop {
+            if k > self.cap - cur {
+                self.refused.store(true, Ordering::Relaxed);
+                return false;
+            }
+            match self.spent.compare_exchange_weak(
+                cur,
+                cur + k,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return true,
+                Err(seen) => cur = seen,
+            }
         }
     }
 }
@@ -368,6 +456,48 @@ mod tests {
         assert_eq!(o.cap(), u64::MAX);
         assert_eq!(o.inner().n(), 2);
         assert_eq!(o.into_inner().n(), 2);
+    }
+
+    #[test]
+    fn note_round_bills_like_a_batch() {
+        use crate::persistent::SharedQuadrupletOracle;
+        let m = line(4);
+        let o = SharedBudgeted::new(TrueQuadOracle::new(m), None);
+        // A fanned round: three shared queries, then the round note.
+        let _ = o.le_shared(0, 1, 0, 2);
+        let _ = o.le_shared(0, 2, 0, 3);
+        let _ = o.le_shared(0, 3, 0, 1);
+        o.note_round();
+        assert_eq!(o.queries(), 3);
+        assert_eq!(o.rounds(), 1, "a fanned round bills exactly one round");
+        o.note_round();
+        assert_eq!(o.rounds(), 2);
+    }
+
+    #[test]
+    fn budget_pool_is_all_or_nothing() {
+        let pool = BudgetPool::new(Some(10));
+        assert_eq!(pool.cap(), 10);
+        assert!(pool.try_reserve(4));
+        assert!(pool.try_reserve(6));
+        assert_eq!(pool.spent(), 10);
+        assert_eq!(pool.remaining(), 0);
+        assert!(!pool.refused());
+        // A reservation the pool cannot fully cover spends nothing.
+        assert!(!pool.try_reserve(1));
+        assert!(pool.refused());
+        assert_eq!(pool.spent(), 10);
+        // Zero-sized reservations still succeed on an exhausted pool.
+        assert!(pool.try_reserve(0));
+    }
+
+    #[test]
+    fn budget_pool_unlimited_never_refuses() {
+        let pool = BudgetPool::new(None);
+        assert!(pool.try_reserve(u64::MAX - 1));
+        assert!(pool.try_reserve(1));
+        assert!(!pool.refused());
+        assert_eq!(pool.remaining(), 0);
     }
 
     #[test]

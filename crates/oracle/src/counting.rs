@@ -175,6 +175,10 @@ impl<O: SharedComparisonOracle> SharedComparisonOracle for SharedCounting<O> {
         self.count.fetch_add(1, Ordering::Relaxed);
         self.inner.le_shared(i, j)
     }
+
+    fn note_round(&self) {
+        self.inner.note_round()
+    }
 }
 
 impl<O: SharedQuadrupletOracle> SharedQuadrupletOracle for SharedCounting<O> {
@@ -182,6 +186,10 @@ impl<O: SharedQuadrupletOracle> SharedQuadrupletOracle for SharedCounting<O> {
     fn le_shared(&self, a: usize, b: usize, c: usize, d: usize) -> bool {
         self.count.fetch_add(1, Ordering::Relaxed);
         self.inner.le_shared(a, b, c, d)
+    }
+
+    fn note_round(&self) {
+        self.inner.note_round()
     }
 }
 

@@ -46,7 +46,7 @@ pub mod probabilistic;
 pub mod quadruplet;
 pub mod value;
 
-pub use budget::{Budgeted, SharedBudgeted};
+pub use budget::{BudgetPool, Budgeted, SharedBudgeted, OVER_BUDGET_ANSWER};
 pub use counting::{Counting, SharedCounting};
 pub use memo::MemoOracle;
 pub use persistent::{PersistentNoise, SharedComparisonOracle, SharedQuadrupletOracle};

@@ -214,6 +214,13 @@ impl<O: PersistentNoise> MemoOracle<O> {
     }
 }
 
+/// A query's fate within one batched round: answered from the memo, or
+/// waiting on slot `k` of the deduplicated miss round.
+enum Slot {
+    Done(bool),
+    Pending(usize),
+}
+
 impl<O: ComparisonOracle + PersistentNoise> ComparisonOracle for MemoOracle<O> {
     fn n(&self) -> usize {
         self.inner.n()
@@ -242,6 +249,76 @@ impl<O: ComparisonOracle + PersistentNoise> ComparisonOracle for MemoOracle<O> {
             .expect("just inserted")
             .set(t, forward, ans);
         ans
+    }
+
+    /// One memoised round: cached queries answer from the table, the
+    /// remaining **first occurrences** (plus uncached degenerates) forward
+    /// as a single deduplicated inner round, in query order. Exactly one
+    /// inner `le_batch` per outer call — even when every query hits — so a
+    /// round-billing layer *inside* the memo (the facade's `Budgeted`)
+    /// counts the same rounds it would without memoisation. Answers, hit
+    /// and lookup tallies, and the cached table state are bit-identical to
+    /// the scalar decomposition: a duplicate later in the batch counts as
+    /// the hit it would have been against the freshly cached first answer.
+    fn le_batch(&mut self, queries: &[(usize, usize)], out: &mut Vec<bool>) {
+        if queries.is_empty() {
+            self.inner.le_batch(queries, out);
+            return;
+        }
+        if self.pairs.is_none() {
+            self.pairs = Some(PairMemo::new(self.inner.n()));
+        }
+        let memo = self.pairs.as_ref().expect("inserted above");
+        let mut slots: Vec<Slot> = Vec::with_capacity(queries.len());
+        let mut misses: Vec<(usize, usize)> = Vec::new();
+        // Miss slot -> table cell it fills afterwards (None: degenerate,
+        // forwarded uncached), plus a batch-local index for dedup.
+        let mut cache_into: Vec<Option<(usize, bool)>> = Vec::new();
+        let mut open: std::collections::HashMap<(usize, bool), usize> =
+            std::collections::HashMap::new();
+        let (mut lookups, mut hits) = (0u64, 0u64);
+        for &(i, j) in queries {
+            if i == j {
+                cache_into.push(None);
+                slots.push(Slot::Pending(misses.len()));
+                misses.push((i, j));
+                continue;
+            }
+            let forward = i < j;
+            let t = if forward {
+                memo.tri(i, j)
+            } else {
+                memo.tri(j, i)
+            };
+            lookups += 1;
+            if let Some(ans) = memo.get(t, forward) {
+                hits += 1;
+                slots.push(Slot::Done(ans));
+            } else if let Some(&k) = open.get(&(t, forward)) {
+                hits += 1;
+                slots.push(Slot::Pending(k));
+            } else {
+                open.insert((t, forward), misses.len());
+                cache_into.push(Some((t, forward)));
+                slots.push(Slot::Pending(misses.len()));
+                misses.push((i, j));
+            }
+        }
+        self.lookups += lookups;
+        self.hits += hits;
+        let mut answers = Vec::with_capacity(misses.len());
+        self.inner.le_batch(&misses, &mut answers);
+        let memo = self.pairs.as_mut().expect("inserted above");
+        for (k, target) in cache_into.iter().enumerate() {
+            if let Some((t, forward)) = *target {
+                memo.set(t, forward, answers[k]);
+            }
+        }
+        out.reserve(queries.len());
+        out.extend(slots.iter().map(|s| match *s {
+            Slot::Done(ans) => ans,
+            Slot::Pending(k) => answers[k],
+        }));
     }
 }
 
@@ -276,6 +353,68 @@ impl<O: QuadrupletOracle + PersistentNoise> QuadrupletOracle for MemoOracle<O> {
         let ans = self.inner.le(a, b, c, d);
         self.quads.as_mut().expect("just inserted").insert(key, ans);
         ans
+    }
+
+    /// Quadruplet twin of the comparison-round override: see
+    /// [`ComparisonOracle::le_batch`] on `MemoOracle` for the contract
+    /// (one deduplicated inner round per outer round, scalar-identical
+    /// answers and tallies, table inserts in miss order).
+    fn le_batch(&mut self, queries: &[[usize; 4]], out: &mut Vec<bool>) {
+        if queries.is_empty() {
+            self.inner.le_batch(queries, out);
+            return;
+        }
+        assert!(
+            self.inner.n() <= 1 << 16,
+            "quadruplet memoisation packs indices into 16 bits (n = {})",
+            self.inner.n()
+        );
+        let memo = self.quads.get_or_insert_with(QuadMemo::new);
+        let mut slots: Vec<Slot> = Vec::with_capacity(queries.len());
+        let mut misses: Vec<[usize; 4]> = Vec::new();
+        let mut cache_into: Vec<Option<u64>> = Vec::new();
+        let mut open: std::collections::HashMap<u64, usize> = std::collections::HashMap::new();
+        let (mut lookups, mut hits) = (0u64, 0u64);
+        for &[a, b, c, d] in queries {
+            let p1 = if a <= b { (a, b) } else { (b, a) };
+            let p2 = if c <= d { (c, d) } else { (d, c) };
+            if p1 == p2 {
+                cache_into.push(None);
+                slots.push(Slot::Pending(misses.len()));
+                misses.push([a, b, c, d]);
+                continue;
+            }
+            let key =
+                ((p1.0 as u64) << 48) | ((p1.1 as u64) << 32) | ((p2.0 as u64) << 16) | p2.1 as u64;
+            lookups += 1;
+            if let Some(ans) = memo.get(key) {
+                hits += 1;
+                slots.push(Slot::Done(ans));
+            } else if let Some(&k) = open.get(&key) {
+                hits += 1;
+                slots.push(Slot::Pending(k));
+            } else {
+                open.insert(key, misses.len());
+                cache_into.push(Some(key));
+                slots.push(Slot::Pending(misses.len()));
+                misses.push([a, b, c, d]);
+            }
+        }
+        self.lookups += lookups;
+        self.hits += hits;
+        let mut answers = Vec::with_capacity(misses.len());
+        self.inner.le_batch(&misses, &mut answers);
+        let memo = self.quads.as_mut().expect("inserted above");
+        for (k, target) in cache_into.iter().enumerate() {
+            if let Some(key) = *target {
+                memo.insert(key, answers[k]);
+            }
+        }
+        out.reserve(queries.len());
+        out.extend(slots.iter().map(|s| match *s {
+            Slot::Done(ans) => ans,
+            Slot::Pending(k) => answers[k],
+        }));
     }
 }
 
@@ -360,6 +499,87 @@ mod tests {
         assert_eq!(memo.inner().queries(), distinct.len() as u64);
         assert_eq!(memo.lookups(), 4 * quads.len() as u64);
         assert_eq!(memo.hits(), memo.lookups() - distinct.len() as u64);
+    }
+
+    #[test]
+    fn batched_comparison_memo_matches_scalar_decomposition() {
+        let values: Vec<f64> = (0..30).map(|i| ((i * 11) % 31) as f64).collect();
+        // Duplicates within a batch, mirrored directions, and degenerate
+        // (i, i) queries all mixed together.
+        let mut batch = Vec::new();
+        for i in 0..30usize {
+            batch.push((i, (i + 4) % 30));
+            batch.push(((i + 4) % 30, i));
+            batch.push((i, (i + 4) % 30)); // within-batch duplicate
+            batch.push((i, i)); // degenerate, forwarded uncached
+        }
+        let mut scalar =
+            MemoOracle::new(Counting::new(ProbValueOracle::new(values.clone(), 0.3, 9)));
+        let mut expect = Vec::new();
+        for &(i, j) in &batch {
+            expect.push(scalar.le(i, j));
+        }
+        let mut batched = MemoOracle::new(Counting::new(ProbValueOracle::new(values, 0.3, 9)));
+        let mut got = Vec::new();
+        batched.le_batch(&batch, &mut got);
+        assert_eq!(got, expect);
+        assert_eq!(batched.inner().queries(), scalar.inner().queries());
+        assert_eq!(batched.lookups(), scalar.lookups());
+        assert_eq!(batched.hits(), scalar.hits());
+        // Replaying the same batch is now all hits plus the degenerates.
+        got.clear();
+        batched.le_batch(&batch, &mut got);
+        assert_eq!(got, expect);
+        assert_eq!(batched.inner().queries(), scalar.inner().queries() + 30);
+    }
+
+    #[test]
+    fn batched_quad_memo_matches_scalar_decomposition() {
+        let m = EuclideanMetric::from_points(
+            &(0..20)
+                .map(|i| vec![(i * 13 % 23) as f64, i as f64])
+                .collect::<Vec<_>>(),
+        );
+        let mut batch = Vec::new();
+        for a in 0..20usize {
+            let (b, c, d) = ((a + 3) % 20, (a + 1) % 20, (a + 9) % 20);
+            batch.push([a, b, c, d]);
+            batch.push([b, a, d, c]); // canonical duplicate via mirrors
+            batch.push([a, b, a, b]); // degenerate pair, forwarded uncached
+        }
+        let mut scalar = MemoOracle::new(Counting::new(ProbQuadOracle::new(m.clone(), 0.25, 5)));
+        let mut expect = Vec::new();
+        for &[a, b, c, d] in &batch {
+            expect.push(scalar.le(a, b, c, d));
+        }
+        let mut batched = MemoOracle::new(Counting::new(ProbQuadOracle::new(m, 0.25, 5)));
+        let mut got = Vec::new();
+        batched.le_batch(&batch, &mut got);
+        assert_eq!(got, expect);
+        assert_eq!(batched.inner().queries(), scalar.inner().queries());
+        assert_eq!(batched.lookups(), scalar.lookups());
+        assert_eq!(batched.hits(), scalar.hits());
+    }
+
+    #[test]
+    fn batched_memo_bills_one_inner_round_per_outer_round() {
+        use crate::budget::Budgeted;
+        let values: Vec<f64> = (0..16).map(|i| i as f64).collect();
+        let mut memo = MemoOracle::new(Budgeted::new(ProbValueOracle::new(values, 0.2, 1), None));
+        let batch: Vec<(usize, usize)> = (0..15).map(|i| (i, i + 1)).collect();
+        let mut out = Vec::new();
+        memo.le_batch(&batch, &mut out);
+        assert_eq!(memo.inner().rounds(), 1);
+        // A fully-memoised replay still counts as a round: the budget
+        // meter sits inside the memo and sees one (empty) inner batch.
+        out.clear();
+        memo.le_batch(&batch, &mut out);
+        assert_eq!(memo.inner().rounds(), 2);
+        // ...and so does an empty outer batch, matching `Budgeted` alone.
+        out.clear();
+        memo.le_batch(&[], &mut out);
+        assert_eq!(memo.inner().rounds(), 3);
+        assert!(out.is_empty());
     }
 
     #[test]

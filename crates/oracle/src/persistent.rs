@@ -33,12 +33,23 @@ pub trait PersistentNoise {}
 pub trait SharedComparisonOracle: ComparisonOracle + Sync {
     /// Same answer as [`ComparisonOracle::le`], through a shared reference.
     fn le_shared(&self, i: usize, j: usize) -> bool;
+
+    /// Declares that the `le_shared` calls issued since the previous
+    /// `note_round` formed one adaptive round. Fan-out drivers that
+    /// answer a round query-by-query through the shared path call this
+    /// once per round so round meters (e.g. `SharedBudgeted`) bill the
+    /// same rounds a [`ComparisonOracle::le_batch`] call would have.
+    /// Default: no-op — plain oracles keep no round state.
+    fn note_round(&self) {}
 }
 
 /// Quadruplet twin of [`SharedComparisonOracle`].
 pub trait SharedQuadrupletOracle: QuadrupletOracle + Sync {
     /// Same answer as [`QuadrupletOracle::le`], through a shared reference.
     fn le_shared(&self, a: usize, b: usize, c: usize, d: usize) -> bool;
+
+    /// See [`SharedComparisonOracle::note_round`].
+    fn note_round(&self) {}
 }
 
 impl<O: PersistentNoise + ?Sized> PersistentNoise for &mut O {}
@@ -47,11 +58,19 @@ impl<O: SharedComparisonOracle + ?Sized> SharedComparisonOracle for &mut O {
     fn le_shared(&self, i: usize, j: usize) -> bool {
         (**self).le_shared(i, j)
     }
+
+    fn note_round(&self) {
+        (**self).note_round()
+    }
 }
 
 impl<O: SharedQuadrupletOracle + ?Sized> SharedQuadrupletOracle for &mut O {
     fn le_shared(&self, a: usize, b: usize, c: usize, d: usize) -> bool {
         (**self).le_shared(a, b, c, d)
+    }
+
+    fn note_round(&self) {
+        (**self).note_round()
     }
 }
 

@@ -34,6 +34,15 @@ pub enum NcoError {
         /// Human-readable explanation of what was missing.
         reason: String,
     },
+    /// The serving plane shed this request instead of queueing it
+    /// unboundedly: the submission queue was full, or the server was
+    /// shutting down. Unlike [`Self::BudgetExceeded`] the request
+    /// consumed no oracle queries — resubmitting later is safe and
+    /// deterministic.
+    Overloaded {
+        /// Human-readable explanation of what was saturated.
+        reason: String,
+    },
 }
 
 impl NcoError {
@@ -48,6 +57,12 @@ impl NcoError {
             reason: reason.into(),
         }
     }
+
+    pub(crate) fn overloaded(reason: impl Into<String>) -> Self {
+        Self::Overloaded {
+            reason: reason.into(),
+        }
+    }
 }
 
 impl fmt::Display for NcoError {
@@ -58,6 +73,7 @@ impl fmt::Display for NcoError {
             }
             Self::InvalidParams { reason } => write!(f, "invalid parameters: {reason}"),
             Self::EmptyInput { reason } => write!(f, "empty input: {reason}"),
+            Self::Overloaded { reason } => write!(f, "overloaded: {reason}"),
         }
     }
 }

@@ -77,10 +77,12 @@ pub use nco_oracle as oracle;
 
 mod error;
 mod report;
+mod serve;
 mod session;
 mod task;
 
 pub use error::NcoError;
 pub use report::{Outcome, RunReport};
+pub use serve::{Request, ServeStats, Server, ServerBuilder, TaskHandle};
 pub use session::{Engine, Noise, Session, SessionBuilder};
 pub use task::{Answer, Task};

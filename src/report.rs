@@ -19,14 +19,14 @@ pub struct RunReport {
     /// [`nco_oracle::Counting`] wrapper around the same hand-wired call
     /// would report.
     pub queries: u64,
-    /// Batched oracle rounds (`le_batch` calls) that reached the budget
-    /// layer; the remaining queries went through the scalar path. With
-    /// memoisation enabled this reads 0: the answer memo intercepts
-    /// per query, decomposing rounds into scalar lookups before they
-    /// reach the meter. Threaded hierarchy runs (`threads >= 2` on a
-    /// `parallel` build) also under-report: the merge plane's fan-out
-    /// wrapper answers rounds through the per-query shared path, so
-    /// those rounds bill queries but not round counts.
+    /// Batched oracle rounds issued by the engine — one per `le_batch`
+    /// call (or per fanned-out round on a threaded hierarchy run); the
+    /// remaining queries went through the scalar path. The count is
+    /// exact under every configuration: the answer memo forwards each
+    /// outer round as one (deduplicated) inner round, and the merge
+    /// plane's fan-out wrapper bills each shared-path round it answers,
+    /// so memoised and threaded runs report the same rounds as their
+    /// plain serial counterparts.
     pub rounds: u64,
     /// Answer-cache hits when memoisation was enabled (`None` otherwise):
     /// repeated queries served from the exact memo without touching the
@@ -35,8 +35,15 @@ pub struct RunReport {
     /// Distinct distances materialised in the engine's shared `DistCache`
     /// by the end of this run (`None` when distance caching is off).
     /// Cumulative across runs sharing the engine, by design: the cache is
-    /// the engine-level resource concurrent sessions amortise into.
+    /// the engine-level resource concurrent sessions amortise into. For
+    /// this run's own contribution see [`Self::cache_added`].
     pub cache_entries: Option<u64>,
+    /// Distances **this run** added to the engine's shared `DistCache`
+    /// (`None` when distance caching is off): the end-of-run
+    /// [`Self::cache_entries`] minus the entries already materialised
+    /// when the run started. Per-request attributable, unlike the
+    /// engine-level total.
+    pub cache_added: Option<u64>,
     /// Wall-clock time of the run.
     pub wall: Duration,
     /// The configured query budget, if any.
@@ -77,6 +84,7 @@ mod tests {
                 rounds: 2,
                 memo_hits: None,
                 cache_entries: Some(5),
+                cache_added: Some(2),
                 wall: Duration::from_millis(1),
                 budget: Some(100),
                 merge_plane: None,

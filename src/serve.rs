@@ -1,0 +1,716 @@
+//! The concurrent serving plane: one engine, many in-flight requests.
+//!
+//! A [`Server`] is an async-style front door over an immutable
+//! [`crate::Engine`]: callers [`submit`](Server::submit) typed
+//! [`Request`]s and get [`TaskHandle`]s back; a small worker pool drains
+//! the queue. Three mechanisms make concurrent serving cheaper than
+//! running the same requests one by one:
+//!
+//! * **Cross-request batching** — every worker routes its oracle rounds
+//!   through a group-commit [`Coalescer`]: rounds from *different*
+//!   concurrent requests are combined into one `le_batch` call against a
+//!   single shared backend oracle, instead of each run amortising only
+//!   its own rounds.
+//! * **A shared exact answer memo** — the backend is a
+//!   [`MemoOracle`] over the session's (persistent) noise model, so a
+//!   query any request has asked before is answered for free, across
+//!   requests. Per-request accounting is unchanged: each request bills
+//!   the queries and rounds *it issued*, exactly as a solo
+//!   [`crate::Session::run`] would (pinned in `tests/serve_plane.rs`).
+//! * **Budget pooling with admission control** — an optional
+//!   [`BudgetPool`] caps the total queries the server will issue across
+//!   all requests. Admission is all-or-nothing per round: a refused
+//!   round spends nothing, and the starved request fails typed with
+//!   [`NcoError::BudgetExceeded`] instead of dragging the pool negative.
+//!   A full submission queue sheds with [`NcoError::Overloaded`] rather
+//!   than queueing unboundedly.
+//!
+//! ```
+//! use noisy_oracle::{Noise, Request, Server, Session, Task};
+//!
+//! let template = Session::builder()
+//!     .values((1..=64).map(f64::from).collect())
+//!     .noise(Noise::Probabilistic { p: 0.1, seed: 5 })
+//!     .build()?;
+//! let server = Server::builder(template).workers(2).build()?;
+//!
+//! let handles: Vec<_> = (0..4)
+//!     .map(|seed| server.submit(Request { task: Task::Max, seed }).unwrap())
+//!     .collect();
+//! for h in handles {
+//!     let outcome = h.join()?;
+//!     assert!(outcome.answer.item().is_some());
+//! }
+//! let stats = server.shutdown();
+//! assert_eq!(stats.completed, 4);
+//! # Ok::<(), noisy_oracle::NcoError>(())
+//! ```
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{self, Receiver, Sender};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use nco_oracle::budget::{BudgetPool, Budgeted, OVER_BUDGET_ANSWER};
+use nco_oracle::persistent::PersistentNoise;
+use nco_oracle::{ComparisonOracle, Counting, MemoOracle, QuadrupletOracle};
+
+use crate::error::NcoError;
+use crate::report::{Outcome, RunReport};
+use crate::session::Session;
+use crate::task::Task;
+
+// ---------------------------------------------------------------------
+// Boxed backend oracles.
+//
+// The shared backend must be `'static` (it outlives any request), so the
+// session's noise oracle is built boxed over an engine handle. The
+// manual `PersistentNoise` impls are sound because the boxes only ever
+// hold the shipped persistent models (`Session::boxed_*_backend`).
+// ---------------------------------------------------------------------
+
+struct BoxedQuad(Box<dyn QuadrupletOracle + Send>);
+
+impl QuadrupletOracle for BoxedQuad {
+    fn n(&self) -> usize {
+        self.0.n()
+    }
+
+    fn le(&mut self, a: usize, b: usize, c: usize, d: usize) -> bool {
+        self.0.le(a, b, c, d)
+    }
+
+    fn le_batch(&mut self, queries: &[[usize; 4]], out: &mut Vec<bool>) {
+        self.0.le_batch(queries, out);
+    }
+}
+
+impl PersistentNoise for BoxedQuad {}
+
+struct BoxedCmp(Box<dyn ComparisonOracle + Send>);
+
+impl ComparisonOracle for BoxedCmp {
+    fn n(&self) -> usize {
+        self.0.n()
+    }
+
+    fn le(&mut self, i: usize, j: usize) -> bool {
+        self.0.le(i, j)
+    }
+
+    fn le_batch(&mut self, queries: &[(usize, usize)], out: &mut Vec<bool>) {
+        self.0.le_batch(queries, out);
+    }
+}
+
+impl PersistentNoise for BoxedCmp {}
+
+// ---------------------------------------------------------------------
+// The group-commit round coalescer.
+// ---------------------------------------------------------------------
+
+/// Combines oracle rounds submitted by concurrent requests into shared
+/// backend `le_batch` calls (group commit): the first submitter becomes
+/// the round leader and drains *every* pending submission — including
+/// those that arrive while it is executing — until the queue is empty;
+/// followers just wait for their slice of the answers.
+///
+/// Correctness does not depend on which submissions share a backend
+/// round: the backend is an exact memo over persistent noise, so answers
+/// are a pure function of the query, and the backend's *query* tally
+/// (first occurrence of each distinct query) is the same for every
+/// possible grouping.
+struct Coalescer<Q> {
+    state: Mutex<CoalState<Q>>,
+    /// Backend rounds executed.
+    rounds: AtomicU64,
+    /// Backend rounds that combined two or more submissions.
+    coalesced: AtomicU64,
+}
+
+struct CoalState<Q> {
+    pending: Vec<(Vec<Q>, Sender<Vec<bool>>)>,
+    leader: bool,
+}
+
+impl<Q: Copy> Coalescer<Q> {
+    fn new() -> Self {
+        Self {
+            state: Mutex::new(CoalState {
+                pending: Vec::new(),
+                leader: false,
+            }),
+            rounds: AtomicU64::new(0),
+            coalesced: AtomicU64::new(0),
+        }
+    }
+
+    /// Submits one round; blocks until a leader (possibly this caller)
+    /// has executed it against the backend via `exec`.
+    fn submit(&self, queries: &[Q], exec: &dyn Fn(&[Q], &mut Vec<bool>)) -> Vec<bool> {
+        let (tx, rx) = mpsc::channel();
+        let mut st = self.state.lock().expect("coalescer poisoned");
+        st.pending.push((queries.to_vec(), tx));
+        if !st.leader {
+            st.leader = true;
+            while !st.pending.is_empty() {
+                let batch = std::mem::take(&mut st.pending);
+                drop(st);
+                let total = batch.iter().map(|(q, _)| q.len()).sum();
+                let mut combined = Vec::with_capacity(total);
+                for (q, _) in &batch {
+                    combined.extend_from_slice(q);
+                }
+                let mut answers = Vec::with_capacity(total);
+                exec(&combined, &mut answers);
+                self.rounds.fetch_add(1, Ordering::Relaxed);
+                if batch.len() > 1 {
+                    self.coalesced.fetch_add(1, Ordering::Relaxed);
+                }
+                let mut offset = 0;
+                for (q, reply) in batch {
+                    let slice = answers[offset..offset + q.len()].to_vec();
+                    offset += q.len();
+                    // A follower that gave up (channel dropped) is fine.
+                    let _ = reply.send(slice);
+                }
+                st = self.state.lock().expect("coalescer poisoned");
+            }
+            // Leadership is released under the lock with the queue empty,
+            // so every submission either saw `leader == true` and has a
+            // leader committed to draining it, or becomes the next leader.
+            st.leader = false;
+        }
+        drop(st);
+        rx.recv().expect("round leader vanished")
+    }
+}
+
+// ---------------------------------------------------------------------
+// Per-request oracle adapters.
+// ---------------------------------------------------------------------
+
+type QuadBackend = MemoOracle<Counting<BoxedQuad>>;
+type CmpBackend = MemoOracle<Counting<BoxedCmp>>;
+
+/// The quadruplet-oracle view one request has of the shared plane:
+/// rounds go pool-admission → coalescer → shared memoised backend.
+/// Wrapped in a per-request [`Budgeted`] by the worker, so the request's
+/// own meters tick exactly as in a solo run.
+struct ServedQuad {
+    n: usize,
+    backend: Arc<Mutex<QuadBackend>>,
+    coalescer: Arc<Coalescer<[usize; 4]>>,
+    pool: Arc<BudgetPool>,
+    /// Set once the pool refused this request a reservation; from then
+    /// on the request is doomed (reported as `BudgetExceeded`) and its
+    /// remaining queries get the constant refusal bit.
+    starved: bool,
+}
+
+impl QuadrupletOracle for ServedQuad {
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn le(&mut self, a: usize, b: usize, c: usize, d: usize) -> bool {
+        if self.starved || !self.pool.try_reserve(1) {
+            self.starved = true;
+            return OVER_BUDGET_ANSWER;
+        }
+        // Scalar queries skip the coalescer: nothing to combine with.
+        self.backend
+            .lock()
+            .expect("backend poisoned")
+            .le(a, b, c, d)
+    }
+
+    fn le_batch(&mut self, queries: &[[usize; 4]], out: &mut Vec<bool>) {
+        if queries.is_empty() {
+            return;
+        }
+        if self.starved || !self.pool.try_reserve(queries.len() as u64) {
+            self.starved = true;
+            out.extend(std::iter::repeat_n(OVER_BUDGET_ANSWER, queries.len()));
+            return;
+        }
+        let backend = Arc::clone(&self.backend);
+        let answers = self.coalescer.submit(queries, &move |qs, res| {
+            backend.lock().expect("backend poisoned").le_batch(qs, res);
+        });
+        out.extend(answers);
+    }
+}
+
+/// The backend answers are a pure function of the query (exact memo over
+/// a persistent model); the pool's refusal bit can diverge, but only on
+/// requests already doomed to fail typed — the same doomed-run argument
+/// as [`Budgeted`]'s `PersistentNoise` impl.
+impl PersistentNoise for ServedQuad {}
+
+/// Comparison twin of [`ServedQuad`] for value engines.
+struct ServedCmp {
+    n: usize,
+    backend: Arc<Mutex<CmpBackend>>,
+    coalescer: Arc<Coalescer<(usize, usize)>>,
+    pool: Arc<BudgetPool>,
+    starved: bool,
+}
+
+impl ComparisonOracle for ServedCmp {
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn le(&mut self, i: usize, j: usize) -> bool {
+        if self.starved || !self.pool.try_reserve(1) {
+            self.starved = true;
+            return OVER_BUDGET_ANSWER;
+        }
+        self.backend.lock().expect("backend poisoned").le(i, j)
+    }
+
+    fn le_batch(&mut self, queries: &[(usize, usize)], out: &mut Vec<bool>) {
+        if queries.is_empty() {
+            return;
+        }
+        if self.starved || !self.pool.try_reserve(queries.len() as u64) {
+            self.starved = true;
+            out.extend(std::iter::repeat_n(OVER_BUDGET_ANSWER, queries.len()));
+            return;
+        }
+        let backend = Arc::clone(&self.backend);
+        let answers = self.coalescer.submit(queries, &move |qs, res| {
+            backend.lock().expect("backend poisoned").le_batch(qs, res);
+        });
+        out.extend(answers);
+    }
+}
+
+/// See [`ServedQuad`]'s impl for the argument.
+impl PersistentNoise for ServedCmp {}
+
+// ---------------------------------------------------------------------
+// The server.
+// ---------------------------------------------------------------------
+
+/// One unit of work for the serving plane: which [`Task`] to run and the
+/// rng seed of the per-request session derived from the server's
+/// template (everything else — noise, confidence, per-request budget —
+/// comes from the template).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Request {
+    /// The task to run.
+    pub task: Task,
+    /// Seed of the request's rng stream ([`crate::SessionBuilder::seed`]).
+    pub seed: u64,
+}
+
+/// A pending request's receipt: [`join`](TaskHandle::join) blocks until
+/// the worker pool has produced the result.
+#[derive(Debug)]
+pub struct TaskHandle {
+    rx: Receiver<Result<Outcome, NcoError>>,
+}
+
+impl TaskHandle {
+    /// Waits for the request to finish and returns its outcome — exactly
+    /// what a solo [`crate::Session::run`] of the same task would return
+    /// (same answer, same per-request query and round tallies), or a
+    /// typed error.
+    pub fn join(self) -> Result<Outcome, NcoError> {
+        self.rx.recv().unwrap_or_else(|_| {
+            Err(NcoError::overloaded(
+                "server shut down before the request completed",
+            ))
+        })
+    }
+}
+
+struct Job {
+    request: Request,
+    reply: Sender<Result<Outcome, NcoError>>,
+}
+
+struct ServerQueue {
+    jobs: VecDeque<Job>,
+    open: bool,
+}
+
+struct ServerShared {
+    template: Session,
+    queue: Mutex<ServerQueue>,
+    work_ready: Condvar,
+    queue_cap: usize,
+    pool: Arc<BudgetPool>,
+    quad_backend: Option<Arc<Mutex<QuadBackend>>>,
+    quad_coalescer: Arc<Coalescer<[usize; 4]>>,
+    cmp_backend: Option<Arc<Mutex<CmpBackend>>>,
+    cmp_coalescer: Arc<Coalescer<(usize, usize)>>,
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    shed: AtomicU64,
+}
+
+impl ServerShared {
+    fn worker_loop(&self) {
+        loop {
+            let job = {
+                let mut q = self.queue.lock().expect("queue poisoned");
+                loop {
+                    if let Some(job) = q.jobs.pop_front() {
+                        break job;
+                    }
+                    if !q.open {
+                        return;
+                    }
+                    q = self.work_ready.wait(q).expect("queue poisoned");
+                }
+            };
+            let result = self.execute(&job.request);
+            self.completed.fetch_add(1, Ordering::Relaxed);
+            // The submitter may have dropped its handle; that's fine.
+            let _ = job.reply.send(result);
+        }
+    }
+
+    fn execute(&self, request: &Request) -> Result<Outcome, NcoError> {
+        let session = self.template.with_seed(request.seed);
+        session.validate(request.task)?;
+        let engine = Arc::clone(session.engine());
+        let start = Instant::now();
+        let cache_start = engine.cache_entries();
+        let budget = session.cfg().budget;
+
+        let (answer, queries, rounds, exceeded, starved, merge_plane) =
+            if request.task.needs_values() {
+                let backend = self
+                    .cmp_backend
+                    .as_ref()
+                    .expect("validate() gated value tasks on a value engine");
+                let served = ServedCmp {
+                    n: engine.n(),
+                    backend: Arc::clone(backend),
+                    coalescer: Arc::clone(&self.cmp_coalescer),
+                    pool: Arc::clone(&self.pool),
+                    starved: false,
+                };
+                let mut oracle = Budgeted::new(served, budget);
+                let answer = session.value_task(request.task, &mut oracle)?;
+                (
+                    answer,
+                    oracle.queries(),
+                    oracle.rounds(),
+                    oracle.exceeded(),
+                    oracle.inner().starved,
+                    None,
+                )
+            } else {
+                let backend = self
+                    .quad_backend
+                    .as_ref()
+                    .expect("validate() gated metric tasks on a metric engine");
+                let served = ServedQuad {
+                    n: engine.n(),
+                    backend: Arc::clone(backend),
+                    coalescer: Arc::clone(&self.quad_coalescer),
+                    pool: Arc::clone(&self.pool),
+                    starved: false,
+                };
+                let mut oracle = Budgeted::new(served, budget);
+                let mut plane = None;
+                let answer = session.quad_task(request.task, &mut oracle, &mut plane)?;
+                (
+                    answer,
+                    oracle.queries(),
+                    oracle.rounds(),
+                    oracle.exceeded(),
+                    oracle.inner().starved,
+                    plane,
+                )
+            };
+
+        if starved {
+            // The *pooled* budget ran dry mid-request: shed this request
+            // without unwinding the others.
+            return Err(NcoError::BudgetExceeded {
+                budget: self.pool.cap(),
+            });
+        }
+        if exceeded {
+            return Err(NcoError::BudgetExceeded {
+                budget: budget.expect("exceeded implies a budget"),
+            });
+        }
+        let cache_entries = engine.cache_entries();
+        Ok(Outcome::new(
+            answer,
+            RunReport {
+                queries,
+                rounds,
+                // The backend memo is a server-level resource; its hit
+                // tally is reported in `ServeStats`, not per request.
+                memo_hits: None,
+                cache_entries,
+                cache_added: cache_entries.map(|e| e.saturating_sub(cache_start.unwrap_or(0))),
+                wall: start.elapsed(),
+                budget,
+                merge_plane,
+            },
+        ))
+    }
+
+    fn stats(&self) -> ServeStats {
+        let (backend_queries, memo_hits) = if let Some(b) = &self.quad_backend {
+            let b = b.lock().expect("backend poisoned");
+            (b.inner().queries(), b.hits())
+        } else if let Some(b) = &self.cmp_backend {
+            let b = b.lock().expect("backend poisoned");
+            (b.inner().queries(), b.hits())
+        } else {
+            unreachable!("every engine has exactly one backend plane")
+        };
+        ServeStats {
+            submitted: self.submitted.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            backend_queries,
+            memo_hits,
+            backend_rounds: self.quad_coalescer.rounds.load(Ordering::Relaxed)
+                + self.cmp_coalescer.rounds.load(Ordering::Relaxed),
+            coalesced_rounds: self.quad_coalescer.coalesced.load(Ordering::Relaxed)
+                + self.cmp_coalescer.coalesced.load(Ordering::Relaxed),
+            pool_spent: self.pool.spent(),
+            pool_cap: self.pool.cap(),
+        }
+    }
+}
+
+/// Configures and spawns a [`Server`].
+#[derive(Debug)]
+#[must_use = "a builder does nothing until build() is called"]
+pub struct ServerBuilder {
+    template: Session,
+    workers: usize,
+    queue_cap: usize,
+    pool_budget: Option<u64>,
+}
+
+impl ServerBuilder {
+    /// Worker threads draining the queue (default 4).
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Maximum queued (not yet running) requests before
+    /// [`Server::submit`] sheds with [`NcoError::Overloaded`]
+    /// (default 64).
+    pub fn queue(mut self, cap: usize) -> Self {
+        self.queue_cap = cap;
+        self
+    }
+
+    /// Pooled cap on the total oracle queries the server may issue
+    /// across all requests (default unlimited). A request the pool can
+    /// no longer cover fails with [`NcoError::BudgetExceeded`]; admission
+    /// is all-or-nothing per round, so a refused round spends nothing.
+    pub fn pool_budget(mut self, max_queries: u64) -> Self {
+        self.pool_budget = Some(max_queries);
+        self
+    }
+
+    /// Validates the configuration and spawns the worker pool.
+    pub fn build(self) -> Result<Server, NcoError> {
+        if self.workers == 0 {
+            return Err(NcoError::invalid("a server needs at least one worker"));
+        }
+        if self.queue_cap == 0 {
+            return Err(NcoError::invalid("queue capacity must be positive"));
+        }
+        let cfg = self.template.cfg();
+        if cfg.memo {
+            return Err(NcoError::invalid(
+                "the serving backend is always memoised; build the template without \
+                 memoize(true) — per-request accounting mirrors a plain solo run",
+            ));
+        }
+        if cfg.threads >= 2 {
+            return Err(NcoError::invalid(
+                "served requests run serially per worker; drop threads(>= 2) from the \
+                 template",
+            ));
+        }
+        let engine = self.template.engine();
+        if engine.n() > (1 << 16) {
+            return Err(NcoError::invalid(format!(
+                "the serving backend memoises answers, capped at n = 65536 records \
+                 (n = {})",
+                engine.n()
+            )));
+        }
+        let quad_backend = engine.has_metric().then(|| {
+            Arc::new(Mutex::new(MemoOracle::new(Counting::new(BoxedQuad(
+                self.template.boxed_quad_backend(),
+            )))))
+        });
+        let cmp_backend = engine.has_values().then(|| {
+            Arc::new(Mutex::new(MemoOracle::new(Counting::new(BoxedCmp(
+                self.template.boxed_cmp_backend(),
+            )))))
+        });
+        let shared = Arc::new(ServerShared {
+            template: self.template,
+            queue: Mutex::new(ServerQueue {
+                jobs: VecDeque::new(),
+                open: true,
+            }),
+            work_ready: Condvar::new(),
+            queue_cap: self.queue_cap,
+            pool: Arc::new(BudgetPool::new(self.pool_budget)),
+            quad_backend,
+            quad_coalescer: Arc::new(Coalescer::new()),
+            cmp_backend,
+            cmp_coalescer: Arc::new(Coalescer::new()),
+            submitted: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+        });
+        let workers = (0..self.workers)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || shared.worker_loop())
+            })
+            .collect();
+        Ok(Server { shared, workers })
+    }
+}
+
+/// Aggregate serving-plane counters (see [`Server::stats`]). Per-request
+/// accounting lives in each request's [`RunReport`]; these are the
+/// server-level totals behind it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct ServeStats {
+    /// Requests accepted into the queue.
+    pub submitted: u64,
+    /// Requests a worker finished (successfully or with a typed error).
+    pub completed: u64,
+    /// Submissions refused with [`NcoError::Overloaded`] (queue full or
+    /// server shutting down).
+    pub shed: u64,
+    /// Queries that reached the real noise oracle — after the shared
+    /// memo deduplicated repeats across requests. The cross-request
+    /// amortisation win is `sum of per-request queries - backend_queries`.
+    /// Deterministic for a given request set: under persistent noise the
+    /// memo admits each distinct query exactly once, whichever request
+    /// asks it first, so the total is interleaving-independent.
+    pub backend_queries: u64,
+    /// Cross-request memo hits at the shared backend (total lookups
+    /// minus first occurrences — interleaving-independent, like
+    /// [`Self::backend_queries`]).
+    pub memo_hits: u64,
+    /// Backend `le_batch` rounds executed by the coalescer. Unlike the
+    /// query counters this is scheduling-dependent: a drain that merges
+    /// several concurrent rounds executes them as one.
+    pub backend_rounds: u64,
+    /// Backend rounds that combined two or more concurrent requests —
+    /// scheduling-dependent like [`Self::backend_rounds`]: it records
+    /// how often concurrent rounds happened to overlap, not a property
+    /// of the request set.
+    pub coalesced_rounds: u64,
+    /// Queries reserved from the pooled budget.
+    pub pool_spent: u64,
+    /// The pooled budget cap (`u64::MAX` = unlimited).
+    pub pool_cap: u64,
+}
+
+/// The concurrent serving plane over one engine: a worker pool behind
+/// [`Server::submit`], a shared memoised backend, cross-request round
+/// coalescing, and optional pooled admission control — built from a
+/// template [`crate::Session`] via [`Server::builder`].
+pub struct Server {
+    shared: Arc<ServerShared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server")
+            .field("workers", &self.workers.len())
+            .field("queue_cap", &self.shared.queue_cap)
+            .field("stats", &self.shared.stats())
+            .finish()
+    }
+}
+
+impl Server {
+    /// Starts a [`ServerBuilder`] from a template session: every request
+    /// runs with the template's engine, noise model, confidence and
+    /// per-request budget, re-seeded per request.
+    pub fn builder(template: Session) -> ServerBuilder {
+        ServerBuilder {
+            template,
+            workers: 4,
+            queue_cap: 64,
+            pool_budget: None,
+        }
+    }
+
+    /// Enqueues a request. Fails fast with [`NcoError::Overloaded`] —
+    /// without consuming any budget — when the queue is at capacity or
+    /// the server is shutting down.
+    pub fn submit(&self, request: Request) -> Result<TaskHandle, NcoError> {
+        let (tx, rx) = mpsc::channel();
+        let mut q = self.shared.queue.lock().expect("queue poisoned");
+        if !q.open {
+            self.shared.shed.fetch_add(1, Ordering::Relaxed);
+            return Err(NcoError::overloaded("server is shutting down"));
+        }
+        if q.jobs.len() >= self.shared.queue_cap {
+            self.shared.shed.fetch_add(1, Ordering::Relaxed);
+            return Err(NcoError::overloaded(format!(
+                "submission queue full ({} pending)",
+                q.jobs.len()
+            )));
+        }
+        q.jobs.push_back(Job { request, reply: tx });
+        self.shared.submitted.fetch_add(1, Ordering::Relaxed);
+        drop(q);
+        self.shared.work_ready.notify_one();
+        Ok(TaskHandle { rx })
+    }
+
+    /// A snapshot of the aggregate serving counters.
+    pub fn stats(&self) -> ServeStats {
+        self.shared.stats()
+    }
+
+    /// Graceful shutdown: refuses new submissions, lets the workers
+    /// drain every already-queued request, joins them, and returns the
+    /// final counters. Dropping a `Server` does the same minus the
+    /// stats.
+    pub fn shutdown(mut self) -> ServeStats {
+        self.close_and_join();
+        self.shared.stats()
+    }
+
+    fn close_and_join(&mut self) {
+        {
+            let mut q = self.shared.queue.lock().expect("queue poisoned");
+            q.open = false;
+        }
+        self.shared.work_ready.notify_all();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.close_and_join();
+    }
+}

@@ -218,10 +218,39 @@ impl Engine {
         }
     }
 
-    fn values(&self) -> Option<&[f64]> {
+    pub(crate) fn values(&self) -> Option<&[f64]> {
         match &self.source {
             Source::Values(v) => Some(v),
             Source::Metric(_) => None,
+        }
+    }
+}
+
+/// A cheap, clonable [`Metric`] view of a (metric) engine's distances —
+/// the handle the serving plane's shared backend oracle is built over, so
+/// one `'static` oracle can outlive any particular request while still
+/// hitting the engine's `DistCache`.
+#[derive(Debug, Clone)]
+pub(crate) struct EngineMetric(Arc<Engine>);
+
+impl EngineMetric {
+    /// A metric view of `engine`. Panics (via [`Metric::dist`]) if the
+    /// engine holds raw values; callers gate on [`Engine::has_metric`].
+    pub(crate) fn new(engine: Arc<Engine>) -> Self {
+        Self(engine)
+    }
+}
+
+impl Metric for EngineMetric {
+    fn len(&self) -> usize {
+        self.0.n()
+    }
+
+    fn dist(&self, i: usize, j: usize) -> f64 {
+        match &self.0.source {
+            Source::Metric(MetricStore::Plain(m)) => m.dist(i, j),
+            Source::Metric(MetricStore::Cached(c)) => c.dist(i, j),
+            Source::Values(_) => unreachable!("value engines expose no metric"),
         }
     }
 }
@@ -477,15 +506,35 @@ impl SessionBuilder {
 }
 
 #[derive(Debug, Clone)]
-struct Config {
-    noise: Noise,
-    delta: Option<f64>,
-    memo: bool,
-    threads: usize,
-    seed: u64,
-    budget: Option<u64>,
-    min_cluster_promise: Option<usize>,
-    first_center: Option<usize>,
+pub(crate) struct Config {
+    pub(crate) noise: Noise,
+    pub(crate) delta: Option<f64>,
+    pub(crate) memo: bool,
+    pub(crate) threads: usize,
+    pub(crate) seed: u64,
+    pub(crate) budget: Option<u64>,
+    pub(crate) min_cluster_promise: Option<usize>,
+    pub(crate) first_center: Option<usize>,
+}
+
+/// Per-run bookkeeping captured when `run` starts, threaded through to
+/// [`Session::finish`] so the report can attribute per-run deltas
+/// (wall clock, distance-cache growth) on top of engine-level totals.
+#[derive(Debug, Clone, Copy)]
+struct RunCtx {
+    start: Instant,
+    /// Engine distance-cache fill when the run started (`None` when
+    /// caching is off).
+    cache_start: Option<u64>,
+}
+
+impl RunCtx {
+    fn begin(engine: &Engine) -> Self {
+        Self {
+            start: Instant::now(),
+            cache_start: engine.cache_entries(),
+        }
+    }
 }
 
 /// A configured, reusable handle for running [`Task`]s against an
@@ -520,18 +569,31 @@ impl Session {
     /// the low-level APIs (`tests/session_equivalence.rs` pins this for
     /// every task under every noise model).
     pub fn run(&self, task: Task) -> Result<Outcome, NcoError> {
-        let start = Instant::now();
+        let ctx = RunCtx::begin(&self.engine);
         self.validate(task)?;
         match &self.engine.source {
-            Source::Values(values) => self.run_value(task, values, start),
-            Source::Metric(MetricStore::Plain(m)) => self.run_metric(task, m, start),
-            Source::Metric(MetricStore::Cached(c)) => self.run_metric(task, c, start),
+            Source::Values(values) => self.run_value(task, values, ctx),
+            Source::Metric(MetricStore::Plain(m)) => self.run_metric(task, m, ctx),
+            Source::Metric(MetricStore::Cached(c)) => self.run_metric(task, c, ctx),
         }
+    }
+
+    /// This session's resolved configuration (for the serving plane).
+    pub(crate) fn cfg(&self) -> &Config {
+        &self.cfg
+    }
+
+    /// A clone of this session with a different rng seed — how the
+    /// serving plane derives per-request sessions from one template.
+    pub(crate) fn with_seed(&self, seed: u64) -> Session {
+        let mut cloned = self.clone();
+        cloned.cfg.seed = seed;
+        cloned
     }
 
     /// Task/source compatibility and parameter-range checks, up front so
     /// the dispatch below cannot panic.
-    fn validate(&self, task: Task) -> Result<(), NcoError> {
+    pub(crate) fn validate(&self, task: Task) -> Result<(), NcoError> {
         let n = self.engine.n();
         if task.needs_values() && !self.engine.has_values() {
             return Err(NcoError::invalid(
@@ -603,16 +665,16 @@ impl Session {
     // the point where the copy shows up.)
     // -----------------------------------------------------------------
 
-    fn run_value(&self, task: Task, values: &[f64], start: Instant) -> Result<Outcome, NcoError> {
+    fn run_value(&self, task: Task, values: &[f64], ctx: RunCtx) -> Result<Outcome, NcoError> {
         match self.cfg.noise {
-            Noise::Exact => self.drive_value(task, TrueValueOracle::new(values.to_vec()), start),
+            Noise::Exact => self.drive_value(task, TrueValueOracle::new(values.to_vec()), ctx),
             Noise::Adversarial { mu } => self.drive_value(
                 task,
                 AdversarialValueOracle::new(values.to_vec(), mu, InvertAdversary),
-                start,
+                ctx,
             ),
             Noise::Probabilistic { p, seed } => {
-                self.drive_value(task, ProbValueOracle::new(values.to_vec(), p, seed), start)
+                self.drive_value(task, ProbValueOracle::new(values.to_vec(), p, seed), ctx)
             }
             Noise::Crowd {
                 profile,
@@ -621,12 +683,53 @@ impl Session {
             } => self.drive_value(
                 task,
                 CrowdValueOracle::new(values.to_vec(), profile, workers, seed),
-                start,
+                ctx,
             ),
         }
     }
 
-    fn drive_value<O>(&self, task: Task, raw: O, start: Instant) -> Result<Outcome, NcoError>
+    /// The same noise-model dispatch as [`Self::run_value`], but boxed
+    /// and owning its data — the `'static` backend oracle the serving
+    /// plane shares (behind its own memo/meter chain) across requests.
+    pub(crate) fn boxed_cmp_backend(&self) -> Box<dyn ComparisonOracle + Send> {
+        let values = self
+            .engine
+            .values()
+            .expect("caller gated on Engine::has_values")
+            .to_vec();
+        match self.cfg.noise {
+            Noise::Exact => Box::new(TrueValueOracle::new(values)),
+            Noise::Adversarial { mu } => {
+                Box::new(AdversarialValueOracle::new(values, mu, InvertAdversary))
+            }
+            Noise::Probabilistic { p, seed } => Box::new(ProbValueOracle::new(values, p, seed)),
+            Noise::Crowd {
+                profile,
+                workers,
+                seed,
+            } => Box::new(CrowdValueOracle::new(values, profile, workers, seed)),
+        }
+    }
+
+    /// Quadruplet twin of [`Self::boxed_cmp_backend`], built over an
+    /// [`EngineMetric`] handle so it hits the engine's `DistCache`.
+    pub(crate) fn boxed_quad_backend(&self) -> Box<dyn QuadrupletOracle + Send> {
+        let metric = EngineMetric::new(self.engine.clone());
+        match self.cfg.noise {
+            Noise::Exact => Box::new(TrueQuadOracle::new(metric)),
+            Noise::Adversarial { mu } => {
+                Box::new(AdversarialQuadOracle::new(metric, mu, InvertAdversary))
+            }
+            Noise::Probabilistic { p, seed } => Box::new(ProbQuadOracle::new(metric, p, seed)),
+            Noise::Crowd {
+                profile,
+                workers,
+                seed,
+            } => Box::new(CrowdQuadOracle::new(metric, profile, workers, seed)),
+        }
+    }
+
+    fn drive_value<O>(&self, task: Task, raw: O, ctx: RunCtx) -> Result<Outcome, NcoError>
     where
         O: ComparisonOracle + PersistentNoise,
     {
@@ -644,7 +747,7 @@ impl Session {
                 inner.exceeded(),
                 Some(memo_hits),
                 None,
-                start,
+                ctx,
             )
         } else {
             let mut oracle = Budgeted::new(raw, self.cfg.budget);
@@ -656,12 +759,12 @@ impl Session {
                 oracle.exceeded(),
                 None,
                 None,
-                start,
+                ctx,
             )
         }
     }
 
-    fn value_task<O: ComparisonOracle>(
+    pub(crate) fn value_task<O: ComparisonOracle>(
         &self,
         task: Task,
         oracle: &mut O,
@@ -696,19 +799,19 @@ impl Session {
     // Metric tasks (quadruplet oracles).
     // -----------------------------------------------------------------
 
-    fn run_metric<M>(&self, task: Task, metric: M, start: Instant) -> Result<Outcome, NcoError>
+    fn run_metric<M>(&self, task: Task, metric: M, ctx: RunCtx) -> Result<Outcome, NcoError>
     where
         M: Metric + Sync + Copy,
     {
         match self.cfg.noise {
-            Noise::Exact => self.drive_quad(task, TrueQuadOracle::new(metric), start),
+            Noise::Exact => self.drive_quad(task, TrueQuadOracle::new(metric), ctx),
             Noise::Adversarial { mu } => self.drive_quad(
                 task,
                 AdversarialQuadOracle::new(metric, mu, InvertAdversary),
-                start,
+                ctx,
             ),
             Noise::Probabilistic { p, seed } => {
-                self.drive_quad(task, ProbQuadOracle::new(metric, p, seed), start)
+                self.drive_quad(task, ProbQuadOracle::new(metric, p, seed), ctx)
             }
             Noise::Crowd {
                 profile,
@@ -717,12 +820,12 @@ impl Session {
             } => self.drive_quad(
                 task,
                 CrowdQuadOracle::new(metric, profile, workers, seed),
-                start,
+                ctx,
             ),
         }
     }
 
-    fn drive_quad<O>(&self, task: Task, raw: O, start: Instant) -> Result<Outcome, NcoError>
+    fn drive_quad<O>(&self, task: Task, raw: O, ctx: RunCtx) -> Result<Outcome, NcoError>
     where
         O: SharedQuadrupletOracle + PersistentNoise,
     {
@@ -741,7 +844,7 @@ impl Session {
                 inner.exceeded(),
                 Some(memo_hits),
                 plane,
-                start,
+                ctx,
             )
         } else if self.cfg.threads >= 2 && matches!(task, Task::Hierarchy { .. }) {
             // Counter-stream SLINK: bit-identical at any worker count.
@@ -763,7 +866,7 @@ impl Session {
                 oracle.exceeded(),
                 None,
                 Some(plane),
-                start,
+                ctx,
             )
         } else {
             let mut plane = None;
@@ -776,12 +879,12 @@ impl Session {
                 oracle.exceeded(),
                 None,
                 plane,
-                start,
+                ctx,
             )
         }
     }
 
-    fn quad_task<O: QuadrupletOracle + nco_oracle::PersistentNoise>(
+    pub(crate) fn quad_task<O: QuadrupletOracle + nco_oracle::PersistentNoise>(
         &self,
         task: Task,
         oracle: &mut O,
@@ -888,21 +991,28 @@ impl Session {
         exceeded: bool,
         memo_hits: Option<u64>,
         merge_plane: Option<MergePlaneStats>,
-        start: Instant,
+        ctx: RunCtx,
     ) -> Result<Outcome, NcoError> {
         if exceeded {
             return Err(NcoError::BudgetExceeded {
                 budget: self.cfg.budget.expect("exceeded implies a budget"),
             });
         }
+        let cache_entries = self.engine.cache().map(|c| c.filled() as u64);
         Ok(Outcome::new(
             answer,
             RunReport {
                 queries,
                 rounds,
                 memo_hits,
-                cache_entries: self.engine.cache().map(|c| c.filled() as u64),
-                wall: start.elapsed(),
+                cache_entries,
+                // The run's own contribution: end-of-run fill minus the
+                // fill captured when the run started. (On an engine with
+                // concurrent sessions the window can attribute a racing
+                // insert to whichever run read the counter later — the
+                // counts still sum to the engine total.)
+                cache_added: cache_entries.map(|e| e.saturating_sub(ctx.cache_start.unwrap_or(0))),
+                wall: ctx.start.elapsed(),
                 budget: self.cfg.budget,
                 merge_plane,
             },

@@ -481,6 +481,65 @@ mod dist_cache_equivalence {
     }
 }
 
+/// Round accounting is exact under memoisation: `RunReport.rounds` for a
+/// memoised run equals the plain run's count (the memo used to decompose
+/// rounds into scalar lookups, reading 0).
+mod round_accounting {
+    use nco_core::hier::Linkage;
+    use noisy_oracle::{Noise, Session, Task};
+
+    #[test]
+    fn memoised_sessions_report_the_same_rounds_as_plain_across_20_seeds() {
+        let points: Vec<Vec<f64>> = (0..48)
+            .map(|i| vec![(i % 7) as f64 * 1.9, (i / 7) as f64])
+            .collect();
+        for seed in 0..20u64 {
+            for task in [
+                Task::Hierarchy {
+                    linkage: Linkage::Single,
+                },
+                Task::KCenter { k: 4 },
+                Task::Farthest {
+                    q: seed as usize % 48,
+                },
+            ] {
+                let build = |memo: bool| {
+                    Session::builder()
+                        .points(&points)
+                        .noise(Noise::Probabilistic {
+                            p: 0.15,
+                            seed: 9000 + seed,
+                        })
+                        .memoize(memo)
+                        .seed(seed)
+                        .build()
+                        .unwrap()
+                };
+                let plain = build(false).run(task).unwrap();
+                let memo = build(true).run(task).unwrap();
+                assert_eq!(
+                    plain.answer, memo.answer,
+                    "answer differs at seed {seed}, {task:?}"
+                );
+                assert_eq!(
+                    plain.report.rounds, memo.report.rounds,
+                    "round totals differ at seed {seed}, {task:?}"
+                );
+                if matches!(task, Task::Hierarchy { .. }) {
+                    assert!(
+                        plain.report.rounds > 0,
+                        "hierarchy runs are round-driven (seed {seed})"
+                    );
+                    assert!(
+                        memo.report.memo_hits.unwrap() > 0,
+                        "repeats should hit the memo (seed {seed})"
+                    );
+                }
+            }
+        }
+    }
+}
+
 #[cfg(feature = "parallel")]
 mod parallel_equivalence {
     use super::*;
@@ -585,6 +644,35 @@ mod parallel_equivalence {
             let b = hier_oracle_par(&params, &mut opt, &mut rng(seed), 4);
             assert_eq!(a, b, "dendrogram differs at seed {seed}");
             assert_eq!(lazy.queries(), opt.queries(), "query totals at seed {seed}");
+        }
+    }
+
+    /// Round accounting through the fan-out merge plane: the
+    /// counter-stream SLINK engine over a `SharedBudgeted` meter bills
+    /// the identical (nonzero) round count at 1 and 4 workers across 20
+    /// seeds — the fanned path's `note_round` is the per-round twin of
+    /// `le_batch`'s `+1`.
+    #[test]
+    fn hier_oracle_par_round_accounting_matches_single_worker_across_20_seeds() {
+        use nco_core::hier::hier_oracle_par;
+        use nco_oracle::SharedBudgeted;
+        let scenario = MetricScenario::separated_blobs(4, 16, 35.0, 13);
+        let params = HierParams::experimental(Linkage::Single);
+        for seed in 0..20u64 {
+            let mut serial =
+                SharedBudgeted::new(scenario.probabilistic_oracle(0.1, 7000 + seed), None);
+            let a = hier_oracle_par(&params, &mut serial, &mut rng(seed), 1);
+            let mut par =
+                SharedBudgeted::new(scenario.probabilistic_oracle(0.1, 7000 + seed), None);
+            let b = hier_oracle_par(&params, &mut par, &mut rng(seed), 4);
+            assert_eq!(a, b, "dendrogram differs at seed {seed}");
+            assert_eq!(serial.queries(), par.queries(), "queries at seed {seed}");
+            assert!(serial.rounds() > 0, "no rounds metered at seed {seed}");
+            assert_eq!(
+                serial.rounds(),
+                par.rounds(),
+                "round totals differ at seed {seed}"
+            );
         }
     }
 
