@@ -1,7 +1,7 @@
 //! `perfsuite` — the reproducible performance suite behind the repo's
 //! perf trajectory (`BENCH_*.json`).
 //!
-//! Ten pinned, fully seeded workloads cover the paper's hot paths:
+//! Eleven pinned, fully seeded workloads cover the paper's hot paths:
 //!
 //! | name | shape |
 //! |---|---|
@@ -15,6 +15,7 @@
 //! | `kcenter_n1024` | Algorithm 6 greedy 32-center over 1024 128-d points, adversarial `mu = 0.2` |
 //! | `session_kcenter_n1024` | the same greedy 32-center routed through the facade's `Session` front door (zero-overhead check) |
 //! | `serve_mixed_n512` | a sustained mixed request stream, **sequential solo sessions vs the concurrent serving plane** (PR 6): shared-memo backend + cross-request round coalescing |
+//! | `serve_faulty_n512` | the serving plane under a seeded fault storm (PR 7): **fault-free serving vs injected faults masked by bounded retry** — answers must stay bit-identical, the overhead of masking is the measurement |
 //!
 //! Each workload runs twice: a **baseline** configuration and an
 //! **optimized** configuration. Both runs draw the same seeds; the suite
@@ -34,7 +35,7 @@
 //! ```
 //!
 //! `--smoke` shrinks every workload (~16x fewer queries) for CI;
-//! `--out` defaults to `BENCH_PR6.json` in the current directory;
+//! `--out` defaults to `BENCH_PR7.json` in the current directory;
 //! `--check-baseline` compares this run's query counts against a
 //! committed baseline JSON and exits non-zero on any regression
 //! (count > baseline) — the CI guard for the pinned workloads.
@@ -749,11 +750,121 @@ fn run_serve_mixed(n: usize, batches: usize) -> WorkloadReport {
     }
 }
 
+// ---------------------------------------------------------------------
+// Workload 11: the serving plane under a seeded fault storm (PR 7).
+// ---------------------------------------------------------------------
+
+fn run_serve_faulty(n: usize, batches: usize) -> WorkloadReport {
+    use noisy_oracle::data::AnyMetric;
+    use noisy_oracle::{Engine, FaultPlan, Noise, Request, RetryPolicy, Server, Session, Task};
+
+    let dim = 64;
+    let metric = mixture_points(n, dim, 8, 0xFA17);
+    let noise = Noise::Probabilistic {
+        p: 0.1,
+        seed: 0xFEED,
+    };
+    let requests: Vec<Request> = (0..batches)
+        .flat_map(|b| {
+            let seed = 300 + (b % 3) as u64;
+            [
+                Request {
+                    task: Task::Nearest { q: (b * 29) % 5 },
+                    seed,
+                },
+                Request {
+                    task: Task::KCenter { k: 8 },
+                    seed: seed + 11,
+                },
+            ]
+        })
+        .collect();
+
+    let serve = |plan: Option<FaultPlan>| {
+        let mut builder = Session::builder()
+            .engine(Engine::from_metric(
+                AnyMetric::Euclidean(metric.clone()),
+                true,
+            ))
+            .noise(noise);
+        if let Some(plan) = plan {
+            builder = builder.fault_plan(plan).retry_policy(RetryPolicy::new(12));
+        }
+        let template = builder.build().expect("valid session configuration");
+        let server = Server::builder(template)
+            .workers(host_logical_cores().min(4))
+            .queue(requests.len())
+            .build()
+            .expect("valid server configuration");
+        let handles: Vec<_> = requests
+            .iter()
+            .map(|&r| server.submit(r).expect("queue sized to the stream"))
+            .collect();
+        let outcomes: Vec<_> = handles
+            .into_iter()
+            .map(|h| h.join().expect("masked faults cannot fail a request"))
+            .collect();
+        (outcomes, server.shutdown())
+    };
+
+    // Baseline: the fault-free serving plane from workload 10.
+    let start = Instant::now();
+    let (clean, clean_stats) = serve(None);
+    let baseline_ms = ms(start);
+    let queries: u64 = clean.iter().map(|o| o.report.queries).sum();
+
+    // Optimized configuration (here: the *robust* configuration): the
+    // same stream under a seeded storm of transients, stalls, burst
+    // outages and dead worker lanes, every fault masked by bounded
+    // retry. The acceptance check is the PR 7 guarantee — answers stay
+    // bit-identical to the fault-free run, and the storm genuinely
+    // exercised the retry path.
+    let plan = FaultPlan::new(0xFA57)
+        .transient(0.04)
+        .stalls(0.02, 200)
+        .outages(2048, 3)
+        .dead_workers(16, 1);
+    let start = Instant::now();
+    let (faulty, faulty_stats) = serve(Some(plan));
+    let optimized_ms = ms(start);
+
+    let identical =
+        clean.len() == faulty.len() && clean.iter().zip(&faulty).all(|(c, f)| c.answer == f.answer);
+    let masked = faulty_stats.retries > 0
+        && faulty_stats.faults_masked > 0
+        && faulty_stats.panics == 0
+        && faulty_stats.deadline_kills == 0;
+    let faulty_bill: u64 = faulty.iter().map(|o| o.report.queries).sum();
+
+    WorkloadReport {
+        name: format!("serve_faulty_n{n}"),
+        n,
+        reps: requests.len(),
+        baseline_ms,
+        optimized_ms,
+        queries,
+        threads: host_logical_cores().min(4),
+        optimization:
+            "fault plane: seeded injection fully masked by bounded retry, answers bit-identical",
+        outputs_match: identical && masked && faulty_bill >= queries,
+        detail: Some(format!(
+            "retries={} faults_masked={} bill_clean={} bill_faulty={} \
+             backend_queries_clean={} backend_queries_faulty={}",
+            faulty_stats.retries,
+            faulty_stats.faults_masked,
+            queries,
+            faulty_bill,
+            clean_stats.backend_queries,
+            faulty_stats.backend_queries,
+        )),
+    }
+}
+
 fn write_json(path: &str, mode: &str, reports: &[WorkloadReport]) -> std::io::Result<()> {
     let mut s = String::new();
     s.push_str("{\n");
     s.push_str("  \"schema\": \"nco-perfsuite/v3\",\n");
-    s.push_str("  \"pr\": \"PR6\",\n");
+    s.push_str("  \"pr\": \"PR7\",\n");
     s.push_str(&format!("  \"mode\": \"{mode}\",\n"));
     s.push_str(&format!(
         "  \"parallel_feature\": {},\n",
@@ -888,7 +999,7 @@ fn check_baseline(path: &str, reports: &[WorkloadReport]) -> Result<(), String> 
 
 fn main() {
     let mut smoke = false;
-    let mut out_path = String::from("BENCH_PR6.json");
+    let mut out_path = String::from("BENCH_PR7.json");
     let mut baseline_path: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -926,6 +1037,7 @@ fn main() {
             run_kcenter(256, 16, 2),
             run_session_kcenter(256, 16, 2),
             run_serve_mixed(128, 4),
+            run_serve_faulty(128, 4),
         ]
     } else {
         vec![
@@ -939,6 +1051,7 @@ fn main() {
             run_kcenter(1024, 32, 4),
             run_session_kcenter(1024, 32, 4),
             run_serve_mixed(512, 8),
+            run_serve_faulty(512, 8),
         ]
     };
 

@@ -17,9 +17,12 @@
 //! mirroring the [`Counting`](crate::Counting) /
 //! [`SharedCounting`](crate::SharedCounting) split.
 
+use crate::fault::QueryFault;
 use crate::persistent::{PersistentNoise, SharedComparisonOracle, SharedQuadrupletOracle};
 use crate::{ComparisonOracle, QuadrupletOracle};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
 
 /// The fixed answer handed out once the budget is exhausted. Arbitrary by
 /// design: a run that exceeds its budget is discarded, so the only
@@ -40,6 +43,9 @@ pub struct Budgeted<O> {
     count: u64,
     rounds: u64,
     exceeded: bool,
+    deadline: Option<Instant>,
+    cancel: Option<Arc<AtomicBool>>,
+    killed: bool,
 }
 
 impl<O> Budgeted<O> {
@@ -51,7 +57,57 @@ impl<O> Budgeted<O> {
             count: 0,
             rounds: 0,
             exceeded: false,
+            deadline: None,
+            cancel: None,
+            killed: false,
         }
+    }
+
+    /// Kills the run once the wall clock passes `deadline`: from the next
+    /// query on, the inner oracle is never consulted again and every
+    /// answer is the fixed [`OVER_BUDGET_ANSWER`] refusal bit — billed as
+    /// nothing, so the partial meters stay honest. Callers check
+    /// [`Budgeted::killed`] after the run, exactly like
+    /// [`Budgeted::exceeded`].
+    pub fn with_deadline(mut self, deadline: Option<Instant>) -> Self {
+        self.deadline = deadline;
+        self
+    }
+
+    /// Cooperative cancellation: the run is killed (same doomed-run
+    /// discipline as [`Budgeted::with_deadline`]) as soon as `cancel`
+    /// reads `true` at a query or round boundary.
+    pub fn with_cancel(mut self, cancel: Option<Arc<AtomicBool>>) -> Self {
+        self.cancel = cancel;
+        self
+    }
+
+    /// `true` once the run was killed by its deadline or cancel token.
+    pub fn killed(&self) -> bool {
+        self.killed
+    }
+
+    /// Checks the kill sources; latches and reports `true` once killed.
+    /// Free (two `None` tests) when neither source is configured, so runs
+    /// without deadlines are untouched.
+    #[inline]
+    fn check_kill(&mut self) -> bool {
+        if self.killed {
+            return true;
+        }
+        if let Some(cancel) = &self.cancel {
+            if cancel.load(Ordering::Relaxed) {
+                self.killed = true;
+                return true;
+            }
+        }
+        if let Some(deadline) = self.deadline {
+            if Instant::now() >= deadline {
+                self.killed = true;
+                return true;
+            }
+        }
+        false
     }
 
     /// Queries actually issued to the inner oracle so far — equal to
@@ -106,6 +162,9 @@ impl<O: ComparisonOracle> ComparisonOracle for Budgeted<O> {
 
     #[inline]
     fn le(&mut self, i: usize, j: usize) -> bool {
+        if self.check_kill() {
+            return OVER_BUDGET_ANSWER;
+        }
         if self.admit(1) == 1 {
             self.inner.le(i, j)
         } else {
@@ -114,11 +173,50 @@ impl<O: ComparisonOracle> ComparisonOracle for Budgeted<O> {
     }
 
     fn le_batch(&mut self, queries: &[(usize, usize)], out: &mut Vec<bool>) {
+        if self.check_kill() {
+            out.extend(std::iter::repeat_n(OVER_BUDGET_ANSWER, queries.len()));
+            return;
+        }
         self.rounds += 1;
         let within = self.admit(queries.len() as u64) as usize;
         self.inner.le_batch(&queries[..within], out);
         out.extend(std::iter::repeat_n(
             OVER_BUDGET_ANSWER,
+            queries.len() - within,
+        ));
+    }
+
+    // The fallible path must meter exactly like the infallible one —
+    // same kill check, same round tick, same cap split — so a no-fault
+    // run through a recovery layer bills bit-identically to the legacy
+    // stack. Kill and over-budget refusals answer `Ok(constant)` (never
+    // `Err`): the run is already doomed for its own typed reason and a
+    // retry layer must not burn attempts fighting them.
+    fn try_le(&mut self, i: usize, j: usize) -> Result<bool, QueryFault> {
+        if self.check_kill() {
+            return Ok(OVER_BUDGET_ANSWER);
+        }
+        if self.admit(1) == 1 {
+            self.inner.try_le(i, j)
+        } else {
+            Ok(OVER_BUDGET_ANSWER)
+        }
+    }
+
+    fn try_le_batch(
+        &mut self,
+        queries: &[(usize, usize)],
+        out: &mut Vec<Result<bool, QueryFault>>,
+    ) {
+        if self.check_kill() {
+            out.extend(std::iter::repeat_n(Ok(OVER_BUDGET_ANSWER), queries.len()));
+            return;
+        }
+        self.rounds += 1;
+        let within = self.admit(queries.len() as u64) as usize;
+        self.inner.try_le_batch(&queries[..within], out);
+        out.extend(std::iter::repeat_n(
+            Ok(OVER_BUDGET_ANSWER),
             queries.len() - within,
         ));
     }
@@ -131,6 +229,9 @@ impl<O: QuadrupletOracle> QuadrupletOracle for Budgeted<O> {
 
     #[inline]
     fn le(&mut self, a: usize, b: usize, c: usize, d: usize) -> bool {
+        if self.check_kill() {
+            return OVER_BUDGET_ANSWER;
+        }
         if self.admit(1) == 1 {
             self.inner.le(a, b, c, d)
         } else {
@@ -139,11 +240,42 @@ impl<O: QuadrupletOracle> QuadrupletOracle for Budgeted<O> {
     }
 
     fn le_batch(&mut self, queries: &[[usize; 4]], out: &mut Vec<bool>) {
+        if self.check_kill() {
+            out.extend(std::iter::repeat_n(OVER_BUDGET_ANSWER, queries.len()));
+            return;
+        }
         self.rounds += 1;
         let within = self.admit(queries.len() as u64) as usize;
         self.inner.le_batch(&queries[..within], out);
         out.extend(std::iter::repeat_n(
             OVER_BUDGET_ANSWER,
+            queries.len() - within,
+        ));
+    }
+
+    // See the comparison-side note: fallible metering mirrors infallible
+    // metering bit-for-bit; kills and refusals are `Ok(constant)`.
+    fn try_le(&mut self, a: usize, b: usize, c: usize, d: usize) -> Result<bool, QueryFault> {
+        if self.check_kill() {
+            return Ok(OVER_BUDGET_ANSWER);
+        }
+        if self.admit(1) == 1 {
+            self.inner.try_le(a, b, c, d)
+        } else {
+            Ok(OVER_BUDGET_ANSWER)
+        }
+    }
+
+    fn try_le_batch(&mut self, queries: &[[usize; 4]], out: &mut Vec<Result<bool, QueryFault>>) {
+        if self.check_kill() {
+            out.extend(std::iter::repeat_n(Ok(OVER_BUDGET_ANSWER), queries.len()));
+            return;
+        }
+        self.rounds += 1;
+        let within = self.admit(queries.len() as u64) as usize;
+        self.inner.try_le_batch(&queries[..within], out);
+        out.extend(std::iter::repeat_n(
+            Ok(OVER_BUDGET_ANSWER),
             queries.len() - within,
         ));
     }
@@ -171,6 +303,9 @@ pub struct SharedBudgeted<O> {
     count: AtomicU64,
     rounds: AtomicU64,
     exceeded: AtomicBool,
+    deadline: Option<Instant>,
+    cancel: Option<Arc<AtomicBool>>,
+    killed: AtomicBool,
 }
 
 impl<O> SharedBudgeted<O> {
@@ -182,7 +317,51 @@ impl<O> SharedBudgeted<O> {
             count: AtomicU64::new(0),
             rounds: AtomicU64::new(0),
             exceeded: AtomicBool::new(false),
+            deadline: None,
+            cancel: None,
+            killed: AtomicBool::new(false),
         }
+    }
+
+    /// See [`Budgeted::with_deadline`].
+    pub fn with_deadline(mut self, deadline: Option<Instant>) -> Self {
+        self.deadline = deadline;
+        self
+    }
+
+    /// See [`Budgeted::with_cancel`].
+    pub fn with_cancel(mut self, cancel: Option<Arc<AtomicBool>>) -> Self {
+        self.cancel = cancel;
+        self
+    }
+
+    /// `true` once the run was killed by its deadline or cancel token.
+    pub fn killed(&self) -> bool {
+        self.killed.load(Ordering::Relaxed)
+    }
+
+    /// Atomic twin of [`Budgeted`]'s kill check. Which thread's query
+    /// first observes the kill may vary across interleavings, but —
+    /// exactly as with the `exceeded` flag — only *whether* the run was
+    /// killed reaches the caller.
+    #[inline]
+    fn check_kill(&self) -> bool {
+        if self.killed.load(Ordering::Relaxed) {
+            return true;
+        }
+        if let Some(cancel) = &self.cancel {
+            if cancel.load(Ordering::Relaxed) {
+                self.killed.store(true, Ordering::Relaxed);
+                return true;
+            }
+        }
+        if let Some(deadline) = self.deadline {
+            if Instant::now() >= deadline {
+                self.killed.store(true, Ordering::Relaxed);
+                return true;
+            }
+        }
+        false
     }
 
     /// Queries actually issued to the inner oracle (serial and shared
@@ -230,6 +409,9 @@ impl<O: ComparisonOracle> ComparisonOracle for SharedBudgeted<O> {
 
     #[inline]
     fn le(&mut self, i: usize, j: usize) -> bool {
+        if self.check_kill() {
+            return OVER_BUDGET_ANSWER;
+        }
         if self.admit(1) == 1 {
             self.inner.le(i, j)
         } else {
@@ -238,6 +420,10 @@ impl<O: ComparisonOracle> ComparisonOracle for SharedBudgeted<O> {
     }
 
     fn le_batch(&mut self, queries: &[(usize, usize)], out: &mut Vec<bool>) {
+        if self.check_kill() {
+            out.extend(std::iter::repeat_n(OVER_BUDGET_ANSWER, queries.len()));
+            return;
+        }
         self.rounds.fetch_add(1, Ordering::Relaxed);
         let within = self.admit(queries.len() as u64) as usize;
         self.inner.le_batch(&queries[..within], out);
@@ -255,6 +441,9 @@ impl<O: QuadrupletOracle> QuadrupletOracle for SharedBudgeted<O> {
 
     #[inline]
     fn le(&mut self, a: usize, b: usize, c: usize, d: usize) -> bool {
+        if self.check_kill() {
+            return OVER_BUDGET_ANSWER;
+        }
         if self.admit(1) == 1 {
             self.inner.le(a, b, c, d)
         } else {
@@ -263,6 +452,10 @@ impl<O: QuadrupletOracle> QuadrupletOracle for SharedBudgeted<O> {
     }
 
     fn le_batch(&mut self, queries: &[[usize; 4]], out: &mut Vec<bool>) {
+        if self.check_kill() {
+            out.extend(std::iter::repeat_n(OVER_BUDGET_ANSWER, queries.len()));
+            return;
+        }
         self.rounds.fetch_add(1, Ordering::Relaxed);
         let within = self.admit(queries.len() as u64) as usize;
         self.inner.le_batch(&queries[..within], out);
@@ -280,6 +473,9 @@ impl<O: PersistentNoise> PersistentNoise for SharedBudgeted<O> {}
 impl<O: SharedComparisonOracle> SharedComparisonOracle for SharedBudgeted<O> {
     #[inline]
     fn le_shared(&self, i: usize, j: usize) -> bool {
+        if self.check_kill() {
+            return OVER_BUDGET_ANSWER;
+        }
         if self.admit(1) == 1 {
             self.inner.le_shared(i, j)
         } else {
@@ -300,6 +496,9 @@ impl<O: SharedComparisonOracle> SharedComparisonOracle for SharedBudgeted<O> {
 impl<O: SharedQuadrupletOracle> SharedQuadrupletOracle for SharedBudgeted<O> {
     #[inline]
     fn le_shared(&self, a: usize, b: usize, c: usize, d: usize) -> bool {
+        if self.check_kill() {
+            return OVER_BUDGET_ANSWER;
+        }
         if self.admit(1) == 1 {
             self.inner.le_shared(a, b, c, d)
         } else {
@@ -498,6 +697,72 @@ mod tests {
         assert!(pool.try_reserve(1));
         assert!(!pool.refused());
         assert_eq!(pool.remaining(), 0);
+    }
+
+    #[test]
+    fn expired_deadline_kills_without_billing() {
+        let mut o = Budgeted::new(TrueValueOracle::new(vec![1.0, 2.0, 3.0]), Some(100))
+            .with_deadline(Some(Instant::now()));
+        assert_eq!(o.le(0, 1), OVER_BUDGET_ANSWER);
+        let mut out = Vec::new();
+        o.le_batch(&[(0, 1), (1, 2)], &mut out);
+        assert_eq!(out, vec![OVER_BUDGET_ANSWER; 2]);
+        assert!(o.killed());
+        assert!(!o.exceeded());
+        assert_eq!(o.queries(), 0, "killed queries are never billed");
+        assert_eq!(o.rounds(), 0);
+        let mut fallible = Vec::new();
+        o.try_le_batch(&[(0, 1)], &mut fallible);
+        assert_eq!(fallible, vec![Ok(OVER_BUDGET_ANSWER)]);
+    }
+
+    #[test]
+    fn cancel_token_kills_mid_run() {
+        let cancel = Arc::new(AtomicBool::new(false));
+        let mut o = Budgeted::new(TrueValueOracle::new(vec![1.0, 2.0, 3.0]), None)
+            .with_cancel(Some(cancel.clone()));
+        assert!(o.le(0, 1));
+        assert_eq!(o.queries(), 1);
+        cancel.store(true, Ordering::Relaxed);
+        assert_eq!(o.le(1, 2), OVER_BUDGET_ANSWER);
+        assert!(o.killed());
+        assert_eq!(o.queries(), 1, "spend stops at the kill point");
+    }
+
+    #[test]
+    fn shared_budgeted_kill_covers_the_shared_path() {
+        use crate::persistent::SharedQuadrupletOracle;
+        let cancel = Arc::new(AtomicBool::new(true));
+        let o = SharedBudgeted::new(TrueQuadOracle::new(line(4)), None).with_cancel(Some(cancel));
+        assert_eq!(o.le_shared(0, 1, 0, 2), OVER_BUDGET_ANSWER);
+        assert!(o.killed());
+        assert_eq!(o.queries(), 0);
+    }
+
+    #[test]
+    fn fallible_path_meters_exactly_like_infallible() {
+        let m = line(6);
+        let mut plain = Budgeted::new(TrueQuadOracle::new(m.clone()), Some(5));
+        let mut fallible = Budgeted::new(TrueQuadOracle::new(m), Some(5));
+        let queries = [
+            [0usize, 1, 0, 2],
+            [0, 2, 0, 3],
+            [1, 3, 2, 4],
+            [0, 4, 0, 5],
+            [1, 5, 2, 3],
+            [2, 5, 0, 1],
+        ];
+        let mut a = Vec::new();
+        plain.le_batch(&queries, &mut a);
+        a.push(plain.le(0, 1, 0, 2));
+        let mut b = Vec::new();
+        fallible.try_le_batch(&queries, &mut b);
+        let mut b: Vec<bool> = b.into_iter().map(|r| r.unwrap()).collect();
+        b.push(fallible.try_le(0, 1, 0, 2).unwrap());
+        assert_eq!(a, b, "over-budget lanes answer the same constant");
+        assert_eq!(plain.queries(), fallible.queries());
+        assert_eq!(plain.rounds(), fallible.rounds());
+        assert_eq!(plain.exceeded(), fallible.exceeded());
     }
 
     #[test]

@@ -5,6 +5,7 @@
 //! (query counts are additive and order-independent, so a parallel run
 //! over the same query multiset reports exactly the serial total).
 
+use crate::fault::QueryFault;
 use crate::persistent::{PersistentNoise, SharedComparisonOracle, SharedQuadrupletOracle};
 use crate::{ComparisonOracle, QuadrupletOracle};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -72,6 +73,23 @@ impl<O: ComparisonOracle> ComparisonOracle for Counting<O> {
         self.count += queries.len() as u64;
         self.inner.le_batch(queries, out);
     }
+
+    // A faulted ask still bills: the worker was asked, whether or not a
+    // usable answer came back — which is what makes retry accounting
+    // honest (every re-ask shows up in the meter).
+    fn try_le(&mut self, i: usize, j: usize) -> Result<bool, QueryFault> {
+        self.count += 1;
+        self.inner.try_le(i, j)
+    }
+
+    fn try_le_batch(
+        &mut self,
+        queries: &[(usize, usize)],
+        out: &mut Vec<Result<bool, QueryFault>>,
+    ) {
+        self.count += queries.len() as u64;
+        self.inner.try_le_batch(queries, out);
+    }
 }
 
 impl<O: QuadrupletOracle> QuadrupletOracle for Counting<O> {
@@ -87,6 +105,16 @@ impl<O: QuadrupletOracle> QuadrupletOracle for Counting<O> {
     fn le_batch(&mut self, queries: &[[usize; 4]], out: &mut Vec<bool>) {
         self.count += queries.len() as u64;
         self.inner.le_batch(queries, out);
+    }
+
+    fn try_le(&mut self, a: usize, b: usize, c: usize, d: usize) -> Result<bool, QueryFault> {
+        self.count += 1;
+        self.inner.try_le(a, b, c, d)
+    }
+
+    fn try_le_batch(&mut self, queries: &[[usize; 4]], out: &mut Vec<Result<bool, QueryFault>>) {
+        self.count += queries.len() as u64;
+        self.inner.try_le_batch(queries, out);
     }
 }
 
@@ -150,6 +178,21 @@ impl<O: ComparisonOracle> ComparisonOracle for SharedCounting<O> {
             .fetch_add(queries.len() as u64, Ordering::Relaxed);
         self.inner.le_batch(queries, out);
     }
+
+    fn try_le(&mut self, i: usize, j: usize) -> Result<bool, QueryFault> {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.inner.try_le(i, j)
+    }
+
+    fn try_le_batch(
+        &mut self,
+        queries: &[(usize, usize)],
+        out: &mut Vec<Result<bool, QueryFault>>,
+    ) {
+        self.count
+            .fetch_add(queries.len() as u64, Ordering::Relaxed);
+        self.inner.try_le_batch(queries, out);
+    }
 }
 
 impl<O: QuadrupletOracle> QuadrupletOracle for SharedCounting<O> {
@@ -166,6 +209,17 @@ impl<O: QuadrupletOracle> QuadrupletOracle for SharedCounting<O> {
         self.count
             .fetch_add(queries.len() as u64, Ordering::Relaxed);
         self.inner.le_batch(queries, out);
+    }
+
+    fn try_le(&mut self, a: usize, b: usize, c: usize, d: usize) -> Result<bool, QueryFault> {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.inner.try_le(a, b, c, d)
+    }
+
+    fn try_le_batch(&mut self, queries: &[[usize; 4]], out: &mut Vec<Result<bool, QueryFault>>) {
+        self.count
+            .fetch_add(queries.len() as u64, Ordering::Relaxed);
+        self.inner.try_le_batch(queries, out);
     }
 }
 

@@ -40,6 +40,7 @@ pub mod budget;
 pub mod cluster_query;
 pub mod counting;
 pub mod crowd;
+pub mod fault;
 pub mod memo;
 pub mod persistent;
 pub mod probabilistic;
@@ -48,6 +49,7 @@ pub mod value;
 
 pub use budget::{BudgetPool, Budgeted, SharedBudgeted, OVER_BUDGET_ANSWER};
 pub use counting::{Counting, SharedCounting};
+pub use fault::{FaultPlan, FaultStats, FaultyOracle, QueryFault, RetryPolicy, Retrying};
 pub use memo::MemoOracle;
 pub use persistent::{PersistentNoise, SharedComparisonOracle, SharedQuadrupletOracle};
 pub use quadruplet::TrueQuadOracle;
@@ -82,6 +84,36 @@ pub trait ComparisonOracle {
             out.push(ans);
         }
     }
+
+    /// Fallible variant of [`ComparisonOracle::le`]: an unreliable oracle
+    /// may refuse an ask with a [`QueryFault`] instead of answering.
+    ///
+    /// The default never fails — every pre-existing oracle is perfectly
+    /// available and compiles untouched. Only [`fault::FaultyOracle`]
+    /// surfaces faults, and only recovery layers ([`fault::Retrying`])
+    /// need to call this; metering wrappers forward it so fault-aware and
+    /// infallible stacks bill identically.
+    fn try_le(&mut self, i: usize, j: usize) -> Result<bool, QueryFault> {
+        Ok(self.le(i, j))
+    }
+
+    /// Fallible variant of [`ComparisonOracle::le_batch`]: appends one
+    /// `Result` per query in query order; individual lanes may fault
+    /// while the rest of the round answers.
+    ///
+    /// Same contract as `le_batch` on the `Ok` lanes, and the default —
+    /// one infallible round, every lane `Ok` — keeps every existing
+    /// oracle compiling untouched.
+    fn try_le_batch(
+        &mut self,
+        queries: &[(usize, usize)],
+        out: &mut Vec<Result<bool, QueryFault>>,
+    ) {
+        let mut answers = Vec::with_capacity(queries.len());
+        self.le_batch(queries, &mut answers);
+        out.reserve(answers.len());
+        out.extend(answers.into_iter().map(Ok));
+    }
 }
 
 /// A (possibly noisy) quadruplet oracle over records in a hidden metric
@@ -109,6 +141,22 @@ pub trait QuadrupletOracle {
             out.push(ans);
         }
     }
+
+    /// Fallible variant of [`QuadrupletOracle::le`]; see
+    /// [`ComparisonOracle::try_le`]. The default never fails.
+    fn try_le(&mut self, a: usize, b: usize, c: usize, d: usize) -> Result<bool, QueryFault> {
+        Ok(self.le(a, b, c, d))
+    }
+
+    /// Fallible variant of [`QuadrupletOracle::le_batch`]; see
+    /// [`ComparisonOracle::try_le_batch`]. The default answers one
+    /// infallible round with every lane `Ok`.
+    fn try_le_batch(&mut self, queries: &[[usize; 4]], out: &mut Vec<Result<bool, QueryFault>>) {
+        let mut answers = Vec::with_capacity(queries.len());
+        self.le_batch(queries, &mut answers);
+        out.reserve(answers.len());
+        out.extend(answers.into_iter().map(Ok));
+    }
 }
 
 impl<O: ComparisonOracle + ?Sized> ComparisonOracle for &mut O {
@@ -121,6 +169,16 @@ impl<O: ComparisonOracle + ?Sized> ComparisonOracle for &mut O {
     fn le_batch(&mut self, queries: &[(usize, usize)], out: &mut Vec<bool>) {
         (**self).le_batch(queries, out);
     }
+    fn try_le(&mut self, i: usize, j: usize) -> Result<bool, QueryFault> {
+        (**self).try_le(i, j)
+    }
+    fn try_le_batch(
+        &mut self,
+        queries: &[(usize, usize)],
+        out: &mut Vec<Result<bool, QueryFault>>,
+    ) {
+        (**self).try_le_batch(queries, out);
+    }
 }
 
 impl<O: QuadrupletOracle + ?Sized> QuadrupletOracle for &mut O {
@@ -132,6 +190,12 @@ impl<O: QuadrupletOracle + ?Sized> QuadrupletOracle for &mut O {
     }
     fn le_batch(&mut self, queries: &[[usize; 4]], out: &mut Vec<bool>) {
         (**self).le_batch(queries, out);
+    }
+    fn try_le(&mut self, a: usize, b: usize, c: usize, d: usize) -> Result<bool, QueryFault> {
+        (**self).try_le(a, b, c, d)
+    }
+    fn try_le_batch(&mut self, queries: &[[usize; 4]], out: &mut Vec<Result<bool, QueryFault>>) {
+        (**self).try_le_batch(queries, out);
     }
 }
 

@@ -23,6 +23,7 @@
 //!   (16 bits each). Only the *within-pair* order is canonicalised
 //!   (`d` is symmetric for every metric), never the pair-of-pairs order.
 
+use crate::fault::QueryFault;
 use crate::persistent::PersistentNoise;
 use crate::{ComparisonOracle, QuadrupletOracle};
 
@@ -175,6 +176,8 @@ pub struct MemoOracle<O> {
     quads: Option<QuadMemo>,
     hits: u64,
     lookups: u64,
+    mirror_pairs: u64,
+    mirror_inconsistent: u64,
 }
 
 impl<O: PersistentNoise> MemoOracle<O> {
@@ -190,6 +193,8 @@ impl<O: PersistentNoise> MemoOracle<O> {
             quads: None,
             hits: 0,
             lookups: 0,
+            mirror_pairs: 0,
+            mirror_inconsistent: 0,
         }
     }
 
@@ -201,6 +206,48 @@ impl<O: PersistentNoise> MemoOracle<O> {
     /// Total cacheable lookups so far (hits plus misses).
     pub fn lookups(&self) -> u64 {
         self.lookups
+    }
+
+    /// Mirror pairs observed so far: unordered record pairs whose *both*
+    /// query directions (or pairs-of-pairs whose both orders) have been
+    /// answered by the wrapped oracle. The memo sees these for free while
+    /// filling its table; they are the raw material of
+    /// [`MemoOracle::flip_rate_estimate`].
+    pub fn mirror_pairs(&self) -> u64 {
+        self.mirror_pairs
+    }
+
+    /// Online estimate of the oracle's *directional* flip probability
+    /// `p`, or `None` before any mirror pair has been observed.
+    ///
+    /// For records with distinct hidden quantities a truthful oracle
+    /// answers the two directions of a mirror pair with *opposite* bits,
+    /// so equal bits mean exactly one of the two answers was flipped.
+    /// When each query direction flips independently with probability
+    /// `p` — a crowd or classifier backend forming a separate belief per
+    /// phrasing — the observed equal-bit rate estimates `r = 2 p (1 - p)`,
+    /// inverted here as `p = (1 - sqrt(1 - 2 r)) / 2` (clamped to the
+    /// model boundary `0.5` when `r >= 0.5`).
+    ///
+    /// Two caveats. The shipped [`crate::probabilistic`] and
+    /// [`crate::crowd`] models draw their coins from the *canonical*
+    /// query, holding one consistent belief per unordered comparison:
+    /// they are directionally self-consistent by construction and
+    /// estimate exactly `0` — internal consistency genuinely carries no
+    /// signal about their `p`, which is the persistence difficulty the
+    /// paper is built around. And ties — equal values or equal
+    /// distances — answer both directions `true` truthfully, biasing the
+    /// estimate upward on near-tied data (adversarial in-band tie
+    /// strategies surface here as a positive rate).
+    pub fn flip_rate_estimate(&self) -> Option<f64> {
+        if self.mirror_pairs == 0 {
+            return None;
+        }
+        let r = self.mirror_inconsistent as f64 / self.mirror_pairs as f64;
+        if r >= 0.5 {
+            return Some(0.5);
+        }
+        Some((1.0 - (1.0 - 2.0 * r).sqrt()) / 2.0)
     }
 
     /// Immutable access to the wrapped oracle.
@@ -244,10 +291,14 @@ impl<O: ComparisonOracle + PersistentNoise> ComparisonOracle for MemoOracle<O> {
             return ans;
         }
         let ans = self.inner.le(i, j);
-        self.pairs
-            .as_mut()
-            .expect("just inserted")
-            .set(t, forward, ans);
+        let memo = self.pairs.as_mut().expect("just inserted");
+        if let Some(prev) = memo.get(t, !forward) {
+            // Both directions of this unordered pair are now known —
+            // a free consistency observation for the flip-rate estimate.
+            self.mirror_pairs += 1;
+            self.mirror_inconsistent += u64::from(prev == ans);
+        }
+        memo.set(t, forward, ans);
         ans
     }
 
@@ -311,12 +362,118 @@ impl<O: ComparisonOracle + PersistentNoise> ComparisonOracle for MemoOracle<O> {
         let memo = self.pairs.as_mut().expect("inserted above");
         for (k, target) in cache_into.iter().enumerate() {
             if let Some((t, forward)) = *target {
+                if let Some(prev) = memo.get(t, !forward) {
+                    self.mirror_pairs += 1;
+                    self.mirror_inconsistent += u64::from(prev == answers[k]);
+                }
                 memo.set(t, forward, answers[k]);
             }
         }
         out.reserve(queries.len());
         out.extend(slots.iter().map(|s| match *s {
             Slot::Done(ans) => ans,
+            Slot::Pending(k) => answers[k],
+        }));
+    }
+
+    /// Fallible twin of the scalar path: a hit answers for free, a miss
+    /// forwards the fallible ask, and — crucially — a faulted miss is
+    /// **never cached**, so a retry layer outside the memo re-asks and
+    /// caches the real bit instead of poisoning the table.
+    fn try_le(&mut self, i: usize, j: usize) -> Result<bool, QueryFault> {
+        if i == j {
+            return self.inner.try_le(i, j);
+        }
+        let n = self.inner.n();
+        let memo = self.pairs.get_or_insert_with(|| PairMemo::new(n));
+        let forward = i < j;
+        let t = if forward {
+            memo.tri(i, j)
+        } else {
+            memo.tri(j, i)
+        };
+        self.lookups += 1;
+        if let Some(ans) = memo.get(t, forward) {
+            self.hits += 1;
+            return Ok(ans);
+        }
+        let ans = self.inner.try_le(i, j)?;
+        let memo = self.pairs.as_mut().expect("just inserted");
+        if let Some(prev) = memo.get(t, !forward) {
+            self.mirror_pairs += 1;
+            self.mirror_inconsistent += u64::from(prev == ans);
+        }
+        memo.set(t, forward, ans);
+        Ok(ans)
+    }
+
+    /// Fallible twin of the batched round: same single deduplicated inner
+    /// round and identical tallies on the all-`Ok` path, but only `Ok`
+    /// miss lanes are cached, and every duplicate of a faulted miss
+    /// reports that lane's fault.
+    fn try_le_batch(
+        &mut self,
+        queries: &[(usize, usize)],
+        out: &mut Vec<Result<bool, QueryFault>>,
+    ) {
+        if queries.is_empty() {
+            self.inner.try_le_batch(queries, out);
+            return;
+        }
+        if self.pairs.is_none() {
+            self.pairs = Some(PairMemo::new(self.inner.n()));
+        }
+        let memo = self.pairs.as_ref().expect("inserted above");
+        let mut slots: Vec<Slot> = Vec::with_capacity(queries.len());
+        let mut misses: Vec<(usize, usize)> = Vec::new();
+        let mut cache_into: Vec<Option<(usize, bool)>> = Vec::new();
+        let mut open: std::collections::HashMap<(usize, bool), usize> =
+            std::collections::HashMap::new();
+        let (mut lookups, mut hits) = (0u64, 0u64);
+        for &(i, j) in queries {
+            if i == j {
+                cache_into.push(None);
+                slots.push(Slot::Pending(misses.len()));
+                misses.push((i, j));
+                continue;
+            }
+            let forward = i < j;
+            let t = if forward {
+                memo.tri(i, j)
+            } else {
+                memo.tri(j, i)
+            };
+            lookups += 1;
+            if let Some(ans) = memo.get(t, forward) {
+                hits += 1;
+                slots.push(Slot::Done(ans));
+            } else if let Some(&k) = open.get(&(t, forward)) {
+                hits += 1;
+                slots.push(Slot::Pending(k));
+            } else {
+                open.insert((t, forward), misses.len());
+                cache_into.push(Some((t, forward)));
+                slots.push(Slot::Pending(misses.len()));
+                misses.push((i, j));
+            }
+        }
+        self.lookups += lookups;
+        self.hits += hits;
+        let mut answers: Vec<Result<bool, QueryFault>> = Vec::with_capacity(misses.len());
+        self.inner.try_le_batch(&misses, &mut answers);
+        let memo = self.pairs.as_mut().expect("inserted above");
+        for (k, target) in cache_into.iter().enumerate() {
+            if let (Some((t, forward)), Ok(ans)) = (*target, answers[k]) {
+                if let Some(prev) = memo.get(t, !forward) {
+                    self.mirror_pairs += 1;
+                    self.mirror_inconsistent += u64::from(prev == ans);
+                }
+                memo.set(t, forward, ans);
+            }
+        }
+        out.reserve(queries.len());
+        out.extend(slots.iter().map(|s| match *s {
+            Slot::Done(ans) => Ok(ans),
             Slot::Pending(k) => answers[k],
         }));
     }
@@ -351,7 +508,13 @@ impl<O: QuadrupletOracle + PersistentNoise> QuadrupletOracle for MemoOracle<O> {
             return ans;
         }
         let ans = self.inner.le(a, b, c, d);
-        self.quads.as_mut().expect("just inserted").insert(key, ans);
+        let memo = self.quads.as_mut().expect("just inserted");
+        if let Some(prev) = memo.get(key.rotate_left(32)) {
+            // The swapped pair-of-pairs order is the quadruplet mirror.
+            self.mirror_pairs += 1;
+            self.mirror_inconsistent += u64::from(prev == ans);
+        }
+        memo.insert(key, ans);
         ans
     }
 
@@ -407,12 +570,112 @@ impl<O: QuadrupletOracle + PersistentNoise> QuadrupletOracle for MemoOracle<O> {
         let memo = self.quads.as_mut().expect("inserted above");
         for (k, target) in cache_into.iter().enumerate() {
             if let Some(key) = *target {
+                if let Some(prev) = memo.get(key.rotate_left(32)) {
+                    self.mirror_pairs += 1;
+                    self.mirror_inconsistent += u64::from(prev == answers[k]);
+                }
                 memo.insert(key, answers[k]);
             }
         }
         out.reserve(queries.len());
         out.extend(slots.iter().map(|s| match *s {
             Slot::Done(ans) => ans,
+            Slot::Pending(k) => answers[k],
+        }));
+    }
+
+    /// See the comparison-side [`ComparisonOracle::try_le`] on
+    /// `MemoOracle`: hits are free, faulted misses are never cached.
+    fn try_le(&mut self, a: usize, b: usize, c: usize, d: usize) -> Result<bool, QueryFault> {
+        assert!(
+            self.inner.n() <= 1 << 16,
+            "quadruplet memoisation packs indices into 16 bits (n = {})",
+            self.inner.n()
+        );
+        let p1 = if a <= b { (a, b) } else { (b, a) };
+        let p2 = if c <= d { (c, d) } else { (d, c) };
+        if p1 == p2 {
+            return self.inner.try_le(a, b, c, d);
+        }
+        let key =
+            ((p1.0 as u64) << 48) | ((p1.1 as u64) << 32) | ((p2.0 as u64) << 16) | p2.1 as u64;
+        let memo = self.quads.get_or_insert_with(QuadMemo::new);
+        self.lookups += 1;
+        if let Some(ans) = memo.get(key) {
+            self.hits += 1;
+            return Ok(ans);
+        }
+        let ans = self.inner.try_le(a, b, c, d)?;
+        let memo = self.quads.as_mut().expect("just inserted");
+        if let Some(prev) = memo.get(key.rotate_left(32)) {
+            self.mirror_pairs += 1;
+            self.mirror_inconsistent += u64::from(prev == ans);
+        }
+        memo.insert(key, ans);
+        Ok(ans)
+    }
+
+    /// See the comparison-side [`ComparisonOracle::try_le_batch`] on
+    /// `MemoOracle`: one deduplicated fallible inner round, only `Ok`
+    /// lanes cached.
+    fn try_le_batch(&mut self, queries: &[[usize; 4]], out: &mut Vec<Result<bool, QueryFault>>) {
+        if queries.is_empty() {
+            self.inner.try_le_batch(queries, out);
+            return;
+        }
+        assert!(
+            self.inner.n() <= 1 << 16,
+            "quadruplet memoisation packs indices into 16 bits (n = {})",
+            self.inner.n()
+        );
+        let memo = self.quads.get_or_insert_with(QuadMemo::new);
+        let mut slots: Vec<Slot> = Vec::with_capacity(queries.len());
+        let mut misses: Vec<[usize; 4]> = Vec::new();
+        let mut cache_into: Vec<Option<u64>> = Vec::new();
+        let mut open: std::collections::HashMap<u64, usize> = std::collections::HashMap::new();
+        let (mut lookups, mut hits) = (0u64, 0u64);
+        for &[a, b, c, d] in queries {
+            let p1 = if a <= b { (a, b) } else { (b, a) };
+            let p2 = if c <= d { (c, d) } else { (d, c) };
+            if p1 == p2 {
+                cache_into.push(None);
+                slots.push(Slot::Pending(misses.len()));
+                misses.push([a, b, c, d]);
+                continue;
+            }
+            let key =
+                ((p1.0 as u64) << 48) | ((p1.1 as u64) << 32) | ((p2.0 as u64) << 16) | p2.1 as u64;
+            lookups += 1;
+            if let Some(ans) = memo.get(key) {
+                hits += 1;
+                slots.push(Slot::Done(ans));
+            } else if let Some(&k) = open.get(&key) {
+                hits += 1;
+                slots.push(Slot::Pending(k));
+            } else {
+                open.insert(key, misses.len());
+                cache_into.push(Some(key));
+                slots.push(Slot::Pending(misses.len()));
+                misses.push([a, b, c, d]);
+            }
+        }
+        self.lookups += lookups;
+        self.hits += hits;
+        let mut answers: Vec<Result<bool, QueryFault>> = Vec::with_capacity(misses.len());
+        self.inner.try_le_batch(&misses, &mut answers);
+        let memo = self.quads.as_mut().expect("inserted above");
+        for (k, target) in cache_into.iter().enumerate() {
+            if let (Some(key), Ok(ans)) = (*target, answers[k]) {
+                if let Some(prev) = memo.get(key.rotate_left(32)) {
+                    self.mirror_pairs += 1;
+                    self.mirror_inconsistent += u64::from(prev == ans);
+                }
+                memo.insert(key, ans);
+            }
+        }
+        out.reserve(queries.len());
+        out.extend(slots.iter().map(|s| match *s {
+            Slot::Done(ans) => Ok(ans),
             Slot::Pending(k) => answers[k],
         }));
     }
@@ -580,6 +843,98 @@ mod tests {
         memo.le_batch(&[], &mut out);
         assert_eq!(memo.inner().rounds(), 3);
         assert!(out.is_empty());
+    }
+
+    /// A persistent oracle whose flip coin is keyed on the *ordered*
+    /// query — each direction of a pair forms its own belief, the way a
+    /// crowd/classifier backend answering two phrasings would. This is
+    /// the regime where mirror inconsistency reveals `p`.
+    struct DirectionalProbOracle {
+        values: Vec<f64>,
+        p: f64,
+        seed: u64,
+    }
+
+    impl ComparisonOracle for DirectionalProbOracle {
+        fn n(&self) -> usize {
+            self.values.len()
+        }
+        fn le(&mut self, i: usize, j: usize) -> bool {
+            let truth = self.values[i] <= self.values[j];
+            let h = nco_metric::hashing::splitmix64(
+                self.seed ^ ((i as u64) << 32 | j as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            );
+            let flip = (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64) < self.p;
+            truth ^ flip
+        }
+    }
+
+    impl PersistentNoise for DirectionalProbOracle {}
+
+    #[test]
+    fn flip_rate_estimate_recovers_known_p() {
+        // Distinct values, both directions of every pair asked: each
+        // unordered pair contributes one mirror observation with
+        // equal-bit probability 2 p (1 - p).
+        let n = 120usize;
+        let mut memo = MemoOracle::new(DirectionalProbOracle {
+            values: (0..n).map(|i| i as f64).collect(),
+            p: 0.2,
+            seed: 77,
+        });
+        assert!(memo.flip_rate_estimate().is_none(), "no mirrors yet");
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let _ = memo.le(i, j);
+                let _ = memo.le(j, i);
+            }
+        }
+        assert_eq!(memo.mirror_pairs(), (n * (n - 1) / 2) as u64);
+        let p = memo.flip_rate_estimate().expect("mirrors observed");
+        assert!((p - 0.2).abs() < 0.03, "estimate {p} for true p = 0.2");
+    }
+
+    #[test]
+    fn canonical_coin_models_estimate_exactly_zero() {
+        // The shipped probabilistic family draws one coin per unordered
+        // comparison: mirrored answers stay complementary even when
+        // flipped, so directional inconsistency — correctly — sees
+        // nothing. Exact oracles land at zero too.
+        let values: Vec<f64> = (0..40).map(|i| i as f64).collect();
+        let mut memo = MemoOracle::new(ProbValueOracle::new(values, 0.3, 21));
+        for i in 0..40 {
+            for j in (i + 1)..40 {
+                let _ = memo.le(i, j);
+                let _ = memo.le(j, i);
+            }
+        }
+        assert!(memo.mirror_pairs() > 0);
+        assert_eq!(memo.flip_rate_estimate(), Some(0.0));
+    }
+
+    #[test]
+    fn fallible_memo_round_matches_infallible_on_the_ok_path() {
+        let values: Vec<f64> = (0..30).map(|i| ((i * 11) % 31) as f64).collect();
+        let mut batch = Vec::new();
+        for i in 0..30usize {
+            batch.push((i, (i + 4) % 30));
+            batch.push(((i + 4) % 30, i));
+            batch.push((i, (i + 4) % 30));
+            batch.push((i, i));
+        }
+        let mut plain =
+            MemoOracle::new(Counting::new(ProbValueOracle::new(values.clone(), 0.3, 9)));
+        let mut expect = Vec::new();
+        plain.le_batch(&batch, &mut expect);
+        let mut fallible = MemoOracle::new(Counting::new(ProbValueOracle::new(values, 0.3, 9)));
+        let mut got = Vec::new();
+        fallible.try_le_batch(&batch, &mut got);
+        let got: Vec<bool> = got.into_iter().map(|r| r.unwrap()).collect();
+        assert_eq!(got, expect);
+        assert_eq!(fallible.inner().queries(), plain.inner().queries());
+        assert_eq!(fallible.hits(), plain.hits());
+        assert_eq!(fallible.lookups(), plain.lookups());
+        assert_eq!(fallible.mirror_pairs(), plain.mirror_pairs());
     }
 
     #[test]

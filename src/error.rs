@@ -2,13 +2,16 @@
 //!
 //! Every way a [`crate::Session`] run can fail — a blown query budget, a
 //! parameter the paper's algorithms cannot accept, an input too small to
-//! ask anything about — surfaces as one [`NcoError`] variant instead of
-//! the bare `Option`s and panics of the low-level APIs.
+//! ask anything about, an oracle fault that outlived the retry policy, a
+//! missed deadline, a panicking backend — surfaces as one [`NcoError`]
+//! variant instead of the bare `Option`s and panics of the low-level
+//! APIs.
 
+use crate::report::RunReport;
 use std::fmt;
 
 /// Unified error type for the [`crate::Session`] engine API.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 #[non_exhaustive]
 pub enum NcoError {
     /// The run needed more oracle queries than the configured hard budget.
@@ -43,6 +46,33 @@ pub enum NcoError {
         /// Human-readable explanation of what was saturated.
         reason: String,
     },
+    /// An oracle fault outlived the retry policy: some query was re-asked
+    /// up to the policy's attempt bound and never got a usable answer.
+    /// The run's spend up to that point is preserved for billing — every
+    /// attempt, including the failed ones, was metered — but the partial
+    /// answer is discarded, exactly like a blown budget.
+    OracleFailed {
+        /// Oracle queries spent (retries included) before the run failed.
+        queries_spent: u64,
+        /// The retry policy's attempt bound that the fault exhausted.
+        attempts: u32,
+    },
+    /// The run was killed by its deadline or cancel token at a query or
+    /// round boundary. The partial cost accounting is preserved: the
+    /// answer is gone, the bill is not.
+    DeadlineExceeded {
+        /// Accounting up to the kill point (the `queries`/`rounds` spent
+        /// before the deadline hit; the answer-bearing fields of a
+        /// successful report are absent by construction).
+        report: Box<RunReport>,
+    },
+    /// The request panicked inside a serving worker. The panic was
+    /// contained by the worker's `catch_unwind` isolation: the worker
+    /// rejoined the pool and other in-flight requests were unaffected.
+    Panicked {
+        /// The panic payload, when it carried a message.
+        reason: String,
+    },
 }
 
 impl NcoError {
@@ -74,6 +104,20 @@ impl fmt::Display for NcoError {
             Self::InvalidParams { reason } => write!(f, "invalid parameters: {reason}"),
             Self::EmptyInput { reason } => write!(f, "empty input: {reason}"),
             Self::Overloaded { reason } => write!(f, "overloaded: {reason}"),
+            Self::OracleFailed {
+                queries_spent,
+                attempts,
+            } => write!(
+                f,
+                "oracle failed: a query faulted through all {attempts} retry attempts \
+                 ({queries_spent} queries spent)"
+            ),
+            Self::DeadlineExceeded { report } => write!(
+                f,
+                "deadline exceeded after {} queries in {} rounds",
+                report.queries, report.rounds
+            ),
+            Self::Panicked { reason } => write!(f, "request panicked: {reason}"),
         }
     }
 }
@@ -92,6 +136,39 @@ mod tests {
         assert!(e.to_string().contains("k = 0"));
         let e = NcoError::empty("no records");
         assert!(e.to_string().contains("no records"));
+        let e = NcoError::OracleFailed {
+            queries_spent: 17,
+            attempts: 4,
+        };
+        assert!(e.to_string().contains("17") && e.to_string().contains('4'));
+        let e = NcoError::Panicked {
+            reason: "index out of bounds".into(),
+        };
+        assert!(e.to_string().contains("index out of bounds"));
+    }
+
+    #[test]
+    fn deadline_error_preserves_partial_accounting() {
+        use std::time::Duration;
+        let report = RunReport {
+            queries: 9,
+            rounds: 3,
+            memo_hits: None,
+            cache_entries: None,
+            cache_added: None,
+            wall: Duration::from_millis(2),
+            budget: Some(100),
+            merge_plane: None,
+            observed_flip_rate: None,
+        };
+        let e = NcoError::DeadlineExceeded {
+            report: Box::new(report),
+        };
+        let NcoError::DeadlineExceeded { report } = &e else {
+            panic!("wrong variant");
+        };
+        assert_eq!(report.queries, 9);
+        assert!(e.to_string().contains("9 queries"));
     }
 
     #[test]

@@ -82,7 +82,8 @@ mod session;
 mod task;
 
 pub use error::NcoError;
+pub use nco_oracle::fault::{FaultPlan, FaultStats, QueryFault, RetryPolicy};
 pub use report::{Outcome, RunReport};
 pub use serve::{Request, ServeStats, Server, ServerBuilder, TaskHandle};
-pub use session::{Engine, Noise, Session, SessionBuilder};
+pub use session::{CancelToken, Engine, Noise, Session, SessionBuilder};
 pub use task::{Answer, Task};

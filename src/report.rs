@@ -12,7 +12,7 @@ use crate::task::Answer;
 use nco_core::hier::MergePlaneStats;
 
 /// Cost accounting for one [`crate::Session::run`].
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 #[non_exhaustive]
 pub struct RunReport {
     /// Oracle queries issued — exactly the tally a
@@ -53,10 +53,18 @@ pub struct RunReport {
     /// re-contests, pointer repairs, bucket replays and pool duels — the
     /// cost anatomy behind [`Self::queries`] for `Task::Hierarchy` runs.
     pub merge_plane: Option<MergePlaneStats>,
+    /// Online estimate of the oracle's *directional* flip probability,
+    /// tallied for free from the mirror pairs the answer memo observes
+    /// while filling its table (`None` when memoisation is off or no
+    /// mirror pair was seen). The shipped probabilistic/crowd models
+    /// hold one belief per unordered comparison and estimate exactly
+    /// `0.0` — see `nco_oracle::MemoOracle::flip_rate_estimate` for the
+    /// estimator, its model assumptions, and its tie caveat.
+    pub observed_flip_rate: Option<f64>,
 }
 
 /// A successful run: the typed answer plus its cost accounting.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 #[non_exhaustive]
 pub struct Outcome {
     /// The task's answer.
@@ -88,6 +96,7 @@ mod tests {
                 wall: Duration::from_millis(1),
                 budget: Some(100),
                 merge_plane: None,
+                observed_flip_rate: None,
             },
         );
         assert_eq!(o.answer.item(), Some(3));

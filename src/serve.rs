@@ -25,6 +25,19 @@
 //!   A full submission queue sheds with [`NcoError::Overloaded`] rather
 //!   than queueing unboundedly.
 //!
+//! The plane is also fault-isolated. The shared backend carries the
+//! template's [`FaultPlan`] under a [`Retrying`] recovery layer, so
+//! injected oracle faults are masked (and billed) at the backend without
+//! per-request involvement; a fault that outlives the policy fails the
+//! affected requests typed with [`NcoError::OracleFailed`]. Each worker
+//! runs its request under `catch_unwind`: a panicking request returns
+//! [`NcoError::Panicked`] to its submitter while the worker rejoins the
+//! pool, the coalescer aborts and re-runs any round whose leader died,
+//! and every shared lock recovers from poisoning. Per-request deadlines
+//! ([`crate::SessionBuilder::deadline`] on the template) kill overdue
+//! requests with [`NcoError::DeadlineExceeded`], partial accounting
+//! preserved.
+//!
 //! ```
 //! use noisy_oracle::{Noise, Request, Server, Session, Task};
 //!
@@ -46,21 +59,42 @@
 //! # Ok::<(), noisy_oracle::NcoError>(())
 //! ```
 
+use std::any::Any;
 use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{self, Receiver, Sender};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
 use nco_oracle::budget::{BudgetPool, Budgeted, OVER_BUDGET_ANSWER};
+use nco_oracle::fault::{FaultPlan, FaultyOracle, QueryFault, Retrying};
 use nco_oracle::persistent::PersistentNoise;
 use nco_oracle::{ComparisonOracle, Counting, MemoOracle, QuadrupletOracle};
 
 use crate::error::NcoError;
 use crate::report::{Outcome, RunReport};
-use crate::session::Session;
+use crate::session::{CancelToken, Session};
 use crate::task::Task;
+
+/// Locks a mutex, recovering from poisoning: a request that panicked
+/// while holding a shared lock must not wedge the rest of the plane. The
+/// guarded structures keep their invariants on unwind — the memo fills
+/// its cache only after the inner oracle returns, and the meters at
+/// worst undercount the aborted round — so the data is safe to reuse.
+fn relock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Best-effort human-readable panic payload for [`NcoError::Panicked`].
+fn panic_reason(payload: &(dyn Any + Send)) -> String {
+    payload
+        .downcast_ref::<&str>()
+        .map(|s| (*s).to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "opaque panic payload".into())
+}
 
 // ---------------------------------------------------------------------
 // Boxed backend oracles.
@@ -85,6 +119,14 @@ impl QuadrupletOracle for BoxedQuad {
     fn le_batch(&mut self, queries: &[[usize; 4]], out: &mut Vec<bool>) {
         self.0.le_batch(queries, out);
     }
+
+    fn try_le(&mut self, a: usize, b: usize, c: usize, d: usize) -> Result<bool, QueryFault> {
+        self.0.try_le(a, b, c, d)
+    }
+
+    fn try_le_batch(&mut self, queries: &[[usize; 4]], out: &mut Vec<Result<bool, QueryFault>>) {
+        self.0.try_le_batch(queries, out);
+    }
 }
 
 impl PersistentNoise for BoxedQuad {}
@@ -102,6 +144,18 @@ impl ComparisonOracle for BoxedCmp {
 
     fn le_batch(&mut self, queries: &[(usize, usize)], out: &mut Vec<bool>) {
         self.0.le_batch(queries, out);
+    }
+
+    fn try_le(&mut self, i: usize, j: usize) -> Result<bool, QueryFault> {
+        self.0.try_le(i, j)
+    }
+
+    fn try_le_batch(
+        &mut self,
+        queries: &[(usize, usize)],
+        out: &mut Vec<Result<bool, QueryFault>>,
+    ) {
+        self.0.try_le_batch(queries, out);
     }
 }
 
@@ -130,10 +184,24 @@ struct Coalescer<Q> {
     coalesced: AtomicU64,
 }
 
+/// Sent to every waiter of a round whose leader panicked mid-execution:
+/// the round never produced answers and must be resubmitted.
+struct RoundAborted;
+
+/// A waiter's reply channel: its slice of the round's answers, or the
+/// abort marker telling it to resubmit.
+type RoundReply = Sender<Result<Vec<bool>, RoundAborted>>;
+
 struct CoalState<Q> {
-    pending: Vec<(Vec<Q>, Sender<Vec<bool>>)>,
+    pending: Vec<(Vec<Q>, RoundReply)>,
     leader: bool,
 }
+
+/// How many aborted rounds a follower re-submits before giving up. Fault
+/// plans panic at most once per configured attempt, so in practice a
+/// single retry succeeds; the bound only guards against a backend that
+/// panics unconditionally.
+const MAX_ABORTED_ROUNDS: u32 = 32;
 
 impl<Q: Copy> Coalescer<Q> {
     fn new() -> Self {
@@ -148,10 +216,27 @@ impl<Q: Copy> Coalescer<Q> {
     }
 
     /// Submits one round; blocks until a leader (possibly this caller)
-    /// has executed it against the backend via `exec`.
+    /// has executed it against the backend via `exec`. If the leader
+    /// panics inside `exec`, every waiter of the aborted round is woken
+    /// and resubmits (bounded); the panic propagates out of the leader's
+    /// own call only, so exactly the request that hit the panic dies.
     fn submit(&self, queries: &[Q], exec: &dyn Fn(&[Q], &mut Vec<bool>)) -> Vec<bool> {
+        for _ in 0..MAX_ABORTED_ROUNDS {
+            match self.submit_once(queries, exec) {
+                Ok(answers) => return answers,
+                Err(RoundAborted) => continue,
+            }
+        }
+        panic!("coalesced round aborted {MAX_ABORTED_ROUNDS} times in a row");
+    }
+
+    fn submit_once(
+        &self,
+        queries: &[Q],
+        exec: &dyn Fn(&[Q], &mut Vec<bool>),
+    ) -> Result<Vec<bool>, RoundAborted> {
         let (tx, rx) = mpsc::channel();
-        let mut st = self.state.lock().expect("coalescer poisoned");
+        let mut st = relock(&self.state);
         st.pending.push((queries.to_vec(), tx));
         if !st.leader {
             st.leader = true;
@@ -164,7 +249,26 @@ impl<Q: Copy> Coalescer<Q> {
                     combined.extend_from_slice(q);
                 }
                 let mut answers = Vec::with_capacity(total);
-                exec(&combined, &mut answers);
+                if let Err(payload) =
+                    catch_unwind(AssertUnwindSafe(|| exec(&combined, &mut answers)))
+                {
+                    // The leader dies with its own request, but first it
+                    // aborts the round cleanly: every waiter — batch and
+                    // later arrivals alike — is told to resubmit, and
+                    // leadership is released so one of them (or a fresh
+                    // submitter) can take over. Nobody is left waiting
+                    // on a leader that no longer exists.
+                    let mut st = relock(&self.state);
+                    for (_, reply) in batch {
+                        let _ = reply.send(Err(RoundAborted));
+                    }
+                    for (_, reply) in st.pending.drain(..) {
+                        let _ = reply.send(Err(RoundAborted));
+                    }
+                    st.leader = false;
+                    drop(st);
+                    resume_unwind(payload);
+                }
                 self.rounds.fetch_add(1, Ordering::Relaxed);
                 if batch.len() > 1 {
                     self.coalesced.fetch_add(1, Ordering::Relaxed);
@@ -174,9 +278,9 @@ impl<Q: Copy> Coalescer<Q> {
                     let slice = answers[offset..offset + q.len()].to_vec();
                     offset += q.len();
                     // A follower that gave up (channel dropped) is fine.
-                    let _ = reply.send(slice);
+                    let _ = reply.send(Ok(slice));
                 }
-                st = self.state.lock().expect("coalescer poisoned");
+                st = relock(&self.state);
             }
             // Leadership is released under the lock with the queue empty,
             // so every submission either saw `leader == true` and has a
@@ -184,7 +288,7 @@ impl<Q: Copy> Coalescer<Q> {
             st.leader = false;
         }
         drop(st);
-        rx.recv().expect("round leader vanished")
+        rx.recv().unwrap_or(Err(RoundAborted))
     }
 }
 
@@ -192,8 +296,13 @@ impl<Q: Copy> Coalescer<Q> {
 // Per-request oracle adapters.
 // ---------------------------------------------------------------------
 
-type QuadBackend = MemoOracle<Counting<BoxedQuad>>;
-type CmpBackend = MemoOracle<Counting<BoxedCmp>>;
+// The shared backend chain, inside out: the template's fault plan wraps
+// the raw boxed oracle, the counter bills every ask (retries included),
+// the retry layer masks faults the policy can absorb, and the memo
+// dedups across requests — so a memo hit never spends a retry and a
+// faulted lane is never cached.
+type QuadBackend = MemoOracle<Retrying<Counting<FaultyOracle<BoxedQuad>>>>;
+type CmpBackend = MemoOracle<Retrying<Counting<FaultyOracle<BoxedCmp>>>>;
 
 /// The quadruplet-oracle view one request has of the shared plane:
 /// rounds go pool-admission → coalescer → shared memoised backend.
@@ -221,10 +330,7 @@ impl QuadrupletOracle for ServedQuad {
             return OVER_BUDGET_ANSWER;
         }
         // Scalar queries skip the coalescer: nothing to combine with.
-        self.backend
-            .lock()
-            .expect("backend poisoned")
-            .le(a, b, c, d)
+        relock(&self.backend).le(a, b, c, d)
     }
 
     fn le_batch(&mut self, queries: &[[usize; 4]], out: &mut Vec<bool>) {
@@ -238,7 +344,7 @@ impl QuadrupletOracle for ServedQuad {
         }
         let backend = Arc::clone(&self.backend);
         let answers = self.coalescer.submit(queries, &move |qs, res| {
-            backend.lock().expect("backend poisoned").le_batch(qs, res);
+            relock(&backend).le_batch(qs, res);
         });
         out.extend(answers);
     }
@@ -247,7 +353,8 @@ impl QuadrupletOracle for ServedQuad {
 /// The backend answers are a pure function of the query (exact memo over
 /// a persistent model); the pool's refusal bit can diverge, but only on
 /// requests already doomed to fail typed — the same doomed-run argument
-/// as [`Budgeted`]'s `PersistentNoise` impl.
+/// as [`Budgeted`]'s `PersistentNoise` impl. Masked backend faults keep
+/// the purity: retries re-read the same persistent belief.
 impl PersistentNoise for ServedQuad {}
 
 /// Comparison twin of [`ServedQuad`] for value engines.
@@ -269,7 +376,7 @@ impl ComparisonOracle for ServedCmp {
             self.starved = true;
             return OVER_BUDGET_ANSWER;
         }
-        self.backend.lock().expect("backend poisoned").le(i, j)
+        relock(&self.backend).le(i, j)
     }
 
     fn le_batch(&mut self, queries: &[(usize, usize)], out: &mut Vec<bool>) {
@@ -283,7 +390,7 @@ impl ComparisonOracle for ServedCmp {
         }
         let backend = Arc::clone(&self.backend);
         let answers = self.coalescer.submit(queries, &move |qs, res| {
-            backend.lock().expect("backend poisoned").le_batch(qs, res);
+            relock(&backend).le_batch(qs, res);
         });
         out.extend(answers);
     }
@@ -352,13 +459,15 @@ struct ServerShared {
     submitted: AtomicU64,
     completed: AtomicU64,
     shed: AtomicU64,
+    deadline_kills: AtomicU64,
+    panics: AtomicU64,
 }
 
 impl ServerShared {
     fn worker_loop(&self) {
         loop {
             let job = {
-                let mut q = self.queue.lock().expect("queue poisoned");
+                let mut q = relock(&self.queue);
                 loop {
                     if let Some(job) = q.jobs.pop_front() {
                         break job;
@@ -366,13 +475,41 @@ impl ServerShared {
                     if !q.open {
                         return;
                     }
-                    q = self.work_ready.wait(q).expect("queue poisoned");
+                    q = self
+                        .work_ready
+                        .wait(q)
+                        .unwrap_or_else(PoisonError::into_inner);
                 }
             };
-            let result = self.execute(&job.request);
+            // Panic isolation: a request that panics (injected fault or
+            // engine bug) is converted to a typed error for its own
+            // submitter; this worker thread survives and rejoins the
+            // pool, and every other in-flight request is unaffected.
+            let result = catch_unwind(AssertUnwindSafe(|| self.execute(&job.request)))
+                .unwrap_or_else(|payload| {
+                    self.panics.fetch_add(1, Ordering::Relaxed);
+                    Err(NcoError::Panicked {
+                        reason: panic_reason(payload.as_ref()),
+                    })
+                });
             self.completed.fetch_add(1, Ordering::Relaxed);
             // The submitter may have dropped its handle; that's fine.
             let _ = job.reply.send(result);
+        }
+    }
+
+    /// `Some(attempt bound)` once any request drove the shared backend's
+    /// retry layer to exhaustion. The latch is sticky and server-wide:
+    /// from that point the backend returns constants, so every request
+    /// that finishes after it (racing finishers included — conservative
+    /// by design) is failed typed rather than given poisoned answers.
+    fn backend_failed(&self) -> Option<u32> {
+        if let Some(b) = &self.quad_backend {
+            relock(b).inner().failed()
+        } else if let Some(b) = &self.cmp_backend {
+            relock(b).inner().failed()
+        } else {
+            unreachable!("every engine has exactly one backend plane")
         }
     }
 
@@ -383,8 +520,13 @@ impl ServerShared {
         let start = Instant::now();
         let cache_start = engine.cache_entries();
         let budget = session.cfg().budget;
+        // Per-request deadline/cancellation, measured from the moment a
+        // worker picks the request up (queue wait is not billed against
+        // the deadline — admission control already bounds the queue).
+        let deadline = session.cfg().deadline.map(|d| start + d);
+        let cancel = session.cfg().cancel.as_ref().map(CancelToken::flag);
 
-        let (answer, queries, rounds, exceeded, starved, merge_plane) =
+        let (answer, queries, rounds, exceeded, killed, starved, merge_plane) =
             if request.task.needs_values() {
                 let backend = self
                     .cmp_backend
@@ -397,13 +539,16 @@ impl ServerShared {
                     pool: Arc::clone(&self.pool),
                     starved: false,
                 };
-                let mut oracle = Budgeted::new(served, budget);
+                let mut oracle = Budgeted::new(served, budget)
+                    .with_deadline(deadline)
+                    .with_cancel(cancel);
                 let answer = session.value_task(request.task, &mut oracle)?;
                 (
                     answer,
                     oracle.queries(),
                     oracle.rounds(),
                     oracle.exceeded(),
+                    oracle.killed(),
                     oracle.inner().starved,
                     None,
                 )
@@ -419,7 +564,9 @@ impl ServerShared {
                     pool: Arc::clone(&self.pool),
                     starved: false,
                 };
-                let mut oracle = Budgeted::new(served, budget);
+                let mut oracle = Budgeted::new(served, budget)
+                    .with_deadline(deadline)
+                    .with_cancel(cancel);
                 let mut plane = None;
                 let answer = session.quad_task(request.task, &mut oracle, &mut plane)?;
                 (
@@ -427,11 +574,43 @@ impl ServerShared {
                     oracle.queries(),
                     oracle.rounds(),
                     oracle.exceeded(),
+                    oracle.killed(),
                     oracle.inner().starved,
                     plane,
                 )
             };
 
+        // Same failure precedence as a solo `Session::run`: a backend
+        // fault that outlived the retry policy trumps everything, then
+        // the deadline kill, then budget exhaustion (pooled or
+        // per-request).
+        if let Some(attempts) = self.backend_failed() {
+            return Err(NcoError::OracleFailed {
+                queries_spent: queries,
+                attempts,
+            });
+        }
+        let cache_entries = engine.cache_entries();
+        let report = RunReport {
+            queries,
+            rounds,
+            // The backend memo is a server-level resource; its hit tally
+            // and flip-rate estimate are aggregate, not per request (the
+            // hits live in `ServeStats`).
+            memo_hits: None,
+            cache_entries,
+            cache_added: cache_entries.map(|e| e.saturating_sub(cache_start.unwrap_or(0))),
+            wall: start.elapsed(),
+            budget,
+            merge_plane,
+            observed_flip_rate: None,
+        };
+        if killed {
+            self.deadline_kills.fetch_add(1, Ordering::Relaxed);
+            return Err(NcoError::DeadlineExceeded {
+                report: Box::new(report),
+            });
+        }
         if starved {
             // The *pooled* budget ran dry mid-request: shed this request
             // without unwinding the others.
@@ -444,34 +623,30 @@ impl ServerShared {
                 budget: budget.expect("exceeded implies a budget"),
             });
         }
-        let cache_entries = engine.cache_entries();
-        Ok(Outcome::new(
-            answer,
-            RunReport {
-                queries,
-                rounds,
-                // The backend memo is a server-level resource; its hit
-                // tally is reported in `ServeStats`, not per request.
-                memo_hits: None,
-                cache_entries,
-                cache_added: cache_entries.map(|e| e.saturating_sub(cache_start.unwrap_or(0))),
-                wall: start.elapsed(),
-                budget,
-                merge_plane,
-            },
-        ))
+        Ok(Outcome::new(answer, report))
     }
 
     fn stats(&self) -> ServeStats {
-        let (backend_queries, memo_hits) = if let Some(b) = &self.quad_backend {
-            let b = b.lock().expect("backend poisoned");
-            (b.inner().queries(), b.hits())
-        } else if let Some(b) = &self.cmp_backend {
-            let b = b.lock().expect("backend poisoned");
-            (b.inner().queries(), b.hits())
-        } else {
-            unreachable!("every engine has exactly one backend plane")
-        };
+        let (backend_queries, memo_hits, retries, faults_masked) =
+            if let Some(b) = &self.quad_backend {
+                let b = relock(b);
+                (
+                    b.inner().inner().queries(),
+                    b.hits(),
+                    b.inner().retries(),
+                    b.inner().faults_masked(),
+                )
+            } else if let Some(b) = &self.cmp_backend {
+                let b = relock(b);
+                (
+                    b.inner().inner().queries(),
+                    b.hits(),
+                    b.inner().retries(),
+                    b.inner().faults_masked(),
+                )
+            } else {
+                unreachable!("every engine has exactly one backend plane")
+            };
         ServeStats {
             submitted: self.submitted.load(Ordering::Relaxed),
             completed: self.completed.load(Ordering::Relaxed),
@@ -484,6 +659,10 @@ impl ServerShared {
                 + self.cmp_coalescer.coalesced.load(Ordering::Relaxed),
             pool_spent: self.pool.spent(),
             pool_cap: self.pool.cap(),
+            retries,
+            faults_masked,
+            deadline_kills: self.deadline_kills.load(Ordering::Relaxed),
+            panics: self.panics.load(Ordering::Relaxed),
         }
     }
 }
@@ -551,15 +730,25 @@ impl ServerBuilder {
                 engine.n()
             )));
         }
+        let plan = cfg.fault_plan.unwrap_or_else(FaultPlan::none);
+        let policy = cfg.retry.unwrap_or_default();
         let quad_backend = engine.has_metric().then(|| {
-            Arc::new(Mutex::new(MemoOracle::new(Counting::new(BoxedQuad(
-                self.template.boxed_quad_backend(),
-            )))))
+            Arc::new(Mutex::new(MemoOracle::new(Retrying::new(
+                Counting::new(FaultyOracle::new(
+                    BoxedQuad(self.template.boxed_quad_backend()),
+                    plan,
+                )),
+                policy,
+            ))))
         });
         let cmp_backend = engine.has_values().then(|| {
-            Arc::new(Mutex::new(MemoOracle::new(Counting::new(BoxedCmp(
-                self.template.boxed_cmp_backend(),
-            )))))
+            Arc::new(Mutex::new(MemoOracle::new(Retrying::new(
+                Counting::new(FaultyOracle::new(
+                    BoxedCmp(self.template.boxed_cmp_backend()),
+                    plan,
+                )),
+                policy,
+            ))))
         });
         let shared = Arc::new(ServerShared {
             template: self.template,
@@ -577,6 +766,8 @@ impl ServerBuilder {
             submitted: AtomicU64::new(0),
             completed: AtomicU64::new(0),
             shed: AtomicU64::new(0),
+            deadline_kills: AtomicU64::new(0),
+            panics: AtomicU64::new(0),
         });
         let workers = (0..self.workers)
             .map(|_| {
@@ -584,7 +775,10 @@ impl ServerBuilder {
                 std::thread::spawn(move || shared.worker_loop())
             })
             .collect();
-        Ok(Server { shared, workers })
+        Ok(Server {
+            shared,
+            workers: Mutex::new(workers),
+        })
     }
 }
 
@@ -625,6 +819,20 @@ pub struct ServeStats {
     pub pool_spent: u64,
     /// The pooled budget cap (`u64::MAX` = unlimited).
     pub pool_cap: u64,
+    /// Backend queries that were retries of a faulted ask (billed into
+    /// [`Self::backend_queries`] too — retries are real asks).
+    pub retries: u64,
+    /// Injected faults the retry layer absorbed: queries that faulted at
+    /// least once but returned a usable (persistent, bit-identical)
+    /// answer within the policy's attempt bound.
+    pub faults_masked: u64,
+    /// Requests killed by their per-request deadline or cancel token
+    /// ([`NcoError::DeadlineExceeded`]).
+    pub deadline_kills: u64,
+    /// Requests that panicked inside a worker and were converted to
+    /// [`NcoError::Panicked`] — each one was contained: the worker
+    /// rejoined the pool and no other in-flight request was lost.
+    pub panics: u64,
 }
 
 /// The concurrent serving plane over one engine: a worker pool behind
@@ -633,13 +841,15 @@ pub struct ServeStats {
 /// template [`crate::Session`] via [`Server::builder`].
 pub struct Server {
     shared: Arc<ServerShared>,
-    workers: Vec<JoinHandle<()>>,
+    /// The worker pool, behind a mutex so shutdown can be called from
+    /// `&self` (idempotently, from any number of threads).
+    workers: Mutex<Vec<JoinHandle<()>>>,
 }
 
 impl std::fmt::Debug for Server {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Server")
-            .field("workers", &self.workers.len())
+            .field("workers", &relock(&self.workers).len())
             .field("queue_cap", &self.shared.queue_cap)
             .field("stats", &self.shared.stats())
             .finish()
@@ -664,7 +874,7 @@ impl Server {
     /// the server is shutting down.
     pub fn submit(&self, request: Request) -> Result<TaskHandle, NcoError> {
         let (tx, rx) = mpsc::channel();
-        let mut q = self.shared.queue.lock().expect("queue poisoned");
+        let mut q = relock(&self.shared.queue);
         if !q.open {
             self.shared.shed.fetch_add(1, Ordering::Relaxed);
             return Err(NcoError::overloaded("server is shutting down"));
@@ -692,18 +902,30 @@ impl Server {
     /// drain every already-queued request, joins them, and returns the
     /// final counters. Dropping a `Server` does the same minus the
     /// stats.
-    pub fn shutdown(mut self) -> ServeStats {
+    ///
+    /// Idempotent and race-free: call it any number of times, from any
+    /// number of threads. Every call — concurrent or repeated — returns
+    /// only after the worker pool has fully drained and exited (later
+    /// calls find nothing left to join and just re-read the counters),
+    /// and submissions racing a shutdown either complete normally or
+    /// shed with [`NcoError::Overloaded`], never hang.
+    pub fn shutdown(&self) -> ServeStats {
         self.close_and_join();
         self.shared.stats()
     }
 
-    fn close_and_join(&mut self) {
+    fn close_and_join(&self) {
         {
-            let mut q = self.shared.queue.lock().expect("queue poisoned");
+            let mut q = relock(&self.shared.queue);
             q.open = false;
         }
         self.shared.work_ready.notify_all();
-        for handle in self.workers.drain(..) {
+        // The handles are drained and joined while the pool lock is
+        // held, so a concurrent shutdown blocks here until the first
+        // caller has fully joined the pool — both calls return with the
+        // workers gone. (Workers never touch this lock: no deadlock.)
+        let mut workers = relock(&self.workers);
+        for handle in workers.drain(..) {
             let _ = handle.join();
         }
     }

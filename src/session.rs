@@ -45,8 +45,9 @@
 //! [`NcoError::BudgetExceeded`] instead of an answer. A run that stays
 //! within budget is bit-identical to the same run without a budget.
 
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use nco_core::comparator::ValueCmp;
 use nco_core::hier::{hier_oracle_par_stats, hier_oracle_stats, HierParams, MergePlaneStats};
@@ -58,6 +59,7 @@ use nco_metric::{CachedMetric, DistCache, EuclideanMetric, Metric};
 use nco_oracle::adversarial::{AdversarialQuadOracle, AdversarialValueOracle, InvertAdversary};
 use nco_oracle::budget::{Budgeted, SharedBudgeted};
 use nco_oracle::crowd::{AccuracyProfile, CrowdQuadOracle, CrowdValueOracle};
+use nco_oracle::fault::{FaultPlan, FaultyOracle, RetryPolicy, Retrying};
 use nco_oracle::persistent::{PersistentNoise, SharedQuadrupletOracle};
 use nco_oracle::probabilistic::{ProbQuadOracle, ProbValueOracle};
 use nco_oracle::{ComparisonOracle, MemoOracle, QuadrupletOracle, TrueQuadOracle, TrueValueOracle};
@@ -255,6 +257,42 @@ impl Metric for EngineMetric {
     }
 }
 
+/// A clonable cooperative cancellation handle for in-flight runs.
+///
+/// Hand a token to [`SessionBuilder::cancel_token`], keep a clone, and
+/// call [`CancelToken::cancel`] from any thread: every run attached to
+/// the token stops issuing oracle queries at its next query or round
+/// boundary and returns [`NcoError::DeadlineExceeded`] with the partial
+/// [`RunReport`] — cancellation is cooperative, so a distance evaluation
+/// already in flight is never interrupted midway.
+///
+/// Cancellation is sticky: once cancelled, every later run on a session
+/// holding the token is killed at its first boundary.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requests cancellation of every run holding a clone of this token.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Relaxed);
+    }
+
+    /// `true` once [`Self::cancel`] has been called on any clone.
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// The raw flag the oracle chain polls at kill boundaries.
+    pub(crate) fn flag(&self) -> Arc<AtomicBool> {
+        self.0.clone()
+    }
+}
+
 /// Configures and builds a [`Session`].
 ///
 /// | knob | default | effect |
@@ -268,6 +306,10 @@ impl Metric for EngineMetric {
 /// | [`seed`](Self::seed) | `0` | rng stream of each run |
 /// | [`budget`](Self::budget) | unlimited | hard cap on oracle queries |
 /// | [`min_cluster_promise`](Self::min_cluster_promise) | `n / 2k` | Algorithm 7's `m` |
+/// | [`fault_plan`](Self::fault_plan) | none | deterministic fault injection ([`FaultPlan`]) |
+/// | [`retry_policy`](Self::retry_policy) | 4 attempts | bounded retry over injected faults |
+/// | [`deadline`](Self::deadline) | none | wall-clock kill switch per run |
+/// | [`cancel_token`](Self::cancel_token) | none | cooperative cancellation handle |
 #[derive(Debug, Default)]
 #[must_use = "a builder does nothing until build() is called"]
 pub struct SessionBuilder {
@@ -283,6 +325,10 @@ pub struct SessionBuilder {
     budget: Option<u64>,
     min_cluster_promise: Option<usize>,
     first_center: Option<usize>,
+    fault_plan: Option<FaultPlan>,
+    retry: Option<RetryPolicy>,
+    deadline: Option<Duration>,
+    cancel: Option<CancelToken>,
 }
 
 impl SessionBuilder {
@@ -381,6 +427,81 @@ impl SessionBuilder {
     /// heuristic; [`Self::dataset`] sets it from ground truth).
     pub fn min_cluster_promise(mut self, m: usize) -> Self {
         self.min_cluster_promise = Some(m);
+        self
+    }
+
+    /// Inject deterministic oracle faults (transient failures, outage
+    /// bursts, latency stalls, stuck workers) into every run, as
+    /// described by a seeded [`FaultPlan`]. Faults are injected *under*
+    /// the query meter and masked by the session's [`RetryPolicy`]
+    /// (see [`Self::retry_policy`]): a fully masked plan returns answers
+    /// **bit-identical** to the fault-free run — noise persistence means
+    /// a re-asked query re-reads the same noisy belief — while the
+    /// retries still show up in [`RunReport::queries`]. A fault that
+    /// outlives the policy fails the run with [`NcoError::OracleFailed`].
+    ///
+    /// Serial runs only: combined with [`Self::threads`] `>= 2` the
+    /// build is rejected, like [`Self::memoize`].
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
+
+    /// Bounded-retry recovery over injected faults (default:
+    /// [`RetryPolicy::default`], 4 attempts per query). Every retry is
+    /// billed as a real query — budgets and [`RunReport::queries`] stay
+    /// honest — and deterministic backoff is accounted as latency debt
+    /// rather than slept.
+    pub fn retry_policy(mut self, policy: RetryPolicy) -> Self {
+        self.retry = Some(policy);
+        self
+    }
+
+    /// Wall-clock deadline per [`Session::run`], measured from the
+    /// moment `run` is called and checked cooperatively at query and
+    /// round boundaries (an oracle call already in flight is never
+    /// interrupted midway). A run that outlives its deadline stops
+    /// issuing oracle queries and returns [`NcoError::DeadlineExceeded`]
+    /// carrying the partial [`RunReport`]: the answer is gone, the bill
+    /// is not.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use noisy_oracle::{NcoError, Session, Task};
+    /// use std::time::Duration;
+    ///
+    /// let session = Session::builder()
+    ///     .values((0..32).map(f64::from).collect())
+    ///     .deadline(Duration::from_secs(30))
+    ///     .build()?;
+    /// // A generous deadline never fires; the answer is unchanged.
+    /// let outcome = session.run(Task::Max)?;
+    /// assert_eq!(outcome.answer.item(), Some(31));
+    ///
+    /// // An already-expired deadline kills the run at its first query
+    /// // boundary, preserving the (empty) cost accounting.
+    /// let doomed = Session::builder()
+    ///     .values((0..32).map(f64::from).collect())
+    ///     .deadline(Duration::ZERO)
+    ///     .build()?;
+    /// match doomed.run(Task::Max) {
+    ///     Err(NcoError::DeadlineExceeded { report }) => assert_eq!(report.queries, 0),
+    ///     other => panic!("expected a deadline kill, got {other:?}"),
+    /// }
+    /// # Ok::<(), NcoError>(())
+    /// ```
+    pub fn deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Attach a cooperative [`CancelToken`]: calling
+    /// [`CancelToken::cancel`] on any clone kills in-flight (and future)
+    /// runs of this session at their next query or round boundary with
+    /// [`NcoError::DeadlineExceeded`], partial accounting preserved.
+    pub fn cancel_token(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
         self
     }
 
@@ -489,6 +610,11 @@ impl SessionBuilder {
                 ));
             }
         }
+        if self.fault_plan.is_some_and(|p| p.is_active()) && self.threads >= 2 {
+            return Err(NcoError::invalid(
+                "fault injection is serial-only; drop fault_plan() or threads(>= 2)",
+            ));
+        }
         Ok(Session {
             engine,
             cfg: Config {
@@ -500,6 +626,10 @@ impl SessionBuilder {
                 budget: self.budget,
                 min_cluster_promise: self.min_cluster_promise,
                 first_center: self.first_center,
+                fault_plan: self.fault_plan,
+                retry: self.retry,
+                deadline: self.deadline,
+                cancel: self.cancel,
             },
         })
     }
@@ -515,6 +645,10 @@ pub(crate) struct Config {
     pub(crate) budget: Option<u64>,
     pub(crate) min_cluster_promise: Option<usize>,
     pub(crate) first_center: Option<usize>,
+    pub(crate) fault_plan: Option<FaultPlan>,
+    pub(crate) retry: Option<RetryPolicy>,
+    pub(crate) deadline: Option<Duration>,
+    pub(crate) cancel: Option<CancelToken>,
 }
 
 /// Per-run bookkeeping captured when `run` starts, threaded through to
@@ -729,36 +863,61 @@ impl Session {
         }
     }
 
+    /// The per-run oracle chain, inside out: faults are injected right
+    /// on the raw oracle, the budget/deadline meter bills every ask
+    /// (faulted or not), the optional answer memo serves repeats for
+    /// free, and retry sits outermost so every re-ask of a faulted lane
+    /// re-enters the meter. With no fault plan configured the chain is
+    /// fully transparent — bit-identical answers and meters to wiring
+    /// the budget alone.
     fn drive_value<O>(&self, task: Task, raw: O, ctx: RunCtx) -> Result<Outcome, NcoError>
     where
         O: ComparisonOracle + PersistentNoise,
     {
+        let plan = self.cfg.fault_plan.unwrap_or_else(FaultPlan::none);
+        let policy = self.cfg.retry.unwrap_or_default();
+        let budgeted = Budgeted::new(FaultyOracle::new(raw, plan), self.cfg.budget)
+            .with_deadline(self.cfg.deadline.map(|d| ctx.start + d))
+            .with_cancel(self.cfg.cancel.as_ref().map(CancelToken::flag));
         if self.cfg.memo {
-            // Memo outside, budget inside: hits are free, only queries
-            // that reach the real oracle bill against the budget.
-            let mut oracle = MemoOracle::new(Budgeted::new(raw, self.cfg.budget));
+            // Memo outside the budget: hits are free, only queries that
+            // reach the real oracle bill.
+            let mut oracle = Retrying::new(MemoOracle::new(budgeted), policy);
             let answer = self.value_task(task, &mut oracle)?;
-            let memo_hits = oracle.hits();
-            let inner = oracle.inner();
+            let failed = oracle.failed();
+            let memo = oracle.inner();
+            let inner = memo.inner();
             self.finish(
                 answer,
-                inner.queries(),
-                inner.rounds(),
-                inner.exceeded(),
-                Some(memo_hits),
-                None,
+                Meters {
+                    queries: inner.queries(),
+                    rounds: inner.rounds(),
+                    exceeded: inner.exceeded(),
+                    killed: inner.killed(),
+                    failed,
+                    memo_hits: Some(memo.hits()),
+                    flip: memo.flip_rate_estimate(),
+                    merge_plane: None,
+                },
                 ctx,
             )
         } else {
-            let mut oracle = Budgeted::new(raw, self.cfg.budget);
+            let mut oracle = Retrying::new(budgeted, policy);
             let answer = self.value_task(task, &mut oracle)?;
+            let failed = oracle.failed();
+            let inner = oracle.inner();
             self.finish(
                 answer,
-                oracle.queries(),
-                oracle.rounds(),
-                oracle.exceeded(),
-                None,
-                None,
+                Meters {
+                    queries: inner.queries(),
+                    rounds: inner.rounds(),
+                    exceeded: inner.exceeded(),
+                    killed: inner.killed(),
+                    failed,
+                    memo_hits: None,
+                    flip: None,
+                    merge_plane: None,
+                },
                 ctx,
             )
         }
@@ -825,25 +984,44 @@ impl Session {
         }
     }
 
+    /// Quadruplet twin of [`Self::drive_value`] — same chain shape, plus
+    /// the threaded hierarchy branch, which runs fault-free ([`build`]
+    /// rejects an active plan with `threads >= 2`) but still honours
+    /// deadline and cancellation through the shared meter.
+    ///
+    /// [`build`]: SessionBuilder::build
     fn drive_quad<O>(&self, task: Task, raw: O, ctx: RunCtx) -> Result<Outcome, NcoError>
     where
         O: SharedQuadrupletOracle + PersistentNoise,
     {
+        let plan = self.cfg.fault_plan.unwrap_or_else(FaultPlan::none);
+        let policy = self.cfg.retry.unwrap_or_default();
+        let deadline = self.cfg.deadline.map(|d| ctx.start + d);
+        let cancel = self.cfg.cancel.as_ref().map(CancelToken::flag);
         if self.cfg.memo {
-            // Memo outside, budget inside: hits are free, only queries
-            // that reach the real oracle bill against the budget.
+            // Memo outside the budget: hits are free, only queries that
+            // reach the real oracle bill.
             let mut plane = None;
-            let mut oracle = MemoOracle::new(Budgeted::new(raw, self.cfg.budget));
+            let budgeted = Budgeted::new(FaultyOracle::new(raw, plan), self.cfg.budget)
+                .with_deadline(deadline)
+                .with_cancel(cancel);
+            let mut oracle = Retrying::new(MemoOracle::new(budgeted), policy);
             let answer = self.quad_task(task, &mut oracle, &mut plane)?;
-            let memo_hits = oracle.hits();
-            let inner = oracle.inner();
+            let failed = oracle.failed();
+            let memo = oracle.inner();
+            let inner = memo.inner();
             self.finish(
                 answer,
-                inner.queries(),
-                inner.rounds(),
-                inner.exceeded(),
-                Some(memo_hits),
-                plane,
+                Meters {
+                    queries: inner.queries(),
+                    rounds: inner.rounds(),
+                    exceeded: inner.exceeded(),
+                    killed: inner.killed(),
+                    failed,
+                    memo_hits: Some(memo.hits()),
+                    flip: memo.flip_rate_estimate(),
+                    merge_plane: plane,
+                },
                 ctx,
             )
         } else if self.cfg.threads >= 2 && matches!(task, Task::Hierarchy { .. }) {
@@ -851,7 +1029,9 @@ impl Session {
             let Task::Hierarchy { linkage } = task else {
                 unreachable!("matched above");
             };
-            let mut oracle = SharedBudgeted::new(raw, self.cfg.budget);
+            let mut oracle = SharedBudgeted::new(raw, self.cfg.budget)
+                .with_deadline(deadline)
+                .with_cancel(cancel);
             let mut rng = StdRng::seed_from_u64(self.cfg.seed);
             let (dend, plane) = hier_oracle_par_stats(
                 &self.hier_params(linkage),
@@ -861,24 +1041,39 @@ impl Session {
             );
             self.finish(
                 Answer::Dendrogram(dend),
-                oracle.queries(),
-                oracle.rounds(),
-                oracle.exceeded(),
-                None,
-                Some(plane),
+                Meters {
+                    queries: oracle.queries(),
+                    rounds: oracle.rounds(),
+                    exceeded: oracle.exceeded(),
+                    killed: oracle.killed(),
+                    failed: None,
+                    memo_hits: None,
+                    flip: None,
+                    merge_plane: Some(plane),
+                },
                 ctx,
             )
         } else {
             let mut plane = None;
-            let mut oracle = Budgeted::new(raw, self.cfg.budget);
+            let budgeted = Budgeted::new(FaultyOracle::new(raw, plan), self.cfg.budget)
+                .with_deadline(deadline)
+                .with_cancel(cancel);
+            let mut oracle = Retrying::new(budgeted, policy);
             let answer = self.quad_task(task, &mut oracle, &mut plane)?;
+            let failed = oracle.failed();
+            let inner = oracle.inner();
             self.finish(
                 answer,
-                oracle.queries(),
-                oracle.rounds(),
-                oracle.exceeded(),
-                None,
-                plane,
+                Meters {
+                    queries: inner.queries(),
+                    rounds: inner.rounds(),
+                    exceeded: inner.exceeded(),
+                    killed: inner.killed(),
+                    failed,
+                    memo_hits: None,
+                    flip: None,
+                    merge_plane: plane,
+                },
                 ctx,
             )
         }
@@ -982,42 +1177,62 @@ impl Session {
         }
     }
 
-    #[allow(clippy::too_many_arguments)]
-    fn finish(
-        &self,
-        answer: Answer,
-        queries: u64,
-        rounds: u64,
-        exceeded: bool,
-        memo_hits: Option<u64>,
-        merge_plane: Option<MergePlaneStats>,
-        ctx: RunCtx,
-    ) -> Result<Outcome, NcoError> {
-        if exceeded {
+    fn finish(&self, answer: Answer, m: Meters, ctx: RunCtx) -> Result<Outcome, NcoError> {
+        // Failure precedence: a fault that outlived the retry policy
+        // trumps the kill flag (the oracle was broken, not merely slow),
+        // and a kill trumps the budget flag (whichever fired first, the
+        // kill is what stopped the run from recovering).
+        if let Some(attempts) = m.failed {
+            return Err(NcoError::OracleFailed {
+                queries_spent: m.queries,
+                attempts,
+            });
+        }
+        let cache_entries = self.engine.cache().map(|c| c.filled() as u64);
+        let report = RunReport {
+            queries: m.queries,
+            rounds: m.rounds,
+            memo_hits: m.memo_hits,
+            cache_entries,
+            // The run's own contribution: end-of-run fill minus the
+            // fill captured when the run started. (On an engine with
+            // concurrent sessions the window can attribute a racing
+            // insert to whichever run read the counter later — the
+            // counts still sum to the engine total.)
+            cache_added: cache_entries.map(|e| e.saturating_sub(ctx.cache_start.unwrap_or(0))),
+            wall: ctx.start.elapsed(),
+            budget: self.cfg.budget,
+            merge_plane: m.merge_plane,
+            observed_flip_rate: m.flip,
+        };
+        if m.killed {
+            return Err(NcoError::DeadlineExceeded {
+                report: Box::new(report),
+            });
+        }
+        if m.exceeded {
             return Err(NcoError::BudgetExceeded {
                 budget: self.cfg.budget.expect("exceeded implies a budget"),
             });
         }
-        let cache_entries = self.engine.cache().map(|c| c.filled() as u64);
-        Ok(Outcome::new(
-            answer,
-            RunReport {
-                queries,
-                rounds,
-                memo_hits,
-                cache_entries,
-                // The run's own contribution: end-of-run fill minus the
-                // fill captured when the run started. (On an engine with
-                // concurrent sessions the window can attribute a racing
-                // insert to whichever run read the counter later — the
-                // counts still sum to the engine total.)
-                cache_added: cache_entries.map(|e| e.saturating_sub(ctx.cache_start.unwrap_or(0))),
-                wall: ctx.start.elapsed(),
-                budget: self.cfg.budget,
-                merge_plane,
-            },
-        ))
+        Ok(Outcome::new(answer, report))
     }
+}
+
+/// End-of-run meter readings from the per-run oracle chain, gathered by
+/// the drive paths and folded into a [`RunReport`] (or a typed failure)
+/// by [`Session::finish`].
+struct Meters {
+    queries: u64,
+    rounds: u64,
+    exceeded: bool,
+    killed: bool,
+    /// `Some(attempt bound)` when a fault outlived the retry policy.
+    failed: Option<u32>,
+    memo_hits: Option<u64>,
+    /// The answer memo's online directional flip-rate estimate.
+    flip: Option<f64>,
+    merge_plane: Option<MergePlaneStats>,
 }
 
 #[cfg(test)]
@@ -1302,5 +1517,147 @@ mod tests {
             Err(NcoError::BudgetExceeded { budget }) => assert_eq!(budget, 10),
             other => panic!("expected BudgetExceeded, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn expired_deadline_fails_typed_with_partial_report() {
+        let s = Session::builder()
+            .points(&square_points(24))
+            .deadline(Duration::ZERO)
+            .budget(1000)
+            .build()
+            .unwrap();
+        match s.run(Task::KCenter { k: 3 }) {
+            Err(NcoError::DeadlineExceeded { report }) => {
+                // Killed before the first query boundary: nothing billed,
+                // but the accounting fields are all present.
+                assert_eq!(report.queries, 0);
+                assert_eq!(report.budget, Some(1000));
+            }
+            other => panic!("expected DeadlineExceeded, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn generous_deadline_changes_nothing() {
+        let run = |deadline: Option<Duration>| {
+            let mut b = Session::builder()
+                .points(&square_points(24))
+                .noise(Noise::Probabilistic { p: 0.1, seed: 3 })
+                .seed(5);
+            if let Some(d) = deadline {
+                b = b.deadline(d);
+            }
+            b.build().unwrap().run(Task::KCenter { k: 3 }).unwrap()
+        };
+        let clean = run(None);
+        let timed = run(Some(Duration::from_secs(3600)));
+        assert_eq!(clean.answer, timed.answer);
+        assert_eq!(clean.report.queries, timed.report.queries);
+    }
+
+    #[test]
+    fn cancel_token_kills_runs_cooperatively() {
+        let token = CancelToken::new();
+        let s = Session::builder()
+            .points(&square_points(24))
+            .cancel_token(token.clone())
+            .build()
+            .unwrap();
+        // Not cancelled: runs normally.
+        assert!(s.run(Task::Nearest { q: 0 }).is_ok());
+        assert!(!token.is_cancelled());
+        // Cancelled (from a clone): every later run is killed at its
+        // first boundary, with the partial accounting preserved.
+        token.clone().cancel();
+        assert!(token.is_cancelled());
+        match s.run(Task::Nearest { q: 0 }) {
+            Err(NcoError::DeadlineExceeded { report }) => assert_eq!(report.queries, 0),
+            other => panic!("expected a cancel kill, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn active_fault_plan_is_serial_only() {
+        let err = Session::builder()
+            .points(&square_points(8))
+            .fault_plan(FaultPlan::new(1).transient(0.1))
+            .threads(4)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, NcoError::InvalidParams { .. }));
+        // An inactive plan (or no plan) is fine with threads.
+        assert!(Session::builder()
+            .points(&square_points(8))
+            .fault_plan(FaultPlan::none())
+            .threads(4)
+            .build()
+            .is_ok());
+    }
+
+    #[test]
+    fn masked_faults_keep_answers_and_bill_retries() {
+        let run = |plan: Option<FaultPlan>| {
+            let mut b = Session::builder()
+                .points(&square_points(24))
+                .noise(Noise::Probabilistic { p: 0.2, seed: 7 })
+                .seed(9);
+            if let Some(p) = plan {
+                b = b.fault_plan(p).retry_policy(RetryPolicy::new(12));
+            }
+            b.build().unwrap().run(Task::KCenter { k: 3 }).unwrap()
+        };
+        let clean = run(None);
+        let faulty = run(Some(FaultPlan::new(40).transient(0.08).stalls(0.05, 200)));
+        // Persistence makes masked faults answer-invariant; the retries
+        // still show up in the bill.
+        assert_eq!(clean.answer, faulty.answer);
+        assert!(faulty.report.queries > clean.report.queries);
+    }
+
+    #[test]
+    fn unmasked_fault_fails_typed_with_spend_preserved() {
+        // An outage burst longer than the retry policy's attempt bound
+        // can never be masked.
+        let s = Session::builder()
+            .points(&square_points(24))
+            .fault_plan(FaultPlan::new(3).outages(8, 6))
+            .retry_policy(RetryPolicy::new(2))
+            .build()
+            .unwrap();
+        match s.run(Task::KCenter { k: 3 }) {
+            Err(NcoError::OracleFailed {
+                queries_spent,
+                attempts,
+            }) => {
+                assert!(queries_spent > 0);
+                assert_eq!(attempts, 2);
+            }
+            other => panic!("expected OracleFailed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn flip_rate_is_reported_only_with_the_memo_on() {
+        let run = |memo: bool| {
+            Session::builder()
+                .points(&square_points(24))
+                .noise(Noise::Probabilistic { p: 0.3, seed: 2 })
+                .memoize(memo)
+                .build()
+                .unwrap()
+                .run(Task::Hierarchy {
+                    linkage: Linkage::Single,
+                })
+                .unwrap()
+        };
+        // Without the memo there is no mirror-pair observer.
+        assert_eq!(run(false).report.observed_flip_rate, None);
+        // With it, the shipped canonical-coin models estimate exactly
+        // 0.0 whenever any mirror pair was observed (their two phrasings
+        // of a comparison share one persistent belief); hierarchy rounds
+        // re-ask both phrasings constantly, so pairs are observed.
+        let flip = run(true).report.observed_flip_rate;
+        assert_eq!(flip, Some(0.0));
     }
 }

@@ -11,6 +11,9 @@
 //! 3. **Shedding, not collapse.** Pool exhaustion fails requests typed
 //!    (`BudgetExceeded`) without deadlocking the round coalescer; a full
 //!    queue rejects with `Overloaded`; shutdown drains what was queued.
+//! 4. **Robust lifecycle.** `shutdown` is idempotent and safe to race
+//!    with concurrent `submit`s and other shutdowns; the pooled budget
+//!    stays consistent even when reservers die mid-round.
 
 use nco_core::hier::Linkage;
 use noisy_oracle::{NcoError, Noise, Request, Server, Session, Task};
@@ -397,6 +400,126 @@ fn server_builder_rejects_unsupported_templates() {
     assert!(matches!(zero_workers, Err(NcoError::InvalidParams { .. })));
     let zero_queue = Server::builder(metric_template(8)).queue(0).build();
     assert!(matches!(zero_queue, Err(NcoError::InvalidParams { .. })));
+}
+
+#[test]
+fn shutdown_is_idempotent_and_race_free_with_submit() {
+    let server = Server::builder(metric_template(30))
+        .workers(2)
+        .build()
+        .unwrap();
+    // Work accepted before any shutdown must complete.
+    let pre: Vec<_> = (0..4)
+        .map(|seed| {
+            server
+                .submit(Request {
+                    task: Task::KCenter { k: 3 },
+                    seed,
+                })
+                .unwrap()
+        })
+        .collect();
+    // Two concurrent shutdowns race a stream of submissions: every
+    // submission either completes normally or sheds typed — none hangs,
+    // none panics, and both shutdown calls return settled counters.
+    let (stats_a, stats_b) = std::thread::scope(|scope| {
+        let a = scope.spawn(|| server.shutdown());
+        let b = scope.spawn(|| server.shutdown());
+        let submitter = scope.spawn(|| {
+            for seed in 0..16u64 {
+                match server.submit(Request {
+                    task: Task::Nearest { q: 1 },
+                    seed,
+                }) {
+                    // Accepted before the door closed: must finish.
+                    Ok(h) => assert!(h.join().is_ok()),
+                    Err(NcoError::Overloaded { .. }) => {}
+                    Err(other) => panic!("expected Overloaded, got {other:?}"),
+                }
+            }
+        });
+        submitter.join().unwrap();
+        (a.join().unwrap(), b.join().unwrap())
+    });
+    for h in pre {
+        assert!(h.join().is_ok(), "pre-shutdown work was lost");
+    }
+    // Both calls returned after the pool fully drained, so both report
+    // every accepted request as completed.
+    assert_eq!(stats_a.completed, stats_a.submitted);
+    assert_eq!(stats_b.completed, stats_b.submitted);
+    // A third call after the fact is a cheap no-op returning the same
+    // settled counters, and submission stays refused.
+    let stats_c = server.shutdown();
+    assert_eq!(stats_c.completed, stats_c.submitted);
+    assert!(matches!(
+        server.submit(Request {
+            task: Task::Nearest { q: 1 },
+            seed: 0,
+        }),
+        Err(NcoError::Overloaded { .. })
+    ));
+}
+
+#[test]
+fn budget_pool_stays_consistent_when_reservers_die_mid_round() {
+    use nco_oracle::BudgetPool;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    // Keep the simulated crashes out of the test log; report real ones.
+    let prev = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let simulated = info
+            .payload()
+            .downcast_ref::<&str>()
+            .is_some_and(|s| s.contains("simulated mid-round crash"));
+        if !simulated {
+            prev(info);
+        }
+    }));
+
+    let cap = 8_000u64;
+    let pool = BudgetPool::new(Some(cap));
+    let granted = AtomicU64::new(0);
+    std::thread::scope(|scope| {
+        for t in 0..8u64 {
+            let pool = &pool;
+            let granted = &granted;
+            scope.spawn(move || {
+                let _ = catch_unwind(AssertUnwindSafe(|| {
+                    for i in 0..2_000u64 {
+                        let k = 1 + (t + i) % 5;
+                        if pool.try_reserve(k) {
+                            granted.fetch_add(k, Ordering::Relaxed);
+                            // Half the reservers die mid-round, *after*
+                            // reserving — the quota they took must stay
+                            // spent (conservative), never corrupt.
+                            if t % 2 == 0 && i == 500 {
+                                panic!("simulated mid-round crash");
+                            }
+                        }
+                    }
+                }));
+            });
+        }
+    });
+    let granted = granted.load(Ordering::Relaxed);
+    assert!(granted <= cap, "granted {granted} > cap {cap}");
+    assert_eq!(
+        pool.spent(),
+        granted,
+        "crashed reservers must not desync the spent tally"
+    );
+    // The pool is still fully functional after the crashes: what
+    // remains is exactly cap - granted, reservable to the last query.
+    let left = pool.remaining();
+    assert_eq!(left, cap - granted);
+    if left > 0 {
+        assert!(pool.try_reserve(left));
+    }
+    assert!(!pool.try_reserve(1));
+    assert_eq!(pool.spent(), cap);
 }
 
 #[test]
