@@ -1,7 +1,7 @@
 //! `perfsuite` — the reproducible performance suite behind the repo's
 //! perf trajectory (`BENCH_*.json`).
 //!
-//! Eleven pinned, fully seeded workloads cover the paper's hot paths:
+//! Twelve pinned, fully seeded workloads cover the paper's hot paths:
 //!
 //! | name | shape |
 //! |---|---|
@@ -16,6 +16,7 @@
 //! | `session_kcenter_n1024` | the same greedy 32-center routed through the facade's `Session` front door (zero-overhead check) |
 //! | `serve_mixed_n512` | a sustained mixed request stream, **sequential solo sessions vs the concurrent serving plane** (PR 6): shared-memo backend + cross-request round coalescing |
 //! | `serve_faulty_n512` | the serving plane under a seeded fault storm (PR 7): **fault-free serving vs injected faults masked by bounded retry** — answers must stay bit-identical, the overhead of masking is the measurement |
+//! | `adaptive_noise_n512` | the adaptive noise plane under a misspecified rate (PR 8): **silently fixed-rate sessions vs probe + `AdaptPolicy::Escalate`** — the probing/adaptation overhead is the measurement, misspecification detection and probe-off bit-identity are the acceptance checks |
 //!
 //! Each workload runs twice: a **baseline** configuration and an
 //! **optimized** configuration. Both runs draw the same seeds; the suite
@@ -35,7 +36,7 @@
 //! ```
 //!
 //! `--smoke` shrinks every workload (~16x fewer queries) for CI;
-//! `--out` defaults to `BENCH_PR7.json` in the current directory;
+//! `--out` defaults to `BENCH_PR8.json` in the current directory;
 //! `--check-baseline` compares this run's query counts against a
 //! committed baseline JSON and exits non-zero on any regression
 //! (count > baseline) — the CI guard for the pinned workloads.
@@ -860,11 +861,118 @@ fn run_serve_faulty(n: usize, batches: usize) -> WorkloadReport {
     }
 }
 
+// ---------------------------------------------------------------------
+// Workload 12: the adaptive noise plane under a misspecified rate (PR 8).
+// ---------------------------------------------------------------------
+
+fn run_adaptive_noise(n: usize, reps: usize) -> WorkloadReport {
+    use noisy_oracle::{AdaptPolicy, NcoError, Noise, Session, Task};
+
+    let values: Vec<f64> = (1..=n).map(|i| i as f64).collect();
+    let p = 0.40; // the real (persistent) flip rate
+    let assumed = 0.20; // the rate every session's parameters are derived for
+    let seeds = rep_seeds(0xAD, reps);
+
+    let build = |noise_seed: u64, rng_seed: u64, probe: Option<f64>, adapt: bool| {
+        let mut b = Session::builder()
+            .values(values.clone())
+            .noise(Noise::Probabilistic {
+                p,
+                seed: noise_seed,
+            })
+            .assume_noise_rate(assumed)
+            .seed(rng_seed);
+        if let Some(rate) = probe {
+            b = b.probe_noise(rate);
+        }
+        if adapt {
+            b = b.adapt_noise(AdaptPolicy::Escalate);
+        }
+        b.build().expect("valid session configuration")
+    };
+    let deficit = |item: usize| n - 1 - item;
+
+    // Baseline: silently misspecified fixed-rate sessions. They
+    // complete — on repetition parameters derived for half the real
+    // rate — and never learn anything is wrong.
+    let start = Instant::now();
+    let mut fixed = Vec::with_capacity(reps);
+    for &(noise_seed, rng_seed) in &seeds {
+        let o = build(noise_seed, rng_seed, None, false)
+            .run(Task::Max)
+            .expect("unguarded run cannot fail");
+        fixed.push(o);
+    }
+    let baseline_ms = ms(start);
+    let fixed_deficit: usize = fixed
+        .iter()
+        .map(|o| deficit(o.answer.item().expect("Max returns an item")))
+        .sum();
+
+    // Robust configuration: billed probe triangles estimate the live
+    // rate, the guard detects the misspecification, and `Escalate`
+    // re-derives the parameters and re-runs on the spot. The overhead of
+    // probing + the escalated attempt is the measurement.
+    let start = Instant::now();
+    let mut adaptive = Vec::with_capacity(reps);
+    for &(noise_seed, rng_seed) in &seeds {
+        let o = build(noise_seed, rng_seed, Some(0.10), true)
+            .run(Task::Max)
+            .expect("adaptive run recovers instead of failing");
+        adaptive.push(o);
+    }
+    let optimized_ms = ms(start);
+    let adaptive_deficit: usize = adaptive
+        .iter()
+        .map(|o| deficit(o.answer.item().expect("Max returns an item")))
+        .sum();
+    let probes: u64 = adaptive.iter().map(|o| o.report.probes.unwrap_or(0)).sum();
+    let queries: u64 = adaptive.iter().map(|o| o.report.queries).sum();
+    let adapted = adaptive
+        .iter()
+        .all(|o| o.report.adaptations == 1 && o.report.probes.is_some_and(|b| b > 0));
+
+    // Acceptance 1: the same probed configuration without the adaptive
+    // policy must detect the 2x misspecification and fail typed.
+    let (noise_seed, rng_seed) = seeds[0];
+    let guard_fires = matches!(
+        build(noise_seed, rng_seed, Some(0.10), false).run(Task::Max),
+        Err(NcoError::NoiseMisspecified { .. })
+    );
+
+    // Acceptance 2: `probe_noise(0.0)` is bit-identical to never
+    // enabling the layer — same answers, same query/round meters.
+    let probe_off = build(noise_seed, rng_seed, Some(0.0), false)
+        .run(Task::Max)
+        .expect("probe-off run cannot fail");
+    let probe_off_identical = probe_off.answer == fixed[0].answer
+        && probe_off.report.queries == fixed[0].report.queries
+        && probe_off.report.rounds == fixed[0].report.rounds
+        && probe_off.report.probes.is_none();
+
+    WorkloadReport {
+        name: format!("adaptive_noise_n{n}"),
+        n,
+        reps,
+        baseline_ms,
+        optimized_ms,
+        queries,
+        threads: 1,
+        optimization:
+            "online probe estimation + misspecification guard + Escalate re-derivation (PR 8)",
+        outputs_match: adapted && guard_fires && probe_off_identical,
+        detail: Some(format!(
+            "true_p={p} assumed_p={assumed} probes={probes} \
+             fixed_rank_deficit={fixed_deficit} adaptive_rank_deficit={adaptive_deficit}",
+        )),
+    }
+}
+
 fn write_json(path: &str, mode: &str, reports: &[WorkloadReport]) -> std::io::Result<()> {
     let mut s = String::new();
     s.push_str("{\n");
     s.push_str("  \"schema\": \"nco-perfsuite/v3\",\n");
-    s.push_str("  \"pr\": \"PR7\",\n");
+    s.push_str("  \"pr\": \"PR8\",\n");
     s.push_str(&format!("  \"mode\": \"{mode}\",\n"));
     s.push_str(&format!(
         "  \"parallel_feature\": {},\n",
@@ -999,7 +1107,7 @@ fn check_baseline(path: &str, reports: &[WorkloadReport]) -> Result<(), String> 
 
 fn main() {
     let mut smoke = false;
-    let mut out_path = String::from("BENCH_PR7.json");
+    let mut out_path = String::from("BENCH_PR8.json");
     let mut baseline_path: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -1038,6 +1146,7 @@ fn main() {
             run_session_kcenter(256, 16, 2),
             run_serve_mixed(128, 4),
             run_serve_faulty(128, 4),
+            run_adaptive_noise(128, 2),
         ]
     } else {
         vec![
@@ -1052,6 +1161,7 @@ fn main() {
             run_session_kcenter(1024, 32, 4),
             run_serve_mixed(512, 8),
             run_serve_faulty(512, 8),
+            run_adaptive_noise(512, 4),
         ]
     };
 

@@ -38,6 +38,14 @@ pub trait Comparator<I: Copy> {
             out.push(ans);
         }
     }
+
+    /// `true` once the backing oracle stack can no longer return real
+    /// answers (see [`ComparisonOracle::doomed`]); engines use it to stop
+    /// advancing clean-progress watermarks. Purely observational; the
+    /// default is never doomed.
+    fn doomed(&self) -> bool {
+        false
+    }
 }
 
 impl<I: Copy, C: Comparator<I> + ?Sized> Comparator<I> for &mut C {
@@ -46,6 +54,9 @@ impl<I: Copy, C: Comparator<I> + ?Sized> Comparator<I> for &mut C {
     }
     fn le_round(&mut self, round: &[(I, I)], out: &mut Vec<bool>) {
         (**self).le_round(round, out);
+    }
+    fn doomed(&self) -> bool {
+        (**self).doomed()
     }
 }
 
@@ -70,6 +81,10 @@ impl<O: ComparisonOracle> Comparator<usize> for ValueCmp<'_, O> {
     fn le_round(&mut self, round: &[(usize, usize)], out: &mut Vec<bool>) {
         // Item pairs are already oracle queries; hand the round over as-is.
         self.oracle.le_batch(round, out);
+    }
+
+    fn doomed(&self) -> bool {
+        self.oracle.doomed()
     }
 }
 
@@ -96,6 +111,10 @@ impl<O: QuadrupletOracle> Comparator<usize> for DistToQueryCmp<'_, O> {
     fn le_round(&mut self, round: &[(usize, usize)], out: &mut Vec<bool>) {
         let queries: Vec<[usize; 4]> = round.iter().map(|&(a, b)| [self.q, a, self.q, b]).collect();
         self.oracle.le_batch(&queries, out);
+    }
+
+    fn doomed(&self) -> bool {
+        self.oracle.doomed()
     }
 }
 
@@ -125,6 +144,10 @@ impl<O: QuadrupletOracle> Comparator<(usize, usize)> for PairDistCmp<'_, O> {
             .collect();
         self.oracle.le_batch(&queries, out);
     }
+
+    fn doomed(&self) -> bool {
+        self.oracle.doomed()
+    }
 }
 
 /// Order-reversing adapter: turns any max-finding engine into a min-finding
@@ -142,6 +165,10 @@ impl<I: Copy, C: Comparator<I>> Comparator<I> for Rev<C> {
         // batching (and therefore the oracle's) still kicks in.
         let reversed: Vec<(I, I)> = round.iter().map(|&(a, b)| (b, a)).collect();
         self.0.le_round(&reversed, out);
+    }
+
+    fn doomed(&self) -> bool {
+        self.0.doomed()
     }
 }
 

@@ -117,6 +117,12 @@ pub struct MergePlaneStats {
     pub bucket_duels: u64,
     /// Pairs (re-)contested at the final Count-Min stage.
     pub pool_duels: u64,
+    /// Merges committed while the oracle was still returning real answers
+    /// (`!oracle.doomed()`). Doom latches monotonically at query
+    /// boundaries, so `merges[..clean_merges]` is always a prefix of the
+    /// merge sequence built from real answers; equals `merges` on a run
+    /// that never tripped a budget, deadline or retry limit.
+    pub clean_merges: u64,
 }
 
 /// Compares neighbour clusters of a fixed cluster by their rep-pair
@@ -155,6 +161,10 @@ impl<O: QuadrupletOracle> Comparator<usize> for RevRepCmp<'_, O> {
         }));
         oracle.le_batch(queries, out);
     }
+
+    fn doomed(&self) -> bool {
+        self.oracle.doomed()
+    }
 }
 
 /// [`RevRepCmp`] through a shared oracle reference — the comparator the
@@ -188,6 +198,10 @@ impl<O: SharedQuadrupletOracle> Comparator<usize> for RevSharedRepCmp<'_, O> {
             let r2 = self.graph.rep(self.me, c1);
             self.oracle.le_shared(r1.0, r1.1, r2.0, r2.1)
         }));
+    }
+
+    fn doomed(&self) -> bool {
+        self.oracle.doomed()
     }
 }
 
@@ -223,6 +237,10 @@ impl<O: QuadrupletOracle> Comparator<usize> for CandidateCmp<'_, O> {
             [r1.0, r1.1, r2.0, r2.1]
         }));
         oracle.le_batch(queries, out);
+    }
+
+    fn doomed(&self) -> bool {
+        self.oracle.doomed()
     }
 }
 
@@ -283,6 +301,10 @@ impl<O: SharedQuadrupletOracle> QuadrupletOracle for FanQuad<'_, O> {
                 out.extend(h.join().expect("round worker panicked"));
             }
         });
+    }
+
+    fn doomed(&self) -> bool {
+        self.oracle.doomed()
     }
 }
 
@@ -640,6 +662,9 @@ where
         nn[winner] = usize::MAX;
         nn[partner] = usize::MAX;
         stats.merges += 1;
+        if !oracle.doomed() {
+            stats.clean_merges = stats.merges;
+        }
 
         if graph.active().len() == 1 {
             break;

@@ -103,6 +103,10 @@ impl<O: QuadrupletOracle> Comparator<usize> for AssignedDistCmp<'_, O> {
             .collect();
         self.oracle.le_batch(&queries, out);
     }
+
+    fn doomed(&self) -> bool {
+        self.oracle.doomed()
+    }
 }
 
 /// Algorithm 6: greedy k-center under adversarial noise.
@@ -110,6 +114,29 @@ impl<O: QuadrupletOracle> Comparator<usize> for AssignedDistCmp<'_, O> {
 /// # Panics
 /// Panics if `k == 0` or `k > oracle.n()`.
 pub fn kcenter_adv<O, R>(params: &KCenterAdvParams, oracle: &mut O, rng: &mut R) -> Clustering
+where
+    O: QuadrupletOracle,
+    R: Rng + ?Sized,
+{
+    kcenter_adv_with_progress(params, oracle, rng, &mut 0)
+}
+
+/// [`kcenter_adv`] with a clean-progress watermark: `clean` is advanced to
+/// the number of leading centers that were selected *and* fully assigned
+/// while the oracle was still returning real answers (`!oracle.doomed()`).
+/// Doom latches monotonically at query boundaries, so
+/// `clustering.centers[..clean]` is always a committee prefix built from
+/// real answers; the query and rng sequences are exactly those of
+/// [`kcenter_adv`].
+///
+/// # Panics
+/// Panics if `k == 0` or `k > oracle.n()`.
+pub fn kcenter_adv_with_progress<O, R>(
+    params: &KCenterAdvParams,
+    oracle: &mut O,
+    rng: &mut R,
+    clean: &mut usize,
+) -> Clustering
 where
     O: QuadrupletOracle,
     R: Rng + ?Sized,
@@ -127,6 +154,9 @@ where
     let mut assignment: Vec<usize> = vec![0; n];
     let mut is_center: Vec<bool> = vec![false; n];
     is_center[first] = true;
+    if !oracle.doomed() {
+        *clean = 1; // the first center needs no queries
+    }
     // mcount[v][j]: how many centers v's MCount deems farther than center j.
     let mut mcount: Vec<Vec<u32>> = vec![vec![0]; n];
     // Per-point committee-scoring round, hoisted out of both loops.
@@ -187,6 +217,9 @@ where
                 best = new_pos;
             }
             assignment[v] = best;
+        }
+        if !oracle.doomed() {
+            *clean = centers.len();
         }
     }
 

@@ -31,9 +31,9 @@ mod gonzalez;
 mod probabilistic;
 mod refine;
 
-pub use adversarial::{kcenter_adv, KCenterAdvParams};
+pub use adversarial::{kcenter_adv, kcenter_adv_with_progress, KCenterAdvParams};
 pub use gonzalez::gonzalez;
-pub use probabilistic::{kcenter_prob, KCenterProbParams};
+pub use probabilistic::{kcenter_prob, kcenter_prob_with_progress, KCenterProbParams};
 pub use refine::{refine_kcenter, RefineParams};
 
 /// A k-center clustering: chosen centers and a per-point assignment.

@@ -219,6 +219,10 @@ impl<O: QuadrupletOracle> Comparator<usize> for ClusterCmp<'_, O> {
         let fcount = self.answers.iter().filter(|&&yes| yes).count();
         fcount as f64 >= self.threshold * comparisons as f64
     }
+
+    fn doomed(&self) -> bool {
+        self.oracle.doomed()
+    }
 }
 
 /// ACount vote (Algorithm 8 / Assign-Final): does `u` look closer to the
@@ -247,6 +251,26 @@ fn acount_with<O: QuadrupletOracle>(
 /// # Panics
 /// Panics if `k == 0`, `k > oracle.n()` or `m == 0`.
 pub fn kcenter_prob<O, R>(params: &KCenterProbParams, oracle: &mut O, rng: &mut R) -> Clustering
+where
+    O: QuadrupletOracle,
+    R: Rng + ?Sized,
+{
+    kcenter_prob_with_progress(params, oracle, rng, &mut 0)
+}
+
+/// [`kcenter_prob`] with a clean-progress watermark; see
+/// [`super::kcenter_adv_with_progress`] for the `clean` contract
+/// (`clean` = leading centers selected and fully assigned on real
+/// answers, query/rng sequences unchanged).
+///
+/// # Panics
+/// Panics if `k == 0`, `k > oracle.n()` or `m == 0`.
+pub fn kcenter_prob_with_progress<O, R>(
+    params: &KCenterProbParams,
+    oracle: &mut O,
+    rng: &mut R,
+    clean: &mut usize,
+) -> Clustering
 where
     O: QuadrupletOracle,
     R: Rng + ?Sized,
@@ -301,6 +325,9 @@ where
     let mut rtildes: Vec<Vec<usize>> = vec![rtilde(&cores[0])];
     let mut is_center = vec![false; n];
     is_center[first] = true;
+    if !oracle.doomed() {
+        *clean = 1; // first center + core committed on real answers
+    }
     // Committee-vote round buffers reused by every ClusterComp / ACount.
     let mut vote_round: Vec<[usize; 4]> = Vec::new();
     let mut vote_answers: Vec<bool> = Vec::new();
@@ -376,6 +403,9 @@ where
 
         cores.push(identify_core(oracle, &clusters[new_pos], far, core_size));
         rtildes.push(rtilde(&cores[new_pos]));
+        if !oracle.doomed() {
+            *clean = centers.len();
+        }
     }
 
     // Phase 2: Assign-Final for the unsampled points.

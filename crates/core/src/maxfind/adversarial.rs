@@ -86,9 +86,39 @@ where
     C: Comparator<I>,
     R: Rng + ?Sized,
 {
+    let mut leader = None;
+    max_adv_with_progress(items, params, cmp, rng, &mut leader)
+}
+
+/// [`max_adv`] with a clean-progress watermark: after every stage that
+/// completed while the comparator was not [`Comparator::doomed`],
+/// `leader` is updated to the stage's current best candidate (a
+/// tournament-round winner, then the final Count-Max winner). When the
+/// oracle stack dies mid-run — budget, deadline, retry exhaustion —
+/// `leader` still holds the last candidate promoted purely on real
+/// answers, while the return value may be refusal-constant garbage.
+///
+/// Issues the exact query/randomness sequence of [`max_adv`]: the
+/// watermark only *reads* `doomed()`, so transcripts are unchanged.
+pub fn max_adv_with_progress<I, C, R>(
+    items: &[I],
+    params: &AdvParams,
+    cmp: &mut C,
+    rng: &mut R,
+    leader: &mut Option<I>,
+) -> Option<I>
+where
+    I: Copy + Eq + Hash,
+    C: Comparator<I>,
+    R: Rng + ?Sized,
+{
     let n = items.len();
     if n <= 2 {
-        return count_max(items, cmp);
+        let winner = count_max(items, cmp);
+        if !cmp.doomed() {
+            *leader = winner;
+        }
+        return winner;
     }
     let (t, l, s) = params.resolve(n);
 
@@ -97,12 +127,22 @@ where
 
     // Step 2: t rounds of Tournament-Partition (the sparse-band defence).
     for _ in 0..t {
-        pool.extend(tournament_partition(items, l, cmp, rng));
+        let winners = tournament_partition(items, l, cmp, rng);
+        if !cmp.doomed() {
+            if let Some(&w) = winners.first() {
+                *leader = Some(w);
+            }
+        }
+        pool.extend(winners);
     }
 
     // Step 3: final Count-Max over the deduplicated pool.
     let pool = dedup_keep_order(&pool);
-    count_max(&pool, cmp)
+    let winner = count_max(&pool, cmp);
+    if !cmp.doomed() {
+        *leader = winner;
+    }
+    winner
 }
 
 /// Minimum-finding twin of [`max_adv`] (reversed comparator).

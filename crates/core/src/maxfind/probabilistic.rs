@@ -105,6 +105,31 @@ where
     C: Comparator<I>,
     R: Rng + ?Sized,
 {
+    max_prob_with_progress(items, params, cmp, rng, &mut None)
+}
+
+/// [`max_prob`] with a clean-progress watermark: `leader` is advanced to
+/// the round's best-scoring survivor after every pruning round that
+/// finished while the comparator was still returning real answers
+/// (`!cmp.doomed()`), and to the final winner after a clean Count-Max.
+///
+/// The query and rng-draw sequences are exactly those of [`max_prob`] —
+/// the watermark observes the run, it never redirects it. A doomed run
+/// keeps executing to completion on refusal constants; `leader` simply
+/// stops moving, so it always names an item chosen using only real
+/// answers.
+pub fn max_prob_with_progress<I, C, R>(
+    items: &[I],
+    params: &ProbParams,
+    cmp: &mut C,
+    rng: &mut R,
+    leader: &mut Option<I>,
+) -> Option<I>
+where
+    I: Copy + Eq + Hash,
+    C: Comparator<I>,
+    R: Rng + ?Sized,
+{
     let n0 = items.len();
     if n0 == 0 {
         return None;
@@ -132,13 +157,24 @@ where
         in_sample.clear();
         in_sample.extend(sample.iter().copied());
         kept.clear();
+        // The round's best scorer doubles as the progress watermark: it is
+        // the item the sample evidence favours most, at zero extra queries.
+        let mut best: Option<(usize, I)> = None;
         for &u in &survivors {
             if in_sample.contains(&u) {
                 continue; // the sample is discarded to keep rounds independent
             }
             let count = sample.iter().filter(|&&x| !cmp.le(u, x)).count();
+            if best.is_none_or(|(c, _)| count > c) {
+                best = Some((count, u));
+            }
             if count as f64 >= threshold {
                 kept.push(u);
+            }
+        }
+        if !cmp.doomed() {
+            if let Some((_, u)) = best {
+                *leader = Some(u);
             }
         }
         if kept.is_empty() {
@@ -150,7 +186,11 @@ where
         std::mem::swap(&mut survivors, &mut kept);
         round += 1;
     }
-    count_max(&survivors, cmp)
+    let winner = count_max(&survivors, cmp);
+    if !cmp.doomed() {
+        *leader = winner;
+    }
+    winner
 }
 
 /// Parallel twin of [`max_prob`]: each scoring round fans the survivor

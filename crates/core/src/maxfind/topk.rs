@@ -12,9 +12,9 @@
 //!   guarantee regime as the dislocation-sorting literature the paper
 //!   cites (Geissmann et al.).
 
-use super::adversarial::{max_adv, AdvParams};
+use super::adversarial::{max_adv_with_progress, AdvParams};
 use super::count_max::count_scores;
-use super::probabilistic::{max_prob, ProbParams};
+use super::probabilistic::{max_prob_with_progress, ProbParams};
 use crate::comparator::Comparator;
 use rand::Rng;
 use std::hash::Hash;
@@ -39,13 +39,42 @@ where
     C: Comparator<I>,
     R: Rng + ?Sized,
 {
+    top_k_adv_with_progress(items, k, params, cmp, rng, &mut 0)
+}
+
+/// [`top_k_adv`] with a clean-progress watermark: `clean` is advanced to
+/// the number of leading extraction rounds that completed while the
+/// comparator was still returning real answers (`!cmp.doomed()`). Doom
+/// latches monotonically at query boundaries, so `out[..clean]` is always
+/// a prefix chosen using only real answers; the query and rng sequences
+/// are exactly those of [`top_k_adv`].
+///
+/// # Panics
+/// Panics if `k > items.len()`.
+pub fn top_k_adv_with_progress<I, C, R>(
+    items: &[I],
+    k: usize,
+    params: &AdvParams,
+    cmp: &mut C,
+    rng: &mut R,
+    clean: &mut usize,
+) -> Vec<I>
+where
+    I: Copy + Eq + Hash,
+    C: Comparator<I>,
+    R: Rng + ?Sized,
+{
     assert!(k <= items.len(), "k = {k} exceeds {} items", items.len());
     let mut remaining: Vec<I> = items.to_vec();
     let mut out = Vec::with_capacity(k);
     for _ in 0..k {
-        let best = max_adv(&remaining, params, cmp, rng).expect("remaining non-empty");
+        let best = max_adv_with_progress(&remaining, params, cmp, rng, &mut None)
+            .expect("remaining non-empty");
         swap_remove_item(&mut remaining, best);
         out.push(best);
+        if !cmp.doomed() {
+            *clean = out.len();
+        }
     }
     out
 }
@@ -77,13 +106,38 @@ where
     C: Comparator<I>,
     R: Rng + ?Sized,
 {
+    top_k_prob_with_progress(items, k, params, cmp, rng, &mut 0)
+}
+
+/// [`top_k_prob`] with a clean-progress watermark; see
+/// [`top_k_adv_with_progress`] for the `clean` contract.
+///
+/// # Panics
+/// Panics if `k > items.len()`.
+pub fn top_k_prob_with_progress<I, C, R>(
+    items: &[I],
+    k: usize,
+    params: &ProbParams,
+    cmp: &mut C,
+    rng: &mut R,
+    clean: &mut usize,
+) -> Vec<I>
+where
+    I: Copy + Eq + Hash,
+    C: Comparator<I>,
+    R: Rng + ?Sized,
+{
     assert!(k <= items.len(), "k = {k} exceeds {} items", items.len());
     let mut remaining: Vec<I> = items.to_vec();
     let mut out = Vec::with_capacity(k);
     for _ in 0..k {
-        let best = max_prob(&remaining, params, cmp, rng).expect("remaining non-empty");
+        let best = max_prob_with_progress(&remaining, params, cmp, rng, &mut None)
+            .expect("remaining non-empty");
         swap_remove_item(&mut remaining, best);
         out.push(best);
+        if !cmp.doomed() {
+            *clean = out.len();
+        }
     }
     out
 }

@@ -140,6 +140,10 @@ impl<O: QuadrupletOracle> Comparator<usize> for PairwiseCmp<'_, O> {
             &mut self.answers,
         )
     }
+
+    fn doomed(&self) -> bool {
+        self.oracle.doomed()
+    }
 }
 
 #[cfg(test)]

@@ -220,6 +220,13 @@ impl<O: ComparisonOracle> ComparisonOracle for Budgeted<O> {
             queries.len() - within,
         ));
     }
+
+    // Purely observational: a pending deadline/cancel only latches
+    // `killed` at the next query boundary (`check_kill`), so an answer
+    // observed while `doomed()` was still false really was a real answer.
+    fn doomed(&self) -> bool {
+        self.exceeded || self.killed || self.inner.doomed()
+    }
 }
 
 impl<O: QuadrupletOracle> QuadrupletOracle for Budgeted<O> {
@@ -278,6 +285,12 @@ impl<O: QuadrupletOracle> QuadrupletOracle for Budgeted<O> {
             Ok(OVER_BUDGET_ANSWER),
             queries.len() - within,
         ));
+    }
+
+    // See the comparison-side note: observational, latches at query
+    // boundaries only.
+    fn doomed(&self) -> bool {
+        self.exceeded || self.killed || self.inner.doomed()
     }
 }
 
@@ -432,6 +445,13 @@ impl<O: ComparisonOracle> ComparisonOracle for SharedBudgeted<O> {
             queries.len() - within,
         ));
     }
+
+    // Observational; see [`Budgeted`]'s note. Under parallel drivers the
+    // flag may be observed one interleaving earlier or later, which only
+    // makes a clean-progress watermark conservative.
+    fn doomed(&self) -> bool {
+        self.exceeded() || self.killed() || self.inner.doomed()
+    }
 }
 
 impl<O: QuadrupletOracle> QuadrupletOracle for SharedBudgeted<O> {
@@ -463,6 +483,11 @@ impl<O: QuadrupletOracle> QuadrupletOracle for SharedBudgeted<O> {
             OVER_BUDGET_ANSWER,
             queries.len() - within,
         ));
+    }
+
+    // See the comparison-side note.
+    fn doomed(&self) -> bool {
+        self.exceeded() || self.killed() || self.inner.doomed()
     }
 }
 

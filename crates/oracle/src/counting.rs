@@ -90,6 +90,10 @@ impl<O: ComparisonOracle> ComparisonOracle for Counting<O> {
         self.count += queries.len() as u64;
         self.inner.try_le_batch(queries, out);
     }
+
+    fn doomed(&self) -> bool {
+        self.inner.doomed()
+    }
 }
 
 impl<O: QuadrupletOracle> QuadrupletOracle for Counting<O> {
@@ -115,6 +119,10 @@ impl<O: QuadrupletOracle> QuadrupletOracle for Counting<O> {
     fn try_le_batch(&mut self, queries: &[[usize; 4]], out: &mut Vec<Result<bool, QueryFault>>) {
         self.count += queries.len() as u64;
         self.inner.try_le_batch(queries, out);
+    }
+
+    fn doomed(&self) -> bool {
+        self.inner.doomed()
     }
 }
 
@@ -193,6 +201,10 @@ impl<O: ComparisonOracle> ComparisonOracle for SharedCounting<O> {
             .fetch_add(queries.len() as u64, Ordering::Relaxed);
         self.inner.try_le_batch(queries, out);
     }
+
+    fn doomed(&self) -> bool {
+        self.inner.doomed()
+    }
 }
 
 impl<O: QuadrupletOracle> QuadrupletOracle for SharedCounting<O> {
@@ -220,6 +232,10 @@ impl<O: QuadrupletOracle> QuadrupletOracle for SharedCounting<O> {
         self.count
             .fetch_add(queries.len() as u64, Ordering::Relaxed);
         self.inner.try_le_batch(queries, out);
+    }
+
+    fn doomed(&self) -> bool {
+        self.inner.doomed()
     }
 }
 

@@ -365,6 +365,10 @@ impl<O: ComparisonOracle> ComparisonOracle for FaultyOracle<O> {
             }
         }
     }
+
+    fn doomed(&self) -> bool {
+        self.inner.doomed()
+    }
 }
 
 impl<O: QuadrupletOracle> QuadrupletOracle for FaultyOracle<O> {
@@ -411,6 +415,10 @@ impl<O: QuadrupletOracle> QuadrupletOracle for FaultyOracle<O> {
                 None => out.push(Ok(next.next().expect("one answer per clean lane"))),
             }
         }
+    }
+
+    fn doomed(&self) -> bool {
+        self.inner.doomed()
     }
 }
 
@@ -641,6 +649,10 @@ impl<O: ComparisonOracle> ComparisonOracle for Retrying<O> {
     fn le_batch(&mut self, queries: &[(usize, usize)], out: &mut Vec<bool>) {
         retry_batch!(self, queries, out, (usize, usize))
     }
+
+    fn doomed(&self) -> bool {
+        self.failed.is_some() || self.inner.doomed()
+    }
 }
 
 impl<O: QuadrupletOracle> QuadrupletOracle for Retrying<O> {
@@ -654,6 +666,10 @@ impl<O: QuadrupletOracle> QuadrupletOracle for Retrying<O> {
 
     fn le_batch(&mut self, queries: &[[usize; 4]], out: &mut Vec<bool>) {
         retry_batch!(self, queries, out, [usize; 4])
+    }
+
+    fn doomed(&self) -> bool {
+        self.failed.is_some() || self.inner.doomed()
     }
 }
 

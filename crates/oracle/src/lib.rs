@@ -44,6 +44,7 @@ pub mod fault;
 pub mod memo;
 pub mod persistent;
 pub mod probabilistic;
+pub mod probe;
 pub mod quadruplet;
 pub mod value;
 
@@ -52,6 +53,7 @@ pub use counting::{Counting, SharedCounting};
 pub use fault::{FaultPlan, FaultStats, FaultyOracle, QueryFault, RetryPolicy, Retrying};
 pub use memo::MemoOracle;
 pub use persistent::{PersistentNoise, SharedComparisonOracle, SharedQuadrupletOracle};
+pub use probe::{NoiseEstimate, ProbeOracle, ProbePlan, ProbeStats};
 pub use quadruplet::TrueQuadOracle;
 pub use value::TrueValueOracle;
 
@@ -114,6 +116,20 @@ pub trait ComparisonOracle {
         out.reserve(answers.len());
         out.extend(answers.into_iter().map(Ok));
     }
+
+    /// `true` once this oracle stack can no longer return real answers —
+    /// the run is *doomed*: a budget cap or deadline tripped, a retry
+    /// policy exhausted its attempts, or a serving pool starved. From that
+    /// point every answer is a deterministic refusal constant, so callers
+    /// tracking "clean progress" watermarks should stop advancing them.
+    ///
+    /// Purely observational: implementations must not issue queries or
+    /// mutate state. The default — never doomed — keeps every infallible
+    /// oracle compiling untouched; enforcement layers ([`Budgeted`],
+    /// [`Retrying`]) override it and metering wrappers forward it.
+    fn doomed(&self) -> bool {
+        false
+    }
 }
 
 /// A (possibly noisy) quadruplet oracle over records in a hidden metric
@@ -157,6 +173,12 @@ pub trait QuadrupletOracle {
         out.reserve(answers.len());
         out.extend(answers.into_iter().map(Ok));
     }
+
+    /// `true` once this oracle stack can no longer return real answers;
+    /// see [`ComparisonOracle::doomed`]. The default is never doomed.
+    fn doomed(&self) -> bool {
+        false
+    }
 }
 
 impl<O: ComparisonOracle + ?Sized> ComparisonOracle for &mut O {
@@ -179,6 +201,9 @@ impl<O: ComparisonOracle + ?Sized> ComparisonOracle for &mut O {
     ) {
         (**self).try_le_batch(queries, out);
     }
+    fn doomed(&self) -> bool {
+        (**self).doomed()
+    }
 }
 
 impl<O: QuadrupletOracle + ?Sized> QuadrupletOracle for &mut O {
@@ -196,6 +221,9 @@ impl<O: QuadrupletOracle + ?Sized> QuadrupletOracle for &mut O {
     }
     fn try_le_batch(&mut self, queries: &[[usize; 4]], out: &mut Vec<Result<bool, QueryFault>>) {
         (**self).try_le_batch(queries, out);
+    }
+    fn doomed(&self) -> bool {
+        (**self).doomed()
     }
 }
 

@@ -176,8 +176,6 @@ pub struct MemoOracle<O> {
     quads: Option<QuadMemo>,
     hits: u64,
     lookups: u64,
-    mirror_pairs: u64,
-    mirror_inconsistent: u64,
 }
 
 impl<O: PersistentNoise> MemoOracle<O> {
@@ -193,8 +191,6 @@ impl<O: PersistentNoise> MemoOracle<O> {
             quads: None,
             hits: 0,
             lookups: 0,
-            mirror_pairs: 0,
-            mirror_inconsistent: 0,
         }
     }
 
@@ -206,48 +202,6 @@ impl<O: PersistentNoise> MemoOracle<O> {
     /// Total cacheable lookups so far (hits plus misses).
     pub fn lookups(&self) -> u64 {
         self.lookups
-    }
-
-    /// Mirror pairs observed so far: unordered record pairs whose *both*
-    /// query directions (or pairs-of-pairs whose both orders) have been
-    /// answered by the wrapped oracle. The memo sees these for free while
-    /// filling its table; they are the raw material of
-    /// [`MemoOracle::flip_rate_estimate`].
-    pub fn mirror_pairs(&self) -> u64 {
-        self.mirror_pairs
-    }
-
-    /// Online estimate of the oracle's *directional* flip probability
-    /// `p`, or `None` before any mirror pair has been observed.
-    ///
-    /// For records with distinct hidden quantities a truthful oracle
-    /// answers the two directions of a mirror pair with *opposite* bits,
-    /// so equal bits mean exactly one of the two answers was flipped.
-    /// When each query direction flips independently with probability
-    /// `p` — a crowd or classifier backend forming a separate belief per
-    /// phrasing — the observed equal-bit rate estimates `r = 2 p (1 - p)`,
-    /// inverted here as `p = (1 - sqrt(1 - 2 r)) / 2` (clamped to the
-    /// model boundary `0.5` when `r >= 0.5`).
-    ///
-    /// Two caveats. The shipped [`crate::probabilistic`] and
-    /// [`crate::crowd`] models draw their coins from the *canonical*
-    /// query, holding one consistent belief per unordered comparison:
-    /// they are directionally self-consistent by construction and
-    /// estimate exactly `0` — internal consistency genuinely carries no
-    /// signal about their `p`, which is the persistence difficulty the
-    /// paper is built around. And ties — equal values or equal
-    /// distances — answer both directions `true` truthfully, biasing the
-    /// estimate upward on near-tied data (adversarial in-band tie
-    /// strategies surface here as a positive rate).
-    pub fn flip_rate_estimate(&self) -> Option<f64> {
-        if self.mirror_pairs == 0 {
-            return None;
-        }
-        let r = self.mirror_inconsistent as f64 / self.mirror_pairs as f64;
-        if r >= 0.5 {
-            return Some(0.5);
-        }
-        Some((1.0 - (1.0 - 2.0 * r).sqrt()) / 2.0)
     }
 
     /// Immutable access to the wrapped oracle.
@@ -291,14 +245,10 @@ impl<O: ComparisonOracle + PersistentNoise> ComparisonOracle for MemoOracle<O> {
             return ans;
         }
         let ans = self.inner.le(i, j);
-        let memo = self.pairs.as_mut().expect("just inserted");
-        if let Some(prev) = memo.get(t, !forward) {
-            // Both directions of this unordered pair are now known —
-            // a free consistency observation for the flip-rate estimate.
-            self.mirror_pairs += 1;
-            self.mirror_inconsistent += u64::from(prev == ans);
-        }
-        memo.set(t, forward, ans);
+        self.pairs
+            .as_mut()
+            .expect("just inserted")
+            .set(t, forward, ans);
         ans
     }
 
@@ -362,10 +312,6 @@ impl<O: ComparisonOracle + PersistentNoise> ComparisonOracle for MemoOracle<O> {
         let memo = self.pairs.as_mut().expect("inserted above");
         for (k, target) in cache_into.iter().enumerate() {
             if let Some((t, forward)) = *target {
-                if let Some(prev) = memo.get(t, !forward) {
-                    self.mirror_pairs += 1;
-                    self.mirror_inconsistent += u64::from(prev == answers[k]);
-                }
                 memo.set(t, forward, answers[k]);
             }
         }
@@ -398,12 +344,10 @@ impl<O: ComparisonOracle + PersistentNoise> ComparisonOracle for MemoOracle<O> {
             return Ok(ans);
         }
         let ans = self.inner.try_le(i, j)?;
-        let memo = self.pairs.as_mut().expect("just inserted");
-        if let Some(prev) = memo.get(t, !forward) {
-            self.mirror_pairs += 1;
-            self.mirror_inconsistent += u64::from(prev == ans);
-        }
-        memo.set(t, forward, ans);
+        self.pairs
+            .as_mut()
+            .expect("just inserted")
+            .set(t, forward, ans);
         Ok(ans)
     }
 
@@ -464,10 +408,6 @@ impl<O: ComparisonOracle + PersistentNoise> ComparisonOracle for MemoOracle<O> {
         let memo = self.pairs.as_mut().expect("inserted above");
         for (k, target) in cache_into.iter().enumerate() {
             if let (Some((t, forward)), Ok(ans)) = (*target, answers[k]) {
-                if let Some(prev) = memo.get(t, !forward) {
-                    self.mirror_pairs += 1;
-                    self.mirror_inconsistent += u64::from(prev == ans);
-                }
                 memo.set(t, forward, ans);
             }
         }
@@ -476,6 +416,10 @@ impl<O: ComparisonOracle + PersistentNoise> ComparisonOracle for MemoOracle<O> {
             Slot::Done(ans) => Ok(ans),
             Slot::Pending(k) => answers[k],
         }));
+    }
+
+    fn doomed(&self) -> bool {
+        self.inner.doomed()
     }
 }
 
@@ -508,13 +452,7 @@ impl<O: QuadrupletOracle + PersistentNoise> QuadrupletOracle for MemoOracle<O> {
             return ans;
         }
         let ans = self.inner.le(a, b, c, d);
-        let memo = self.quads.as_mut().expect("just inserted");
-        if let Some(prev) = memo.get(key.rotate_left(32)) {
-            // The swapped pair-of-pairs order is the quadruplet mirror.
-            self.mirror_pairs += 1;
-            self.mirror_inconsistent += u64::from(prev == ans);
-        }
-        memo.insert(key, ans);
+        self.quads.as_mut().expect("just inserted").insert(key, ans);
         ans
     }
 
@@ -570,10 +508,6 @@ impl<O: QuadrupletOracle + PersistentNoise> QuadrupletOracle for MemoOracle<O> {
         let memo = self.quads.as_mut().expect("inserted above");
         for (k, target) in cache_into.iter().enumerate() {
             if let Some(key) = *target {
-                if let Some(prev) = memo.get(key.rotate_left(32)) {
-                    self.mirror_pairs += 1;
-                    self.mirror_inconsistent += u64::from(prev == answers[k]);
-                }
                 memo.insert(key, answers[k]);
             }
         }
@@ -606,12 +540,7 @@ impl<O: QuadrupletOracle + PersistentNoise> QuadrupletOracle for MemoOracle<O> {
             return Ok(ans);
         }
         let ans = self.inner.try_le(a, b, c, d)?;
-        let memo = self.quads.as_mut().expect("just inserted");
-        if let Some(prev) = memo.get(key.rotate_left(32)) {
-            self.mirror_pairs += 1;
-            self.mirror_inconsistent += u64::from(prev == ans);
-        }
-        memo.insert(key, ans);
+        self.quads.as_mut().expect("just inserted").insert(key, ans);
         Ok(ans)
     }
 
@@ -666,10 +595,6 @@ impl<O: QuadrupletOracle + PersistentNoise> QuadrupletOracle for MemoOracle<O> {
         let memo = self.quads.as_mut().expect("inserted above");
         for (k, target) in cache_into.iter().enumerate() {
             if let (Some(key), Ok(ans)) = (*target, answers[k]) {
-                if let Some(prev) = memo.get(key.rotate_left(32)) {
-                    self.mirror_pairs += 1;
-                    self.mirror_inconsistent += u64::from(prev == ans);
-                }
                 memo.insert(key, ans);
             }
         }
@@ -678,6 +603,10 @@ impl<O: QuadrupletOracle + PersistentNoise> QuadrupletOracle for MemoOracle<O> {
             Slot::Done(ans) => Ok(ans),
             Slot::Pending(k) => answers[k],
         }));
+    }
+
+    fn doomed(&self) -> bool {
+        self.inner.doomed()
     }
 }
 
@@ -845,73 +774,6 @@ mod tests {
         assert!(out.is_empty());
     }
 
-    /// A persistent oracle whose flip coin is keyed on the *ordered*
-    /// query — each direction of a pair forms its own belief, the way a
-    /// crowd/classifier backend answering two phrasings would. This is
-    /// the regime where mirror inconsistency reveals `p`.
-    struct DirectionalProbOracle {
-        values: Vec<f64>,
-        p: f64,
-        seed: u64,
-    }
-
-    impl ComparisonOracle for DirectionalProbOracle {
-        fn n(&self) -> usize {
-            self.values.len()
-        }
-        fn le(&mut self, i: usize, j: usize) -> bool {
-            let truth = self.values[i] <= self.values[j];
-            let h = nco_metric::hashing::splitmix64(
-                self.seed ^ ((i as u64) << 32 | j as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
-            );
-            let flip = (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64) < self.p;
-            truth ^ flip
-        }
-    }
-
-    impl PersistentNoise for DirectionalProbOracle {}
-
-    #[test]
-    fn flip_rate_estimate_recovers_known_p() {
-        // Distinct values, both directions of every pair asked: each
-        // unordered pair contributes one mirror observation with
-        // equal-bit probability 2 p (1 - p).
-        let n = 120usize;
-        let mut memo = MemoOracle::new(DirectionalProbOracle {
-            values: (0..n).map(|i| i as f64).collect(),
-            p: 0.2,
-            seed: 77,
-        });
-        assert!(memo.flip_rate_estimate().is_none(), "no mirrors yet");
-        for i in 0..n {
-            for j in (i + 1)..n {
-                let _ = memo.le(i, j);
-                let _ = memo.le(j, i);
-            }
-        }
-        assert_eq!(memo.mirror_pairs(), (n * (n - 1) / 2) as u64);
-        let p = memo.flip_rate_estimate().expect("mirrors observed");
-        assert!((p - 0.2).abs() < 0.03, "estimate {p} for true p = 0.2");
-    }
-
-    #[test]
-    fn canonical_coin_models_estimate_exactly_zero() {
-        // The shipped probabilistic family draws one coin per unordered
-        // comparison: mirrored answers stay complementary even when
-        // flipped, so directional inconsistency — correctly — sees
-        // nothing. Exact oracles land at zero too.
-        let values: Vec<f64> = (0..40).map(|i| i as f64).collect();
-        let mut memo = MemoOracle::new(ProbValueOracle::new(values, 0.3, 21));
-        for i in 0..40 {
-            for j in (i + 1)..40 {
-                let _ = memo.le(i, j);
-                let _ = memo.le(j, i);
-            }
-        }
-        assert!(memo.mirror_pairs() > 0);
-        assert_eq!(memo.flip_rate_estimate(), Some(0.0));
-    }
-
     #[test]
     fn fallible_memo_round_matches_infallible_on_the_ok_path() {
         let values: Vec<f64> = (0..30).map(|i| ((i * 11) % 31) as f64).collect();
@@ -934,7 +796,6 @@ mod tests {
         assert_eq!(fallible.inner().queries(), plain.inner().queries());
         assert_eq!(fallible.hits(), plain.hits());
         assert_eq!(fallible.lookups(), plain.lookups());
-        assert_eq!(fallible.mirror_pairs(), plain.mirror_pairs());
     }
 
     #[test]

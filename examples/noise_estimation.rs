@@ -1,17 +1,107 @@
-//! Noise-model estimation on a validation sample — the Section 6 workflow
-//! that decides which algorithm variant to run on a new dataset:
-//! measure crowd accuracy per distance-ratio bucket, then fit either the
+//! Noise-rate estimation, online and offline — the workflow that decides
+//! whether a session's configured noise rate can be trusted.
+//!
+//! Online (the `Session` probe plane): [`SessionBuilder::probe_noise`]
+//! injects seeded, billed transitivity-triangle probes into the live
+//! query stream and reports a flip-rate estimate in
+//! `RunReport::observed_flip_rate`; combined with
+//! [`SessionBuilder::assume_noise_rate`] the session fails typed
+//! (`NcoError::NoiseMisspecified`) when the observation contradicts the
+//! assumption, and with [`SessionBuilder::adapt_noise`] it re-derives
+//! its repetition parameters instead of failing.
+//!
+//! Offline (the Section 6 workflow): measure crowd accuracy per
+//! distance-ratio bucket on a validation sample, then fit either the
 //! adversarial model (sharp cliff, estimate `mu`) or the probabilistic
 //! model (flat noise, estimate `p`).
 //!
 //! Run with `cargo run --release --example noise_estimation`.
+//!
+//! [`SessionBuilder::probe_noise`]: noisy_oracle::SessionBuilder::probe_noise
+//! [`SessionBuilder::assume_noise_rate`]: noisy_oracle::SessionBuilder::assume_noise_rate
+//! [`SessionBuilder::adapt_noise`]: noisy_oracle::SessionBuilder::adapt_noise
 
 use noisy_oracle::data::{amazon, caltech};
 use noisy_oracle::eval::noise_fit::{fit_noise, FittedModel};
 use noisy_oracle::eval::Table;
 use noisy_oracle::oracle::crowd::{AccuracyProfile, CrowdQuadOracle};
+use noisy_oracle::{AdaptPolicy, NcoError, Noise, Session, Task};
 
-fn main() {
+fn main() -> Result<(), NcoError> {
+    online_probing()?;
+    offline_fit();
+    Ok(())
+}
+
+/// The probe plane in action: estimate the flip rate while the task
+/// runs, then show the misspecification guard and the adaptive recovery.
+fn online_probing() -> Result<(), NcoError> {
+    let values: Vec<f64> = (1..=400).map(f64::from).collect();
+    let true_p = 0.30;
+
+    // 1. A well-specified session: probes ride the live query stream
+    //    (billed like every other query) and the report carries the
+    //    online estimate next to the configured rate.
+    let session = Session::builder()
+        .values(values.clone())
+        .noise(Noise::Probabilistic { p: true_p, seed: 3 })
+        .probe_noise(0.10)
+        .seed(3)
+        .build()?;
+    let outcome = session.run(Task::Max)?;
+    println!(
+        "probe plane: configured p = {true_p}, observed ~ {:.3} from {} billed probes \
+         ({} queries total)",
+        outcome.report.observed_flip_rate.unwrap_or(f64::NAN),
+        outcome.report.probes.unwrap_or(0),
+        outcome.report.queries,
+    );
+
+    // 2. The same oracle with a badly misspecified assumption: the
+    //    guard fails typed, spend preserved.
+    let fixed = Session::builder()
+        .values(values.clone())
+        .noise(Noise::Probabilistic { p: true_p, seed: 3 })
+        .assume_noise_rate(0.15) // half the real rate
+        .probe_noise(0.10)
+        .seed(3)
+        .build()?;
+    match fixed.run(Task::Max) {
+        Err(NcoError::NoiseMisspecified {
+            assumed,
+            observed,
+            probes,
+            report,
+        }) => println!(
+            "guard: assumed {assumed}, {probes} probes observed {observed:.3} — failed \
+             typed after {} queries",
+            report.queries
+        ),
+        other => println!("guard: seed did not trip the CI bound ({other:?})"),
+    }
+
+    // 3. The adaptive session recovers instead: it re-derives its
+    //    repetition parameters from the probed rate and re-runs.
+    let adaptive = Session::builder()
+        .values(values)
+        .noise(Noise::Probabilistic { p: true_p, seed: 3 })
+        .assume_noise_rate(0.15)
+        .probe_noise(0.10)
+        .adapt_noise(AdaptPolicy::Escalate)
+        .seed(3)
+        .build()?;
+    let outcome = adaptive.run(Task::Max)?;
+    println!(
+        "adapt: {} adaptation(s), answer item {:?} after {} queries\n",
+        outcome.report.adaptations,
+        outcome.answer.item(),
+        outcome.report.queries,
+    );
+    Ok(())
+}
+
+/// The Section 6 offline workflow on simulated crowd transcripts.
+fn offline_fit() {
     let mut table = Table::new(
         "noise-model fits from 20k validation quadruplets (3-worker crowd)",
         &[

@@ -93,7 +93,7 @@ fn main() -> Result<(), NcoError> {
         .seed(42)
         .build()?;
     match capped.run(Task::Max) {
-        Err(NcoError::BudgetExceeded { budget }) => {
+        Err(NcoError::BudgetExceeded { budget, .. }) => {
             println!("budget demo: Task::Max needs more than the {budget}-query budget");
             println!("            -> Err(NcoError::BudgetExceeded), no panic, no overspend");
         }

@@ -8,6 +8,7 @@
 //! APIs.
 
 use crate::report::RunReport;
+use crate::task::PartialOutcome;
 use std::fmt;
 
 /// Unified error type for the [`crate::Session`] engine API.
@@ -23,6 +24,15 @@ pub enum NcoError {
     BudgetExceeded {
         /// The configured budget that was exhausted.
         budget: u64,
+        /// Accounting up to the kill point — the spend is preserved
+        /// even though the answer is gone.
+        report: Box<RunReport>,
+        /// Best-effort partial answer committed on real oracle answers
+        /// before the budget latch tripped. Deterministic: the latch
+        /// trips at an exact query count, so the same session replays
+        /// to the same partial. `None` for tasks with no meaningful
+        /// intermediate commitment (nearest/farthest).
+        partial: Option<PartialOutcome>,
     },
     /// A configuration or task parameter is outside its valid range, or
     /// the task does not fit the session's data source (e.g. `Task::Max`
@@ -65,6 +75,33 @@ pub enum NcoError {
         /// before the deadline hit; the answer-bearing fields of a
         /// successful report are absent by construction).
         report: Box<RunReport>,
+        /// Best-effort partial answer committed on real oracle answers
+        /// before the kill. Unlike a budget kill the cut point depends
+        /// on wall-clock timing, so the partial's length varies run to
+        /// run; its shape (a clean prefix) does not.
+        partial: Option<PartialOutcome>,
+    },
+    /// The configured noise rate is misspecified: online probing
+    /// measured a flip rate whose confidence-interval *lower* bound
+    /// exceeds the rate the session's repetition counts were derived
+    /// for, so the theorem-backed success guarantees no longer hold.
+    ///
+    /// Only raised when probing is enabled
+    /// ([`crate::SessionBuilder::probe_noise`]) and the session is not
+    /// adapting ([`crate::SessionBuilder::adapt_noise`] with
+    /// [`crate::AdaptPolicy::Escalate`] re-derives parameters instead
+    /// of failing). The guard is conservative — it fires on the CI
+    /// lower bound, not the point estimate — and the run's spend is
+    /// preserved in `report`.
+    NoiseMisspecified {
+        /// The flip rate the session's parameters assumed.
+        assumed: f64,
+        /// The probe point estimate of the actual flip rate.
+        observed: f64,
+        /// Billed probe queries behind the estimate.
+        probes: u64,
+        /// Accounting for the completed-but-unreliable run.
+        report: Box<RunReport>,
     },
     /// The request panicked inside a serving worker. The panic was
     /// contained by the worker's `catch_unwind` isolation: the worker
@@ -98,7 +135,7 @@ impl NcoError {
 impl fmt::Display for NcoError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            Self::BudgetExceeded { budget } => {
+            Self::BudgetExceeded { budget, .. } => {
                 write!(f, "query budget of {budget} oracle queries exceeded")
             }
             Self::InvalidParams { reason } => write!(f, "invalid parameters: {reason}"),
@@ -112,10 +149,20 @@ impl fmt::Display for NcoError {
                 "oracle failed: a query faulted through all {attempts} retry attempts \
                  ({queries_spent} queries spent)"
             ),
-            Self::DeadlineExceeded { report } => write!(
+            Self::DeadlineExceeded { report, .. } => write!(
                 f,
                 "deadline exceeded after {} queries in {} rounds",
                 report.queries, report.rounds
+            ),
+            Self::NoiseMisspecified {
+                assumed,
+                observed,
+                probes,
+                ..
+            } => write!(
+                f,
+                "noise misspecified: session assumed flip rate {assumed}, \
+                 {probes} probes observed {observed}"
             ),
             Self::Panicked { reason } => write!(f, "request panicked: {reason}"),
         }
@@ -128,9 +175,30 @@ impl std::error::Error for NcoError {}
 mod tests {
     use super::*;
 
+    fn empty_report() -> RunReport {
+        use std::time::Duration;
+        RunReport {
+            queries: 0,
+            rounds: 0,
+            memo_hits: None,
+            cache_entries: None,
+            cache_added: None,
+            wall: Duration::ZERO,
+            budget: None,
+            merge_plane: None,
+            observed_flip_rate: None,
+            probes: None,
+            adaptations: 0,
+        }
+    }
+
     #[test]
     fn display_is_informative() {
-        let e = NcoError::BudgetExceeded { budget: 42 };
+        let e = NcoError::BudgetExceeded {
+            budget: 42,
+            report: Box::new(empty_report()),
+            partial: None,
+        };
         assert!(e.to_string().contains("42"));
         let e = NcoError::invalid("k = 0");
         assert!(e.to_string().contains("k = 0"));
@@ -145,35 +213,46 @@ mod tests {
             reason: "index out of bounds".into(),
         };
         assert!(e.to_string().contains("index out of bounds"));
+        let e = NcoError::NoiseMisspecified {
+            assumed: 0.15,
+            observed: 0.31,
+            probes: 200,
+            report: Box::new(empty_report()),
+        };
+        let s = e.to_string();
+        assert!(s.contains("0.15") && s.contains("0.31") && s.contains("200"));
     }
 
     #[test]
     fn deadline_error_preserves_partial_accounting() {
         use std::time::Duration;
-        let report = RunReport {
-            queries: 9,
-            rounds: 3,
-            memo_hits: None,
-            cache_entries: None,
-            cache_added: None,
-            wall: Duration::from_millis(2),
-            budget: Some(100),
-            merge_plane: None,
-            observed_flip_rate: None,
-        };
+        let mut report = empty_report();
+        report.queries = 9;
+        report.rounds = 3;
+        report.wall = Duration::from_millis(2);
+        report.budget = Some(100);
         let e = NcoError::DeadlineExceeded {
             report: Box::new(report),
+            partial: Some(PartialOutcome::Leader { candidate: Some(4) }),
         };
-        let NcoError::DeadlineExceeded { report } = &e else {
+        let NcoError::DeadlineExceeded { report, partial } = &e else {
             panic!("wrong variant");
         };
         assert_eq!(report.queries, 9);
+        assert_eq!(
+            partial,
+            &Some(PartialOutcome::Leader { candidate: Some(4) })
+        );
         assert!(e.to_string().contains("9 queries"));
     }
 
     #[test]
     fn is_std_error() {
-        let e: Box<dyn std::error::Error> = Box::new(NcoError::BudgetExceeded { budget: 1 });
+        let e: Box<dyn std::error::Error> = Box::new(NcoError::BudgetExceeded {
+            budget: 1,
+            report: Box::new(empty_report()),
+            partial: None,
+        });
         assert!(e.source().is_none());
     }
 }

@@ -38,7 +38,7 @@
 //!     .build()?;
 //! assert!(matches!(
 //!     capped.run(Task::Max),
-//!     Err(NcoError::BudgetExceeded { budget: 50 })
+//!     Err(NcoError::BudgetExceeded { budget: 50, .. })
 //! ));
 //! # Ok::<(), NcoError>(())
 //! ```
@@ -83,7 +83,8 @@ mod task;
 
 pub use error::NcoError;
 pub use nco_oracle::fault::{FaultPlan, FaultStats, QueryFault, RetryPolicy};
+pub use nco_oracle::{NoiseEstimate, ProbeStats};
 pub use report::{Outcome, RunReport};
 pub use serve::{Request, ServeStats, Server, ServerBuilder, TaskHandle};
-pub use session::{CancelToken, Engine, Noise, Session, SessionBuilder};
-pub use task::{Answer, Task};
+pub use session::{AdaptPolicy, CancelToken, Engine, Noise, Session, SessionBuilder};
+pub use task::{Answer, PartialOutcome, Task};

@@ -53,14 +53,28 @@ pub struct RunReport {
     /// re-contests, pointer repairs, bucket replays and pool duels — the
     /// cost anatomy behind [`Self::queries`] for `Task::Hierarchy` runs.
     pub merge_plane: Option<MergePlaneStats>,
-    /// Online estimate of the oracle's *directional* flip probability,
-    /// tallied for free from the mirror pairs the answer memo observes
-    /// while filling its table (`None` when memoisation is off or no
-    /// mirror pair was seen). The shipped probabilistic/crowd models
-    /// hold one belief per unordered comparison and estimate exactly
-    /// `0.0` — see `nco_oracle::MemoOracle::flip_rate_estimate` for the
-    /// estimator, its model assumptions, and its tie caveat.
+    /// Online point estimate of the oracle's flip probability from the
+    /// session's probe plane (`None` unless probing was enabled with
+    /// [`crate::SessionBuilder::probe_noise`] **and** at least one probe
+    /// triangle completed). The estimator injects seeded transitivity
+    /// triangles into the live query stream and inverts the cyclic-vote
+    /// rate `p(1-p)` — a construction that is robust to persistent
+    /// (canonical-coin) noise, where naive repeat-or-mirror estimators
+    /// measure exactly `0.0`. See [`nco_oracle::ProbeOracle`] for the
+    /// estimator and its confidence interval.
     pub observed_flip_rate: Option<f64>,
+    /// Oracle queries spent on noise probing, already included in
+    /// [`Self::queries`] — probes are billed like any other query
+    /// (`None` when probing is off). Subtract to recover the engine's
+    /// own spend.
+    pub probes: Option<u64>,
+    /// Times the session re-derived its repetition parameters and
+    /// re-ran the engine after the probe plane flagged the configured
+    /// noise rate as misspecified (see
+    /// [`crate::SessionBuilder::adapt_noise`]). `0` on every
+    /// non-adaptive run; query/round tallies are cumulative across the
+    /// adaptation.
+    pub adaptations: u32,
 }
 
 /// A successful run: the typed answer plus its cost accounting.
@@ -97,6 +111,8 @@ mod tests {
                 budget: Some(100),
                 merge_plane: None,
                 observed_flip_rate: None,
+                probes: None,
+                adaptations: 0,
             },
         );
         assert_eq!(o.answer.item(), Some(3));

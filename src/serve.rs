@@ -38,6 +38,18 @@
 //! requests with [`NcoError::DeadlineExceeded`], partial accounting
 //! preserved.
 //!
+//! The plane inherits the session layer's adaptive noise surface: when
+//! the template enables [`crate::SessionBuilder::probe_noise`], every
+//! request carries its own billed probe plane (seeded per request) and
+//! applies the same misspecification guard — and, under
+//! [`crate::SessionBuilder::adapt_noise`] with
+//! [`crate::AdaptPolicy::Escalate`], the same parameter-escalating
+//! re-run — that a solo session would. With
+//! [`ServerBuilder::degrade_to_partials`], a request killed by its
+//! deadline, its budget, or the pool degrades to a best-effort
+//! [`crate::PartialOutcome`] inside its typed error instead of
+//! shedding plain.
+//!
 //! ```
 //! use noisy_oracle::{Noise, Request, Server, Session, Task};
 //!
@@ -62,21 +74,24 @@
 use std::any::Any;
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{self, Receiver, Sender};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
+use nco_core::hier::MergePlaneStats;
 use nco_oracle::budget::{BudgetPool, Budgeted, OVER_BUDGET_ANSWER};
 use nco_oracle::fault::{FaultPlan, FaultyOracle, QueryFault, Retrying};
 use nco_oracle::persistent::PersistentNoise;
-use nco_oracle::{ComparisonOracle, Counting, MemoOracle, QuadrupletOracle};
+use nco_oracle::{
+    ComparisonOracle, Counting, MemoOracle, NoiseEstimate, ProbeOracle, QuadrupletOracle,
+};
 
 use crate::error::NcoError;
 use crate::report::{Outcome, RunReport};
 use crate::session::{CancelToken, Session};
-use crate::task::Task;
+use crate::task::{Answer, PartialOutcome, Task};
 
 /// Locks a mutex, recovering from poisoning: a request that panicked
 /// while holding a shared lock must not wedge the rest of the plane. The
@@ -127,6 +142,10 @@ impl QuadrupletOracle for BoxedQuad {
     fn try_le_batch(&mut self, queries: &[[usize; 4]], out: &mut Vec<Result<bool, QueryFault>>) {
         self.0.try_le_batch(queries, out);
     }
+
+    fn doomed(&self) -> bool {
+        self.0.doomed()
+    }
 }
 
 impl PersistentNoise for BoxedQuad {}
@@ -156,6 +175,10 @@ impl ComparisonOracle for BoxedCmp {
         out: &mut Vec<Result<bool, QueryFault>>,
     ) {
         self.0.try_le_batch(queries, out);
+    }
+
+    fn doomed(&self) -> bool {
+        self.0.doomed()
     }
 }
 
@@ -348,6 +371,13 @@ impl QuadrupletOracle for ServedQuad {
         });
         out.extend(answers);
     }
+
+    fn doomed(&self) -> bool {
+        // Pool starvation latches at a query boundary like every other
+        // kill vector, so the engines' clean-progress watermarks stop
+        // advancing and the eventual partial stays a true prefix.
+        self.starved
+    }
 }
 
 /// The backend answers are a pure function of the query (exact memo over
@@ -393,6 +423,11 @@ impl ComparisonOracle for ServedCmp {
             relock(&backend).le_batch(qs, res);
         });
         out.extend(answers);
+    }
+
+    fn doomed(&self) -> bool {
+        // See [`ServedQuad::doomed`].
+        self.starved
     }
 }
 
@@ -456,11 +491,51 @@ struct ServerShared {
     quad_coalescer: Arc<Coalescer<[usize; 4]>>,
     cmp_backend: Option<Arc<Mutex<CmpBackend>>>,
     cmp_coalescer: Arc<Coalescer<(usize, usize)>>,
+    /// Attach best-effort partial answers to killed requests' typed
+    /// errors ([`ServerBuilder::degrade_to_partials`]).
+    degrade: bool,
     submitted: AtomicU64,
     completed: AtomicU64,
     shed: AtomicU64,
     deadline_kills: AtomicU64,
     panics: AtomicU64,
+    probes: AtomicU64,
+    adaptations: AtomicU64,
+    misspecifications: AtomicU64,
+    partial_completions: AtomicU64,
+}
+
+/// One engine attempt's per-request meter readings — the serve-plane
+/// analogue of the session layer's internal meters.
+struct AttemptMeters {
+    queries: u64,
+    rounds: u64,
+    exceeded: bool,
+    killed: bool,
+    starved: bool,
+    estimate: Option<NoiseEstimate>,
+    probes: Option<u64>,
+}
+
+impl AttemptMeters {
+    /// Folds an escalated re-run onto the discarded first attempt:
+    /// spend and probes accumulate, the kill flags come from the
+    /// attempt that produced the answer, and the estimate prefers the
+    /// re-run's fresher probes.
+    fn accumulated(first: Self, second: Self) -> Self {
+        Self {
+            queries: first.queries + second.queries,
+            rounds: first.rounds + second.rounds,
+            exceeded: second.exceeded,
+            killed: second.killed,
+            starved: second.starved,
+            estimate: second.estimate.or(first.estimate),
+            probes: match (first.probes, second.probes) {
+                (Some(a), Some(b)) => Some(a + b),
+                (a, b) => a.or(b),
+            },
+        }
+    }
 }
 
 impl ServerShared {
@@ -513,6 +588,99 @@ impl ServerShared {
         }
     }
 
+    /// Runs one engine attempt for `task` over a fresh per-request
+    /// oracle chain: served backend view (pool admission → coalescer →
+    /// shared memoised backend) → per-request [`Budgeted`]
+    /// (budget/deadline/cancel) → outermost [`ProbeOracle`] injecting
+    /// the session's per-seed probe plan into the live stream. Probes
+    /// are billed like every other query — through the request's
+    /// budget, the pool, and the shared backend alike.
+    #[allow(clippy::too_many_arguments)]
+    fn attempt(
+        &self,
+        session: &Session,
+        task: Task,
+        n: usize,
+        scale: f64,
+        budget: Option<u64>,
+        deadline: Option<Instant>,
+        cancel: Option<Arc<AtomicBool>>,
+        partial: &mut Option<PartialOutcome>,
+        plane: &mut Option<MergePlaneStats>,
+    ) -> Result<(Answer, AttemptMeters), NcoError> {
+        let probe_plan = session.probe_plan();
+        let probing = probe_plan.is_active();
+        if task.needs_values() {
+            let backend = self
+                .cmp_backend
+                .as_ref()
+                .expect("validate() gated value tasks on a value engine");
+            let served = ServedCmp {
+                n,
+                backend: Arc::clone(backend),
+                coalescer: Arc::clone(&self.cmp_coalescer),
+                pool: Arc::clone(&self.pool),
+                starved: false,
+            };
+            let mut oracle = ProbeOracle::new(
+                Budgeted::new(served, budget)
+                    .with_deadline(deadline)
+                    .with_cancel(cancel),
+                probe_plan,
+            );
+            let answer = session.value_task(task, &mut oracle, scale, partial)?;
+            let estimate = oracle.estimate();
+            let probes = probing.then(|| oracle.stats().probes);
+            let budgeted = oracle.inner();
+            Ok((
+                answer,
+                AttemptMeters {
+                    queries: budgeted.queries(),
+                    rounds: budgeted.rounds(),
+                    exceeded: budgeted.exceeded(),
+                    killed: budgeted.killed(),
+                    starved: budgeted.inner().starved,
+                    estimate,
+                    probes,
+                },
+            ))
+        } else {
+            let backend = self
+                .quad_backend
+                .as_ref()
+                .expect("validate() gated metric tasks on a metric engine");
+            let served = ServedQuad {
+                n,
+                backend: Arc::clone(backend),
+                coalescer: Arc::clone(&self.quad_coalescer),
+                pool: Arc::clone(&self.pool),
+                starved: false,
+            };
+            let mut oracle = ProbeOracle::new(
+                Budgeted::new(served, budget)
+                    .with_deadline(deadline)
+                    .with_cancel(cancel),
+                probe_plan,
+            );
+            let answer = session.quad_task(task, &mut oracle, scale, plane, partial)?;
+            let estimate = oracle.estimate();
+            let probes = probing.then(|| oracle.stats().probes);
+            let budgeted = oracle.inner();
+            Ok((
+                answer,
+                AttemptMeters {
+                    queries: budgeted.queries(),
+                    rounds: budgeted.rounds(),
+                    exceeded: budgeted.exceeded(),
+                    killed: budgeted.killed(),
+                    starved: budgeted.inner().starved,
+                    estimate,
+                    probes,
+                },
+            ))
+        }
+    }
+
     fn execute(&self, request: &Request) -> Result<Outcome, NcoError> {
         let session = self.template.with_seed(request.seed);
         session.validate(request.task)?;
@@ -526,102 +694,125 @@ impl ServerShared {
         let deadline = session.cfg().deadline.map(|d| start + d);
         let cancel = session.cfg().cancel.as_ref().map(CancelToken::flag);
 
-        let (answer, queries, rounds, exceeded, killed, starved, merge_plane) =
-            if request.task.needs_values() {
-                let backend = self
-                    .cmp_backend
-                    .as_ref()
-                    .expect("validate() gated value tasks on a value engine");
-                let served = ServedCmp {
-                    n: engine.n(),
-                    backend: Arc::clone(backend),
-                    coalescer: Arc::clone(&self.cmp_coalescer),
-                    pool: Arc::clone(&self.pool),
-                    starved: false,
-                };
-                let mut oracle = Budgeted::new(served, budget)
-                    .with_deadline(deadline)
-                    .with_cancel(cancel);
-                let answer = session.value_task(request.task, &mut oracle)?;
-                (
-                    answer,
-                    oracle.queries(),
-                    oracle.rounds(),
-                    oracle.exceeded(),
-                    oracle.killed(),
-                    oracle.inner().starved,
-                    None,
-                )
-            } else {
-                let backend = self
-                    .quad_backend
-                    .as_ref()
-                    .expect("validate() gated metric tasks on a metric engine");
-                let served = ServedQuad {
-                    n: engine.n(),
-                    backend: Arc::clone(backend),
-                    coalescer: Arc::clone(&self.quad_coalescer),
-                    pool: Arc::clone(&self.pool),
-                    starved: false,
-                };
-                let mut oracle = Budgeted::new(served, budget)
-                    .with_deadline(deadline)
-                    .with_cancel(cancel);
-                let mut plane = None;
-                let answer = session.quad_task(request.task, &mut oracle, &mut plane)?;
-                (
-                    answer,
-                    oracle.queries(),
-                    oracle.rounds(),
-                    oracle.exceeded(),
-                    oracle.killed(),
-                    oracle.inner().starved,
-                    plane,
-                )
-            };
+        let mut partial = None;
+        let mut merge_plane = None;
+        let (mut answer, mut m) = self.attempt(
+            &session,
+            request.task,
+            engine.n(),
+            session.base_scale(),
+            budget,
+            deadline,
+            cancel.clone(),
+            &mut partial,
+            &mut merge_plane,
+        )?;
+        let mut adaptations = 0u32;
+        // Adaptive escalation, exactly as in a solo run: a *clean*
+        // first attempt whose probes flagged the assumed noise rate is
+        // re-run with re-derived parameters on the request's remaining
+        // budget. The shared backend is persistent and memoised, so the
+        // re-run resumes the same noise beliefs a solo escalation would.
+        if !m.exceeded && !m.killed && !m.starved && self.backend_failed().is_none() {
+            if let Some(scale) = session.escalation_scale(&m.estimate) {
+                let remaining = budget.map(|b| b.saturating_sub(m.queries));
+                let mut partial2 = None;
+                let mut plane2 = None;
+                let (answer2, m2) = self.attempt(
+                    &session,
+                    request.task,
+                    engine.n(),
+                    scale,
+                    remaining,
+                    deadline,
+                    cancel,
+                    &mut partial2,
+                    &mut plane2,
+                )?;
+                answer = answer2;
+                partial = partial2;
+                merge_plane = plane2;
+                m = AttemptMeters::accumulated(m, m2);
+                adaptations = 1;
+                self.adaptations.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        if let Some(p) = m.probes {
+            self.probes.fetch_add(p, Ordering::Relaxed);
+        }
 
         // Same failure precedence as a solo `Session::run`: a backend
         // fault that outlived the retry policy trumps everything, then
         // the deadline kill, then budget exhaustion (pooled or
-        // per-request).
+        // per-request), then the misspecification guard.
         if let Some(attempts) = self.backend_failed() {
             return Err(NcoError::OracleFailed {
-                queries_spent: queries,
+                queries_spent: m.queries,
                 attempts,
             });
         }
         let cache_entries = engine.cache_entries();
         let report = RunReport {
-            queries,
-            rounds,
+            queries: m.queries,
+            rounds: m.rounds,
             // The backend memo is a server-level resource; its hit tally
-            // and flip-rate estimate are aggregate, not per request (the
-            // hits live in `ServeStats`).
+            // is aggregate, not per request (the hits live in
+            // `ServeStats`).
             memo_hits: None,
             cache_entries,
             cache_added: cache_entries.map(|e| e.saturating_sub(cache_start.unwrap_or(0))),
             wall: start.elapsed(),
             budget,
             merge_plane,
-            observed_flip_rate: None,
+            observed_flip_rate: m.estimate.map(|e| e.p_hat),
+            probes: m.probes,
+            adaptations,
         };
-        if killed {
+        // Killed requests carry their best-effort partials only when
+        // the plane opted into graceful degradation; the default sheds
+        // plain, keeping error payloads lean under load.
+        let partial = if self.degrade { partial } else { None };
+        if (m.killed || m.starved || m.exceeded) && partial.is_some() {
+            self.partial_completions.fetch_add(1, Ordering::Relaxed);
+        }
+        if m.killed {
             self.deadline_kills.fetch_add(1, Ordering::Relaxed);
             return Err(NcoError::DeadlineExceeded {
                 report: Box::new(report),
+                partial,
             });
         }
-        if starved {
+        if m.starved {
             // The *pooled* budget ran dry mid-request: shed this request
             // without unwinding the others.
             return Err(NcoError::BudgetExceeded {
                 budget: self.pool.cap(),
+                report: Box::new(report),
+                partial,
             });
         }
-        if exceeded {
+        if m.exceeded {
             return Err(NcoError::BudgetExceeded {
                 budget: budget.expect("exceeded implies a budget"),
+                report: Box::new(report),
+                partial,
             });
+        }
+        // The misspecification guard fires last, and never on an
+        // adapted request — the escalated re-run already answered the
+        // misspecification, exactly as in a solo session.
+        if adaptations == 0 {
+            if let Some(est) = session.misspecified(&m.estimate) {
+                self.misspecifications.fetch_add(1, Ordering::Relaxed);
+                return Err(NcoError::NoiseMisspecified {
+                    assumed: session
+                        .assumed_rate()
+                        .expect("trigger implies an assumption"),
+                    observed: est.p_hat,
+                    probes: m.probes.unwrap_or(0),
+                    report: Box::new(report),
+                });
+            }
         }
         Ok(Outcome::new(answer, report))
     }
@@ -663,6 +854,10 @@ impl ServerShared {
             faults_masked,
             deadline_kills: self.deadline_kills.load(Ordering::Relaxed),
             panics: self.panics.load(Ordering::Relaxed),
+            probes: self.probes.load(Ordering::Relaxed),
+            adaptations: self.adaptations.load(Ordering::Relaxed),
+            misspecifications: self.misspecifications.load(Ordering::Relaxed),
+            partial_completions: self.partial_completions.load(Ordering::Relaxed),
         }
     }
 }
@@ -675,6 +870,7 @@ pub struct ServerBuilder {
     workers: usize,
     queue_cap: usize,
     pool_budget: Option<u64>,
+    degrade: bool,
 }
 
 impl ServerBuilder {
@@ -698,6 +894,17 @@ impl ServerBuilder {
     /// is all-or-nothing per round, so a refused round spends nothing.
     pub fn pool_budget(mut self, max_queries: u64) -> Self {
         self.pool_budget = Some(max_queries);
+        self
+    }
+
+    /// Opt the plane into graceful degradation (default `false`): a
+    /// request killed by its deadline, its per-request budget, or the
+    /// pooled budget carries its best-effort [`crate::PartialOutcome`]
+    /// inside the typed error instead of shedding plain. Budget-kill
+    /// partials are deterministic for a given request seed; see
+    /// [`crate::PartialOutcome`] for the clean-prefix contract.
+    pub fn degrade_to_partials(mut self, degrade: bool) -> Self {
+        self.degrade = degrade;
         self
     }
 
@@ -763,11 +970,16 @@ impl ServerBuilder {
             quad_coalescer: Arc::new(Coalescer::new()),
             cmp_backend,
             cmp_coalescer: Arc::new(Coalescer::new()),
+            degrade: self.degrade,
             submitted: AtomicU64::new(0),
             completed: AtomicU64::new(0),
             shed: AtomicU64::new(0),
             deadline_kills: AtomicU64::new(0),
             panics: AtomicU64::new(0),
+            probes: AtomicU64::new(0),
+            adaptations: AtomicU64::new(0),
+            misspecifications: AtomicU64::new(0),
+            partial_completions: AtomicU64::new(0),
         });
         let workers = (0..self.workers)
             .map(|_| {
@@ -833,6 +1045,23 @@ pub struct ServeStats {
     /// [`NcoError::Panicked`] — each one was contained: the worker
     /// rejoined the pool and no other in-flight request was lost.
     pub panics: u64,
+    /// Billed noise-probe queries injected across all requests (already
+    /// counted into each request's own `queries` tally; `0` unless the
+    /// template enables [`crate::SessionBuilder::probe_noise`]).
+    pub probes: u64,
+    /// Requests that re-derived their repetition parameters and re-ran
+    /// after their probe plane flagged the template's noise rate as
+    /// misspecified ([`crate::SessionBuilder::adapt_noise`] with
+    /// [`crate::AdaptPolicy::Escalate`]).
+    pub adaptations: u64,
+    /// Requests failed typed with [`NcoError::NoiseMisspecified`]: the
+    /// probe plane's confidence interval excluded the assumed rate and
+    /// the template was not adapting.
+    pub misspecifications: u64,
+    /// Killed requests whose typed error carried a best-effort partial
+    /// answer — only possible with
+    /// [`ServerBuilder::degrade_to_partials`] enabled.
+    pub partial_completions: u64,
 }
 
 /// The concurrent serving plane over one engine: a worker pool behind
@@ -866,6 +1095,7 @@ impl Server {
             workers: 4,
             queue_cap: 64,
             pool_budget: None,
+            degrade: false,
         }
     }
 

@@ -51,8 +51,13 @@ use std::time::{Duration, Instant};
 
 use nco_core::comparator::ValueCmp;
 use nco_core::hier::{hier_oracle_par_stats, hier_oracle_stats, HierParams, MergePlaneStats};
-use nco_core::kcenter::{kcenter_adv, kcenter_prob, KCenterAdvParams, KCenterProbParams};
-use nco_core::maxfind::{max_adv, max_prob, top_k_adv, top_k_prob, AdvParams, ProbParams};
+use nco_core::kcenter::{
+    kcenter_adv_with_progress, kcenter_prob_with_progress, KCenterAdvParams, KCenterProbParams,
+};
+use nco_core::maxfind::{
+    max_adv_with_progress, max_prob_with_progress, top_k_adv_with_progress,
+    top_k_prob_with_progress, AdvParams, ProbParams,
+};
 use nco_core::neighbor::{farthest_adv, farthest_prob, nearest_adv, nearest_prob};
 use nco_data::{AnyMetric, Dataset};
 use nco_metric::{CachedMetric, DistCache, EuclideanMetric, Metric};
@@ -62,13 +67,34 @@ use nco_oracle::crowd::{AccuracyProfile, CrowdQuadOracle, CrowdValueOracle};
 use nco_oracle::fault::{FaultPlan, FaultyOracle, RetryPolicy, Retrying};
 use nco_oracle::persistent::{PersistentNoise, SharedQuadrupletOracle};
 use nco_oracle::probabilistic::{ProbQuadOracle, ProbValueOracle};
-use nco_oracle::{ComparisonOracle, MemoOracle, QuadrupletOracle, TrueQuadOracle, TrueValueOracle};
+use nco_oracle::{
+    ComparisonOracle, MemoOracle, NoiseEstimate, ProbeOracle, ProbePlan, QuadrupletOracle,
+    TrueQuadOracle, TrueValueOracle,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use crate::error::NcoError;
 use crate::report::{Outcome, RunReport};
-use crate::task::{Answer, Task};
+use crate::task::{Answer, PartialOutcome, Task};
+
+/// Salt XORed into the session seed to derive the probe plane's own
+/// deterministic stream, so probes and the engine rng stay decoupled.
+const PROBE_SEED_XOR: u64 = 0x7072_6F62_656E_636F; // "probenco"
+
+/// Ceiling on the re-derived flip rate an [`AdaptPolicy::Escalate`]
+/// re-run plans for: the repetition scale `1/(1-2p)^2` diverges at
+/// `p = 1/2`, so the CI upper bound is clamped here before scaling.
+const ADAPT_RATE_CAP: f64 = 0.45;
+
+/// Repetition scale factor `1/(1-2p)^2` for a flip rate `p` — the
+/// classic noisy-comparison sample-complexity dependence (the paper's
+/// bounds carry the same `(1-2p)^-2` factor through their Chernoff
+/// arguments). `p = 0` maps to `1.0`: assuming no noise changes nothing.
+fn noise_scale_for(p: f64) -> f64 {
+    let margin = 1.0 - 2.0 * p;
+    1.0 / (margin * margin)
+}
 
 /// The noise model a session's oracle answers under (Section 2.2 of the
 /// paper, plus the Section 6.2 crowd simulation).
@@ -117,6 +143,24 @@ impl Noise {
     pub fn is_statistical(&self) -> bool {
         matches!(self, Noise::Probabilistic { .. } | Noise::Crowd { .. })
     }
+}
+
+/// How a probing session responds when the online flip-rate estimate
+/// contradicts the noise rate its repetition parameters were derived
+/// for (see [`SessionBuilder::adapt_noise`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum AdaptPolicy {
+    /// Fail the run with [`NcoError::NoiseMisspecified`] — the default
+    /// guard behaviour whenever probing is enabled, named here so it
+    /// can be requested explicitly.
+    FailFast,
+    /// Re-derive the repetition parameters for the *observed* rate (the
+    /// probe CI upper bound, clamped at `0.45`) and re-run the engine
+    /// once on the remaining budget. Query/round meters accumulate
+    /// across both attempts and [`RunReport::adaptations`] records the
+    /// re-run; the escalated attempt is not re-guarded.
+    Escalate,
 }
 
 /// What a session's distances are computed against.
@@ -310,6 +354,9 @@ impl CancelToken {
 /// | [`retry_policy`](Self::retry_policy) | 4 attempts | bounded retry over injected faults |
 /// | [`deadline`](Self::deadline) | none | wall-clock kill switch per run |
 /// | [`cancel_token`](Self::cancel_token) | none | cooperative cancellation handle |
+/// | [`probe_noise`](Self::probe_noise) | off | billed online flip-rate probing ([`ProbeOracle`]) |
+/// | [`assume_noise_rate`](Self::assume_noise_rate) | none | scale repetitions for an assumed flip rate |
+/// | [`adapt_noise`](Self::adapt_noise) | fail fast | response to a misspecified noise rate |
 #[derive(Debug, Default)]
 #[must_use = "a builder does nothing until build() is called"]
 pub struct SessionBuilder {
@@ -329,6 +376,13 @@ pub struct SessionBuilder {
     retry: Option<RetryPolicy>,
     deadline: Option<Duration>,
     cancel: Option<CancelToken>,
+    probe_rate: Option<f64>,
+    assumed_noise: Option<f64>,
+    adapt: Option<AdaptPolicy>,
+    /// A typed rejection recorded by a data-source method (degenerate
+    /// points), surfaced by [`Self::build`] — builder methods return
+    /// `Self`, so they cannot fail in place.
+    deferred: Option<NcoError>,
 }
 
 impl SessionBuilder {
@@ -344,7 +398,41 @@ impl SessionBuilder {
     }
 
     /// Euclidean points as the hidden metric space.
-    pub fn points(self, points: &[Vec<f64>]) -> Self {
+    ///
+    /// Degenerate input — NaN/infinite coordinates or inconsistent
+    /// dimensions — is remembered and surfaced as a typed
+    /// [`NcoError::InvalidParams`] by [`Self::build`] instead of
+    /// panicking; an empty slice builds an `n = 0` corpus that every
+    /// task rejects typed at run time.
+    pub fn points(mut self, points: &[Vec<f64>]) -> Self {
+        if points.is_empty() {
+            return self.metric(AnyMetric::Euclidean(EuclideanMetric::from_flat(
+                Vec::new(),
+                1,
+            )));
+        }
+        let dim = points[0].len();
+        if dim == 0 {
+            self.deferred = Some(NcoError::invalid(
+                "points need at least one coordinate each",
+            ));
+            return self;
+        }
+        if let Some((i, p)) = points.iter().enumerate().find(|(_, p)| p.len() != dim) {
+            self.deferred = Some(NcoError::invalid(format!(
+                "inconsistent point dimensions: point 0 has {dim} coordinates, \
+                 point {i} has {}",
+                p.len()
+            )));
+            return self;
+        }
+        if let Some(i) = points.iter().position(|p| p.iter().any(|x| !x.is_finite())) {
+            self.deferred = Some(NcoError::invalid(format!(
+                "point {i} has a non-finite (NaN or infinite) coordinate: \
+                 the hidden metric must be finite"
+            )));
+            return self;
+        }
         self.metric(AnyMetric::Euclidean(EuclideanMetric::from_points(points)))
     }
 
@@ -486,7 +574,7 @@ impl SessionBuilder {
     ///     .deadline(Duration::ZERO)
     ///     .build()?;
     /// match doomed.run(Task::Max) {
-    ///     Err(NcoError::DeadlineExceeded { report }) => assert_eq!(report.queries, 0),
+    ///     Err(NcoError::DeadlineExceeded { report, .. }) => assert_eq!(report.queries, 0),
     ///     other => panic!("expected a deadline kill, got {other:?}"),
     /// }
     /// # Ok::<(), NcoError>(())
@@ -513,9 +601,58 @@ impl SessionBuilder {
         self
     }
 
+    /// Enable the online noise probe plane: inject seeded transitivity
+    /// triangles into the live query stream at `rate` (the probability,
+    /// per real oracle ask, that a three-query probe triangle is issued
+    /// first). Probes are **billed** — they pass through the same
+    /// budget/deadline/fault chain as real queries and show up in
+    /// [`RunReport::queries`] and [`RunReport::probes`] — and
+    /// deterministic: the probe stream is a pure function of the
+    /// session seed, so replaying a session replays its probes.
+    ///
+    /// Probing feeds [`RunReport::observed_flip_rate`] and arms the
+    /// misspecification guard: a run whose observed rate's confidence
+    /// interval sits entirely above the assumed rate
+    /// ([`Self::assume_noise_rate`], or the model `p` of
+    /// [`Noise::Probabilistic`]) fails with
+    /// [`NcoError::NoiseMisspecified`] unless
+    /// [`Self::adapt_noise`] escalates instead.
+    ///
+    /// Probes never change answers: noise is persistent, so the extra
+    /// asks cannot move any belief a real query reads. `rate` must lie
+    /// in `[0, 1]`; serial runs only (like [`Self::memoize`]).
+    pub fn probe_noise(mut self, rate: f64) -> Self {
+        self.probe_rate = Some(rate);
+        self
+    }
+
+    /// Derive the engines' repetition parameters for an assumed flip
+    /// rate `p` instead of the defaults: sampling/round counts scale by
+    /// `1/(1-2p)^2`, the standard noisy-comparison dependence. `p` must
+    /// lie in `[0, 0.5)`; `0` is a no-op. With probing enabled this is
+    /// also the rate the misspecification guard defends.
+    pub fn assume_noise_rate(mut self, p: f64) -> Self {
+        self.assumed_noise = Some(p);
+        self
+    }
+
+    /// What to do when the probe plane's flip-rate estimate says the
+    /// assumed noise rate is too low (its CI lower bound exceeds the
+    /// assumed rate). Requires [`Self::probe_noise`].
+    pub fn adapt_noise(mut self, policy: AdaptPolicy) -> Self {
+        self.adapt = Some(policy);
+        self
+    }
+
     /// Validates the configuration and builds the session (constructing
     /// the engine unless one was attached).
     pub fn build(self) -> Result<Session, NcoError> {
+        // A data-source method already rejected its input; surface that
+        // first — the other checks would mask it with a confusing
+        // "configure exactly one data source".
+        if let Some(err) = self.deferred {
+            return Err(err);
+        }
         match self.noise {
             Noise::Adversarial { mu } => {
                 if !(mu >= 0.0 && mu.is_finite()) {
@@ -554,6 +691,23 @@ impl SessionBuilder {
                 "configure exactly one data source: values(), points()/metric()/dataset(), \
                  or engine()",
             ));
+        }
+        if let Some(metric) = &self.metric {
+            // Degenerate coordinates (NaN/∞) poison every downstream
+            // comparison — Euclidean self-distances turn NaN — and the
+            // engines' threshold machinery misbehaves on unordered
+            // floats. Reject them up front with a typed error: the O(n)
+            // self-distance sweep is free next to any task's query work
+            // and runs before the metric is wrapped in the engine, so
+            // it never pollutes the shared distance cache.
+            for i in 0..metric.len() {
+                if !metric.dist(i, i).is_finite() {
+                    return Err(NcoError::invalid(format!(
+                        "record {i} has a non-finite self-distance — NaN or infinite \
+                         coordinates? The hidden metric must be finite"
+                    )));
+                }
+            }
         }
         let engine = if let Some(engine) = self.engine {
             engine
@@ -615,6 +769,30 @@ impl SessionBuilder {
                 "fault injection is serial-only; drop fault_plan() or threads(>= 2)",
             ));
         }
+        if let Some(rate) = self.probe_rate {
+            if !(rate.is_finite() && (0.0..=1.0).contains(&rate)) {
+                return Err(NcoError::invalid(format!(
+                    "probe rate {rate} must lie in [0, 1]"
+                )));
+            }
+            if rate > 0.0 && self.threads >= 2 {
+                return Err(NcoError::invalid(
+                    "noise probing is serial-only; drop probe_noise() or threads(>= 2)",
+                ));
+            }
+        }
+        if let Some(p) = self.assumed_noise {
+            if !(p.is_finite() && (0.0..0.5).contains(&p)) {
+                return Err(NcoError::invalid(format!(
+                    "assumed noise rate {p} must lie in [0, 0.5)"
+                )));
+            }
+        }
+        if self.adapt.is_some() && !self.probe_rate.is_some_and(|r| r > 0.0) {
+            return Err(NcoError::invalid(
+                "adapt_noise() needs the probe plane: set probe_noise(rate) with rate > 0",
+            ));
+        }
         Ok(Session {
             engine,
             cfg: Config {
@@ -630,6 +808,9 @@ impl SessionBuilder {
                 retry: self.retry,
                 deadline: self.deadline,
                 cancel: self.cancel,
+                probe_rate: self.probe_rate,
+                assumed_noise: self.assumed_noise,
+                adapt: self.adapt,
             },
         })
     }
@@ -649,6 +830,9 @@ pub(crate) struct Config {
     pub(crate) retry: Option<RetryPolicy>,
     pub(crate) deadline: Option<Duration>,
     pub(crate) cancel: Option<CancelToken>,
+    pub(crate) probe_rate: Option<f64>,
+    pub(crate) assumed_noise: Option<f64>,
+    pub(crate) adapt: Option<AdaptPolicy>,
 }
 
 /// Per-run bookkeeping captured when `run` starts, threaded through to
@@ -800,15 +984,18 @@ impl Session {
     // -----------------------------------------------------------------
 
     fn run_value(&self, task: Task, values: &[f64], ctx: RunCtx) -> Result<Outcome, NcoError> {
+        // Oracle *factories*, not oracles: an adaptive session may run
+        // the engine twice (see `drive_value`), and persistence makes a
+        // rebuilt oracle answer identically to the first.
         match self.cfg.noise {
-            Noise::Exact => self.drive_value(task, TrueValueOracle::new(values.to_vec()), ctx),
+            Noise::Exact => self.drive_value(task, || TrueValueOracle::new(values.to_vec()), ctx),
             Noise::Adversarial { mu } => self.drive_value(
                 task,
-                AdversarialValueOracle::new(values.to_vec(), mu, InvertAdversary),
+                || AdversarialValueOracle::new(values.to_vec(), mu, InvertAdversary),
                 ctx,
             ),
             Noise::Probabilistic { p, seed } => {
-                self.drive_value(task, ProbValueOracle::new(values.to_vec(), p, seed), ctx)
+                self.drive_value(task, || ProbValueOracle::new(values.to_vec(), p, seed), ctx)
             }
             Noise::Crowd {
                 profile,
@@ -816,7 +1003,7 @@ impl Session {
                 seed,
             } => self.drive_value(
                 task,
-                CrowdValueOracle::new(values.to_vec(), profile, workers, seed),
+                || CrowdValueOracle::new(values.to_vec(), profile, workers, seed),
                 ctx,
             ),
         }
@@ -866,60 +1053,100 @@ impl Session {
     /// The per-run oracle chain, inside out: faults are injected right
     /// on the raw oracle, the budget/deadline meter bills every ask
     /// (faulted or not), the optional answer memo serves repeats for
-    /// free, and retry sits outermost so every re-ask of a faulted lane
-    /// re-enters the meter. With no fault plan configured the chain is
-    /// fully transparent — bit-identical answers and meters to wiring
-    /// the budget alone.
-    fn drive_value<O>(&self, task: Task, raw: O, ctx: RunCtx) -> Result<Outcome, NcoError>
+    /// free, retry re-enters the meter on every re-ask of a faulted
+    /// lane, and the probe plane sits outermost so its probe triangles
+    /// are billed, budgeted and fault-masked like real queries. With no
+    /// fault plan and no probing the chain is fully transparent —
+    /// bit-identical answers and meters to wiring the budget alone.
+    ///
+    /// With [`AdaptPolicy::Escalate`], a clean first attempt whose probe
+    /// estimate trips the misspecification guard is discarded and the
+    /// engine re-runs (fresh chain from `make_raw`, same rng seed) with
+    /// parameters re-derived for the observed rate, on whatever budget
+    /// the first attempt left. Meters accumulate across both attempts.
+    fn drive_value<O, F>(&self, task: Task, make_raw: F, ctx: RunCtx) -> Result<Outcome, NcoError>
+    where
+        O: ComparisonOracle + PersistentNoise,
+        F: Fn() -> O,
+    {
+        let (answer, m, partial) =
+            self.value_attempt(task, make_raw(), self.base_scale(), self.cfg.budget, &ctx)?;
+        match self.escalation(&m) {
+            None => self.finish(answer, m, ctx, partial, 0, true),
+            Some((scale, remaining)) => {
+                let (answer, m2, partial) =
+                    self.value_attempt(task, make_raw(), scale, remaining, &ctx)?;
+                self.finish(answer, Meters::accumulated(m, m2), ctx, partial, 1, false)
+            }
+        }
+    }
+
+    /// One engine pass over a fresh oracle chain; returns the answer
+    /// plus the chain's meter readings and the clean-progress partial.
+    fn value_attempt<O>(
+        &self,
+        task: Task,
+        raw: O,
+        scale: f64,
+        budget: Option<u64>,
+        ctx: &RunCtx,
+    ) -> Result<(Answer, Meters, Option<PartialOutcome>), NcoError>
     where
         O: ComparisonOracle + PersistentNoise,
     {
         let plan = self.cfg.fault_plan.unwrap_or_else(FaultPlan::none);
         let policy = self.cfg.retry.unwrap_or_default();
-        let budgeted = Budgeted::new(FaultyOracle::new(raw, plan), self.cfg.budget)
+        let probe = self.probe_plan();
+        let budgeted = Budgeted::new(FaultyOracle::new(raw, plan), budget)
             .with_deadline(self.cfg.deadline.map(|d| ctx.start + d))
             .with_cancel(self.cfg.cancel.as_ref().map(CancelToken::flag));
+        let mut partial = None;
         if self.cfg.memo {
             // Memo outside the budget: hits are free, only queries that
-            // reach the real oracle bill.
-            let mut oracle = Retrying::new(MemoOracle::new(budgeted), policy);
-            let answer = self.value_task(task, &mut oracle)?;
-            let failed = oracle.failed();
-            let memo = oracle.inner();
+            // reach the real oracle bill. (A probe colliding with an
+            // earlier query is served by the memo, hence unbilled —
+            // the probe plane still counts it toward its estimate.)
+            let mut oracle =
+                ProbeOracle::new(Retrying::new(MemoOracle::new(budgeted), policy), probe);
+            let answer = self.value_task(task, &mut oracle, scale, &mut partial)?;
+            let estimate = oracle.estimate();
+            let probes = probe.is_active().then(|| oracle.stats().probes);
+            let retrying = oracle.inner();
+            let failed = retrying.failed();
+            let memo = retrying.inner();
             let inner = memo.inner();
-            self.finish(
-                answer,
-                Meters {
-                    queries: inner.queries(),
-                    rounds: inner.rounds(),
-                    exceeded: inner.exceeded(),
-                    killed: inner.killed(),
-                    failed,
-                    memo_hits: Some(memo.hits()),
-                    flip: memo.flip_rate_estimate(),
-                    merge_plane: None,
-                },
-                ctx,
-            )
+            let m = Meters {
+                queries: inner.queries(),
+                rounds: inner.rounds(),
+                exceeded: inner.exceeded(),
+                killed: inner.killed(),
+                failed,
+                memo_hits: Some(memo.hits()),
+                estimate,
+                probes,
+                merge_plane: None,
+            };
+            Ok((answer, m, partial))
         } else {
-            let mut oracle = Retrying::new(budgeted, policy);
-            let answer = self.value_task(task, &mut oracle)?;
-            let failed = oracle.failed();
-            let inner = oracle.inner();
-            self.finish(
-                answer,
-                Meters {
-                    queries: inner.queries(),
-                    rounds: inner.rounds(),
-                    exceeded: inner.exceeded(),
-                    killed: inner.killed(),
-                    failed,
-                    memo_hits: None,
-                    flip: None,
-                    merge_plane: None,
-                },
-                ctx,
-            )
+            let mut oracle = ProbeOracle::new(Retrying::new(budgeted, policy), probe);
+            let answer = self.value_task(task, &mut oracle, scale, &mut partial)?;
+            let estimate = oracle.estimate();
+            let probes = probe.is_active().then(|| oracle.stats().probes);
+            let retrying = oracle.inner();
+            let failed = retrying.failed();
+            let inner = retrying.inner();
+            let m = Meters {
+                queries: inner.queries(),
+                rounds: inner.rounds(),
+                exceeded: inner.exceeded(),
+                killed: inner.killed(),
+                failed,
+                memo_hits: None,
+                estimate,
+                probes,
+                merge_plane: None,
+            };
+            Ok((answer, m, partial))
         }
     }
 
@@ -927,26 +1154,61 @@ impl Session {
         &self,
         task: Task,
         oracle: &mut O,
+        scale: f64,
+        partial: &mut Option<PartialOutcome>,
     ) -> Result<Answer, NcoError> {
         let items: Vec<usize> = (0..oracle.n()).collect();
         let mut rng = StdRng::seed_from_u64(self.cfg.seed);
         let mut cmp = ValueCmp::new(oracle);
         match task {
             Task::Max => {
+                let mut leader = None;
                 let best = if self.cfg.noise.is_statistical() {
-                    max_prob(&items, &self.prob_params(), &mut cmp, &mut rng)
+                    max_prob_with_progress(
+                        &items,
+                        &self.prob_params(scale),
+                        &mut cmp,
+                        &mut rng,
+                        &mut leader,
+                    )
                 } else {
-                    max_adv(&items, &self.adv_params(), &mut cmp, &mut rng)
+                    max_adv_with_progress(
+                        &items,
+                        &self.adv_params(scale),
+                        &mut cmp,
+                        &mut rng,
+                        &mut leader,
+                    )
                 };
+                *partial = Some(PartialOutcome::Leader { candidate: leader });
                 best.map(Answer::Item)
                     .ok_or_else(|| NcoError::empty("no values"))
             }
             Task::TopK { k } => {
+                let mut clean = 0;
                 let top = if self.cfg.noise.is_statistical() {
-                    top_k_prob(&items, k, &self.prob_params(), &mut cmp, &mut rng)
+                    top_k_prob_with_progress(
+                        &items,
+                        k,
+                        &self.prob_params(scale),
+                        &mut cmp,
+                        &mut rng,
+                        &mut clean,
+                    )
                 } else {
-                    top_k_adv(&items, k, &self.adv_params(), &mut cmp, &mut rng)
+                    top_k_adv_with_progress(
+                        &items,
+                        k,
+                        &self.adv_params(scale),
+                        &mut cmp,
+                        &mut rng,
+                        &mut clean,
+                    )
                 };
+                *partial = Some(PartialOutcome::TopPrefix {
+                    items: top[..clean].to_vec(),
+                    requested: k,
+                });
                 Ok(Answer::Items(top))
             }
             // validate() routed metric tasks away from value sessions.
@@ -962,15 +1224,17 @@ impl Session {
     where
         M: Metric + Sync + Copy,
     {
+        // Factories for the same reason as `run_value`: adaptive
+        // sessions may rebuild the (persistent, hence identical) chain.
         match self.cfg.noise {
-            Noise::Exact => self.drive_quad(task, TrueQuadOracle::new(metric), ctx),
+            Noise::Exact => self.drive_quad(task, || TrueQuadOracle::new(metric), ctx),
             Noise::Adversarial { mu } => self.drive_quad(
                 task,
-                AdversarialQuadOracle::new(metric, mu, InvertAdversary),
+                || AdversarialQuadOracle::new(metric, mu, InvertAdversary),
                 ctx,
             ),
             Noise::Probabilistic { p, seed } => {
-                self.drive_quad(task, ProbQuadOracle::new(metric, p, seed), ctx)
+                self.drive_quad(task, || ProbQuadOracle::new(metric, p, seed), ctx)
             }
             Noise::Crowd {
                 profile,
@@ -978,104 +1242,139 @@ impl Session {
                 seed,
             } => self.drive_quad(
                 task,
-                CrowdQuadOracle::new(metric, profile, workers, seed),
+                || CrowdQuadOracle::new(metric, profile, workers, seed),
                 ctx,
             ),
         }
     }
 
-    /// Quadruplet twin of [`Self::drive_value`] — same chain shape, plus
-    /// the threaded hierarchy branch, which runs fault-free ([`build`]
-    /// rejects an active plan with `threads >= 2`) but still honours
-    /// deadline and cancellation through the shared meter.
+    /// Quadruplet twin of [`Self::drive_value`] — same chain shape and
+    /// the same adaptive re-run, plus the threaded hierarchy branch,
+    /// which runs fault- and probe-free ([`build`] rejects an active
+    /// plan or probing with `threads >= 2`) but still honours deadline
+    /// and cancellation through the shared meter.
     ///
     /// [`build`]: SessionBuilder::build
-    fn drive_quad<O>(&self, task: Task, raw: O, ctx: RunCtx) -> Result<Outcome, NcoError>
+    fn drive_quad<O, F>(&self, task: Task, make_raw: F, ctx: RunCtx) -> Result<Outcome, NcoError>
+    where
+        O: SharedQuadrupletOracle + PersistentNoise,
+        F: Fn() -> O,
+    {
+        if self.cfg.threads >= 2 && !self.cfg.memo && matches!(task, Task::Hierarchy { .. }) {
+            // Counter-stream SLINK: bit-identical at any worker count.
+            let Task::Hierarchy { linkage } = task else {
+                unreachable!("matched above");
+            };
+            let deadline = self.cfg.deadline.map(|d| ctx.start + d);
+            let cancel = self.cfg.cancel.as_ref().map(CancelToken::flag);
+            let mut oracle = SharedBudgeted::new(make_raw(), self.cfg.budget)
+                .with_deadline(deadline)
+                .with_cancel(cancel);
+            let mut rng = StdRng::seed_from_u64(self.cfg.seed);
+            let (dend, plane) = hier_oracle_par_stats(
+                &self.hier_params(linkage, self.base_scale()),
+                &mut oracle,
+                &mut rng,
+                self.cfg.threads,
+            );
+            let n = dend.n;
+            let partial = Some(PartialOutcome::DendrogramPrefix {
+                n,
+                merges: dend.merges[..plane.clean_merges as usize].to_vec(),
+                expected: n.saturating_sub(1),
+            });
+            let m = Meters {
+                queries: oracle.queries(),
+                rounds: oracle.rounds(),
+                exceeded: oracle.exceeded(),
+                killed: oracle.killed(),
+                failed: None,
+                memo_hits: None,
+                estimate: None,
+                probes: None,
+                merge_plane: Some(plane),
+            };
+            return self.finish(Answer::Dendrogram(dend), m, ctx, partial, 0, true);
+        }
+        let (answer, m, partial) =
+            self.quad_attempt(task, make_raw(), self.base_scale(), self.cfg.budget, &ctx)?;
+        match self.escalation(&m) {
+            None => self.finish(answer, m, ctx, partial, 0, true),
+            Some((scale, remaining)) => {
+                let (answer, m2, partial) =
+                    self.quad_attempt(task, make_raw(), scale, remaining, &ctx)?;
+                self.finish(answer, Meters::accumulated(m, m2), ctx, partial, 1, false)
+            }
+        }
+    }
+
+    /// One engine pass over a fresh quadruplet chain — see
+    /// [`Self::value_attempt`].
+    fn quad_attempt<O>(
+        &self,
+        task: Task,
+        raw: O,
+        scale: f64,
+        budget: Option<u64>,
+        ctx: &RunCtx,
+    ) -> Result<(Answer, Meters, Option<PartialOutcome>), NcoError>
     where
         O: SharedQuadrupletOracle + PersistentNoise,
     {
         let plan = self.cfg.fault_plan.unwrap_or_else(FaultPlan::none);
         let policy = self.cfg.retry.unwrap_or_default();
+        let probe = self.probe_plan();
         let deadline = self.cfg.deadline.map(|d| ctx.start + d);
         let cancel = self.cfg.cancel.as_ref().map(CancelToken::flag);
+        let budgeted = Budgeted::new(FaultyOracle::new(raw, plan), budget)
+            .with_deadline(deadline)
+            .with_cancel(cancel);
+        let mut plane = None;
+        let mut partial = None;
         if self.cfg.memo {
             // Memo outside the budget: hits are free, only queries that
             // reach the real oracle bill.
-            let mut plane = None;
-            let budgeted = Budgeted::new(FaultyOracle::new(raw, plan), self.cfg.budget)
-                .with_deadline(deadline)
-                .with_cancel(cancel);
-            let mut oracle = Retrying::new(MemoOracle::new(budgeted), policy);
-            let answer = self.quad_task(task, &mut oracle, &mut plane)?;
-            let failed = oracle.failed();
-            let memo = oracle.inner();
+            let mut oracle =
+                ProbeOracle::new(Retrying::new(MemoOracle::new(budgeted), policy), probe);
+            let answer = self.quad_task(task, &mut oracle, scale, &mut plane, &mut partial)?;
+            let estimate = oracle.estimate();
+            let probes = probe.is_active().then(|| oracle.stats().probes);
+            let retrying = oracle.inner();
+            let failed = retrying.failed();
+            let memo = retrying.inner();
             let inner = memo.inner();
-            self.finish(
-                answer,
-                Meters {
-                    queries: inner.queries(),
-                    rounds: inner.rounds(),
-                    exceeded: inner.exceeded(),
-                    killed: inner.killed(),
-                    failed,
-                    memo_hits: Some(memo.hits()),
-                    flip: memo.flip_rate_estimate(),
-                    merge_plane: plane,
-                },
-                ctx,
-            )
-        } else if self.cfg.threads >= 2 && matches!(task, Task::Hierarchy { .. }) {
-            // Counter-stream SLINK: bit-identical at any worker count.
-            let Task::Hierarchy { linkage } = task else {
-                unreachable!("matched above");
+            let m = Meters {
+                queries: inner.queries(),
+                rounds: inner.rounds(),
+                exceeded: inner.exceeded(),
+                killed: inner.killed(),
+                failed,
+                memo_hits: Some(memo.hits()),
+                estimate,
+                probes,
+                merge_plane: plane,
             };
-            let mut oracle = SharedBudgeted::new(raw, self.cfg.budget)
-                .with_deadline(deadline)
-                .with_cancel(cancel);
-            let mut rng = StdRng::seed_from_u64(self.cfg.seed);
-            let (dend, plane) = hier_oracle_par_stats(
-                &self.hier_params(linkage),
-                &mut oracle,
-                &mut rng,
-                self.cfg.threads,
-            );
-            self.finish(
-                Answer::Dendrogram(dend),
-                Meters {
-                    queries: oracle.queries(),
-                    rounds: oracle.rounds(),
-                    exceeded: oracle.exceeded(),
-                    killed: oracle.killed(),
-                    failed: None,
-                    memo_hits: None,
-                    flip: None,
-                    merge_plane: Some(plane),
-                },
-                ctx,
-            )
+            Ok((answer, m, partial))
         } else {
-            let mut plane = None;
-            let budgeted = Budgeted::new(FaultyOracle::new(raw, plan), self.cfg.budget)
-                .with_deadline(deadline)
-                .with_cancel(cancel);
-            let mut oracle = Retrying::new(budgeted, policy);
-            let answer = self.quad_task(task, &mut oracle, &mut plane)?;
-            let failed = oracle.failed();
-            let inner = oracle.inner();
-            self.finish(
-                answer,
-                Meters {
-                    queries: inner.queries(),
-                    rounds: inner.rounds(),
-                    exceeded: inner.exceeded(),
-                    killed: inner.killed(),
-                    failed,
-                    memo_hits: None,
-                    flip: None,
-                    merge_plane: plane,
-                },
-                ctx,
-            )
+            let mut oracle = ProbeOracle::new(Retrying::new(budgeted, policy), probe);
+            let answer = self.quad_task(task, &mut oracle, scale, &mut plane, &mut partial)?;
+            let estimate = oracle.estimate();
+            let probes = probe.is_active().then(|| oracle.stats().probes);
+            let retrying = oracle.inner();
+            let failed = retrying.failed();
+            let inner = retrying.inner();
+            let m = Meters {
+                queries: inner.queries(),
+                rounds: inner.rounds(),
+                exceeded: inner.exceeded(),
+                killed: inner.killed(),
+                failed,
+                memo_hits: None,
+                estimate,
+                probes,
+                merge_plane: plane,
+            };
+            Ok((answer, m, partial))
         }
     }
 
@@ -1083,40 +1382,77 @@ impl Session {
         &self,
         task: Task,
         oracle: &mut O,
+        scale: f64,
         plane: &mut Option<MergePlaneStats>,
+        partial: &mut Option<PartialOutcome>,
     ) -> Result<Answer, NcoError> {
         let n = oracle.n();
         let mut rng = StdRng::seed_from_u64(self.cfg.seed);
         let statistical = self.cfg.noise.is_statistical();
         match task {
             Task::Farthest { q } => {
+                // No partial: a single-winner search over one candidate
+                // set has no meaningful intermediate commitment.
                 let far = if statistical {
-                    farthest_prob(oracle, q, self.delta_eff(), &self.adv_params(), &mut rng)
+                    farthest_prob(
+                        oracle,
+                        q,
+                        self.delta_eff(),
+                        &self.adv_params(scale),
+                        &mut rng,
+                    )
                 } else {
-                    farthest_adv(oracle, q, &self.adv_params(), &mut rng)
+                    farthest_adv(oracle, q, &self.adv_params(scale), &mut rng)
                 };
                 far.map(Answer::Item)
                     .ok_or_else(|| NcoError::empty("no candidates"))
             }
             Task::Nearest { q } => {
                 let near = if statistical {
-                    nearest_prob(oracle, q, self.delta_eff(), &self.adv_params(), &mut rng)
+                    nearest_prob(
+                        oracle,
+                        q,
+                        self.delta_eff(),
+                        &self.adv_params(scale),
+                        &mut rng,
+                    )
                 } else {
-                    nearest_adv(oracle, q, &self.adv_params(), &mut rng)
+                    nearest_adv(oracle, q, &self.adv_params(scale), &mut rng)
                 };
                 near.map(Answer::Item)
                     .ok_or_else(|| NcoError::empty("no candidates"))
             }
             Task::KCenter { k } => {
+                let mut clean = 0;
                 let clustering = if statistical {
-                    kcenter_prob(&self.kcenter_prob_params(k, n), oracle, &mut rng)
+                    kcenter_prob_with_progress(
+                        &self.kcenter_prob_params(k, n, scale),
+                        oracle,
+                        &mut rng,
+                        &mut clean,
+                    )
                 } else {
-                    kcenter_adv(&self.kcenter_adv_params(k), oracle, &mut rng)
+                    kcenter_adv_with_progress(
+                        &self.kcenter_adv_params(k, scale),
+                        oracle,
+                        &mut rng,
+                        &mut clean,
+                    )
                 };
+                *partial = Some(PartialOutcome::Committee {
+                    centers: clustering.centers[..clean].to_vec(),
+                    requested: k,
+                });
                 Ok(Answer::Clustering(clustering))
             }
             Task::Hierarchy { linkage } => {
-                let (dend, stats) = hier_oracle_stats(&self.hier_params(linkage), oracle, &mut rng);
+                let (dend, stats) =
+                    hier_oracle_stats(&self.hier_params(linkage, scale), oracle, &mut rng);
+                *partial = Some(PartialOutcome::DendrogramPrefix {
+                    n,
+                    merges: dend.merges[..stats.clean_merges as usize].to_vec(),
+                    expected: n.saturating_sub(1),
+                });
                 *plane = Some(stats);
                 Ok(Answer::Dendrogram(dend))
             }
@@ -1134,30 +1470,102 @@ impl Session {
         self.cfg.delta.unwrap_or(0.1)
     }
 
-    fn adv_params(&self) -> AdvParams {
-        self.cfg
+    /// The probe plane of every run in this session — inert (and fully
+    /// transparent) unless [`SessionBuilder::probe_noise`] was set.
+    pub(crate) fn probe_plan(&self) -> ProbePlan {
+        match self.cfg.probe_rate {
+            Some(rate) => ProbePlan::new(self.cfg.seed ^ PROBE_SEED_XOR, rate),
+            None => ProbePlan::none(),
+        }
+    }
+
+    /// The session's baseline repetition scale: `1/(1-2p)^2` when an
+    /// assumed noise rate was configured, `1.0` (a strict no-op on
+    /// every parameter) otherwise.
+    pub(crate) fn base_scale(&self) -> f64 {
+        self.cfg.assumed_noise.map(noise_scale_for).unwrap_or(1.0)
+    }
+
+    /// The flip rate the misspecification guard defends: the explicit
+    /// [`SessionBuilder::assume_noise_rate`], falling back to the model
+    /// `p` of [`Noise::Probabilistic`]. `None` (no guard) for other
+    /// noise models without an explicit assumption.
+    pub(crate) fn assumed_rate(&self) -> Option<f64> {
+        self.cfg.assumed_noise.or(match self.cfg.noise {
+            Noise::Probabilistic { p, .. } => Some(p),
+            _ => None,
+        })
+    }
+
+    /// `Some(estimate)` when probing measured a flip rate whose CI
+    /// lower bound exceeds the assumed rate — the misspecification
+    /// trigger shared by the guard and the escalation path.
+    pub(crate) fn misspecified(&self, estimate: &Option<NoiseEstimate>) -> Option<NoiseEstimate> {
+        let assumed = self.assumed_rate()?;
+        let est = (*estimate)?;
+        (est.p_lo > assumed).then_some(est)
+    }
+
+    /// The re-derived repetition scale a clean-but-misspecified attempt
+    /// escalates to — `None` unless the session adapts
+    /// ([`AdaptPolicy::Escalate`]) and the trigger tripped. Planning is
+    /// for the worst rate the probes still deem plausible (the CI upper
+    /// bound), capped away from the `1/2` singularity. Shared with the
+    /// serving plane, which meters its requests itself.
+    pub(crate) fn escalation_scale(&self, estimate: &Option<NoiseEstimate>) -> Option<f64> {
+        if self.cfg.adapt != Some(AdaptPolicy::Escalate) {
+            return None;
+        }
+        let est = self.misspecified(estimate)?;
+        let p_adapt = est.p_hi.min(ADAPT_RATE_CAP);
+        Some(noise_scale_for(p_adapt))
+    }
+
+    /// Decides whether a finished first attempt must be escalated:
+    /// requires [`AdaptPolicy::Escalate`], a *clean* attempt (a failed,
+    /// killed or over-budget run surfaces its own error instead), and a
+    /// tripped misspecification trigger. Returns the re-derived scale
+    /// and the budget the second attempt may still spend.
+    fn escalation(&self, m: &Meters) -> Option<(f64, Option<u64>)> {
+        if m.failed.is_some() || m.killed || m.exceeded {
+            return None;
+        }
+        let scale = self.escalation_scale(&m.estimate)?;
+        let remaining = self.cfg.budget.map(|b| b.saturating_sub(m.queries));
+        Some((scale, remaining))
+    }
+
+    fn adv_params(&self, scale: f64) -> AdvParams {
+        let mut params = self
+            .cfg
             .delta
             .map(AdvParams::with_confidence)
-            .unwrap_or_default()
+            .unwrap_or_default();
+        params.rounds = scale_rounds(params.rounds, scale);
+        params
     }
 
-    fn prob_params(&self) -> ProbParams {
-        self.cfg
+    fn prob_params(&self, scale: f64) -> ProbParams {
+        let mut params = self
+            .cfg
             .delta
             .map(ProbParams::with_confidence)
-            .unwrap_or_default()
+            .unwrap_or_default();
+        params.sample_coeff *= scale;
+        params
     }
 
-    fn kcenter_adv_params(&self, k: usize) -> KCenterAdvParams {
+    fn kcenter_adv_params(&self, k: usize, scale: f64) -> KCenterAdvParams {
         let mut params = match self.cfg.delta {
             Some(delta) => KCenterAdvParams::with_confidence(k, delta),
             None => KCenterAdvParams::experimental(k),
         };
         params.first_center = self.cfg.first_center;
+        params.farthest.rounds = scale_rounds(params.farthest.rounds, scale);
         params
     }
 
-    fn kcenter_prob_params(&self, k: usize, n: usize) -> KCenterProbParams {
+    fn kcenter_prob_params(&self, k: usize, n: usize, scale: f64) -> KCenterProbParams {
         let m = self
             .cfg
             .min_cluster_promise
@@ -1167,21 +1575,34 @@ impl Session {
             None => KCenterProbParams::experimental(k, m),
         };
         params.first_center = self.cfg.first_center;
+        params.gamma *= scale;
         params
     }
 
-    fn hier_params(&self, linkage: nco_core::hier::Linkage) -> HierParams {
-        match self.cfg.delta {
+    fn hier_params(&self, linkage: nco_core::hier::Linkage, scale: f64) -> HierParams {
+        let mut params = match self.cfg.delta {
             Some(delta) => HierParams::with_confidence(linkage, self.engine.n(), delta),
             None => HierParams::experimental(linkage),
-        }
+        };
+        params.search.rounds = scale_rounds(params.search.rounds, scale);
+        params
     }
 
-    fn finish(&self, answer: Answer, m: Meters, ctx: RunCtx) -> Result<Outcome, NcoError> {
+    fn finish(
+        &self,
+        answer: Answer,
+        m: Meters,
+        ctx: RunCtx,
+        partial: Option<PartialOutcome>,
+        adaptations: u32,
+        guard: bool,
+    ) -> Result<Outcome, NcoError> {
         // Failure precedence: a fault that outlived the retry policy
         // trumps the kill flag (the oracle was broken, not merely slow),
-        // and a kill trumps the budget flag (whichever fired first, the
-        // kill is what stopped the run from recovering).
+        // a kill trumps the budget flag (whichever fired first, the
+        // kill is what stopped the run from recovering), and both trump
+        // the misspecification guard (a killed run's estimate is
+        // incidental; its real failure is the kill).
         if let Some(attempts) = m.failed {
             return Err(NcoError::OracleFailed {
                 queries_spent: m.queries,
@@ -1203,20 +1624,44 @@ impl Session {
             wall: ctx.start.elapsed(),
             budget: self.cfg.budget,
             merge_plane: m.merge_plane,
-            observed_flip_rate: m.flip,
+            observed_flip_rate: m.estimate.map(|e| e.p_hat),
+            probes: m.probes,
+            adaptations,
         };
         if m.killed {
             return Err(NcoError::DeadlineExceeded {
                 report: Box::new(report),
+                partial,
             });
         }
         if m.exceeded {
             return Err(NcoError::BudgetExceeded {
                 budget: self.cfg.budget.expect("exceeded implies a budget"),
+                report: Box::new(report),
+                partial,
             });
+        }
+        if guard {
+            if let Some(est) = self.misspecified(&m.estimate) {
+                return Err(NcoError::NoiseMisspecified {
+                    assumed: self.assumed_rate().expect("trigger implies an assumption"),
+                    observed: est.p_hat,
+                    probes: m.probes.unwrap_or(0),
+                    report: Box::new(report),
+                });
+            }
         }
         Ok(Outcome::new(answer, report))
     }
+}
+
+/// `ceil(rounds * scale)`, never below the unscaled count — how an
+/// assumed/adapted noise rate escalates integer repetition knobs.
+fn scale_rounds(rounds: usize, scale: f64) -> usize {
+    if scale <= 1.0 {
+        return rounds;
+    }
+    ((rounds as f64 * scale).ceil() as usize).max(rounds)
 }
 
 /// End-of-run meter readings from the per-run oracle chain, gathered by
@@ -1230,9 +1675,38 @@ struct Meters {
     /// `Some(attempt bound)` when a fault outlived the retry policy.
     failed: Option<u32>,
     memo_hits: Option<u64>,
-    /// The answer memo's online directional flip-rate estimate.
-    flip: Option<f64>,
+    /// The probe plane's flip-rate estimate, when probing completed at
+    /// least one triangle.
+    estimate: Option<NoiseEstimate>,
+    /// Billed probe queries (`Some` iff probing was enabled).
+    probes: Option<u64>,
     merge_plane: Option<MergePlaneStats>,
+}
+
+impl Meters {
+    /// Folds an escalated re-run's meters onto the discarded first
+    /// attempt's: spend accumulates, state (kill/budget/fault flags,
+    /// merge plane) comes from the attempt that produced the answer,
+    /// and the estimate prefers the re-run's fresher probes.
+    fn accumulated(first: Meters, second: Meters) -> Meters {
+        Meters {
+            queries: first.queries + second.queries,
+            rounds: first.rounds + second.rounds,
+            exceeded: second.exceeded,
+            killed: second.killed,
+            failed: second.failed,
+            memo_hits: match (first.memo_hits, second.memo_hits) {
+                (Some(a), Some(b)) => Some(a + b),
+                (a, b) => a.or(b),
+            },
+            estimate: second.estimate.or(first.estimate),
+            probes: match (first.probes, second.probes) {
+                (Some(a), Some(b)) => Some(a + b),
+                (a, b) => a.or(b),
+            },
+            merge_plane: second.merge_plane,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -1514,7 +1988,7 @@ mod tests {
             .build()
             .unwrap();
         match s.run(Task::KCenter { k: 4 }) {
-            Err(NcoError::BudgetExceeded { budget }) => assert_eq!(budget, 10),
+            Err(NcoError::BudgetExceeded { budget, .. }) => assert_eq!(budget, 10),
             other => panic!("expected BudgetExceeded, got {other:?}"),
         }
     }
@@ -1528,7 +2002,7 @@ mod tests {
             .build()
             .unwrap();
         match s.run(Task::KCenter { k: 3 }) {
-            Err(NcoError::DeadlineExceeded { report }) => {
+            Err(NcoError::DeadlineExceeded { report, .. }) => {
                 // Killed before the first query boundary: nothing billed,
                 // but the accounting fields are all present.
                 assert_eq!(report.queries, 0);
@@ -1572,7 +2046,7 @@ mod tests {
         token.clone().cancel();
         assert!(token.is_cancelled());
         match s.run(Task::Nearest { q: 0 }) {
-            Err(NcoError::DeadlineExceeded { report }) => assert_eq!(report.queries, 0),
+            Err(NcoError::DeadlineExceeded { report, .. }) => assert_eq!(report.queries, 0),
             other => panic!("expected a cancel kill, got {other:?}"),
         }
     }
@@ -1638,26 +2112,125 @@ mod tests {
     }
 
     #[test]
-    fn flip_rate_is_reported_only_with_the_memo_on() {
-        let run = |memo: bool| {
-            Session::builder()
+    fn flip_rate_is_reported_only_with_probing_on() {
+        let run = |probe: Option<f64>| {
+            let mut b = Session::builder()
                 .points(&square_points(24))
                 .noise(Noise::Probabilistic { p: 0.3, seed: 2 })
-                .memoize(memo)
-                .build()
+                .memoize(true);
+            if let Some(rate) = probe {
+                b = b.probe_noise(rate);
+            }
+            b.build()
                 .unwrap()
                 .run(Task::Hierarchy {
                     linkage: Linkage::Single,
                 })
                 .unwrap()
         };
-        // Without the memo there is no mirror-pair observer.
-        assert_eq!(run(false).report.observed_flip_rate, None);
-        // With it, the shipped canonical-coin models estimate exactly
-        // 0.0 whenever any mirror pair was observed (their two phrasings
-        // of a comparison share one persistent belief); hierarchy rounds
-        // re-ask both phrasings constantly, so pairs are observed.
-        let flip = run(true).report.observed_flip_rate;
-        assert_eq!(flip, Some(0.0));
+        // Without the probe plane nothing in the chain can observe the
+        // flip rate: the shipped models hold one persistent belief per
+        // canonical comparison, so repeats and mirrors carry no signal.
+        let quiet = run(None).report;
+        assert_eq!(quiet.observed_flip_rate, None);
+        assert_eq!(quiet.probes, None);
+        // With probing the estimate exists, is billed, and lands in
+        // (0, 0.5) — a real measurement, not the memo-era constant 0.
+        let probed = run(Some(0.05)).report;
+        let flip = probed.observed_flip_rate.expect("probing ran");
+        assert!(flip > 0.0 && flip < 0.5, "estimate {flip} out of range");
+        let probes = probed.probes.expect("probing ran");
+        assert!(probes > 0, "probes must be billed");
+        assert!(
+            probed.queries >= quiet.queries,
+            "probe queries bill on top of engine spend"
+        );
+    }
+
+    #[test]
+    fn probing_off_is_bit_identical_and_probing_is_deterministic() {
+        let run = |probe: Option<f64>, seed: u64| {
+            let mut b = Session::builder()
+                .values((0..64).map(|v| (v * 37 % 64) as f64).collect())
+                .noise(Noise::Probabilistic { p: 0.2, seed: 9 })
+                .seed(seed);
+            if let Some(rate) = probe {
+                b = b.probe_noise(rate);
+            }
+            b.build().unwrap().run(Task::Max).unwrap()
+        };
+        for seed in 0..5 {
+            let plain = run(None, seed);
+            let probed = run(Some(0.1), seed);
+            // Probes never change the answer (persistent noise), only
+            // the meters; and replaying the probed session replays the
+            // exact same probe stream.
+            assert_eq!(plain.answer, probed.answer, "seed {seed}");
+            assert!(probed.report.queries > plain.report.queries);
+            let again = run(Some(0.1), seed);
+            assert_eq!(probed.report.queries, again.report.queries);
+            assert_eq!(probed.report.probes, again.report.probes);
+            assert_eq!(
+                probed.report.observed_flip_rate,
+                again.report.observed_flip_rate
+            );
+        }
+    }
+
+    #[test]
+    fn probe_and_adapt_knobs_are_validated() {
+        let base = || Session::builder().values(vec![1.0, 2.0, 3.0]);
+        assert!(matches!(
+            base().probe_noise(1.5).build(),
+            Err(NcoError::InvalidParams { .. })
+        ));
+        assert!(matches!(
+            base().assume_noise_rate(0.5).build(),
+            Err(NcoError::InvalidParams { .. })
+        ));
+        assert!(matches!(
+            base().adapt_noise(AdaptPolicy::Escalate).build(),
+            Err(NcoError::InvalidParams { .. })
+        ));
+        let err = Session::builder()
+            .points(&square_points(8))
+            .probe_noise(0.1)
+            .threads(4)
+            .build();
+        assert!(matches!(err, Err(NcoError::InvalidParams { .. })));
+        assert!(base()
+            .probe_noise(0.1)
+            .assume_noise_rate(0.2)
+            .adapt_noise(AdaptPolicy::Escalate)
+            .build()
+            .is_ok());
+    }
+
+    #[test]
+    fn assumed_noise_rate_escalates_repetition_parameters() {
+        // scale 1.0 when the knob is absent (bit-compat with older
+        // sessions); g(p) = 1/(1-2p)^2 when set.
+        let plain = Session::builder()
+            .values((0..32).map(f64::from).collect())
+            .noise(Noise::Probabilistic { p: 0.25, seed: 1 })
+            .build()
+            .unwrap()
+            .run(Task::Max)
+            .unwrap();
+        let assumed = Session::builder()
+            .values((0..32).map(f64::from).collect())
+            .noise(Noise::Probabilistic { p: 0.25, seed: 1 })
+            .assume_noise_rate(0.25)
+            .build()
+            .unwrap()
+            .run(Task::Max)
+            .unwrap();
+        // g(0.25) = 4: the scaled session must spend strictly more.
+        assert!(
+            assumed.report.queries > plain.report.queries,
+            "assumed-rate session spent {} <= plain {}",
+            assumed.report.queries,
+            plain.report.queries
+        );
     }
 }

@@ -5,7 +5,7 @@
 //! engine for the session's noise model and returns the matching
 //! [`Answer`] variant.
 
-use nco_core::hier::{Dendrogram, Linkage};
+use nco_core::hier::{Dendrogram, Linkage, Merge};
 use nco_core::kcenter::Clustering;
 
 /// A typed request against a [`crate::Session`].
@@ -111,9 +111,107 @@ impl Answer {
     }
 }
 
+/// The best-effort partial answer a killed run managed to commit before
+/// its budget, deadline, or cancel token stopped it.
+///
+/// Attached to [`crate::NcoError::BudgetExceeded`] and
+/// [`crate::NcoError::DeadlineExceeded`] alongside the partial
+/// [`crate::RunReport`]. Every variant is built exclusively from
+/// *clean progress* — work the engine committed while the oracle was
+/// still returning real answers (before the budget/deadline/cancel
+/// latch tripped and the oracle degraded to refusal constants). Because
+/// the latch only flips at query boundaries, a partial is always a
+/// true prefix of what the same run would have produced with more
+/// budget.
+///
+/// Budget kills are deterministic (the latch trips at an exact query
+/// count), so their partials are reproducible; deadline and cancel
+/// kills depend on wall-clock timing and yield best-effort partials
+/// whose *shape* is guaranteed but whose length varies run to run.
+///
+/// [`Task::Nearest`] and [`Task::Farthest`] runs carry no partial —
+/// a single-winner search has no meaningful intermediate commitment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum PartialOutcome {
+    /// [`Task::Max`]: the tournament leader when the run was stopped —
+    /// the best candidate the engine had committed on real answers.
+    /// `None` when the run was killed before any round completed.
+    Leader {
+        /// Current best candidate, if any round completed cleanly.
+        candidate: Option<usize>,
+    },
+    /// [`Task::TopK`]: the ranked prefix extracted on real answers.
+    TopPrefix {
+        /// Extracted items, best first; `items.len() <= requested`.
+        items: Vec<usize>,
+        /// The `k` the run was asked for.
+        requested: usize,
+    },
+    /// [`Task::KCenter`]: the committee of centers committed so far.
+    Committee {
+        /// Centers chosen (and, for the probabilistic engine, cored)
+        /// on real answers, in selection order.
+        centers: Vec<usize>,
+        /// The `k` the run was asked for.
+        requested: usize,
+    },
+    /// [`Task::Hierarchy`]: the prefix of the merge sequence committed
+    /// on real answers. Replaying these merges gives the exact same
+    /// partial forest a completed run would have passed through.
+    DendrogramPrefix {
+        /// Number of leaves (records).
+        n: usize,
+        /// Clean merge prefix; `merges.len() <= expected`.
+        merges: Vec<Merge>,
+        /// Merges a complete agglomeration would hold (`n - 1`).
+        expected: usize,
+    },
+}
+
+impl PartialOutcome {
+    /// Fraction of the task completed, in `[0, 1]` — a coarse progress
+    /// gauge for dashboards (`Leader` reports 0 or 1 candidate-known).
+    pub fn progress(&self) -> f64 {
+        match self {
+            Self::Leader { candidate } => {
+                if candidate.is_some() {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Self::TopPrefix { items, requested } => items.len() as f64 / (*requested).max(1) as f64,
+            Self::Committee { centers, requested } => {
+                centers.len() as f64 / (*requested).max(1) as f64
+            }
+            Self::DendrogramPrefix {
+                merges, expected, ..
+            } => merges.len() as f64 / (*expected).max(1) as f64,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn partial_progress_is_a_ratio() {
+        let p = PartialOutcome::TopPrefix {
+            items: vec![4, 2],
+            requested: 4,
+        };
+        assert_eq!(p.progress(), 0.5);
+        let p = PartialOutcome::Leader { candidate: None };
+        assert_eq!(p.progress(), 0.0);
+        let p = PartialOutcome::DendrogramPrefix {
+            n: 5,
+            merges: Vec::new(),
+            expected: 4,
+        };
+        assert_eq!(p.progress(), 0.0);
+    }
 
     #[test]
     fn task_data_requirements() {

@@ -1,0 +1,229 @@
+//! Degenerate-input hardening sweep: every pathological data shape the
+//! session front door can receive — NaN/∞ coordinates, all-duplicate
+//! records, single-record corpora, out-of-range task parameters, empty
+//! inputs — must surface as a typed [`NcoError`] or a well-defined
+//! answer. Nothing in this file is allowed to panic.
+
+use noisy_oracle::core::hier::Linkage;
+use noisy_oracle::oracle::crowd::AccuracyProfile;
+use noisy_oracle::{NcoError, Noise, Session, Task};
+
+fn all_noises() -> [Noise; 4] {
+    [
+        Noise::Exact,
+        Noise::Adversarial { mu: 0.5 },
+        Noise::Probabilistic { p: 0.2, seed: 11 },
+        Noise::Crowd {
+            profile: AccuracyProfile::amazon_like(),
+            workers: 5,
+            seed: 11,
+        },
+    ]
+}
+
+fn metric_tasks() -> [Task; 4] {
+    [
+        Task::KCenter { k: 3 },
+        Task::Nearest { q: 0 },
+        Task::Farthest { q: 0 },
+        Task::Hierarchy {
+            linkage: Linkage::Single,
+        },
+    ]
+}
+
+#[test]
+fn nan_and_inf_coordinates_are_rejected_at_build() {
+    let mut nan_points: Vec<Vec<f64>> = (0..8).map(|i| vec![i as f64, 0.0]).collect();
+    nan_points[3][0] = f64::NAN;
+    let mut inf_points: Vec<Vec<f64>> = (0..8).map(|i| vec![i as f64, 0.0]).collect();
+    inf_points[5][1] = f64::INFINITY;
+    let mut neg_inf_points: Vec<Vec<f64>> = (0..8).map(|i| vec![i as f64, 0.0]).collect();
+    neg_inf_points[0][0] = f64::NEG_INFINITY;
+
+    for pts in [&nan_points, &inf_points, &neg_inf_points] {
+        let err = Session::builder()
+            .points(pts)
+            .noise(Noise::Probabilistic { p: 0.1, seed: 1 })
+            .build()
+            .unwrap_err();
+        assert!(
+            matches!(err, NcoError::InvalidParams { .. }),
+            "degenerate coordinates must fail typed at build, got {err:?}"
+        );
+    }
+}
+
+#[test]
+fn nan_and_inf_values_are_rejected_at_build() {
+    for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+        let mut values: Vec<f64> = (1..=10).map(f64::from).collect();
+        values[4] = bad;
+        let err = Session::builder().values(values).build().unwrap_err();
+        assert!(matches!(err, NcoError::InvalidParams { .. }));
+    }
+}
+
+/// All-duplicate records are degenerate but *valid*: every comparison is
+/// a tie, every distance zero. Each task must terminate with a
+/// well-formed answer — never panic, never loop — under every noise
+/// model.
+#[test]
+fn all_duplicate_points_run_every_metric_task() {
+    let dup_points: Vec<Vec<f64>> = (0..12).map(|_| vec![1.0, 2.0]).collect();
+    for noise in all_noises() {
+        for task in metric_tasks() {
+            let session = Session::builder()
+                .points(&dup_points)
+                .noise(noise)
+                .seed(7)
+                .build()
+                .unwrap();
+            let outcome = session
+                .run(task)
+                .unwrap_or_else(|e| panic!("{task:?} under {noise:?} failed: {e}"));
+            match task {
+                Task::KCenter { k } => {
+                    let c = outcome.answer.clustering().unwrap();
+                    assert_eq!(c.centers.len(), k);
+                    assert_eq!(c.assignment.len(), dup_points.len());
+                }
+                Task::Nearest { .. } | Task::Farthest { .. } => {
+                    let item = outcome.answer.item().unwrap();
+                    assert!(item < dup_points.len() && item != 0);
+                }
+                Task::Hierarchy { .. } => {
+                    let d = outcome.answer.dendrogram().unwrap();
+                    assert_eq!(d.merges.len(), dup_points.len() - 1);
+                }
+                _ => unreachable!(),
+            }
+        }
+    }
+}
+
+#[test]
+fn all_duplicate_values_run_every_value_task() {
+    for noise in all_noises() {
+        for task in [Task::Max, Task::TopK { k: 3 }] {
+            let session = Session::builder()
+                .values(vec![3.0; 10])
+                .noise(noise)
+                .seed(7)
+                .build()
+                .unwrap();
+            let outcome = session
+                .run(task)
+                .unwrap_or_else(|e| panic!("{task:?} under {noise:?} failed: {e}"));
+            match task {
+                Task::Max => assert!(outcome.answer.item().unwrap() < 10),
+                Task::TopK { k } => assert_eq!(outcome.answer.items().unwrap().len(), k),
+                _ => unreachable!(),
+            }
+        }
+    }
+}
+
+/// `n = 1` is the smallest legal corpus for Max/TopK{1}/KCenter{1}; the
+/// relational tasks (neighbours, hierarchy) need two records and fail
+/// typed below that.
+#[test]
+fn single_record_corpora_answer_trivially_or_fail_typed() {
+    let one_value = Session::builder()
+        .values(vec![5.0])
+        .noise(Noise::Probabilistic { p: 0.1, seed: 1 })
+        .build()
+        .unwrap();
+    assert_eq!(one_value.run(Task::Max).unwrap().answer.item(), Some(0));
+    assert_eq!(
+        one_value.run(Task::TopK { k: 1 }).unwrap().answer.items(),
+        Some(&[0usize][..])
+    );
+
+    let one_point = Session::builder()
+        .points(&[vec![1.0, 2.0]])
+        .noise(Noise::Probabilistic { p: 0.1, seed: 1 })
+        .build()
+        .unwrap();
+    let c = one_point.run(Task::KCenter { k: 1 }).unwrap();
+    assert_eq!(c.answer.clustering().unwrap().centers, vec![0]);
+    for task in [
+        Task::Nearest { q: 0 },
+        Task::Farthest { q: 0 },
+        Task::Hierarchy {
+            linkage: Linkage::Single,
+        },
+    ] {
+        assert!(
+            matches!(one_point.run(task), Err(NcoError::EmptyInput { .. })),
+            "{task:?} must fail typed on n = 1"
+        );
+    }
+}
+
+#[test]
+fn out_of_range_parameters_fail_typed_for_every_task() {
+    let values = Session::builder()
+        .values((1..=6).map(f64::from).collect())
+        .build()
+        .unwrap();
+    for k in [0, 7, usize::MAX] {
+        assert!(matches!(
+            values.run(Task::TopK { k }),
+            Err(NcoError::InvalidParams { .. })
+        ));
+    }
+
+    let points: Vec<Vec<f64>> = (0..6).map(|i| vec![i as f64, 0.0]).collect();
+    let metric = Session::builder().points(&points).build().unwrap();
+    for k in [0, 7, usize::MAX] {
+        assert!(matches!(
+            metric.run(Task::KCenter { k }),
+            Err(NcoError::InvalidParams { .. })
+        ));
+    }
+    for q in [6, usize::MAX] {
+        assert!(matches!(
+            metric.run(Task::Nearest { q }),
+            Err(NcoError::InvalidParams { .. })
+        ));
+        assert!(matches!(
+            metric.run(Task::Farthest { q }),
+            Err(NcoError::InvalidParams { .. })
+        ));
+    }
+    // Tasks crossed with the wrong data source fail typed too.
+    assert!(matches!(
+        values.run(Task::KCenter { k: 2 }),
+        Err(NcoError::InvalidParams { .. })
+    ));
+    assert!(matches!(
+        metric.run(Task::Max),
+        Err(NcoError::InvalidParams { .. })
+    ));
+}
+
+#[test]
+fn empty_inputs_fail_typed() {
+    let no_values = Session::builder().values(Vec::new()).build().unwrap();
+    assert!(matches!(
+        no_values.run(Task::Max),
+        Err(NcoError::EmptyInput { .. })
+    ));
+    assert!(matches!(
+        no_values.run(Task::TopK { k: 1 }),
+        Err(NcoError::InvalidParams { .. }) | Err(NcoError::EmptyInput { .. })
+    ));
+
+    let no_points = Session::builder().points(&[]).build().unwrap();
+    assert!(matches!(
+        no_points.run(Task::KCenter { k: 1 }),
+        Err(NcoError::InvalidParams { .. }) | Err(NcoError::EmptyInput { .. })
+    ));
+    assert!(matches!(
+        no_points.run(Task::Hierarchy {
+            linkage: Linkage::Complete
+        }),
+        Err(NcoError::EmptyInput { .. })
+    ));
+}

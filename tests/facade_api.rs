@@ -113,7 +113,7 @@ fn readme_session_front_door() {
         .unwrap();
     assert!(matches!(
         capped.run(Task::Max),
-        Err(NcoError::BudgetExceeded { budget: 10 })
+        Err(NcoError::BudgetExceeded { budget: 10, .. })
     ));
 
     // One engine, several sessions, shared distance cache.

@@ -168,7 +168,7 @@ fn deadlines_kill_or_are_invisible() {
     assert_eq!(clean.report.queries, timed.report.queries);
     // An expired one kills at the first boundary, accounting preserved.
     match base().deadline(Duration::ZERO).build().unwrap().run(task) {
-        Err(NcoError::DeadlineExceeded { report }) => {
+        Err(NcoError::DeadlineExceeded { report, .. }) => {
             assert_eq!(report.queries, 0);
             assert_eq!(report.rounds, 0);
         }
@@ -190,7 +190,7 @@ fn cancellation_composes_with_fault_masking() {
         .unwrap();
     token.cancel();
     match s.run(Task::KCenter { k: 3 }) {
-        Err(NcoError::DeadlineExceeded { report }) => assert_eq!(report.queries, 0),
+        Err(NcoError::DeadlineExceeded { report, .. }) => assert_eq!(report.queries, 0),
         other => panic!("expected a cancel kill, got {other:?}"),
     }
 }
@@ -306,7 +306,7 @@ fn served_deadline_kills_are_counted_and_typed() {
         .collect();
     for h in handles {
         match h.join() {
-            Err(NcoError::DeadlineExceeded { report }) => assert_eq!(report.queries, 0),
+            Err(NcoError::DeadlineExceeded { report, .. }) => assert_eq!(report.queries, 0),
             other => panic!("expected DeadlineExceeded, got {other:?}"),
         }
     }

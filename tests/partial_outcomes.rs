@@ -1,0 +1,273 @@
+//! Graceful degradation: killed runs surface typed `PartialOutcome`s
+//! built from clean progress only. Budget kills are deterministic —
+//! replaying the same session yields the same partial — and every
+//! partial is a true prefix of what the completed run produces:
+//! `TopPrefix` of the full top-k, `Committee` of the full center list,
+//! `DendrogramPrefix` of the full merge sequence. Nearest/farthest carry
+//! no partial, deadline/cancel kills are best-effort, and the serving
+//! plane only attaches partials when `degrade_to_partials` opts in.
+
+use nco_core::hier::Linkage;
+use noisy_oracle::{
+    CancelToken, NcoError, Noise, PartialOutcome, Request, Server, Session, SessionBuilder, Task,
+};
+use std::time::Duration;
+
+fn values() -> Vec<f64> {
+    (0..128).map(|i| ((i * 37) % 128) as f64).collect()
+}
+
+fn grid(n: usize) -> Vec<Vec<f64>> {
+    (0..n)
+        .map(|i| vec![(i % 17) as f64, (i * 7 % 23) as f64, (i * 13 % 29) as f64])
+        .collect()
+}
+
+fn value_builder() -> SessionBuilder {
+    Session::builder()
+        .values(values())
+        .noise(Noise::Probabilistic { p: 0.15, seed: 9 })
+        .seed(9)
+}
+
+fn metric_builder() -> SessionBuilder {
+    Session::builder()
+        .points(&grid(64))
+        .noise(Noise::Probabilistic { p: 0.15, seed: 9 })
+        .seed(9)
+}
+
+/// Full-run query count for `task`, used to place budgets mid-run.
+fn full_queries(builder: impl Fn() -> SessionBuilder, task: Task) -> u64 {
+    builder().build().unwrap().run(task).unwrap().report.queries
+}
+
+/// Runs `task` under `budget` and returns the typed budget-kill pieces.
+fn budget_kill(
+    builder: impl Fn() -> SessionBuilder,
+    task: Task,
+    budget: u64,
+) -> (Option<PartialOutcome>, u64) {
+    let session = builder().budget(budget).build().unwrap();
+    match session.run(task) {
+        Err(NcoError::BudgetExceeded {
+            budget: b,
+            report,
+            partial,
+        }) => {
+            assert_eq!(b, budget);
+            assert!(report.queries <= budget, "never overspends the cap");
+            (partial, report.queries)
+        }
+        other => panic!("budget {budget} must kill {task:?}, got {other:?}"),
+    }
+}
+
+#[test]
+fn budget_killed_topk_returns_a_prefix_of_the_full_answer() {
+    let task = Task::TopK { k: 8 };
+    let full = value_builder().build().unwrap().run(task).unwrap();
+    let full_items = full.answer.items().unwrap();
+
+    let budget = full.report.queries / 2;
+    let (partial, _) = budget_kill(value_builder, task, budget);
+    let Some(PartialOutcome::TopPrefix { items, requested }) = partial else {
+        panic!("expected TopPrefix, got {partial:?}");
+    };
+    assert_eq!(requested, 8);
+    assert!(
+        !items.is_empty() && items.len() < 8,
+        "mid-run kill: {items:?}"
+    );
+    assert_eq!(
+        items,
+        full_items[..items.len()],
+        "partial must be a prefix of the completed extraction"
+    );
+
+    // Deterministic: the latch trips at an exact query count.
+    let (replay, spent) = budget_kill(value_builder, task, budget);
+    assert_eq!(replay, Some(PartialOutcome::TopPrefix { items, requested }));
+    let (_, spent2) = budget_kill(value_builder, task, budget);
+    assert_eq!(spent, spent2);
+}
+
+#[test]
+fn budget_killed_kcenter_returns_a_committee_prefix() {
+    let task = Task::KCenter { k: 6 };
+    let full = metric_builder().build().unwrap().run(task).unwrap();
+    let full_centers = &full.answer.clustering().unwrap().centers;
+
+    let budget = full.report.queries * 4 / 5;
+    let (partial, _) = budget_kill(metric_builder, task, budget);
+    let Some(PartialOutcome::Committee { centers, requested }) = partial else {
+        panic!("expected Committee, got {partial:?}");
+    };
+    assert_eq!(requested, 6);
+    assert!(
+        !centers.is_empty() && centers.len() < 6,
+        "mid-run kill: {centers:?}"
+    );
+    assert_eq!(
+        centers,
+        full_centers[..centers.len()],
+        "committee grows in selection order, so a kill leaves a prefix"
+    );
+
+    let (replay, _) = budget_kill(metric_builder, task, budget);
+    assert_eq!(
+        replay,
+        Some(PartialOutcome::Committee { centers, requested })
+    );
+}
+
+#[test]
+fn budget_killed_hierarchy_returns_a_merge_prefix() {
+    let task = Task::Hierarchy {
+        linkage: Linkage::Single,
+    };
+    let full = metric_builder().build().unwrap().run(task).unwrap();
+    let full_merges = &full.answer.dendrogram().unwrap().merges;
+    assert_eq!(full_merges.len(), 63);
+
+    let budget = full.report.queries * 4 / 5;
+    let (partial, _) = budget_kill(metric_builder, task, budget);
+    let Some(PartialOutcome::DendrogramPrefix {
+        n,
+        merges,
+        expected,
+    }) = partial
+    else {
+        panic!("expected DendrogramPrefix, got {partial:?}");
+    };
+    assert_eq!((n, expected), (64, 63));
+    assert!(
+        !merges.is_empty() && merges.len() < 63,
+        "mid-run kill: {} merges",
+        merges.len()
+    );
+    assert_eq!(
+        merges,
+        full_merges[..merges.len()],
+        "replaying the partial must walk the exact same agglomeration"
+    );
+
+    let (replay, _) = budget_kill(metric_builder, task, budget);
+    assert_eq!(
+        replay,
+        Some(PartialOutcome::DendrogramPrefix {
+            n,
+            merges,
+            expected
+        })
+    );
+}
+
+#[test]
+fn budget_killed_max_reports_its_leader() {
+    let task = Task::Max;
+    let q = full_queries(value_builder, task);
+    // Early kills may precede the first committed round (no leader yet);
+    // a late kill must carry one.
+    let (early, _) = budget_kill(value_builder, task, q / 10);
+    assert!(matches!(early, Some(PartialOutcome::Leader { .. })));
+    let (late, _) = budget_kill(value_builder, task, q * 9 / 10);
+    let Some(PartialOutcome::Leader {
+        candidate: Some(leader),
+    }) = late
+    else {
+        panic!("a 90% budget kill must have a committed leader, got {late:?}");
+    };
+    assert!(leader < 128);
+    let (replay, _) = budget_kill(value_builder, task, q * 9 / 10);
+    assert_eq!(
+        replay,
+        Some(PartialOutcome::Leader {
+            candidate: Some(leader)
+        })
+    );
+}
+
+#[test]
+fn nearest_and_farthest_carry_no_partial() {
+    for task in [Task::Nearest { q: 0 }, Task::Farthest { q: 0 }] {
+        let q = full_queries(metric_builder, task);
+        let (partial, spent) = budget_kill(metric_builder, task, q / 2);
+        assert_eq!(partial, None, "{task:?} has no intermediate commitment");
+        assert!(spent > 0, "the bill survives even without a partial");
+    }
+}
+
+#[test]
+fn cancelled_and_deadlined_runs_degrade_gracefully() {
+    // A pre-cancelled token kills at the first boundary: typed error,
+    // spend preserved, partial (if any) shape-valid.
+    let token = CancelToken::new();
+    token.cancel();
+    let session = metric_builder().cancel_token(token).build().unwrap();
+    match session.run(Task::Hierarchy {
+        linkage: Linkage::Single,
+    }) {
+        Err(NcoError::DeadlineExceeded { report, partial }) => {
+            if let Some(p) = &partial {
+                let progress = p.progress();
+                assert!((0.0..=1.0).contains(&progress));
+                assert!(matches!(p, PartialOutcome::DendrogramPrefix { .. }));
+            }
+            assert!(report.queries <= 1, "cancelled before real work");
+        }
+        other => panic!("expected a cancel kill, got {other:?}"),
+    }
+
+    // An already-expired deadline behaves the same way.
+    let session = metric_builder().deadline(Duration::ZERO).build().unwrap();
+    match session.run(Task::KCenter { k: 6 }) {
+        Err(NcoError::DeadlineExceeded { partial, .. }) => {
+            if let Some(p) = partial {
+                assert!(matches!(p, PartialOutcome::Committee { .. }));
+            }
+        }
+        other => panic!("expected a deadline kill, got {other:?}"),
+    }
+}
+
+#[test]
+fn served_requests_degrade_to_partials_only_when_asked() {
+    let task = Task::Hierarchy {
+        linkage: Linkage::Single,
+    };
+    let solo_q = full_queries(metric_builder, task);
+    let budget = solo_q * 4 / 5;
+    let (solo_partial, _) = budget_kill(metric_builder, task, budget);
+    assert!(solo_partial.is_some());
+
+    let run = |degrade: bool| {
+        let template = metric_builder().budget(budget).build().unwrap();
+        let server = Server::builder(template)
+            .workers(1)
+            .degrade_to_partials(degrade)
+            .build()
+            .unwrap();
+        let result = server.submit(Request { task, seed: 9 }).unwrap().join();
+        (result, server.shutdown())
+    };
+
+    // Opted in: the served kill carries the exact solo partial and the
+    // server counts the degraded completion.
+    let (result, stats) = run(true);
+    match result {
+        Err(NcoError::BudgetExceeded { partial, .. }) => {
+            assert_eq!(partial, solo_partial, "served partial == solo partial");
+        }
+        other => panic!("expected a budget kill, got {other:?}"),
+    }
+    assert_eq!(stats.partial_completions, 1);
+
+    // Default: same typed error, lean payload, no degraded completions.
+    let (result, stats) = run(false);
+    match result {
+        Err(NcoError::BudgetExceeded { partial, .. }) => assert_eq!(partial, None),
+        other => panic!("expected a budget kill, got {other:?}"),
+    }
+    assert_eq!(stats.partial_completions, 0);
+}

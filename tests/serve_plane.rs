@@ -290,7 +290,7 @@ fn pool_exhaustion_sheds_requests_without_deadlock() {
     let ok = results.iter().filter(|r| r.is_ok()).count();
     let shed = results
         .iter()
-        .filter(|r| matches!(r, Err(NcoError::BudgetExceeded { budget: 4_000 })))
+        .filter(|r| matches!(r, Err(NcoError::BudgetExceeded { budget: 4_000, .. })))
         .count();
     assert_eq!(ok + shed, 4, "unexpected error kind in {results:?}");
     assert!(shed >= 1, "a 4k pool cannot cover four hierarchy runs");
@@ -380,7 +380,7 @@ fn per_request_budget_still_fails_typed() {
         })
         .unwrap();
     match h.join() {
-        Err(NcoError::BudgetExceeded { budget }) => assert_eq!(budget, 10),
+        Err(NcoError::BudgetExceeded { budget, .. }) => assert_eq!(budget, 10),
         other => panic!("expected BudgetExceeded, got {other:?}"),
     }
 }

@@ -442,7 +442,7 @@ fn budget_fires_deterministically_at_the_cap() {
 
     // One query less: typed failure, never more than `need - 1` issued.
     match mk(Some(need - 1)).run(task) {
-        Err(NcoError::BudgetExceeded { budget }) => assert_eq!(budget, need - 1),
+        Err(NcoError::BudgetExceeded { budget, .. }) => assert_eq!(budget, need - 1),
         other => panic!("expected BudgetExceeded, got {other:?}"),
     }
 
