@@ -1,7 +1,7 @@
 //! `perfsuite` — the reproducible performance suite behind the repo's
 //! perf trajectory (`BENCH_*.json`).
 //!
-//! Twelve pinned, fully seeded workloads cover the paper's hot paths:
+//! Fourteen pinned, fully seeded workloads cover the paper's hot paths:
 //!
 //! | name | shape |
 //! |---|---|
@@ -17,6 +17,8 @@
 //! | `serve_mixed_n512` | a sustained mixed request stream, **sequential solo sessions vs the concurrent serving plane** (PR 6): shared-memo backend + cross-request round coalescing |
 //! | `serve_faulty_n512` | the serving plane under a seeded fault storm (PR 7): **fault-free serving vs injected faults masked by bounded retry** — answers must stay bit-identical, the overhead of masking is the measurement |
 //! | `adaptive_noise_n512` | the adaptive noise plane under a misspecified rate (PR 8): **silently fixed-rate sessions vs probe + `AdaptPolicy::Escalate`** — the probing/adaptation overhead is the measurement, misspecification detection and probe-off bit-identity are the acceptance checks |
+//! | `sort_n1024` | full noisy sort (skeleton insertion + polish) over 1024 hidden values, persistent `p = 0.2` (PR 9): **scalar comparator loop vs `le_batch` rounds** — bit-identical outputs and query counts, the round coalescing is the measurement |
+//! | `select_n2048` | k-th selection (sample–score–narrow) over 2048 hidden values, `k = 256`, persistent `p = 0.2` (PR 9): same scalar-vs-batched contract |
 //!
 //! Each workload runs twice: a **baseline** configuration and an
 //! **optimized** configuration. Both runs draw the same seeds; the suite
@@ -36,18 +38,19 @@
 //! ```
 //!
 //! `--smoke` shrinks every workload (~16x fewer queries) for CI;
-//! `--out` defaults to `BENCH_PR8.json` in the current directory;
+//! `--out` defaults to `BENCH_PR9.json` in the current directory;
 //! `--check-baseline` compares this run's query counts against a
 //! committed baseline JSON and exits non-zero on any regression
 //! (count > baseline) — the CI guard for the pinned workloads.
 
-use nco_core::comparator::ValueCmp;
+use nco_core::comparator::{Comparator, ValueCmp};
 use nco_core::hier::{
     hier_oracle, hier_oracle_par, hier_oracle_scratch, Dendrogram, HierParams, Linkage,
 };
 use nco_core::kcenter::{kcenter_adv, KCenterAdvParams};
 use nco_core::maxfind::{max_prob, AdvParams, ProbParams};
 use nco_core::neighbor::{farthest_adv, nearest_adv};
+use nco_core::order::{select_prob, sort_prob, OrderProbParams};
 use nco_metric::{CachedMetric, EuclideanMetric, SquareMetric};
 use nco_oracle::adversarial::{AdversarialQuadOracle, InvertAdversary};
 use nco_oracle::counting::{Counting, SharedCounting};
@@ -968,11 +971,150 @@ fn run_adaptive_noise(n: usize, reps: usize) -> WorkloadReport {
     }
 }
 
+// ---------------------------------------------------------------------
+// Workloads 13 & 14: the ordering subsystem (PR 9) — the same engine
+// driven scalar (one oracle query per pair) vs through le_batch rounds.
+// ---------------------------------------------------------------------
+
+/// A deliberately unbatched value comparator: every pair reaches the
+/// oracle through scalar `le`, one query at a time (the trait-default
+/// `le_round` loop). The `le_batch` contract pins batched answers to the
+/// scalar sequence, so the optimized run must match bit-for-bit in both
+/// outputs and query counts.
+struct ScalarValueCmp<'a, O> {
+    oracle: &'a mut O,
+}
+
+impl<O: nco_oracle::ComparisonOracle> Comparator<usize> for ScalarValueCmp<'_, O> {
+    fn le(&mut self, a: usize, b: usize) -> bool {
+        self.oracle.le(a, b)
+    }
+    fn doomed(&self) -> bool {
+        self.oracle.doomed()
+    }
+}
+
+fn shuffled_values(n: usize, seed: u64) -> Vec<f64> {
+    use rand::seq::SliceRandom;
+    let mut values: Vec<f64> = (1..=n).map(|i| i as f64).collect();
+    values.shuffle(&mut StdRng::seed_from_u64(seed));
+    values
+}
+
+fn run_sort(n: usize, reps: usize) -> WorkloadReport {
+    let values = shuffled_values(n, 0x50F7);
+    let params = OrderProbParams::experimental();
+    let seeds = rep_seeds(0x50, reps);
+    let items: Vec<usize> = (0..n).collect();
+
+    // Baseline: scalar comparator loop.
+    let start = Instant::now();
+    let mut queries = 0u64;
+    let mut scalar_orders = Vec::with_capacity(reps);
+    for &(oracle_seed, _) in &seeds {
+        let mut oracle = Counting::new(ProbValueOracle::new(values.clone(), 0.2, oracle_seed));
+        let order = sort_prob(
+            &items,
+            &params,
+            &mut ScalarValueCmp {
+                oracle: &mut oracle,
+            },
+        );
+        queries += oracle.queries();
+        scalar_orders.push(order);
+    }
+    let baseline_ms = ms(start);
+
+    // Optimized: the same engine through le_batch rounds.
+    let start = Instant::now();
+    let mut opt_queries = 0u64;
+    let mut opt_orders = Vec::with_capacity(reps);
+    for &(oracle_seed, _) in &seeds {
+        let mut oracle = Counting::new(ProbValueOracle::new(values.clone(), 0.2, oracle_seed));
+        let order = sort_prob(&items, &params, &mut ValueCmp::new(&mut oracle));
+        opt_queries += oracle.queries();
+        opt_orders.push(order);
+    }
+    let optimized_ms = ms(start);
+
+    WorkloadReport {
+        name: format!("sort_n{n}"),
+        n,
+        reps,
+        baseline_ms,
+        optimized_ms,
+        queries,
+        threads: 1,
+        optimization: "wave binary-search steps + polish scoring coalesced into le_batch rounds",
+        outputs_match: scalar_orders == opt_orders && queries == opt_queries,
+        detail: None,
+    }
+}
+
+fn run_select(n: usize, reps: usize) -> WorkloadReport {
+    let values = shuffled_values(n, 0x5E1E);
+    let k = n / 8;
+    let params = OrderProbParams::experimental();
+    let seeds = rep_seeds(0x51, reps);
+    let items: Vec<usize> = (0..n).collect();
+
+    // Baseline: scalar comparator loop.
+    let start = Instant::now();
+    let mut queries = 0u64;
+    let mut scalar_picks = Vec::with_capacity(reps);
+    for &(oracle_seed, rng_seed) in &seeds {
+        let mut oracle = Counting::new(ProbValueOracle::new(values.clone(), 0.2, oracle_seed));
+        let pick = select_prob(
+            &items,
+            k,
+            &params,
+            &mut ScalarValueCmp {
+                oracle: &mut oracle,
+            },
+            &mut StdRng::seed_from_u64(rng_seed),
+        );
+        queries += oracle.queries();
+        scalar_picks.push(pick);
+    }
+    let baseline_ms = ms(start);
+
+    // Optimized: the same engine through le_batch rounds.
+    let start = Instant::now();
+    let mut opt_queries = 0u64;
+    let mut opt_picks = Vec::with_capacity(reps);
+    for &(oracle_seed, rng_seed) in &seeds {
+        let mut oracle = Counting::new(ProbValueOracle::new(values.clone(), 0.2, oracle_seed));
+        let pick = select_prob(
+            &items,
+            k,
+            &params,
+            &mut ValueCmp::new(&mut oracle),
+            &mut StdRng::seed_from_u64(rng_seed),
+        );
+        opt_queries += oracle.queries();
+        opt_picks.push(pick);
+    }
+    let optimized_ms = ms(start);
+
+    WorkloadReport {
+        name: format!("select_n{n}"),
+        n,
+        reps,
+        baseline_ms,
+        optimized_ms,
+        queries,
+        threads: 1,
+        optimization: "sample scoring + resolving scan coalesced into le_batch rounds",
+        outputs_match: scalar_picks == opt_picks && queries == opt_queries,
+        detail: Some(format!("k={k}")),
+    }
+}
+
 fn write_json(path: &str, mode: &str, reports: &[WorkloadReport]) -> std::io::Result<()> {
     let mut s = String::new();
     s.push_str("{\n");
     s.push_str("  \"schema\": \"nco-perfsuite/v3\",\n");
-    s.push_str("  \"pr\": \"PR8\",\n");
+    s.push_str("  \"pr\": \"PR9\",\n");
     s.push_str(&format!("  \"mode\": \"{mode}\",\n"));
     s.push_str(&format!(
         "  \"parallel_feature\": {},\n",
@@ -1107,7 +1249,7 @@ fn check_baseline(path: &str, reports: &[WorkloadReport]) -> Result<(), String> 
 
 fn main() {
     let mut smoke = false;
-    let mut out_path = String::from("BENCH_PR8.json");
+    let mut out_path = String::from("BENCH_PR9.json");
     let mut baseline_path: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -1147,6 +1289,8 @@ fn main() {
             run_serve_mixed(128, 4),
             run_serve_faulty(128, 4),
             run_adaptive_noise(128, 2),
+            run_sort(256, 2),
+            run_select(512, 2),
         ]
     } else {
         vec![
@@ -1162,6 +1306,8 @@ fn main() {
             run_serve_mixed(512, 8),
             run_serve_faulty(512, 8),
             run_adaptive_noise(512, 4),
+            run_sort(1024, 3),
+            run_select(2048, 3),
         ]
     };
 

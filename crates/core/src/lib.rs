@@ -11,6 +11,7 @@
 //! | [`neighbor`] | PairwiseComp, core sets, farthest/nearest under both noise models, Tour2/Samp baselines | Alg. 5, 13–16; Thm 3.10 |
 //! | [`kcenter`] | greedy k-center (adversarial), sampled k-center with cores (probabilistic), Gonzalez/Tour2/Samp/Oq baselines | Alg. 6–10; Thm 4.2, 4.4 |
 //! | [`hier`] | single/complete-linkage agglomerative clustering with adjacency lists, exact and baseline variants | Alg. 11; Thm 5.2 |
+//! | [`order`] | noisy sort (skeleton insertion + polish), k-th select and top-k partition (sample–score–narrow) | Gu–Xu; Braverman–Mao–Weinberg |
 //!
 //! Every algorithm is generic over [`comparator::Comparator`], a noisy
 //! "is `a <= b`?" predicate: finding a maximum value, the farthest point
@@ -32,6 +33,7 @@ pub mod hier;
 pub mod kcenter;
 pub mod maxfind;
 pub mod neighbor;
+pub mod order;
 #[cfg(feature = "parallel")]
 pub mod parallel;
 

@@ -1,0 +1,316 @@
+//! Ordering engines tuned for exact and adversarial-band oracles.
+//!
+//! An adversary may answer arbitrarily whenever the compared values are
+//! within its `(1 + mu)` band, and no amount of voting inside the band
+//! can beat it — so these variants keep the vote windows lean (they only
+//! buy deterministic in-band tie-breaking) and run with zero score slack:
+//! outside the band every answer is truthful, which makes sample scores
+//! exact up to in-band jitter. With `mu = 0` (an exact oracle) every
+//! engine here is exactly correct: the full sort emits the true
+//! descending order, `select_adv` the true k-th largest, and
+//! `partition_adv` the true top-k split.
+
+use rand::Rng;
+
+use super::{narrow, skeleton, OrderSpec, Split};
+use crate::comparator::Comparator;
+
+/// Tuning knobs for the adversarial/exact ordering engines.
+///
+/// [`OrderAdvParams::experimental`] (also [`Default`]) mirrors the lean
+/// Section 6.1 style used across the other engine families; use
+/// [`OrderAdvParams::with_confidence`] to size pivot samples for a target
+/// failure probability.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OrderAdvParams {
+    /// Target failure probability used to size pivot samples.
+    pub delta: f64,
+    /// Window-vote growth coefficient for insertion binary searches: a
+    /// step over `s` open slots votes over `ceil(vote_coeff * ln(s + 1))`
+    /// distinct probes.
+    pub vote_coeff: f64,
+    /// Initial skeleton block, sorted by exact round-robin before the
+    /// insertion waves start.
+    pub seed_size: usize,
+    /// Lookahead of the sort's polish/emit sweep (window of positions
+    /// count-maxed before each position is committed).
+    pub polish_window: usize,
+    /// Pivot-sample coefficient for select/partition narrowing:
+    /// `s = ceil(sample_coeff * ln(n / delta))`, floored at 3.
+    pub sample_coeff: f64,
+    /// Resolve the active band by exact round-robin once it is this small.
+    pub scan_threshold: usize,
+    /// Cap on narrowing iterations; `None` resolves to `2*log2(n) + 4`.
+    pub max_narrow_rounds: Option<usize>,
+}
+
+impl OrderAdvParams {
+    /// The lean experimental profile.
+    pub fn experimental() -> Self {
+        Self {
+            delta: 0.1,
+            vote_coeff: 1.0,
+            seed_size: 8,
+            polish_window: 3,
+            sample_coeff: 3.0,
+            scan_threshold: 24,
+            max_narrow_rounds: None,
+        }
+    }
+
+    /// Experimental profile re-sized for failure probability `delta`.
+    ///
+    /// # Panics
+    /// If `delta` is not in `(0, 1)`.
+    pub fn with_confidence(delta: f64) -> Self {
+        assert!(
+            delta > 0.0 && delta < 1.0,
+            "confidence delta must lie in (0, 1)"
+        );
+        Self {
+            delta,
+            ..Self::experimental()
+        }
+    }
+
+    pub(crate) fn spec(&self, n: usize) -> OrderSpec {
+        OrderSpec {
+            vote_coeff: self.vote_coeff,
+            seed_size: self.seed_size,
+            polish_window: self.polish_window,
+            sample_size: sample_size(self.sample_coeff, self.delta, n),
+            slack: 0,
+            scan_threshold: self.scan_threshold.max(2),
+            max_narrow_rounds: self
+                .max_narrow_rounds
+                .unwrap_or_else(|| default_narrow_rounds(n)),
+        }
+    }
+}
+
+impl Default for OrderAdvParams {
+    fn default() -> Self {
+        Self::experimental()
+    }
+}
+
+pub(crate) fn sample_size(coeff: f64, delta: f64, n: usize) -> usize {
+    let s = (coeff * (n.max(1) as f64 / delta).max(2.0).ln()).ceil();
+    (s as usize).max(3)
+}
+
+pub(crate) fn default_narrow_rounds(n: usize) -> usize {
+    2 * ((n.max(2) as f64).log2().ceil() as usize) + 4
+}
+
+/// Full noisy sort, descending (best first), for exact/adversarial
+/// oracles. See [`sort_adv_with_progress`].
+pub fn sort_adv<I, C>(items: &[I], params: &OrderAdvParams, cmp: &mut C) -> Vec<I>
+where
+    I: Copy + Eq,
+    C: Comparator<I>,
+{
+    sort_adv_with_progress(items, params, cmp, &mut 0)
+}
+
+/// [`sort_adv`] exposing the polish-sweep clean-prefix watermark:
+/// `out[..clean]` was committed entirely on real answers and is
+/// bit-identical to the same prefix of an unkilled run. The query
+/// sequence is exactly that of [`sort_adv`].
+pub fn sort_adv_with_progress<I, C>(
+    items: &[I],
+    params: &OrderAdvParams,
+    cmp: &mut C,
+    clean: &mut usize,
+) -> Vec<I>
+where
+    I: Copy + Eq,
+    C: Comparator<I>,
+{
+    skeleton::sort_core(items, &params.spec(items.len()), cmp, clean)
+}
+
+/// The k-th largest item (`k = 1` is the maximum) for exact/adversarial
+/// oracles. See [`select_adv_with_progress`].
+///
+/// # Panics
+/// If `k` is not in `1..=items.len()`.
+pub fn select_adv<I, C, R>(
+    items: &[I],
+    k: usize,
+    params: &OrderAdvParams,
+    cmp: &mut C,
+    rng: &mut R,
+) -> Option<I>
+where
+    I: Copy + Eq,
+    C: Comparator<I>,
+    R: Rng + ?Sized,
+{
+    select_adv_with_progress(items, k, params, cmp, rng, &mut 0, &mut None)
+}
+
+/// [`select_adv`] exposing the narrowing watermarks: `clean` counts
+/// confirmed-top items committed on real answers, `candidate` is the
+/// current boundary (k-th) estimate. Queries and rng draws are exactly
+/// those of [`select_adv`] (and of the partition run it wraps).
+pub fn select_adv_with_progress<I, C, R>(
+    items: &[I],
+    k: usize,
+    params: &OrderAdvParams,
+    cmp: &mut C,
+    rng: &mut R,
+    clean: &mut usize,
+    candidate: &mut Option<I>,
+) -> Option<I>
+where
+    I: Copy + Eq,
+    C: Comparator<I>,
+    R: Rng + ?Sized,
+{
+    let split = partition_adv_with_progress(items, k, params, cmp, rng, clean, candidate);
+    split.top.last().copied()
+}
+
+/// Top-`k` / rest split, best first, for exact/adversarial oracles. See
+/// [`partition_adv_with_progress`].
+///
+/// # Panics
+/// If `k` is not in `1..=items.len()`.
+pub fn partition_adv<I, C, R>(
+    items: &[I],
+    k: usize,
+    params: &OrderAdvParams,
+    cmp: &mut C,
+    rng: &mut R,
+) -> Split<I>
+where
+    I: Copy + Eq,
+    C: Comparator<I>,
+    R: Rng + ?Sized,
+{
+    partition_adv_with_progress(items, k, params, cmp, rng, &mut 0, &mut None)
+}
+
+/// [`partition_adv`] exposing the narrowing watermarks; `top[..clean]`
+/// was confirmed entirely on real answers and is a true prefix of the
+/// completed run's `top`.
+pub fn partition_adv_with_progress<I, C, R>(
+    items: &[I],
+    k: usize,
+    params: &OrderAdvParams,
+    cmp: &mut C,
+    rng: &mut R,
+    clean: &mut usize,
+    candidate: &mut Option<I>,
+) -> Split<I>
+where
+    I: Copy + Eq,
+    C: Comparator<I>,
+    R: Rng + ?Sized,
+{
+    narrow::partition_core(
+        items,
+        k,
+        &params.spec(items.len()),
+        cmp,
+        rng,
+        clean,
+        candidate,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::comparator::ExactKeyCmp;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    fn keys(n: usize) -> Vec<f64> {
+        (0..n).map(|i| ((i * 193) % 4999) as f64).collect()
+    }
+
+    #[test]
+    fn exact_oracle_sorts_exactly() {
+        for n in [0usize, 1, 2, 3, 7, 64, 257] {
+            let keys = keys(n);
+            let items: Vec<usize> = (0..n).collect();
+            let mut clean = 0;
+            let got = sort_adv_with_progress(
+                &items,
+                &OrderAdvParams::experimental(),
+                &mut ExactKeyCmp::new(&keys),
+                &mut clean,
+            );
+            let mut want = items.clone();
+            want.sort_by(|&a, &b| keys[b].partial_cmp(&keys[a]).unwrap());
+            assert_eq!(got, want, "n={n}");
+            assert_eq!(clean, n, "clean prefix covers an unkilled run");
+        }
+    }
+
+    #[test]
+    fn exact_oracle_selects_the_true_kth() {
+        let n = 129;
+        let keys = keys(n);
+        let items: Vec<usize> = (0..n).collect();
+        let mut sorted = items.clone();
+        sorted.sort_by(|&a, &b| keys[b].partial_cmp(&keys[a]).unwrap());
+        for k in [1usize, 2, 5, 64, 128, 129] {
+            let got = select_adv(
+                &items,
+                k,
+                &OrderAdvParams::experimental(),
+                &mut ExactKeyCmp::new(&keys),
+                &mut rng(k as u64),
+            );
+            assert_eq!(got, Some(sorted[k - 1]), "k={k}");
+        }
+    }
+
+    #[test]
+    fn exact_oracle_partitions_the_true_topk() {
+        let n = 200;
+        let keys = keys(n);
+        let items: Vec<usize> = (0..n).collect();
+        let mut sorted = items.clone();
+        sorted.sort_by(|&a, &b| keys[b].partial_cmp(&keys[a]).unwrap());
+        for k in [1usize, 7, 100, 199, 200] {
+            let split = partition_adv(
+                &items,
+                k,
+                &OrderAdvParams::experimental(),
+                &mut ExactKeyCmp::new(&keys),
+                &mut rng(31 + k as u64),
+            );
+            let mut top_set = split.top.clone();
+            top_set.sort_unstable();
+            let mut want_set = sorted[..k].to_vec();
+            want_set.sort_unstable();
+            assert_eq!(top_set, want_set, "top is the exact top-k set, k={k}");
+            assert_eq!(
+                split.top.last(),
+                Some(&sorted[k - 1]),
+                "boundary item is the exact k-th, k={k}"
+            );
+            assert_eq!(split.top.len() + split.rest.len(), n);
+            let mut all: Vec<usize> = split.top.iter().chain(&split.rest).copied().collect();
+            all.sort_unstable();
+            assert_eq!(all, items, "split is a permutation");
+        }
+    }
+
+    #[test]
+    fn confidence_validates_its_range() {
+        let p = OrderAdvParams::with_confidence(0.05);
+        assert!(p.spec(100).sample_size >= OrderAdvParams::experimental().spec(100).sample_size);
+        for bad in [0.0, 1.0, -0.3, 2.0] {
+            assert!(std::panic::catch_unwind(|| OrderAdvParams::with_confidence(bad)).is_err());
+        }
+    }
+}

@@ -1,0 +1,106 @@
+//! Ordering engines over noisy comparison oracles: full sort, k-th
+//! selection, and top-k partition.
+//!
+//! | Engine | Shape | Source |
+//! |---|---|---|
+//! | [`sort_adv`] / [`sort_prob`] | insertion over a binary-search skeleton with window votes, then a polish/emit sweep | Gu–Xu, *Optimal Bounds for Noisy Sorting* |
+//! | [`select_adv`] / [`select_prob`] | sample–score–narrow median elimination, exact round-robin on the residual band | Braverman–Mao–Weinberg, *Parallel Algorithms for Select and Partition* |
+//! | [`partition_adv`] / [`partition_prob`] | same narrowing loop, returning the full top-k / rest split | Braverman–Mao–Weinberg |
+//!
+//! Everything here speaks [`Comparator::le_round`](crate::comparator::Comparator::le_round): independent binary-search
+//! steps across a wave of concurrent insertions, and the scoring of a whole
+//! candidate set against a pivot sample, coalesce into shared rounds of at
+//! most a few thousand pairs, so batched oracles amortise work while the
+//! answer stream stays bit-identical to the scalar path.
+//!
+//! Noise is handled the paper's way, not by repetition: persistent models
+//! answer a repeated query identically, so instead of re-asking, every
+//! decision votes over a window of *distinct* comparisons (independent
+//! coins). The adversarial variants keep the windows lean — an adversary can
+//! defeat any vote inside its `(1 + mu)` band, so extra probes only buy
+//! in-band tie-breaking — while the probabilistic/crowd variants grow the
+//! window logarithmically with the interval still in play, which is where
+//! Gu–Xu spend their repetition budget.
+//!
+//! Under an exact oracle every engine is exactly correct: the window vote
+//! reduces to an ordinary binary-search comparison against the median probe,
+//! and sample scores are monotone in true rank, so the narrowing loop pins
+//! the true boundary. The `_with_progress` variants additionally expose the
+//! clean-progress watermarks the facade turns into partial outcomes; they
+//! issue the exact same query and rng-draw sequences as the plain variants.
+
+mod narrow;
+mod skeleton;
+
+pub mod adversarial;
+pub mod probabilistic;
+
+pub use adversarial::{
+    partition_adv, partition_adv_with_progress, select_adv, select_adv_with_progress, sort_adv,
+    sort_adv_with_progress, OrderAdvParams,
+};
+pub use probabilistic::{
+    partition_prob, partition_prob_with_progress, select_prob, select_prob_with_progress,
+    sort_prob, sort_prob_with_progress, OrderProbParams,
+};
+
+/// A top-`k` / rest split of the input, as returned by the partition
+/// engines.
+///
+/// `top` holds the `k` items the engine placed in the top class, in
+/// confirmation order (each confirmed batch best first by score);
+/// `rest` holds the remaining items in elimination order. Under an
+/// exact oracle `top` is exactly the *set* of the `k` largest items and
+/// its last element — resolved by the engine's exact round-robin scan —
+/// is exactly the k-th largest. Sample-score ties inside one confirmed
+/// batch keep `top` from being a fully sorted sequence; ask
+/// [`sort_adv`] / [`sort_prob`] when the total order matters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Split<I> {
+    /// The `k` items classified as the top class, best first.
+    pub top: Vec<I>,
+    /// The remaining items, in elimination order.
+    pub rest: Vec<I>,
+}
+
+/// Resolved per-run knobs shared by the two noise variants: the
+/// adversarial and probabilistic front ends differ only in how they fill
+/// this in from their params.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct OrderSpec {
+    /// Window-vote growth: a binary-search step over a span of `s`
+    /// skeleton slots votes over `ceil(vote_coeff * ln(s + 1))` distinct
+    /// probes (clamped to the span, floored at 1).
+    pub vote_coeff: f64,
+    /// Initial skeleton size, sorted by exact round-robin before waves
+    /// start. Guards the earliest insertions: a 1–2 item skeleton offers
+    /// only one persistent coin per decision, and a single early flip
+    /// can cost Θ(n) dislocation downstream.
+    pub seed_size: usize,
+    /// Lookahead of the polish/emit sweep that commits the sorted prefix.
+    pub polish_window: usize,
+    /// Pivot-sample size for one narrowing iteration.
+    pub sample_size: usize,
+    /// Score slack around the boundary score: items within `slack` of the
+    /// k-th score stay in the active band instead of being classified.
+    pub slack: u32,
+    /// Resolve the active set by exact round-robin once it is this small.
+    pub scan_threshold: usize,
+    /// Cap on narrowing iterations before falling back to round-robin.
+    pub max_narrow_rounds: usize,
+}
+
+impl OrderSpec {
+    /// Number of distinct probes a binary-search step votes over when the
+    /// open interval spans `span` skeleton slots.
+    pub(crate) fn votes(&self, span: usize) -> usize {
+        let v = (self.vote_coeff * ((span + 1) as f64).ln()).ceil();
+        let v = if v.is_finite() && v > 1.0 {
+            v as usize
+        } else {
+            1
+        };
+        // Prefer an odd vote count (clean majorities); never exceed the span.
+        (v | 1).min(span)
+    }
+}

@@ -1,0 +1,321 @@
+//! Ordering engines tuned for probabilistic-persistent and crowd noise.
+//!
+//! Persistence means a repeated query returns the same (possibly wrong)
+//! answer, so these variants spend their redundancy on *distinct*
+//! comparisons: insertion steps vote over probe windows that grow
+//! logarithmically with the interval still in play (the noisy analogue of
+//! Gu–Xu's repetition schedule — a wrong decision over a span of `s`
+//! slots costs up to `s` dislocation, so wide intervals get more
+//! independent coins), the polish sweep uses a wider lookahead, and the
+//! select/partition narrowing keeps a slack band of boundary scores
+//! active instead of classifying on a knife edge. Under an exact oracle
+//! all three engines remain exactly correct — voting and slack only ever
+//! widen what stays in play.
+
+use rand::Rng;
+
+use super::adversarial::{default_narrow_rounds, sample_size};
+use super::{narrow, skeleton, OrderSpec, Split};
+use crate::comparator::Comparator;
+
+/// Tuning knobs for the probabilistic/crowd ordering engines.
+///
+/// [`OrderProbParams::experimental`] (also [`Default`]) mirrors the lean
+/// Section 6.1 style used across the other engine families; use
+/// [`OrderProbParams::with_confidence`] to size pivot samples for a
+/// target failure probability.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OrderProbParams {
+    /// Target failure probability used to size pivot samples.
+    pub delta: f64,
+    /// Window-vote growth coefficient for insertion binary searches: a
+    /// step over `s` open slots votes over `ceil(vote_coeff * ln(s + 1))`
+    /// distinct probes.
+    pub vote_coeff: f64,
+    /// Initial skeleton block, sorted by exact round-robin before the
+    /// insertion waves start — the persistent-noise guard for the
+    /// earliest (otherwise single-coin) insertions.
+    pub seed_size: usize,
+    /// Lookahead of the sort's polish/emit sweep.
+    pub polish_window: usize,
+    /// Pivot-sample coefficient for select/partition narrowing:
+    /// `s = ceil(sample_coeff * ln(n / delta))`, floored at 3.
+    pub sample_coeff: f64,
+    /// Boundary slack coefficient: scores within
+    /// `ceil(slack_coeff * sqrt(s))` of the boundary score stay active.
+    pub slack_coeff: f64,
+    /// Resolve the active band by exact round-robin once it is this small.
+    pub scan_threshold: usize,
+    /// Cap on narrowing iterations; `None` resolves to `2*log2(n) + 4`.
+    pub max_narrow_rounds: Option<usize>,
+}
+
+impl OrderProbParams {
+    /// The lean experimental profile.
+    pub fn experimental() -> Self {
+        Self {
+            delta: 0.1,
+            vote_coeff: 3.5,
+            seed_size: 16,
+            polish_window: 4,
+            sample_coeff: 4.0,
+            slack_coeff: 0.5,
+            scan_threshold: 32,
+            max_narrow_rounds: None,
+        }
+    }
+
+    /// Experimental profile re-sized for failure probability `delta`.
+    ///
+    /// # Panics
+    /// If `delta` is not in `(0, 1)`.
+    pub fn with_confidence(delta: f64) -> Self {
+        assert!(
+            delta > 0.0 && delta < 1.0,
+            "confidence delta must lie in (0, 1)"
+        );
+        Self {
+            delta,
+            ..Self::experimental()
+        }
+    }
+
+    pub(crate) fn spec(&self, n: usize) -> OrderSpec {
+        let sample = sample_size(self.sample_coeff, self.delta, n);
+        let slack = (self.slack_coeff * (sample as f64).sqrt()).ceil();
+        OrderSpec {
+            vote_coeff: self.vote_coeff,
+            seed_size: self.seed_size,
+            polish_window: self.polish_window,
+            sample_size: sample,
+            slack: if slack.is_finite() && slack > 0.0 {
+                slack as u32
+            } else {
+                0
+            },
+            scan_threshold: self.scan_threshold.max(2),
+            max_narrow_rounds: self
+                .max_narrow_rounds
+                .unwrap_or_else(|| default_narrow_rounds(n)),
+        }
+    }
+}
+
+impl Default for OrderProbParams {
+    fn default() -> Self {
+        Self::experimental()
+    }
+}
+
+/// Full noisy sort, descending (best first), for probabilistic/crowd
+/// oracles. See [`sort_prob_with_progress`].
+pub fn sort_prob<I, C>(items: &[I], params: &OrderProbParams, cmp: &mut C) -> Vec<I>
+where
+    I: Copy + Eq,
+    C: Comparator<I>,
+{
+    sort_prob_with_progress(items, params, cmp, &mut 0)
+}
+
+/// [`sort_prob`] exposing the polish-sweep clean-prefix watermark:
+/// `out[..clean]` was committed entirely on real answers and is
+/// bit-identical to the same prefix of an unkilled run. The query
+/// sequence is exactly that of [`sort_prob`].
+pub fn sort_prob_with_progress<I, C>(
+    items: &[I],
+    params: &OrderProbParams,
+    cmp: &mut C,
+    clean: &mut usize,
+) -> Vec<I>
+where
+    I: Copy + Eq,
+    C: Comparator<I>,
+{
+    skeleton::sort_core(items, &params.spec(items.len()), cmp, clean)
+}
+
+/// The k-th largest item (`k = 1` is the maximum) for probabilistic/crowd
+/// oracles. See [`select_prob_with_progress`].
+///
+/// # Panics
+/// If `k` is not in `1..=items.len()`.
+pub fn select_prob<I, C, R>(
+    items: &[I],
+    k: usize,
+    params: &OrderProbParams,
+    cmp: &mut C,
+    rng: &mut R,
+) -> Option<I>
+where
+    I: Copy + Eq,
+    C: Comparator<I>,
+    R: Rng + ?Sized,
+{
+    select_prob_with_progress(items, k, params, cmp, rng, &mut 0, &mut None)
+}
+
+/// [`select_prob`] exposing the narrowing watermarks: `clean` counts
+/// confirmed-top items committed on real answers, `candidate` is the
+/// current boundary (k-th) estimate. Queries and rng draws are exactly
+/// those of [`select_prob`] (and of the partition run it wraps).
+pub fn select_prob_with_progress<I, C, R>(
+    items: &[I],
+    k: usize,
+    params: &OrderProbParams,
+    cmp: &mut C,
+    rng: &mut R,
+    clean: &mut usize,
+    candidate: &mut Option<I>,
+) -> Option<I>
+where
+    I: Copy + Eq,
+    C: Comparator<I>,
+    R: Rng + ?Sized,
+{
+    let split = partition_prob_with_progress(items, k, params, cmp, rng, clean, candidate);
+    split.top.last().copied()
+}
+
+/// Top-`k` / rest split, best first, for probabilistic/crowd oracles.
+/// See [`partition_prob_with_progress`].
+///
+/// # Panics
+/// If `k` is not in `1..=items.len()`.
+pub fn partition_prob<I, C, R>(
+    items: &[I],
+    k: usize,
+    params: &OrderProbParams,
+    cmp: &mut C,
+    rng: &mut R,
+) -> Split<I>
+where
+    I: Copy + Eq,
+    C: Comparator<I>,
+    R: Rng + ?Sized,
+{
+    partition_prob_with_progress(items, k, params, cmp, rng, &mut 0, &mut None)
+}
+
+/// [`partition_prob`] exposing the narrowing watermarks; `top[..clean]`
+/// was confirmed entirely on real answers and is a true prefix of the
+/// completed run's `top`.
+pub fn partition_prob_with_progress<I, C, R>(
+    items: &[I],
+    k: usize,
+    params: &OrderProbParams,
+    cmp: &mut C,
+    rng: &mut R,
+    clean: &mut usize,
+    candidate: &mut Option<I>,
+) -> Split<I>
+where
+    I: Copy + Eq,
+    C: Comparator<I>,
+    R: Rng + ?Sized,
+{
+    narrow::partition_core(
+        items,
+        k,
+        &params.spec(items.len()),
+        cmp,
+        rng,
+        clean,
+        candidate,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::comparator::{ExactKeyCmp, ValueCmp};
+    use nco_oracle::probabilistic::ProbValueOracle;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn exact_oracle_stays_exact_despite_slack() {
+        let n = 150;
+        let keys: Vec<f64> = (0..n).map(|i| ((i * 211) % 1009) as f64).collect();
+        let items: Vec<usize> = (0..n).collect();
+        let mut sorted = items.clone();
+        sorted.sort_by(|&a, &b| keys[b].partial_cmp(&keys[a]).unwrap());
+        let got = sort_prob(
+            &items,
+            &OrderProbParams::experimental(),
+            &mut ExactKeyCmp::new(&keys),
+        );
+        assert_eq!(got, sorted);
+        for k in [1usize, 20, 150] {
+            let split = partition_prob(
+                &items,
+                k,
+                &OrderProbParams::experimental(),
+                &mut ExactKeyCmp::new(&keys),
+                &mut rng(k as u64),
+            );
+            let mut top_set = split.top.clone();
+            top_set.sort_unstable();
+            let mut want_set = sorted[..k].to_vec();
+            want_set.sort_unstable();
+            assert_eq!(top_set, want_set, "k={k}");
+            assert_eq!(split.top.last(), Some(&sorted[k - 1]), "k={k}");
+        }
+    }
+
+    /// Under persistent probabilistic noise the sort's dislocation stays
+    /// bounded: window votes shield the wide binary-search steps and the
+    /// polish sweep mops up local swaps.
+    #[test]
+    fn probabilistic_noise_keeps_dislocation_bounded() {
+        let n = 256usize;
+        let values: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let items: Vec<usize> = (0..n).collect();
+        let bound = (4.0 * (n as f64 * (n as f64).ln()).sqrt()) as usize;
+        for seed in 0..5u64 {
+            let mut oracle = ProbValueOracle::new(values.clone(), 0.15, 900 + seed);
+            let got = sort_prob(
+                &items,
+                &OrderProbParams::experimental(),
+                &mut ValueCmp::new(&mut oracle),
+            );
+            // True position of item i (descending) is n - 1 - i.
+            let worst = got
+                .iter()
+                .enumerate()
+                .map(|(pos, &item)| pos.abs_diff(n - 1 - item))
+                .max()
+                .unwrap();
+            assert!(worst <= bound, "seed {seed}: dislocation {worst} > {bound}");
+        }
+    }
+
+    /// Select under noise returns an item whose true rank is near k.
+    #[test]
+    fn probabilistic_noise_selects_near_the_boundary() {
+        let n = 300usize;
+        let values: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let items: Vec<usize> = (0..n).collect();
+        let k = 40usize;
+        let slack = (4.0 * (n as f64 * (n as f64).ln()).sqrt()) as usize;
+        for seed in 0..5u64 {
+            let mut oracle = ProbValueOracle::new(values.clone(), 0.15, 1700 + seed);
+            let got = select_prob(
+                &items,
+                k,
+                &OrderProbParams::experimental(),
+                &mut ValueCmp::new(&mut oracle),
+                &mut rng(40 + seed),
+            )
+            .unwrap();
+            let rank = n - got; // rank 1 = largest
+            assert!(
+                rank.abs_diff(k) <= slack,
+                "seed {seed}: rank {rank} not within {slack} of k={k}"
+            );
+        }
+    }
+}

@@ -6,7 +6,8 @@
 //! * [`fscore`] — pair-counting precision / recall / F-score over
 //!   intra-cluster pairs (the Table 1 metric, following Galhotra et al.);
 //! * [`rank`] — ranks of returned elements in the true order (the
-//!   Theorem 3.7 quality measure);
+//!   Theorem 3.7 quality measure), plus dislocation and Kendall-tau
+//!   helpers for full rankings (the noisy-sorting quality measures);
 //! * [`hier_eval`] — per-merge true linkage distances of a dendrogram and
 //!   the normalised mean-merge-distance series of Figure 7;
 //! * [`noise_fit`] — the Section 6 validation-set procedure estimating

@@ -43,11 +43,14 @@
 //! # Ok::<(), NcoError>(())
 //! ```
 //!
-//! Metric-space tasks run the same way over points, a metric, or a
-//! generated [`data`] set — `Task::{Nearest, Farthest, KCenter, Hierarchy}`
-//! — and one immutable [`Engine`] can serve many concurrent sessions over
-//! the same corpus, sharing its distance cache
-//! ([`SessionBuilder::engine`]).
+//! Value sessions also answer the ordering tasks —
+//! `Task::Sort` (the full descending ranking), `Task::Select { k }`
+//! (the k-th largest) and `Task::Partition { k }` (the top-k / rest
+//! split). Metric-space tasks run the same way over points, a metric,
+//! or a generated [`data`] set —
+//! `Task::{Nearest, Farthest, KCenter, Hierarchy}` — and one immutable
+//! [`Engine`] can serve many concurrent sessions over the same corpus,
+//! sharing its distance cache ([`SessionBuilder::engine`]).
 //!
 //! ## The workspace underneath
 //!
@@ -62,8 +65,9 @@
 //!   including the shared lock-free distance cache;
 //! * [`data`] — seeded synthetic analogues of the paper's five datasets;
 //! * [`core`] — the paper's algorithms: robust maximum/minimum, top-k,
-//!   farthest and nearest neighbour, k-center clustering, agglomerative
-//!   hierarchical clustering, and all evaluation baselines;
+//!   noisy sort/select/partition, farthest and nearest neighbour,
+//!   k-center clustering, agglomerative hierarchical clustering, and all
+//!   evaluation baselines;
 //! * [`eval`] — pair-counting F-score, k-center objective, rank metrics
 //!   and the experiment harness used by the benchmark suite.
 

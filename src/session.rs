@@ -59,6 +59,10 @@ use nco_core::maxfind::{
     top_k_prob_with_progress, AdvParams, ProbParams,
 };
 use nco_core::neighbor::{farthest_adv, farthest_prob, nearest_adv, nearest_prob};
+use nco_core::order::{
+    partition_adv_with_progress, partition_prob_with_progress, sort_adv_with_progress,
+    sort_prob_with_progress, OrderAdvParams, OrderProbParams,
+};
 use nco_data::{AnyMetric, Dataset};
 use nco_metric::{CachedMetric, DistCache, EuclideanMetric, Metric};
 use nco_oracle::adversarial::{AdversarialQuadOracle, AdversarialValueOracle, InvertAdversary};
@@ -915,7 +919,7 @@ impl Session {
         let n = self.engine.n();
         if task.needs_values() && !self.engine.has_values() {
             return Err(NcoError::invalid(
-                "Task::Max / Task::TopK need a session built over raw values",
+                "value tasks (Max / TopK / Sort / Select / Partition) need a session built over raw values",
             ));
         }
         if !task.needs_values() && !self.engine.has_metric() {
@@ -965,6 +969,31 @@ impl Session {
                 if n < 2 {
                     return Err(NcoError::empty(format!(
                         "agglomeration needs at least 2 records (n = {n})"
+                    )));
+                }
+            }
+            Task::Sort => {
+                if n == 0 {
+                    return Err(NcoError::empty("cannot sort zero values"));
+                }
+            }
+            Task::Select { k } => {
+                if n == 0 {
+                    return Err(NcoError::empty("cannot select from zero values"));
+                }
+                if k == 0 || k > n {
+                    return Err(NcoError::invalid(format!(
+                        "select needs 1 <= k <= n (k = {k}, n = {n})"
+                    )));
+                }
+            }
+            Task::Partition { k } => {
+                if n == 0 {
+                    return Err(NcoError::empty("cannot partition zero values"));
+                }
+                if k == 0 || k > n {
+                    return Err(NcoError::invalid(format!(
+                        "partition needs 1 <= k <= n (k = {k}, n = {n})"
                     )));
                 }
             }
@@ -1210,6 +1239,69 @@ impl Session {
                     requested: k,
                 });
                 Ok(Answer::Items(top))
+            }
+            Task::Sort => {
+                let mut clean = 0;
+                let order = if self.cfg.noise.is_statistical() {
+                    sort_prob_with_progress(
+                        &items,
+                        &self.order_prob_params(scale),
+                        &mut cmp,
+                        &mut clean,
+                    )
+                } else {
+                    sort_adv_with_progress(
+                        &items,
+                        &self.order_adv_params(scale),
+                        &mut cmp,
+                        &mut clean,
+                    )
+                };
+                *partial = Some(PartialOutcome::SortedPrefix {
+                    items: order[..clean].to_vec(),
+                    n: order.len(),
+                });
+                Ok(Answer::Ranking(order))
+            }
+            // Select and Partition share the narrowing engine: a select
+            // is a partition whose boundary item is the answer, so both
+            // run the same queries and carry the same partial.
+            Task::Select { k } | Task::Partition { k } => {
+                let mut clean = 0;
+                let mut candidate = None;
+                let split = if self.cfg.noise.is_statistical() {
+                    partition_prob_with_progress(
+                        &items,
+                        k,
+                        &self.order_prob_params(scale),
+                        &mut cmp,
+                        &mut rng,
+                        &mut clean,
+                        &mut candidate,
+                    )
+                } else {
+                    partition_adv_with_progress(
+                        &items,
+                        k,
+                        &self.order_adv_params(scale),
+                        &mut cmp,
+                        &mut rng,
+                        &mut clean,
+                        &mut candidate,
+                    )
+                };
+                *partial = Some(PartialOutcome::PivotCandidate {
+                    candidate,
+                    confirmed: split.top[..clean].to_vec(),
+                    requested: k,
+                });
+                match task {
+                    Task::Select { .. } => Ok(Answer::Item(split.top[k - 1])),
+                    _ => Ok(Answer::Partition {
+                        top: split.top,
+                        rest: split.rest,
+                    }),
+                }
             }
             // validate() routed metric tasks away from value sessions.
             _ => Err(NcoError::invalid("not a value task")),
@@ -1551,6 +1643,28 @@ impl Session {
             .delta
             .map(ProbParams::with_confidence)
             .unwrap_or_default();
+        params.sample_coeff *= scale;
+        params
+    }
+
+    fn order_adv_params(&self, scale: f64) -> OrderAdvParams {
+        let mut params = self
+            .cfg
+            .delta
+            .map(OrderAdvParams::with_confidence)
+            .unwrap_or_default();
+        params.vote_coeff *= scale;
+        params.sample_coeff *= scale;
+        params
+    }
+
+    fn order_prob_params(&self, scale: f64) -> OrderProbParams {
+        let mut params = self
+            .cfg
+            .delta
+            .map(OrderProbParams::with_confidence)
+            .unwrap_or_default();
+        params.vote_coeff *= scale;
         params.sample_coeff *= scale;
         params
     }

@@ -18,9 +18,13 @@ use nco_core::kcenter::Clustering;
 /// | [`Task::Farthest`] | farthest neighbour of record `q` | Alg. 13 / core-routed PairwiseComp (Thm 3.10) |
 /// | [`Task::KCenter`] | k-center clustering | Alg. 6 (Thm 4.2) / Alg. 7 (Thm 4.4) |
 /// | [`Task::Hierarchy`] | agglomerative hierarchy | Alg. 11 (Thm 5.2) |
+/// | [`Task::Sort`] | full noisy sort, best first | skeleton insertion + polish (Gu–Xu style) |
+/// | [`Task::Select`] | the k-th largest value | sample–score–narrow (Braverman–Mao–Weinberg style) |
+/// | [`Task::Partition`] | top-k / rest split | sample–score–narrow (Braverman–Mao–Weinberg style) |
 ///
-/// `Max` and `TopK` need a session built over raw values; the other four
-/// need a session built over a metric / dataset.
+/// `Max`, `TopK`, `Sort`, `Select`, and `Partition` need a session built
+/// over raw values; the other four need a session built over a metric /
+/// dataset.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 #[non_exhaustive]
 pub enum Task {
@@ -51,13 +55,32 @@ pub enum Task {
         /// Single or complete linkage.
         linkage: Linkage,
     },
+    /// Full descending sort of the hidden values, best first.
+    Sort,
+    /// The k-th largest hidden value (`k = 1` is [`Task::Max`]'s problem).
+    Select {
+        /// Rank to select (`1 <= k <= n`).
+        k: usize,
+    },
+    /// Split into the top `k` values and the rest, without a full sort.
+    Partition {
+        /// Size of the top class (`1 <= k <= n`).
+        k: usize,
+    },
 }
 
 impl Task {
     /// `true` for tasks that run over hidden scalar values (comparison
     /// oracles); `false` for metric-space tasks (quadruplet oracles).
     pub fn needs_values(&self) -> bool {
-        matches!(self, Task::Max | Task::TopK { .. })
+        matches!(
+            self,
+            Task::Max
+                | Task::TopK { .. }
+                | Task::Sort
+                | Task::Select { .. }
+                | Task::Partition { .. }
+        )
     }
 }
 
@@ -75,6 +98,18 @@ pub enum Answer {
     Clustering(Clustering),
     /// The full merge tree ([`Task::Hierarchy`]).
     Dendrogram(Dendrogram),
+    /// Every record index in descending value order, best first
+    /// ([`Task::Sort`]).
+    Ranking(Vec<usize>),
+    /// Top-`k` / rest split ([`Task::Partition`]): `top` in confirmation
+    /// order with the k-th (boundary) item last, `rest` in elimination
+    /// order.
+    Partition {
+        /// The `k` records classified as the top class.
+        top: Vec<usize>,
+        /// The remaining records.
+        rest: Vec<usize>,
+    },
 }
 
 impl Answer {
@@ -106,6 +141,22 @@ impl Answer {
     pub fn dendrogram(&self) -> Option<&Dendrogram> {
         match self {
             Self::Dendrogram(d) => Some(d),
+            _ => None,
+        }
+    }
+
+    /// The full descending ranking, if this answer is one.
+    pub fn ranking(&self) -> Option<&[usize]> {
+        match self {
+            Self::Ranking(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The `(top, rest)` split, if this answer is one.
+    pub fn partition(&self) -> Option<(&[usize], &[usize])> {
+        match self {
+            Self::Partition { top, rest } => Some((top, rest)),
             _ => None,
         }
     }
@@ -167,6 +218,31 @@ pub enum PartialOutcome {
         /// Merges a complete agglomeration would hold (`n - 1`).
         expected: usize,
     },
+    /// [`Task::Sort`]: the prefix of the final ranking committed by the
+    /// polish/emit sweep on real answers — bit-identical to the same
+    /// prefix of the completed run's [`Answer::Ranking`]. Empty when the
+    /// run was killed before the sweep started emitting.
+    SortedPrefix {
+        /// Committed ranking prefix, best first; `items.len() <= n`.
+        items: Vec<usize>,
+        /// Total number of records being sorted.
+        n: usize,
+    },
+    /// [`Task::Select`] / [`Task::Partition`]: the narrowing loop's
+    /// committed state — `confirmed` is a true prefix of the completed
+    /// run's top class, and `candidate` is the current boundary (k-th
+    /// item) estimate, which, like [`PartialOutcome::Leader`], may still
+    /// change late in the run.
+    PivotCandidate {
+        /// Current boundary (k-th item) estimate, if any clean
+        /// narrowing iteration completed.
+        candidate: Option<usize>,
+        /// Top-class items confirmed on real answers, in confirmation
+        /// order; `confirmed.len() <= requested`.
+        confirmed: Vec<usize>,
+        /// The `k` the run was asked for.
+        requested: usize,
+    },
 }
 
 impl PartialOutcome {
@@ -188,6 +264,12 @@ impl PartialOutcome {
             Self::DendrogramPrefix {
                 merges, expected, ..
             } => merges.len() as f64 / (*expected).max(1) as f64,
+            Self::SortedPrefix { items, n } => items.len() as f64 / (*n).max(1) as f64,
+            Self::PivotCandidate {
+                confirmed,
+                requested,
+                ..
+            } => confirmed.len() as f64 / (*requested).max(1) as f64,
         }
     }
 }
@@ -211,6 +293,17 @@ mod tests {
             expected: 4,
         };
         assert_eq!(p.progress(), 0.0);
+        let p = PartialOutcome::SortedPrefix {
+            items: vec![2],
+            n: 4,
+        };
+        assert_eq!(p.progress(), 0.25);
+        let p = PartialOutcome::PivotCandidate {
+            candidate: Some(3),
+            confirmed: vec![1, 3],
+            requested: 8,
+        };
+        assert_eq!(p.progress(), 0.25);
     }
 
     #[test]
@@ -224,6 +317,9 @@ mod tests {
             linkage: Linkage::Single
         }
         .needs_values());
+        assert!(Task::Sort.needs_values());
+        assert!(Task::Select { k: 2 }.needs_values());
+        assert!(Task::Partition { k: 2 }.needs_values());
     }
 
     #[test]
@@ -236,5 +332,16 @@ mod tests {
         assert!(a.item().is_none());
         assert!(a.clustering().is_none());
         assert!(a.dendrogram().is_none());
+        assert!(a.ranking().is_none());
+        assert!(a.partition().is_none());
+        let a = Answer::Ranking(vec![2, 0, 1]);
+        assert_eq!(a.ranking(), Some(&[2usize, 0, 1][..]));
+        assert!(a.items().is_none());
+        let a = Answer::Partition {
+            top: vec![2],
+            rest: vec![0, 1],
+        };
+        assert_eq!(a.partition(), Some((&[2usize][..], &[0usize, 1][..])));
+        assert!(a.ranking().is_none());
     }
 }

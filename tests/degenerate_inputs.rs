@@ -105,7 +105,13 @@ fn all_duplicate_points_run_every_metric_task() {
 #[test]
 fn all_duplicate_values_run_every_value_task() {
     for noise in all_noises() {
-        for task in [Task::Max, Task::TopK { k: 3 }] {
+        for task in [
+            Task::Max,
+            Task::TopK { k: 3 },
+            Task::Sort,
+            Task::Select { k: 4 },
+            Task::Partition { k: 4 },
+        ] {
             let session = Session::builder()
                 .values(vec![3.0; 10])
                 .noise(noise)
@@ -116,8 +122,20 @@ fn all_duplicate_values_run_every_value_task() {
                 .run(task)
                 .unwrap_or_else(|e| panic!("{task:?} under {noise:?} failed: {e}"));
             match task {
-                Task::Max => assert!(outcome.answer.item().unwrap() < 10),
+                Task::Max | Task::Select { .. } => {
+                    assert!(outcome.answer.item().unwrap() < 10)
+                }
                 Task::TopK { k } => assert_eq!(outcome.answer.items().unwrap().len(), k),
+                Task::Sort => {
+                    let mut r = outcome.answer.ranking().unwrap().to_vec();
+                    r.sort_unstable();
+                    assert_eq!(r, (0..10).collect::<Vec<_>>(), "a permutation");
+                }
+                Task::Partition { k } => {
+                    let (top, rest) = outcome.answer.partition().unwrap();
+                    assert_eq!(top.len(), k);
+                    assert_eq!(top.len() + rest.len(), 10);
+                }
                 _ => unreachable!(),
             }
         }
@@ -138,6 +156,20 @@ fn single_record_corpora_answer_trivially_or_fail_typed() {
     assert_eq!(
         one_value.run(Task::TopK { k: 1 }).unwrap().answer.items(),
         Some(&[0usize][..])
+    );
+    assert_eq!(
+        one_value.run(Task::Sort).unwrap().answer.ranking(),
+        Some(&[0usize][..])
+    );
+    assert_eq!(
+        one_value.run(Task::Select { k: 1 }).unwrap().answer.item(),
+        Some(0)
+    );
+    let part = one_value.run(Task::Partition { k: 1 }).unwrap();
+    assert_eq!(
+        part.answer.partition(),
+        Some((&[0usize][..], &[][..])),
+        "a single record partitions into itself"
     );
 
     let one_point = Session::builder()
@@ -170,6 +202,14 @@ fn out_of_range_parameters_fail_typed_for_every_task() {
     for k in [0, 7, usize::MAX] {
         assert!(matches!(
             values.run(Task::TopK { k }),
+            Err(NcoError::InvalidParams { .. })
+        ));
+        assert!(matches!(
+            values.run(Task::Select { k }),
+            Err(NcoError::InvalidParams { .. })
+        ));
+        assert!(matches!(
+            values.run(Task::Partition { k }),
             Err(NcoError::InvalidParams { .. })
         ));
     }
@@ -214,6 +254,16 @@ fn empty_inputs_fail_typed() {
         no_values.run(Task::TopK { k: 1 }),
         Err(NcoError::InvalidParams { .. }) | Err(NcoError::EmptyInput { .. })
     ));
+    assert!(matches!(
+        no_values.run(Task::Sort),
+        Err(NcoError::EmptyInput { .. })
+    ));
+    for task in [Task::Select { k: 1 }, Task::Partition { k: 1 }] {
+        assert!(matches!(
+            no_values.run(task),
+            Err(NcoError::InvalidParams { .. }) | Err(NcoError::EmptyInput { .. })
+        ));
+    }
 
     let no_points = Session::builder().points(&[]).build().unwrap();
     assert!(matches!(

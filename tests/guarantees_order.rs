@@ -1,0 +1,233 @@
+//! Guarantee suite for the ordering subsystem (`Task::Sort` /
+//! `Task::Select` / `Task::Partition` through the `Session` front door).
+//!
+//! Three families of pins, each over a 20-seed block:
+//!
+//! * **exact-oracle correctness** — with `Noise::Exact` a sort is exactly
+//!   the descending order, a select is exactly the k-th largest, and a
+//!   partition is exactly the top-k set with the k-th item last;
+//! * **bounded dislocation under noise** — probabilistic-persistent and
+//!   crowd oracles keep every item within `O(sqrt(n log n))` of its true
+//!   position (the noisy-sorting quality measure), and select/partition
+//!   land within the same band of the requested boundary;
+//! * **determinism** — repeated seeded runs are bit-identical in answer,
+//!   partial shape and query count, under every noise model.
+
+use noisy_oracle::eval::rank::{kendall_tau, max_dislocation};
+use noisy_oracle::oracle::crowd::AccuracyProfile;
+use noisy_oracle::{Noise, Session, Task};
+
+const SEEDS: u64 = 20;
+const P: f64 = 0.15;
+const WORKERS: u32 = 3;
+
+fn values(n: usize) -> Vec<f64> {
+    // A scrambled permutation of 1..=n — distinct, order-hostile.
+    (0..n).map(|i| 1.0 + ((i * 193) % n) as f64).collect()
+}
+
+fn session(vals: &[f64], noise: Noise, seed: u64) -> Session {
+    Session::builder()
+        .values(vals.to_vec())
+        .noise(noise)
+        .seed(seed)
+        .build()
+        .unwrap()
+}
+
+/// Descending order of `vals` by index — the ground truth ranking.
+fn true_ranking(vals: &[f64]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..vals.len()).collect();
+    order.sort_by(|&a, &b| vals[b].partial_cmp(&vals[a]).unwrap());
+    order
+}
+
+/// The dislocation band every noisy run must stay inside. Generous on
+/// purpose: the engines aim well under it, and the pin is "bounded",
+/// not "optimal".
+fn dislocation_bound(n: usize) -> usize {
+    (4.0 * (n as f64 * (n as f64).ln()).sqrt()) as usize
+}
+
+#[test]
+fn exact_oracle_sort_is_exact_across_seeds() {
+    let vals = values(180);
+    let want = true_ranking(&vals);
+    for seed in 0..SEEDS {
+        let outcome = session(&vals, Noise::Exact, seed).run(Task::Sort).unwrap();
+        let got = outcome.answer.ranking().unwrap();
+        assert_eq!(got, &want[..], "seed {seed}");
+        assert_eq!(kendall_tau(&vals, got), 0, "seed {seed}");
+    }
+}
+
+#[test]
+fn exact_oracle_select_is_the_true_kth_across_seeds() {
+    let vals = values(150);
+    let want = true_ranking(&vals);
+    for seed in 0..SEEDS {
+        for k in [1usize, 2, 75, 149, 150] {
+            let outcome = session(&vals, Noise::Exact, seed)
+                .run(Task::Select { k })
+                .unwrap();
+            assert_eq!(
+                outcome.answer.item(),
+                Some(want[k - 1]),
+                "seed {seed}, k {k}"
+            );
+        }
+    }
+}
+
+#[test]
+fn exact_oracle_partition_is_the_true_topk_set_across_seeds() {
+    let vals = values(150);
+    let want = true_ranking(&vals);
+    for seed in 0..SEEDS {
+        for k in [1usize, 10, 149] {
+            let outcome = session(&vals, Noise::Exact, seed)
+                .run(Task::Partition { k })
+                .unwrap();
+            let (top, rest) = outcome.answer.partition().unwrap();
+            assert_eq!(top.len(), k);
+            assert_eq!(top.len() + rest.len(), vals.len());
+            let mut top_sorted = top.to_vec();
+            top_sorted.sort_unstable();
+            let mut want_sorted = want[..k].to_vec();
+            want_sorted.sort_unstable();
+            assert_eq!(top_sorted, want_sorted, "seed {seed}, k {k}");
+            // The boundary item — resolved by the exact round-robin scan
+            // — is exactly the k-th largest.
+            assert_eq!(top.last(), Some(&want[k - 1]), "seed {seed}, k {k}");
+        }
+    }
+}
+
+#[test]
+fn sort_dislocation_is_bounded_under_probabilistic_noise() {
+    let n = 256;
+    let vals = values(n);
+    let bound = dislocation_bound(n);
+    for seed in 0..SEEDS {
+        let noise = Noise::Probabilistic {
+            p: P,
+            seed: 5000 + seed,
+        };
+        let outcome = session(&vals, noise, seed).run(Task::Sort).unwrap();
+        let got = outcome.answer.ranking().unwrap();
+        let worst = max_dislocation(&vals, got);
+        assert!(worst <= bound, "seed {seed}: dislocation {worst} > {bound}");
+    }
+}
+
+#[test]
+fn sort_dislocation_is_bounded_under_crowd_noise() {
+    let n = 192;
+    let vals = values(n);
+    let bound = dislocation_bound(n);
+    for seed in 0..SEEDS {
+        let noise = Noise::Crowd {
+            profile: AccuracyProfile::caltech_like(),
+            workers: WORKERS,
+            seed: 6000 + seed,
+        };
+        let outcome = session(&vals, noise, seed).run(Task::Sort).unwrap();
+        let got = outcome.answer.ranking().unwrap();
+        let worst = max_dislocation(&vals, got);
+        assert!(worst <= bound, "seed {seed}: dislocation {worst} > {bound}");
+    }
+}
+
+#[test]
+fn select_lands_near_the_boundary_under_noise() {
+    let n = 256;
+    let vals = values(n);
+    let want = true_ranking(&vals);
+    let band = dislocation_bound(n);
+    let k = n / 4;
+    for seed in 0..SEEDS {
+        for noise in [
+            Noise::Probabilistic {
+                p: P,
+                seed: 7000 + seed,
+            },
+            Noise::Crowd {
+                profile: AccuracyProfile::caltech_like(),
+                workers: WORKERS,
+                seed: 7000 + seed,
+            },
+        ] {
+            let outcome = session(&vals, noise, seed).run(Task::Select { k }).unwrap();
+            let got = outcome.answer.item().unwrap();
+            // True 0-based rank of the returned item.
+            let rank = want.iter().position(|&i| i == got).unwrap();
+            assert!(
+                rank.abs_diff(k - 1) <= band,
+                "seed {seed} ({noise:?}): rank {rank} not within {band} of {}",
+                k - 1
+            );
+        }
+    }
+}
+
+/// Bit-determinism of every order task under every noise model: same
+/// session config, same seed — same answer, same partial, same meters.
+#[test]
+fn order_runs_are_bit_deterministic_across_replays() {
+    let vals = values(128);
+    let noises = |seed: u64| {
+        vec![
+            Noise::Exact,
+            Noise::Adversarial { mu: 0.4 },
+            Noise::Probabilistic {
+                p: P,
+                seed: 8000 + seed,
+            },
+            Noise::Crowd {
+                profile: AccuracyProfile::caltech_like(),
+                workers: WORKERS,
+                seed: 8000 + seed,
+            },
+        ]
+    };
+    for seed in [0u64, 3, 11] {
+        for noise in noises(seed) {
+            for task in [Task::Sort, Task::Select { k: 9 }, Task::Partition { k: 9 }] {
+                let a = session(&vals, noise, seed).run(task).unwrap();
+                let b = session(&vals, noise, seed).run(task).unwrap();
+                assert_eq!(
+                    a.answer, b.answer,
+                    "answer replay diverged ({task:?}, {noise:?}, seed {seed})"
+                );
+                assert_eq!(
+                    a.report.queries, b.report.queries,
+                    "query replay diverged ({task:?}, {noise:?}, seed {seed})"
+                );
+                assert_eq!(
+                    a.report.rounds, b.report.rounds,
+                    "round replay diverged ({task:?}, {noise:?}, seed {seed})"
+                );
+            }
+        }
+    }
+}
+
+/// The ordering engines are batched: a full sort must spend far fewer
+/// oracle rounds than queries (the round meter counts `le_batch` calls),
+/// which is the BMW-style round-accounting pin.
+#[test]
+fn order_tasks_coalesce_queries_into_rounds() {
+    let vals = values(256);
+    for task in [Task::Sort, Task::Select { k: 32 }] {
+        let outcome = session(&vals, Noise::Probabilistic { p: P, seed: 9100 }, 9)
+            .run(task)
+            .unwrap();
+        let queries = outcome.report.queries;
+        let rounds = outcome.report.rounds;
+        assert!(queries > 0 && rounds > 0, "{task:?} issued no work");
+        assert!(
+            rounds * 8 <= queries,
+            "{task:?}: {rounds} rounds for {queries} queries — not coalescing"
+        );
+    }
+}

@@ -164,6 +164,103 @@ fn budget_killed_hierarchy_returns_a_merge_prefix() {
 }
 
 #[test]
+fn budget_killed_sort_returns_a_sorted_prefix_of_the_full_ranking() {
+    let task = Task::Sort;
+    let full = value_builder().build().unwrap().run(task).unwrap();
+    let full_ranking = full.answer.ranking().unwrap();
+
+    // Kill inside the emit sweep: the clean watermark is non-trivial.
+    let budget = full.report.queries - 1;
+    let (partial, _) = budget_kill(value_builder, task, budget);
+    let Some(PartialOutcome::SortedPrefix { items, n }) = partial else {
+        panic!("expected SortedPrefix, got {partial:?}");
+    };
+    assert_eq!(n, 128);
+    assert!(
+        !items.is_empty() && items.len() < n,
+        "mid-sweep kill: {} committed",
+        items.len()
+    );
+    assert_eq!(
+        items,
+        full_ranking[..items.len()],
+        "committed positions are never touched again, so the killed \
+         prefix is bit-identical to the completed run's prefix"
+    );
+
+    let (replay, spent) = budget_kill(value_builder, task, budget);
+    assert_eq!(replay, Some(PartialOutcome::SortedPrefix { items, n }));
+    let (_, spent2) = budget_kill(value_builder, task, budget);
+    assert_eq!(spent, spent2);
+
+    // A kill before the emit sweep still types the partial, with an
+    // empty (nothing committed yet) prefix allowed.
+    let (early, _) = budget_kill(value_builder, task, full.report.queries / 10);
+    let Some(PartialOutcome::SortedPrefix { items, n }) = early else {
+        panic!("expected SortedPrefix, got {early:?}");
+    };
+    assert_eq!(n, 128);
+    assert!(items.len() < n);
+}
+
+#[test]
+fn budget_killed_select_and_partition_confirm_a_prefix_of_the_top() {
+    let k = 8usize;
+    let full = value_builder()
+        .build()
+        .unwrap()
+        .run(Task::Partition { k })
+        .unwrap();
+    let (full_top, _) = full.answer.partition().unwrap();
+
+    // Select and Partition share one narrowing engine, so both kills
+    // surface the same PivotCandidate shape against the same top. A kill
+    // inside the resolving scan (budget q-1) lands after the narrowing
+    // watermark committed, so the boundary estimate survives; an early
+    // kill still types the partial but may predate any commitment.
+    for task in [Task::Select { k }, Task::Partition { k }] {
+        let q = full_queries(value_builder, task);
+        let (late, _) = budget_kill(value_builder, task, q - 1);
+        let Some(PartialOutcome::PivotCandidate {
+            candidate,
+            confirmed,
+            requested,
+        }) = late
+        else {
+            panic!("expected PivotCandidate, got {late:?}");
+        };
+        assert_eq!(requested, k);
+        assert!(candidate.is_some(), "{task:?}: late kill has a boundary");
+        assert!(confirmed.len() < k, "{task:?}: kill precedes the full top");
+        assert_eq!(
+            confirmed,
+            full_top[..confirmed.len()],
+            "{task:?}: confirmed items are a prefix of the completed top"
+        );
+
+        let (replay, _) = budget_kill(value_builder, task, q - 1);
+        assert_eq!(
+            replay,
+            Some(PartialOutcome::PivotCandidate {
+                candidate,
+                confirmed,
+                requested
+            })
+        );
+
+        let (early, _) = budget_kill(value_builder, task, q / 2);
+        let Some(PartialOutcome::PivotCandidate { confirmed, .. }) = early else {
+            panic!("expected PivotCandidate, got {early:?}");
+        };
+        assert_eq!(
+            confirmed,
+            full_top[..confirmed.len()],
+            "{task:?}: even an early kill only ever confirms a true prefix"
+        );
+    }
+}
+
+#[test]
 fn budget_killed_max_reports_its_leader() {
     let task = Task::Max;
     let q = full_queries(value_builder, task);

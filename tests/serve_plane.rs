@@ -174,6 +174,64 @@ fn served_value_requests_match_solo_sessions() {
     assert!(stats.memo_hits > 0, "overlapping max runs share answers");
 }
 
+/// The ordering tasks ride the same value-session dispatch, so served
+/// Sort/Select/Partition requests must be bit-identical to solo runs
+/// without any serve-plane code knowing they exist.
+#[test]
+fn served_order_requests_match_solo_sessions() {
+    let values: Vec<f64> = (0..96).map(|i| ((i * 29) % 97) as f64).collect();
+    let template = Session::builder()
+        .values(values.clone())
+        .noise(Noise::Probabilistic { p: 0.15, seed: 5 })
+        .build()
+        .unwrap();
+    let server = Server::builder(template).workers(2).build().unwrap();
+    let requests = [
+        Request {
+            task: Task::Sort,
+            seed: 21,
+        },
+        Request {
+            task: Task::Select { k: 12 },
+            seed: 22,
+        },
+        Request {
+            task: Task::Partition { k: 12 },
+            seed: 23,
+        },
+    ];
+    let handles: Vec<_> = requests
+        .iter()
+        .map(|&r| server.submit(r).unwrap())
+        .collect();
+    let served: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    let stats = server.shutdown();
+
+    for (request, outcome) in requests.iter().zip(&served) {
+        let solo = Session::builder()
+            .values(values.clone())
+            .noise(Noise::Probabilistic { p: 0.15, seed: 5 })
+            .seed(request.seed)
+            .build()
+            .unwrap()
+            .run(request.task)
+            .unwrap();
+        assert_eq!(
+            solo.answer, outcome.answer,
+            "answer differs for {request:?}"
+        );
+        assert_eq!(
+            solo.report.queries, outcome.report.queries,
+            "queries differ for {request:?}"
+        );
+        assert_eq!(
+            solo.report.rounds, outcome.report.rounds,
+            "rounds differ for {request:?}"
+        );
+    }
+    assert_eq!(stats.completed, 3);
+}
+
 #[test]
 fn shared_budgeted_never_over_admits_under_contention() {
     use nco_oracle::persistent::SharedQuadrupletOracle;

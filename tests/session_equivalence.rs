@@ -17,6 +17,10 @@ use noisy_oracle::core::maxfind::{
     max_adv, max_prob, top_k_adv, top_k_prob, AdvParams, ProbParams,
 };
 use noisy_oracle::core::neighbor::{farthest_adv, farthest_prob, nearest_adv, nearest_prob};
+use noisy_oracle::core::order::{
+    partition_adv, partition_prob, select_adv, select_prob, sort_adv, sort_prob, OrderAdvParams,
+    OrderProbParams, Split,
+};
 use noisy_oracle::metric::EuclideanMetric;
 use noisy_oracle::oracle::adversarial::{
     AdversarialQuadOracle, AdversarialValueOracle, InvertAdversary,
@@ -226,6 +230,88 @@ fn direct_quad_answer(
     }
 }
 
+enum OrderAnswer {
+    Ranking(Vec<usize>),
+    Item(Option<usize>),
+    Split(Split<usize>),
+}
+
+/// Hand-wired twin of the facade's ordering dispatch: same oracle, same
+/// comparator, same params resolution (defaults — the sessions under
+/// test set no confidence), same rng seeding.
+fn direct_order_answer(
+    task: Task,
+    noise: Noise,
+    vals: &[f64],
+    rng_seed: u64,
+) -> (OrderAnswer, u64) {
+    fn drive<O: ComparisonOracle>(
+        task: Task,
+        statistical: bool,
+        mut oracle: Counting<O>,
+        rng_seed: u64,
+    ) -> (OrderAnswer, u64) {
+        let items: Vec<usize> = (0..oracle.n()).collect();
+        let mut rng = StdRng::seed_from_u64(rng_seed);
+        let mut cmp = ValueCmp::new(&mut oracle);
+        let ans = match task {
+            Task::Sort => OrderAnswer::Ranking(if statistical {
+                sort_prob(&items, &OrderProbParams::default(), &mut cmp)
+            } else {
+                sort_adv(&items, &OrderAdvParams::default(), &mut cmp)
+            }),
+            Task::Select { k } => OrderAnswer::Item(if statistical {
+                select_prob(&items, k, &OrderProbParams::default(), &mut cmp, &mut rng)
+            } else {
+                select_adv(&items, k, &OrderAdvParams::default(), &mut cmp, &mut rng)
+            }),
+            Task::Partition { k } => OrderAnswer::Split(if statistical {
+                partition_prob(&items, k, &OrderProbParams::default(), &mut cmp, &mut rng)
+            } else {
+                partition_adv(&items, k, &OrderAdvParams::default(), &mut cmp, &mut rng)
+            }),
+            _ => unreachable!("order tasks only"),
+        };
+        (ans, oracle.queries())
+    }
+    let statistical = matches!(noise, Noise::Probabilistic { .. } | Noise::Crowd { .. });
+    match noise {
+        Noise::Exact => drive(
+            task,
+            statistical,
+            Counting::new(TrueValueOracle::new(vals.to_vec())),
+            rng_seed,
+        ),
+        Noise::Adversarial { mu } => drive(
+            task,
+            statistical,
+            Counting::new(AdversarialValueOracle::new(
+                vals.to_vec(),
+                mu,
+                InvertAdversary,
+            )),
+            rng_seed,
+        ),
+        Noise::Probabilistic { p, seed } => drive(
+            task,
+            statistical,
+            Counting::new(ProbValueOracle::new(vals.to_vec(), p, seed)),
+            rng_seed,
+        ),
+        Noise::Crowd {
+            profile,
+            workers,
+            seed,
+        } => drive(
+            task,
+            statistical,
+            Counting::new(CrowdValueOracle::new(vals.to_vec(), profile, workers, seed)),
+            rng_seed,
+        ),
+        _ => unreachable!("all shipped noise models covered above"),
+    }
+}
+
 #[test]
 fn value_tasks_match_direct_calls_across_seeds_and_noise_models() {
     let vals = values(96);
@@ -252,6 +338,47 @@ fn value_tasks_match_direct_calls_across_seeds_and_noise_models() {
                         "TopK answer diverged ({noise:?}, seed {seed})"
                     ),
                     _ => unreachable!(),
+                }
+                assert_eq!(
+                    outcome.report.queries, queries,
+                    "query count diverged ({task:?}, {noise:?}, seed {seed})"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn order_tasks_match_direct_calls_across_seeds_and_noise_models() {
+    let vals = values(96);
+    let tasks = [Task::Sort, Task::Select { k: 7 }, Task::Partition { k: 7 }];
+    for seed in 0..SEEDS {
+        for noise in noise_models(4000 + seed) {
+            for task in tasks {
+                let session = Session::builder()
+                    .values(vals.clone())
+                    .noise(noise)
+                    .seed(seed)
+                    .build()
+                    .unwrap();
+                let outcome = session.run(task).unwrap();
+                let (direct, queries) = direct_order_answer(task, noise, &vals, seed);
+                match direct {
+                    OrderAnswer::Ranking(r) => assert_eq!(
+                        outcome.answer.ranking(),
+                        Some(&r[..]),
+                        "ranking diverged ({noise:?}, seed {seed})"
+                    ),
+                    OrderAnswer::Item(i) => assert_eq!(
+                        outcome.answer.item(),
+                        i,
+                        "selected item diverged ({noise:?}, seed {seed})"
+                    ),
+                    OrderAnswer::Split(s) => assert_eq!(
+                        outcome.answer.partition(),
+                        Some((&s.top[..], &s.rest[..])),
+                        "partition diverged ({noise:?}, seed {seed})"
+                    ),
                 }
                 assert_eq!(
                     outcome.report.queries, queries,
