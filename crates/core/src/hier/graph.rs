@@ -88,6 +88,35 @@ impl ClusterGraph {
         linkage: Linkage,
         oracle: &mut O,
     ) -> usize {
+        self.merge_impl(a, b, linkage, oracle, None)
+    }
+
+    /// [`merge`](Self::merge), additionally recording, per survivor, which
+    /// parent's representative the union kept: `kept` is cleared and filled
+    /// with `(survivor id, kept from a)` in survivor-slot order. Queries and
+    /// answers are bit-identical to `merge` — the provenance is read off
+    /// the rep-refresh round the merge issues anyway. The shared-scaffold
+    /// search plane uses it to decide which cached duel outcomes transfer
+    /// verbatim to the union's row (see `maxfind::RowScaffold::note_merge`).
+    pub fn merge_recording<O: QuadrupletOracle>(
+        &mut self,
+        a: usize,
+        b: usize,
+        linkage: Linkage,
+        oracle: &mut O,
+        kept: &mut Vec<(usize, bool)>,
+    ) -> usize {
+        self.merge_impl(a, b, linkage, oracle, Some(kept))
+    }
+
+    fn merge_impl<O: QuadrupletOracle>(
+        &mut self,
+        a: usize,
+        b: usize,
+        linkage: Linkage,
+        oracle: &mut O,
+        kept: Option<&mut Vec<(usize, bool)>>,
+    ) -> usize {
         assert!(a != b, "cannot merge a cluster with itself");
         let new = self.next_id;
         self.next_id += 1;
@@ -112,25 +141,22 @@ impl ClusterGraph {
         }
         let mut answers: Vec<bool> = Vec::with_capacity(queries.len());
         oracle.le_batch(&queries, &mut answers);
+        let mut kept = kept;
+        if let Some(kept) = kept.as_deref_mut() {
+            kept.clear();
+        }
         for (&sc, &r1_closer) in survivors.iter().zip(answers.iter()) {
             let r1 = self.reps[sa * n0 + sc];
             let r2 = self.reps[sb * n0 + sc];
-            let keep = match linkage {
-                Linkage::Single => {
-                    if r1_closer {
-                        r1
-                    } else {
-                        r2
-                    }
-                }
-                Linkage::Complete => {
-                    if r1_closer {
-                        r2
-                    } else {
-                        r1
-                    }
-                }
+            let from_a = match linkage {
+                // Single keeps the closer pair, complete the farther one.
+                Linkage::Single => r1_closer,
+                Linkage::Complete => !r1_closer,
             };
+            let keep = if from_a { r1 } else { r2 };
+            if let Some(kept) = kept.as_deref_mut() {
+                kept.push((self.active[sc], from_a));
+            }
             self.reps[sa * n0 + sc] = keep;
             self.reps[sc * n0 + sa] = keep;
         }

@@ -42,11 +42,32 @@
 //! worker count; with the `parallel` feature and `threads > 1`,
 //! [`hier_oracle_par`] fans large re-contest and rep-refresh rounds
 //! across `std::thread::scope` workers, bit-identically.
+//!
+//! ## The shared-scaffold search plane (opt-in)
+//!
+//! [`MinContest`] amortises Max-Adv's scaffolding across the merge loop's
+//! *one* evolving closest-pair search — but a hierarchy run also performs
+//! `n` initial nearest-neighbour searches plus (under complete linkage) a
+//! long tail of pointer-*repair* searches, each paying full per-search
+//! scaffolding. With [`HierParams::scaffold`] on, all of those
+//! row-anchored searches run over one [`RowScaffold`]
+//! ([`crate::maxfind::RowScaffold`]): a single set of bucket deals and
+//! one persistent sample shared by every row, per-row cached tournament
+//! winners and duel outcomes, dirty-bucket-only repair re-contests with a
+//! dirty-majority fallback, and cache inheritance into merged rows. The
+//! same persistent-noise argument as above makes every sweep
+//! decision-identical to the from-scratch reference
+//! ([`hier_oracle_scratch`] with the same params), pinned in
+//! `tests/hier_scaffold_equivalence.rs`. The plane is opt-in because it
+//! replaces per-search randomness with the shared deal, which perturbs
+//! default-path transcripts that `perfsuite` pins byte-stable.
 
 use super::graph::ClusterGraph;
 use super::{Dendrogram, Linkage, Merge};
 use crate::comparator::Comparator;
-use crate::maxfind::{max_adv, min_adv_incremental, AdvParams, MinContest};
+use crate::maxfind::{
+    max_adv, min_adv_incremental, AdvParams, MinContest, RowScaffold, SweepBuffers,
+};
 use nco_oracle::{PersistentNoise, QuadrupletOracle, SharedQuadrupletOracle};
 use rand::rngs::CounterRng;
 use rand::Rng;
@@ -60,6 +81,15 @@ pub struct HierParams {
     /// (the paper uses `t = 2 ln(n/delta)` for Lemma 5.1, `t = 1` in
     /// experiments).
     pub search: AdvParams,
+    /// Runs every row-anchored nearest-neighbour search (the initial
+    /// pointer pass and every pointer repair) over one shared
+    /// [`RowScaffold`](crate::maxfind::RowScaffold) instead of independent
+    /// per-search Max-Adv scaffolding — strictly fewer queries, identical
+    /// guarantees. Opt-in (default `false`) because it changes the
+    /// randomness *schedule* (one shared deal instead of per-search
+    /// draws), which would perturb the byte-stable transcripts the
+    /// default path pins in `perfsuite`.
+    pub scaffold: bool,
 }
 
 impl HierParams {
@@ -68,6 +98,7 @@ impl HierParams {
         Self {
             linkage,
             search: AdvParams::experimental(),
+            scaffold: false,
         }
     }
 
@@ -84,7 +115,16 @@ impl HierParams {
                 partitions: None,
                 sample_size: None,
             },
+            scaffold: false,
         }
+    }
+
+    /// Opts into the shared-scaffold search plane (see
+    /// [`HierParams::scaffold`]).
+    #[must_use]
+    pub fn scaffolded(mut self) -> Self {
+        self.scaffold = true;
+        self
     }
 }
 
@@ -123,6 +163,18 @@ pub struct MergePlaneStats {
     /// merge sequence built from real answers; equals `merges` on a run
     /// that never tripped a budget, deadline or retry limit.
     pub clean_merges: u64,
+    /// Duels of row-anchored searches answered from the shared scaffold's
+    /// per-row caches instead of the oracle (zero unless
+    /// [`HierParams::scaffold`] is on).
+    pub scaffold_hits: u64,
+    /// Pointer-repair searches served incrementally by the scaffold: the
+    /// row re-contested only the buckets dirtied since its last sweep,
+    /// against its cached winner structure.
+    pub repair_contests: u64,
+    /// Pointer-repair searches that fell back to a full row sweep because
+    /// a majority of the row's buckets were dirty (still mostly cache
+    /// hits — clean buckets replay from cached outcomes).
+    pub repair_fallbacks: u64,
 }
 
 /// Compares neighbour clusters of a fixed cluster by their rep-pair
@@ -196,6 +248,79 @@ impl<O: SharedQuadrupletOracle> Comparator<usize> for RevSharedRepCmp<'_, O> {
         out.extend(round.iter().map(|&(c1, c2)| {
             let r1 = self.graph.rep(self.me, c2);
             let r2 = self.graph.rep(self.me, c1);
+            self.oracle.le_shared(r1.0, r1.1, r2.0, r2.1)
+        }));
+    }
+
+    fn doomed(&self) -> bool {
+        self.oracle.doomed()
+    }
+}
+
+/// Compares neighbour clusters of a fixed cluster by rep-pair distance in
+/// the **direct minimum orientation** the scaffold plane expects:
+/// `le(u, v)` asks `oracle.le(rep(me, u), rep(me, v))` — `true` promotes
+/// `u` as the at-least-as-close one. No reversal fusion here: the
+/// scaffold caches outcomes under canonically ordered candidate-id pairs,
+/// so the query orientation must be a pure function of the pair, never of
+/// bracket position.
+struct RepCmp<'a, O> {
+    oracle: &'a mut O,
+    graph: &'a ClusterGraph,
+    me: usize,
+    queries: &'a mut Vec<[usize; 4]>,
+}
+
+impl<O: QuadrupletOracle> Comparator<usize> for RepCmp<'_, O> {
+    fn le(&mut self, c1: usize, c2: usize) -> bool {
+        let r1 = self.graph.rep(self.me, c1);
+        let r2 = self.graph.rep(self.me, c2);
+        self.oracle.le(r1.0, r1.1, r2.0, r2.1)
+    }
+
+    fn le_round(&mut self, round: &[(usize, usize)], out: &mut Vec<bool>) {
+        let Self {
+            oracle,
+            graph,
+            me,
+            queries,
+        } = self;
+        queries.clear();
+        queries.extend(round.iter().map(|&(c1, c2)| {
+            let r1 = graph.rep(*me, c1);
+            let r2 = graph.rep(*me, c2);
+            [r1.0, r1.1, r2.0, r2.1]
+        }));
+        oracle.le_batch(queries, out);
+    }
+
+    fn doomed(&self) -> bool {
+        self.oracle.doomed()
+    }
+}
+
+/// [`RepCmp`] through a shared oracle reference — the per-worker
+/// comparator of the fanned scaffolded initial pass (see
+/// [`RevSharedRepCmp`] for the round-billing contract).
+struct SharedRepCmp<'a, O> {
+    oracle: &'a O,
+    graph: &'a ClusterGraph,
+    me: usize,
+}
+
+impl<O: SharedQuadrupletOracle> Comparator<usize> for SharedRepCmp<'_, O> {
+    fn le(&mut self, c1: usize, c2: usize) -> bool {
+        let r1 = self.graph.rep(self.me, c1);
+        let r2 = self.graph.rep(self.me, c2);
+        self.oracle.le_shared(r1.0, r1.1, r2.0, r2.1)
+    }
+
+    fn le_round(&mut self, round: &[(usize, usize)], out: &mut Vec<bool>) {
+        self.oracle.note_round();
+        out.reserve(round.len());
+        out.extend(round.iter().map(|&(c1, c2)| {
+            let r1 = self.graph.rep(self.me, c1);
+            let r2 = self.graph.rep(self.me, c2);
             self.oracle.le_shared(r1.0, r1.1, r2.0, r2.1)
         }));
     }
@@ -335,6 +460,57 @@ where
     max_adv(scratch, params, &mut cmp, rng).expect("at least one neighbour")
 }
 
+/// One row-anchored nearest-neighbour search through the shared scaffold
+/// plane: sweep row `c`'s brackets (dirty buckets only, unless `use_cache`
+/// is off or the dirty set is the majority) and the pooled Count-Min.
+fn scaffold_nearest<O: QuadrupletOracle>(
+    plane: &mut RowScaffold,
+    buf: &mut SweepBuffers,
+    graph: &ClusterGraph,
+    c: usize,
+    oracle: &mut O,
+    use_cache: bool,
+    quads: &mut Vec<[usize; 4]>,
+) -> usize {
+    let mut cmp = RepCmp {
+        oracle,
+        graph,
+        me: c,
+        queries: quads,
+    };
+    plane.sweep(c, &mut cmp, use_cache, buf)
+}
+
+/// Scaffolded twin of [`init_pointers`]: one [`RowScaffold`] deal (drawn
+/// from the caller's rng up front) serves all `n` initial searches;
+/// `use_cache = false` is the from-scratch reference, which evolves the
+/// identical scaffold but re-asks every duel.
+fn init_pointers_scaffold<O, R>(
+    params: &HierParams,
+    oracle: &mut O,
+    rng: &mut R,
+    use_cache: bool,
+) -> (ClusterGraph, Vec<usize>, RowScaffold, SweepBuffers)
+where
+    O: QuadrupletOracle,
+    R: Rng + ?Sized,
+{
+    let n = oracle.n();
+    assert!(n >= 2, "agglomeration needs at least two records");
+    let graph = ClusterGraph::new(n);
+    let items: Vec<usize> = (0..n).collect();
+    let mut plane = RowScaffold::new(&items, 2 * n - 1, &params.search, rng);
+    let mut buf = SweepBuffers::new(2 * n - 1);
+    let mut nn: Vec<usize> = vec![usize::MAX; 2 * n - 1];
+    let mut quads: Vec<[usize; 4]> = Vec::new();
+    for (c, pointer) in nn.iter_mut().enumerate().take(n) {
+        *pointer = scaffold_nearest(
+            &mut plane, &mut buf, &graph, c, oracle, use_cache, &mut quads,
+        );
+    }
+    (graph, nn, plane, buf)
+}
+
 /// [`nearest_of`] through a shared oracle reference (the worker-side form
 /// of the initial pointer pass). Identical candidate list, comparator
 /// decisions and rng consumption — only the borrow discipline differs.
@@ -394,8 +570,12 @@ where
     O: QuadrupletOracle + PersistentNoise,
     R: Rng + ?Sized,
 {
+    if params.scaffold {
+        let (graph, nn, plane, buf) = init_pointers_scaffold(params, oracle, rng, true);
+        return agglomerate(params, graph, nn, oracle, rng, false, Some((plane, buf)));
+    }
     let (graph, nn) = init_pointers(params, oracle, rng);
-    agglomerate(params, graph, nn, oracle, rng, false)
+    agglomerate(params, graph, nn, oracle, rng, false, None)
 }
 
 /// The from-scratch reference sweep: identical structure evolution and
@@ -413,8 +593,12 @@ where
     O: QuadrupletOracle + PersistentNoise,
     R: Rng + ?Sized,
 {
+    if params.scaffold {
+        let (graph, nn, plane, buf) = init_pointers_scaffold(params, oracle, rng, false);
+        return agglomerate(params, graph, nn, oracle, rng, true, Some((plane, buf))).0;
+    }
     let (graph, nn) = init_pointers(params, oracle, rng);
-    agglomerate(params, graph, nn, oracle, rng, true).0
+    agglomerate(params, graph, nn, oracle, rng, true, None).0
 }
 
 /// Initial nearest-neighbour pointers (`n` searches of `O(n)` queries),
@@ -535,6 +719,9 @@ where
     O: SharedQuadrupletOracle,
     R: Rng + ?Sized,
 {
+    if params.scaffold {
+        return run_par_scaffold(params, oracle, rng, threads, scratch);
+    }
     let n = oracle.n();
     assert!(n >= 2, "agglomeration needs at least two records");
     let graph = ClusterGraph::new(n);
@@ -598,14 +785,130 @@ where
             oracle: &*oracle,
             threads,
         };
-        return agglomerate(params, graph, nn, &mut fan, rng, scratch);
+        return agglomerate(params, graph, nn, &mut fan, rng, scratch, None);
     }
-    agglomerate(params, graph, nn, oracle, rng, scratch)
+    agglomerate(params, graph, nn, oracle, rng, scratch, None)
+}
+
+/// Scaffolded twin of [`run_par`]: the shared [`RowScaffold`] deal is
+/// drawn serially from the caller's rng **before** any fan-out, and row
+/// sweeps consume no randomness at all — worker-count independence is
+/// structural, with nothing left to schedule. (The legacy plane needs
+/// per-row [`CounterRng`] streams precisely because each row's search
+/// draws its own sample and partitions; the shared deal subsumes both.)
+/// Fanned workers sweep disjoint row ranges against the read-only deal
+/// and write disjoint `nn` / row-state slots, so the transcript is
+/// bit-identical at any worker count.
+fn run_par_scaffold<O, R>(
+    params: &HierParams,
+    oracle: &mut O,
+    rng: &mut R,
+    threads: usize,
+    scratch: bool,
+) -> (Dendrogram, MergePlaneStats)
+where
+    O: SharedQuadrupletOracle,
+    R: Rng + ?Sized,
+{
+    let n = oracle.n();
+    assert!(n >= 2, "agglomeration needs at least two records");
+    let graph = ClusterGraph::new(n);
+    let items: Vec<usize> = (0..n).collect();
+    let mut plane = RowScaffold::new(&items, 2 * n - 1, &params.search, rng);
+    let mut nn: Vec<usize> = vec![usize::MAX; 2 * n - 1];
+    let use_cache = !scratch;
+
+    #[cfg(feature = "parallel")]
+    let fan_out = threads > 1;
+    #[cfg(not(feature = "parallel"))]
+    let fan_out = false;
+    let _ = threads;
+
+    if !fan_out {
+        let mut buf = SweepBuffers::new(2 * n - 1);
+        for (c, pointer) in nn.iter_mut().enumerate().take(n) {
+            let mut cmp = SharedRepCmp {
+                oracle: &*oracle,
+                graph: &graph,
+                me: c,
+            };
+            *pointer = plane.sweep(c, &mut cmp, use_cache, &mut buf);
+        }
+        return agglomerate(params, graph, nn, oracle, rng, scratch, Some((plane, buf)));
+    }
+    #[cfg(feature = "parallel")]
+    {
+        use crate::maxfind::{sweep_row, RowState, ScaffoldStats};
+        let chunk = n.div_ceil(threads);
+        let total = plane.deal.total_buckets();
+        let mut tallies: Vec<ScaffoldStats> = Vec::new();
+        {
+            let deal = &plane.deal;
+            let rows = &mut plane.rows;
+            let graph = &graph;
+            let oracle = &*oracle;
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = nn[..n]
+                    .chunks_mut(chunk)
+                    .zip(rows[..n].chunks_mut(chunk))
+                    .enumerate()
+                    .map(|(w, (pointers, states))| {
+                        scope.spawn(move || {
+                            let mut buf = SweepBuffers::new(2 * n - 1);
+                            let mut tally = ScaffoldStats::default();
+                            for (offset, (pointer, slot)) in
+                                pointers.iter_mut().zip(states.iter_mut()).enumerate()
+                            {
+                                let c = w * chunk + offset;
+                                let mut state = RowState::new(total);
+                                let mut cmp = SharedRepCmp {
+                                    oracle,
+                                    graph,
+                                    me: c,
+                                };
+                                let (win, _) = sweep_row(
+                                    deal, c, &mut state, &mut cmp, use_cache, &mut buf, &mut tally,
+                                );
+                                *pointer = win;
+                                *slot = Some(state);
+                            }
+                            tally
+                        })
+                    })
+                    .collect();
+                for h in handles {
+                    tallies.push(h.join().expect("row worker panicked"));
+                }
+            });
+        }
+        for t in &tallies {
+            plane.absorb_stats(t);
+        }
+        let buf = SweepBuffers::new(2 * n - 1);
+        let mut fan = FanQuad {
+            oracle: &*oracle,
+            threads,
+        };
+        agglomerate(
+            params,
+            graph,
+            nn,
+            &mut fan,
+            rng,
+            scratch,
+            Some((plane, buf)),
+        )
+    }
+    #[cfg(not(feature = "parallel"))]
+    unreachable!("fan_out is false without the parallel feature")
 }
 
 /// The merge loop shared by every entry point: incremental closest-pair
 /// selection ([`MinContest`]), merging, and pointer repair. `scratch`
-/// forces the from-scratch reference sweep at every merge.
+/// forces the from-scratch reference sweep at every merge. With a
+/// scaffold `plane`, pointer repairs run over the shared scaffold
+/// (incrementally unless `scratch`) and merges record rep provenance so
+/// the union's row can inherit its parents' cached duels.
 fn agglomerate<O, R>(
     params: &HierParams,
     mut graph: ClusterGraph,
@@ -613,6 +916,7 @@ fn agglomerate<O, R>(
     oracle: &mut O,
     rng: &mut R,
     scratch: bool,
+    mut plane: Option<(RowScaffold, SweepBuffers)>,
 ) -> (Dendrogram, MergePlaneStats)
 where
     O: QuadrupletOracle,
@@ -636,6 +940,7 @@ where
     let mut neighbours: Vec<usize> = Vec::with_capacity(n);
     let mut stale: Vec<usize> = Vec::with_capacity(n);
     let mut quads: Vec<[usize; 4]> = Vec::new();
+    let mut kept: Vec<(usize, bool)> = Vec::with_capacity(n);
 
     let mut merges = Vec::with_capacity(n - 1);
     let mut winner = {
@@ -652,7 +957,11 @@ where
         let partner = nn[winner];
         let rep = graph.rep(winner, partner);
 
-        let new = graph.merge(winner, partner, params.linkage, oracle);
+        let new = if plane.is_some() {
+            graph.merge_recording(winner, partner, params.linkage, oracle, &mut kept)
+        } else {
+            graph.merge(winner, partner, params.linkage, oracle)
+        };
         merges.push(Merge {
             a: winner,
             b: partner,
@@ -680,36 +989,60 @@ where
                 .copied()
                 .filter(|&c| c != new && (nn[c] == winner || nn[c] == partner)),
         );
-        for &c in &stale {
-            match params.linkage {
-                // Single linkage: d(c, new) = min of the two old distances,
-                // so the union is still c's nearest — redirect for free.
-                Linkage::Single => {
-                    nn[c] = new;
-                }
-                // Complete linkage: distances grew; recompute.
-                Linkage::Complete => {
-                    nn[c] = nearest_of(
-                        &graph,
-                        c,
-                        &params.search,
-                        oracle,
-                        &mut repair_rng,
-                        &mut neighbours,
-                        &mut quads,
-                    );
+        if let Some((sc, buf)) = plane.as_mut() {
+            // Scaffold maintenance first — repaired rows must be able to
+            // contest the union, and must never contest the dead parents.
+            // The repair stream feeds the union's bucket deal and the
+            // sample top-up (scaffolded sweeps themselves draw nothing).
+            sc.note_merge(winner, partner, new, &kept, graph.active(), &mut repair_rng);
+            for &c in &stale {
+                match params.linkage {
+                    // Single linkage: d(c, new) = min of the two old
+                    // distances, so the union is still c's nearest.
+                    Linkage::Single => {
+                        nn[c] = new;
+                    }
+                    // Complete linkage: distances grew; recompute over
+                    // the shared scaffold.
+                    Linkage::Complete => {
+                        nn[c] = scaffold_nearest(sc, buf, &graph, c, oracle, !scratch, &mut quads);
+                    }
                 }
             }
+            nn[new] = scaffold_nearest(sc, buf, &graph, new, oracle, !scratch, &mut quads);
+        } else {
+            for &c in &stale {
+                match params.linkage {
+                    // Single linkage: d(c, new) = min of the two old
+                    // distances, so the union is still c's nearest —
+                    // redirect for free.
+                    Linkage::Single => {
+                        nn[c] = new;
+                    }
+                    // Complete linkage: distances grew; recompute.
+                    Linkage::Complete => {
+                        nn[c] = nearest_of(
+                            &graph,
+                            c,
+                            &params.search,
+                            oracle,
+                            &mut repair_rng,
+                            &mut neighbours,
+                            &mut quads,
+                        );
+                    }
+                }
+            }
+            nn[new] = nearest_of(
+                &graph,
+                new,
+                &params.search,
+                oracle,
+                &mut repair_rng,
+                &mut neighbours,
+                &mut quads,
+            );
         }
-        nn[new] = nearest_of(
-            &graph,
-            new,
-            &params.search,
-            oracle,
-            &mut repair_rng,
-            &mut neighbours,
-            &mut quads,
-        );
         stats.repaired_pointers += stale.len() as u64;
 
         // Winner-structure maintenance: dead candidates out, the union
@@ -746,6 +1079,12 @@ where
     stats.bucket_replays = contest_stats.bucket_replays;
     stats.bucket_duels = contest_stats.bucket_duels;
     stats.pool_duels = contest_stats.pool_duels;
+    if let Some((sc, _)) = &plane {
+        let s = sc.stats();
+        stats.scaffold_hits = s.scaffold_hits;
+        stats.repair_contests = s.repair_contests;
+        stats.repair_fallbacks = s.repair_fallbacks;
+    }
 
     let d = Dendrogram { n, merges };
     d.validate();

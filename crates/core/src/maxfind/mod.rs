@@ -21,10 +21,18 @@
 //! instead of No" remark in Section 3.2. [`topk`] extends the engines to
 //! top-k selection and full Count-score ranking (the related problems of
 //! the paper's §1.2).
+//!
+//! Two persistent-scaffold planes amortise Max-Adv's scaffolding across
+//! *repeated* searches: [`MinContest`] across the merge-loop closest-pair
+//! contests of one evolving candidate set (PR 5), and [`RowScaffold`]
+//! across the many row-anchored nearest-neighbour searches of a hierarchy
+//! run (PR 10) — see the [`scaffold`](self::RowScaffold) docs for why
+//! persistent noise makes the reuse decision-identical.
 
 mod adversarial;
 mod count_max;
 mod probabilistic;
+mod scaffold;
 pub mod topk;
 mod tournament;
 
@@ -38,6 +46,9 @@ pub use count_max::{count_max_par, count_scores_par};
 #[cfg(feature = "parallel")]
 pub use probabilistic::max_prob_par;
 pub use probabilistic::{max_prob, max_prob_with_progress, min_prob, ProbParams};
+#[cfg(feature = "parallel")]
+pub(crate) use scaffold::{sweep_row, RowState};
+pub use scaffold::{RowScaffold, ScaffoldStats, SweepBuffers};
 pub use topk::{
     rank_by_counts, top_k_adv, top_k_adv_with_progress, top_k_prob, top_k_prob_with_progress,
 };

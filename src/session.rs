@@ -361,6 +361,7 @@ impl CancelToken {
 /// | [`probe_noise`](Self::probe_noise) | off | billed online flip-rate probing ([`ProbeOracle`]) |
 /// | [`assume_noise_rate`](Self::assume_noise_rate) | none | scale repetitions for an assumed flip rate |
 /// | [`adapt_noise`](Self::adapt_noise) | fail fast | response to a misspecified noise rate |
+/// | [`scaffold_search`](Self::scaffold_search) | off | shared-scaffold plane for hierarchy searches |
 #[derive(Debug, Default)]
 #[must_use = "a builder does nothing until build() is called"]
 pub struct SessionBuilder {
@@ -383,6 +384,7 @@ pub struct SessionBuilder {
     probe_rate: Option<f64>,
     assumed_noise: Option<f64>,
     adapt: Option<AdaptPolicy>,
+    scaffold: bool,
     /// A typed rejection recorded by a data-source method (degenerate
     /// points), surfaced by [`Self::build`] — builder methods return
     /// `Self`, so they cannot fail in place.
@@ -648,6 +650,18 @@ impl SessionBuilder {
         self
     }
 
+    /// Run [`Task::Hierarchy`] searches over the shared-scaffold search
+    /// plane (`HierParams::scaffolded`): one Max-Adv scaffold amortised
+    /// across all initial-pointer and pointer-repair searches — strictly
+    /// fewer queries, identical guarantees, decision-identical to its
+    /// from-scratch reference. Off by default because it changes the
+    /// randomness schedule, so enabling it changes which (equally valid)
+    /// dendrogram a given seed produces. No effect on other tasks.
+    pub fn scaffold_search(mut self, on: bool) -> Self {
+        self.scaffold = on;
+        self
+    }
+
     /// Validates the configuration and builds the session (constructing
     /// the engine unless one was attached).
     pub fn build(self) -> Result<Session, NcoError> {
@@ -815,6 +829,7 @@ impl SessionBuilder {
                 probe_rate: self.probe_rate,
                 assumed_noise: self.assumed_noise,
                 adapt: self.adapt,
+                scaffold: self.scaffold,
             },
         })
     }
@@ -837,6 +852,7 @@ pub(crate) struct Config {
     pub(crate) probe_rate: Option<f64>,
     pub(crate) assumed_noise: Option<f64>,
     pub(crate) adapt: Option<AdaptPolicy>,
+    pub(crate) scaffold: bool,
 }
 
 /// Per-run bookkeeping captured when `run` starts, threaded through to
@@ -1699,6 +1715,7 @@ impl Session {
             None => HierParams::experimental(linkage),
         };
         params.search.rounds = scale_rounds(params.search.rounds, scale);
+        params.scaffold = self.cfg.scaffold;
         params
     }
 
